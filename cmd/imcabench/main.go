@@ -1,0 +1,76 @@
+// Command imcabench regenerates the paper's tables and figures from the
+// simulated testbed.
+//
+// Usage:
+//
+//	imcabench -list
+//	imcabench -exp fig5 [-scale 64] [-csv]
+//	imcabench -exp all  [-scale 64]
+//
+// Scale divides the paper's full workload parameters (262144 files, 1 GB
+// files, 6 GB MCDs); -scale 1 runs the full-size experiment. Results are
+// virtual-time measurements and are deterministic for a given scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"imca/internal/experiments"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list available experiments")
+		exp   = flag.String("exp", "", "experiment to run (figure id, or 'all')")
+		scale = flag.Int("scale", 64, "divide the paper's workload parameters by this factor (1 = full scale)")
+		csv   = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		plot  = flag.Bool("plot", false, "render an ASCII chart as well")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		for _, e := range experiments.Registry {
+			fmt.Printf("  %-7s %s\n", e.Name, e.Description)
+		}
+		if *exp == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	opts := experiments.Options{Scale: *scale}
+	run := func(e experiments.Experiment) {
+		start := time.Now()
+		res := e.Run(opts)
+		fmt.Printf("\n== %s (scale 1/%d, %s wall) ==\n", e.Name, *scale, time.Since(start).Round(time.Millisecond))
+		if *csv {
+			res.Table.CSV(os.Stdout)
+		} else {
+			res.Table.Render(os.Stdout)
+		}
+		if *plot {
+			fmt.Println()
+			res.Table.Plot(os.Stdout, 16)
+		}
+		for _, n := range res.Notes {
+			fmt.Printf("note: %s\n", n)
+		}
+	}
+
+	if *exp == "all" {
+		for _, e := range experiments.Registry {
+			run(e)
+		}
+		return
+	}
+	e, ok := experiments.Find(*exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "imcabench: unknown experiment %q (try -list)\n", *exp)
+		os.Exit(2)
+	}
+	run(e)
+}

@@ -1,0 +1,238 @@
+// Command imcafsh is an interactive shell onto a simulated IMCa cluster:
+// each command runs as a file system operation in virtual time and reports
+// how long the modeled cluster took. It is the exploratory complement to
+// cmd/imcabench — poke the cache, watch what hits and what misses.
+//
+// Usage:
+//
+//	imcafsh [-clients 1] [-mcds 2] [-block 2048]
+//
+// Commands:
+//
+//	create PATH              create and open a file
+//	open PATH                open an existing file
+//	close PATH               close the file's descriptor
+//	write PATH OFF SIZE      write SIZE synthetic bytes at OFF
+//	read PATH OFF SIZE       read (reports whether the bank served it)
+//	stat PATH                stat (cache-first)
+//	rm PATH                  delete
+//	ls PATH                  list a directory
+//	flush                    flush every MCD (cold bank)
+//	stats                    translator and bank counters
+//	time                     current virtual time
+//	help | quit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"imca/internal/blob"
+	"imca/internal/cluster"
+	"imca/internal/gluster"
+	"imca/internal/sim"
+)
+
+type shell struct {
+	c   *cluster.Cluster
+	fs  gluster.FS
+	fds map[string]gluster.FD
+}
+
+func main() {
+	var (
+		clients = flag.Int("clients", 1, "client nodes")
+		mcds    = flag.Int("mcds", 2, "memcached daemons (0 = plain GlusterFS)")
+		block   = flag.Int64("block", 2048, "IMCa block size")
+	)
+	flag.Parse()
+
+	c := cluster.New(cluster.Options{
+		Clients: *clients, MCDs: *mcds, MCDMemBytes: 256 << 20, BlockSize: *block,
+	})
+	sh := &shell{c: c, fs: c.Mounts[0].FS, fds: make(map[string]gluster.FD)}
+
+	fmt.Printf("imcafsh: %d client(s), %d MCD(s), block %d — type 'help'\n", *clients, *mcds, *block)
+	in := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("imca> ")
+		if !in.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(in.Text())
+		if line == "" {
+			continue
+		}
+		if line == "quit" || line == "exit" {
+			return
+		}
+		sh.dispatch(strings.Fields(line))
+	}
+}
+
+// inSim runs fn as a simulated process and returns the virtual time it
+// took.
+func (sh *shell) inSim(fn func(p *sim.Proc)) sim.Duration {
+	var took sim.Duration
+	sh.c.Env.Process("shell", func(p *sim.Proc) {
+		start := p.Now()
+		fn(p)
+		took = p.Now().Sub(start)
+	})
+	sh.c.Env.Run()
+	return took
+}
+
+func (sh *shell) dispatch(args []string) {
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Printf("error: %v\n", r)
+		}
+	}()
+	cmd := args[0]
+	switch cmd {
+	case "help":
+		fmt.Println("create|open|close|rm|stat|ls PATH; write|read PATH OFF SIZE; flush; stats; time; quit")
+	case "time":
+		fmt.Printf("virtual time: %v\n", sim.Duration(sh.c.Env.Now()))
+	case "flush":
+		for _, m := range sh.c.MCDs {
+			m.Store().FlushAll()
+		}
+		fmt.Println("bank flushed")
+	case "stats":
+		sh.printStats()
+	case "create", "open", "close", "rm", "stat", "ls":
+		if len(args) != 2 {
+			fmt.Printf("usage: %s PATH\n", cmd)
+			return
+		}
+		sh.pathCmd(cmd, args[1])
+	case "write", "read":
+		if len(args) != 4 {
+			fmt.Printf("usage: %s PATH OFF SIZE\n", cmd)
+			return
+		}
+		off, err1 := strconv.ParseInt(args[2], 10, 64)
+		size, err2 := strconv.ParseInt(args[3], 10, 64)
+		if err1 != nil || err2 != nil || size <= 0 || off < 0 {
+			fmt.Println("bad OFF/SIZE")
+			return
+		}
+		sh.ioCmd(cmd, args[1], off, size)
+	default:
+		fmt.Printf("unknown command %q (try help)\n", cmd)
+	}
+}
+
+func (sh *shell) fdFor(path string) (gluster.FD, bool) {
+	fd, ok := sh.fds[path]
+	return fd, ok
+}
+
+func (sh *shell) pathCmd(cmd, path string) {
+	var err error
+	took := sh.inSim(func(p *sim.Proc) {
+		switch cmd {
+		case "create":
+			var fd gluster.FD
+			if fd, err = sh.fs.Create(p, path); err == nil {
+				sh.fds[path] = fd
+			}
+		case "open":
+			var fd gluster.FD
+			if fd, err = sh.fs.Open(p, path); err == nil {
+				sh.fds[path] = fd
+			}
+		case "close":
+			fd, ok := sh.fdFor(path)
+			if !ok {
+				err = gluster.ErrBadFD
+				return
+			}
+			if err = sh.fs.Close(p, fd); err == nil {
+				delete(sh.fds, path)
+			}
+		case "rm":
+			err = sh.fs.Unlink(p, path)
+		case "stat":
+			var st *gluster.Stat
+			if st, err = sh.fs.Stat(p, path); err == nil {
+				fmt.Printf("  ino=%d size=%d dir=%v mtime=%v\n", st.Ino, st.Size, st.IsDir, sim.Duration(st.Mtime))
+			}
+		case "ls":
+			var names []string
+			if names, err = sh.fs.Readdir(p, path); err == nil {
+				for _, n := range names {
+					fmt.Printf("  %s\n", n)
+				}
+			}
+		}
+	})
+	report(cmd, took, err)
+}
+
+func (sh *shell) ioCmd(cmd, path string, off, size int64) {
+	fd, ok := sh.fdFor(path)
+	if !ok {
+		fmt.Println("error: not open (use create/open first)")
+		return
+	}
+	var err error
+	var hit string
+	took := sh.inSim(func(p *sim.Proc) {
+		switch cmd {
+		case "write":
+			_, err = sh.fs.Write(p, fd, off, blob.Synthetic(uint64(len(path))+1, off, size))
+		case "read":
+			var before uint64
+			cm := sh.c.Mounts[0].CMCache
+			if cm != nil {
+				before = cm.Stats.ReadMisses
+			}
+			var data blob.Blob
+			data, err = sh.fs.Read(p, fd, off, size)
+			if err == nil {
+				hit = fmt.Sprintf(", %d bytes", data.Len())
+				if cm != nil {
+					if cm.Stats.ReadMisses > before {
+						hit += ", MISS (server)"
+					} else {
+						hit += ", HIT (bank)"
+					}
+				}
+			}
+		}
+	})
+	report(cmd+hit, took, err)
+}
+
+func report(what string, took sim.Duration, err error) {
+	if err != nil {
+		fmt.Printf("error: %v\n", err)
+		return
+	}
+	fmt.Printf("ok: %s in %v (virtual)\n", what, took)
+}
+
+func (sh *shell) printStats() {
+	if cm := sh.c.Mounts[0].CMCache; cm != nil {
+		fmt.Printf("cmcache: stat %d hit / %d miss; read %d hit / %d miss; blocks %d/%d hit\n",
+			cm.Stats.StatHits, cm.Stats.StatMisses,
+			cm.Stats.ReadHits, cm.Stats.ReadMisses,
+			cm.Stats.BlockHits, cm.Stats.BlockLookups)
+	}
+	if sm := sh.c.SMCache; sm != nil {
+		fmt.Printf("smcache: %d block pushes, %d stat pushes, %d purges, %d read-backs\n",
+			sm.Stats.BlockPushes, sm.Stats.StatPushes, sm.Stats.Purges, sm.Stats.ReadBacks)
+	}
+	bank := sh.c.BankStats()
+	fmt.Printf("bank:    %d items, %d bytes; get %d (%d hit / %d miss); set %d; evictions %d\n",
+		bank.CurrItems, bank.Bytes, bank.CmdGet, bank.GetHits, bank.GetMisses, bank.CmdSet, bank.Evictions)
+	fmt.Printf("server:  ops %v\n", sh.c.Server.Ops)
+}

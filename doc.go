@@ -1,0 +1,18 @@
+// Package imca is a reproduction of "IMCa: A High Performance Caching
+// Front-end for GlusterFS on InfiniBand" (Noronha & Panda, ICPP 2008).
+//
+// IMCa interposes a bank of MemCached daemons between file system clients
+// and the file server: a client-side translator (CMCache) serves stat and
+// read operations from the cache bank, and a server-side translator
+// (SMCache) feeds completed operations into it. This module rebuilds the
+// entire system — a deterministic discrete-event simulator, an InfiniBand/
+// GigE network model, disk and page-cache models, a full memcached
+// (simulated and real-TCP), a GlusterFS-like translator stack, a
+// Lustre-like baseline, and the paper's complete benchmark suite — in pure
+// Go with only the standard library.
+//
+// Start with README.md, DESIGN.md (system inventory and per-experiment
+// index), and cmd/imcabench (regenerates every figure). The root package
+// holds no code; the library lives under internal/ and is exercised by the
+// examples and by bench_test.go.
+package imca

@@ -1,0 +1,75 @@
+// Memcachetcp: the memcached reimplementation is not only a simulation
+// artifact — it speaks the real text protocol over TCP. This example
+// starts two daemons on loopback, connects a client that distributes keys
+// with the same CRC32 hash libmemcache uses, and exercises the core
+// command set.
+//
+// Run with:
+//
+//	go run ./examples/memcachetcp
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"imca/internal/blob"
+	"imca/internal/memcache"
+)
+
+func main() {
+	// Two daemons, 32 MB each.
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		srv := memcache.NewServer(32 << 20)
+		addr, err := srv.Listen("127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		addrs = append(addrs, addr.String())
+		fmt.Printf("memcached #%d listening on %s\n", i, addr)
+	}
+
+	cl, err := memcache.Dial(addrs...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+
+	// Keys spread across both daemons by CRC32, exactly as IMCa's
+	// CMCache/SMCache distribute file blocks across the MCD bank.
+	for i := 0; i < 10; i++ {
+		key := fmt.Sprintf("/bench/file1:%d", i*2048)
+		if err := cl.Set(&memcache.Item{Key: key, Value: blob.FromString(fmt.Sprintf("block-%d", i))}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	it, err := cl.Get("/bench/file1:4096")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("get /bench/file1:4096 -> %q\n", it.Value.Bytes())
+
+	keys := []string{"/bench/file1:0", "/bench/file1:2048", "/bench/file1:6144", "/bench/missing:0"}
+	items, err := cl.GetMulti(keys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("multi-get found %d of %d keys\n", len(items), len(keys))
+
+	cl.Set(&memcache.Item{Key: "counter", Value: blob.FromString("41")})
+	if v, err := cl.Incr("counter", 1); err == nil {
+		fmt.Printf("incr counter -> %d\n", v)
+	}
+
+	stats, err := cl.ServerStats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for addr, m := range stats {
+		fmt.Printf("%s: curr_items=%s get_hits=%s get_misses=%s\n",
+			addr, m["curr_items"], m["get_hits"], m["get_misses"])
+	}
+}

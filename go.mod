@@ -1,0 +1,3 @@
+module imca
+
+go 1.22

@@ -1,0 +1,284 @@
+// Package blob represents file and cache payloads that may be either real
+// bytes or synthetic descriptors.
+//
+// Storage and network simulations frequently move gigabytes of file data
+// whose exact contents are irrelevant to the experiment. A synthetic Blob
+// records only (seed, offset, length): every byte is a pure function of the
+// seed and its absolute offset, so payloads can be sliced, concatenated,
+// shipped, cached, and verified without ever allocating the data. Byte-backed
+// Blobs carry literal contents for correctness tests and for the real TCP
+// memcached server. The two kinds mix freely inside one Blob.
+package blob
+
+import (
+	"fmt"
+	"io"
+)
+
+// segment is a contiguous run of payload, either byte-backed (data != nil)
+// or synthetic (generated from seed at absolute offset off).
+type segment struct {
+	data []byte
+	seed uint64
+	off  int64
+	n    int64
+}
+
+func (s segment) length() int64 {
+	if s.data != nil {
+		return int64(len(s.data))
+	}
+	return s.n
+}
+
+func (s segment) at(i int64) byte {
+	if s.data != nil {
+		return s.data[i]
+	}
+	return synthByte(s.seed, s.off+i)
+}
+
+func (s segment) slice(from, to int64) segment {
+	if s.data != nil {
+		return segment{data: s.data[from:to]}
+	}
+	return segment{seed: s.seed, off: s.off + from, n: to - from}
+}
+
+// Blob is an immutable sequence of payload bytes. The zero Blob is empty.
+type Blob struct {
+	segs []segment
+	n    int64
+}
+
+// FromBytes returns a byte-backed Blob. The caller must not mutate b after
+// the call.
+func FromBytes(b []byte) Blob {
+	if len(b) == 0 {
+		return Blob{}
+	}
+	return Blob{segs: []segment{{data: b}}, n: int64(len(b))}
+}
+
+// FromString returns a byte-backed Blob with the bytes of s.
+func FromString(s string) Blob { return FromBytes([]byte(s)) }
+
+// Zeros returns a content-free Blob of n zero bytes (seed 0 is the
+// all-zeros stream). File systems use it for holes.
+func Zeros(n int64) Blob { return Synthetic(0, 0, n) }
+
+// Synthetic returns a content-free Blob of n bytes whose contents are a
+// pure function of (seed, absolute offset). Two Synthetic blobs with the
+// same seed describe windows into the same infinite stream, so
+// Synthetic(s, 0, 100).Slice(25, 75) equals Synthetic(s, 25, 50). Seed 0 is
+// reserved for the all-zeros stream.
+func Synthetic(seed uint64, off, n int64) Blob {
+	if n < 0 {
+		panic("blob: negative length")
+	}
+	if n == 0 {
+		return Blob{}
+	}
+	return Blob{segs: []segment{{seed: seed, off: off, n: n}}, n: n}
+}
+
+// Len returns the total number of bytes.
+func (b Blob) Len() int64 { return b.n }
+
+// IsSynthetic reports whether the blob contains no byte-backed segments
+// (an empty blob is synthetic).
+func (b Blob) IsSynthetic() bool {
+	for _, s := range b.segs {
+		if s.data != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// At returns the byte at index i.
+func (b Blob) At(i int64) byte {
+	if i < 0 || i >= b.n {
+		panic(fmt.Sprintf("blob: index %d out of range [0,%d)", i, b.n))
+	}
+	for _, s := range b.segs {
+		if l := s.length(); i < l {
+			return s.at(i)
+		} else {
+			i -= l
+		}
+	}
+	panic("blob: corrupt segment lengths")
+}
+
+// Slice returns the sub-blob [from, to).
+func (b Blob) Slice(from, to int64) Blob {
+	if from < 0 || to < from || to > b.n {
+		panic(fmt.Sprintf("blob: slice [%d,%d) out of range [0,%d]", from, to, b.n))
+	}
+	if from == to {
+		return Blob{}
+	}
+	var out Blob
+	pos := int64(0)
+	for _, s := range b.segs {
+		l := s.length()
+		lo, hi := from-pos, to-pos
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > l {
+			hi = l
+		}
+		if lo < hi {
+			out.segs = append(out.segs, s.slice(lo, hi))
+			out.n += hi - lo
+		}
+		pos += l
+		if pos >= to {
+			break
+		}
+	}
+	return out
+}
+
+// Concat returns the concatenation of parts. Adjacent synthetic segments
+// from the same stream are coalesced.
+func Concat(parts ...Blob) Blob {
+	var out Blob
+	for _, p := range parts {
+		for _, s := range p.segs {
+			if n := len(out.segs); n > 0 && s.data == nil {
+				last := &out.segs[n-1]
+				if last.data == nil && last.seed == s.seed && last.off+last.n == s.off {
+					last.n += s.n
+					out.n += s.n
+					continue
+				}
+			}
+			out.segs = append(out.segs, s)
+			out.n += s.length()
+		}
+	}
+	return out
+}
+
+// Bytes materializes the blob. Synthetic segments are generated; the result
+// is freshly allocated except for a single byte-backed segment, which is
+// returned as-is.
+func (b Blob) Bytes() []byte {
+	if len(b.segs) == 1 && b.segs[0].data != nil {
+		return b.segs[0].data
+	}
+	out := make([]byte, b.n)
+	pos := 0
+	for _, s := range b.segs {
+		l := s.length()
+		if s.data != nil {
+			pos += copy(out[pos:], s.data)
+			continue
+		}
+		synthFill(out[pos:pos+int(l)], s.seed, s.off)
+		pos += int(l)
+	}
+	return out
+}
+
+// Equal reports whether a and b have identical contents.
+func (b Blob) Equal(c Blob) bool {
+	if b.n != c.n {
+		return false
+	}
+	for i := int64(0); i < b.n; i++ {
+		if b.At(i) != c.At(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// Checksum returns a 64-bit FNV-1a digest of the contents.
+func (b Blob) Checksum() uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for _, s := range b.segs {
+		l := s.length()
+		for i := int64(0); i < l; i++ {
+			h ^= uint64(s.at(i))
+			h *= prime64
+		}
+	}
+	return h
+}
+
+// Reader returns an io.Reader over the contents.
+func (b Blob) Reader() io.Reader { return &reader{b: b} }
+
+type reader struct {
+	b   Blob
+	pos int64
+}
+
+func (r *reader) Read(p []byte) (int, error) {
+	if r.pos >= r.b.n {
+		return 0, io.EOF
+	}
+	n := int64(len(p))
+	if rem := r.b.n - r.pos; n > rem {
+		n = rem
+	}
+	chunk := r.b.Slice(r.pos, r.pos+n).Bytes()
+	copy(p, chunk)
+	r.pos += n
+	return int(n), nil
+}
+
+// String describes the blob shape for diagnostics (not its contents).
+func (b Blob) String() string {
+	kind := "bytes"
+	if b.IsSynthetic() {
+		kind = "synthetic"
+	}
+	return fmt.Sprintf("blob{%s, %d bytes, %d segs}", kind, b.n, len(b.segs))
+}
+
+// synthByte is the content function: a splitmix64-style mix of the seed and
+// the 64-bit word index, selecting one byte of the mixed word. Seed 0 is
+// the all-zeros stream.
+func synthByte(seed uint64, pos int64) byte {
+	if seed == 0 {
+		return 0
+	}
+	w := mix(seed ^ uint64(pos>>3)*0x9e3779b97f4a7c15)
+	return byte(w >> (uint(pos&7) * 8))
+}
+
+func synthFill(dst []byte, seed uint64, off int64) {
+	i := 0
+	if seed == 0 {
+		for j := range dst {
+			dst[j] = 0
+		}
+		return
+	}
+	for i < len(dst) {
+		pos := off + int64(i)
+		if pos&7 == 0 && i+8 <= len(dst) {
+			// Fast path: fill a whole aligned word.
+			w := mix(seed ^ uint64(pos>>3)*0x9e3779b97f4a7c15)
+			for j := 0; j < 8; j++ {
+				dst[i+j] = byte(w >> (uint(j) * 8))
+			}
+			i += 8
+			continue
+		}
+		dst[i] = synthByte(seed, pos)
+		i++
+	}
+}
+
+func mix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

@@ -1,0 +1,32 @@
+package blob_test
+
+import (
+	"fmt"
+
+	"imca/internal/blob"
+)
+
+// Synthetic blobs describe gigabytes without allocating them; slices of
+// the same stream are content-identical wherever they are produced.
+func ExampleSynthetic() {
+	oneGB := blob.Synthetic(42, 0, 1<<30)
+	window := oneGB.Slice(512<<20, 512<<20+64)
+	direct := blob.Synthetic(42, 512<<20, 64)
+
+	fmt.Println("window matches direct:", window.Equal(direct))
+	fmt.Println("bytes allocated for the 1GB blob: effectively none")
+	// Output:
+	// window matches direct: true
+	// bytes allocated for the 1GB blob: effectively none
+}
+
+// Concat mixes byte-backed and synthetic segments freely.
+func ExampleConcat() {
+	b := blob.Concat(
+		blob.FromString("header:"),
+		blob.Synthetic(7, 0, 4),
+		blob.FromString(":footer"),
+	)
+	fmt.Println(b.Len(), "bytes,", string(b.Slice(0, 7).Bytes()))
+	// Output: 18 bytes, header:
+}

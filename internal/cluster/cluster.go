@@ -1,0 +1,208 @@
+// Package cluster assembles complete simulated deployments — the testbed
+// counterpart of the paper's 64-node InfiniBand cluster. A GlusterFS
+// deployment wires client stacks (FUSE → [CMCache] → protocol-client) to a
+// server stack (protocol-server → [SMCache] → Posix on a RAID array), with
+// an optional MCD bank for IMCa.
+package cluster
+
+import (
+	"fmt"
+
+	"imca/internal/core"
+	"imca/internal/disk"
+	"imca/internal/fabric"
+	"imca/internal/gluster"
+	"imca/internal/memcache"
+	"imca/internal/sim"
+)
+
+// Options describes a GlusterFS/IMCa deployment.
+type Options struct {
+	// Transport is the interconnect (default IPoIB, as in the paper).
+	Transport fabric.Transport
+	// Clients is the number of client nodes.
+	Clients int
+	// Bricks is the number of GlusterFS server nodes; with more than one,
+	// clients run the distribute translator over per-brick protocol
+	// clients, spreading the namespace as GlusterFS's default
+	// configuration does. Default 1 (the paper's testbed).
+	Bricks int
+	// MCDs is the number of MemCached daemons; zero disables IMCa (the
+	// paper's "NoCache" configuration).
+	MCDs int
+	// MCDMemBytes is each daemon's memory bound (paper: up to 6 GB).
+	MCDMemBytes int64
+	// ServerCacheBytes bounds the server's OS page cache.
+	ServerCacheBytes int64
+	// Disks and DiskParams describe the server's RAID-0 array (paper:
+	// 8 HighPoint disks).
+	Disks      int
+	DiskParams disk.Params
+	// BlockSize is the IMCa block size; Threaded enables SMCache's
+	// helper-thread updates.
+	BlockSize int64
+	Threaded  bool
+	// Selector overrides the MCD key distribution (default CRC32).
+	Selector memcache.Selector
+	// ServerConfig tunes the glusterfsd cost model.
+	ServerConfig gluster.ServerConfig
+	// FuseConfig tunes the client FUSE cost model.
+	FuseConfig gluster.FuseConfig
+}
+
+func (o Options) withDefaults() Options {
+	if o.Transport.Name == "" {
+		o.Transport = fabric.IPoIB
+	}
+	if o.Clients <= 0 {
+		o.Clients = 1
+	}
+	if o.MCDMemBytes == 0 {
+		o.MCDMemBytes = 6 << 30
+	}
+	if o.ServerCacheBytes == 0 {
+		o.ServerCacheBytes = 6 << 30
+	}
+	if o.Bricks <= 0 {
+		o.Bricks = 1
+	}
+	if o.Disks == 0 {
+		o.Disks = 8
+	}
+	if o.DiskParams.TransferRate == 0 {
+		o.DiskParams = disk.HighPoint2008
+	}
+	if o.BlockSize == 0 {
+		o.BlockSize = core.DefaultBlockSize
+	}
+	return o
+}
+
+// Mount is one client's view of the file system.
+type Mount struct {
+	FS      gluster.FS
+	Node    *fabric.Node
+	CMCache *core.CMCache // nil without IMCa
+}
+
+// Cluster is a deployed GlusterFS (optionally IMCa-enabled) system.
+type Cluster struct {
+	Env  *sim.Env
+	Net  *fabric.Network
+	Opts Options
+	// Posix, Server, and SMCache describe the first brick; Bricks lists
+	// all of them when Options.Bricks > 1.
+	Posix   *gluster.Posix
+	Server  *gluster.Server
+	SMCache *core.SMCache // nil without IMCa
+	Bricks  []*Brick
+	MCDs    []*memcache.SimServer
+	Mounts  []Mount
+}
+
+// Brick is one GlusterFS server: its storage, translator, and daemon.
+type Brick struct {
+	Node    *fabric.Node
+	Posix   *gluster.Posix
+	SMCache *core.SMCache // nil without IMCa
+	Server  *gluster.Server
+}
+
+// New deploys a cluster per opts on a fresh simulation environment.
+func New(opts Options) *Cluster {
+	env := sim.NewEnv()
+	return NewOn(env, fabric.NewNetwork(env, opts.withDefaults().Transport), opts)
+}
+
+// NewOn deploys onto an existing environment/network (so multiple systems
+// can share one simulation, e.g. GlusterFS next to Lustre).
+func NewOn(env *sim.Env, net *fabric.Network, opts Options) *Cluster {
+	opts = opts.withDefaults()
+	c := &Cluster{Env: env, Net: net, Opts: opts}
+
+	imcaCfg := core.Config{BlockSize: opts.BlockSize, Threaded: opts.Threaded}
+	if opts.MCDs > 0 {
+		for i := 0; i < opts.MCDs; i++ {
+			node := net.NewNode(fmt.Sprintf("mcd%d", i), 8)
+			c.MCDs = append(c.MCDs, memcache.NewSimServer(node, opts.MCDMemBytes))
+		}
+	}
+
+	for b := 0; b < opts.Bricks; b++ {
+		name := "gfs-server"
+		if opts.Bricks > 1 {
+			name = fmt.Sprintf("gfs-brick%d", b)
+		}
+		srvNode := net.NewNode(name, 8)
+		arr := disk.NewArray(env, opts.Disks, 1<<20, opts.DiskParams)
+		px := gluster.NewPosix(env, gluster.PosixConfig{Dev: arr, CacheBytes: opts.ServerCacheBytes})
+		brick := &Brick{Node: srvNode, Posix: px}
+		var serverChild gluster.FS = px
+		if opts.MCDs > 0 {
+			smClient := memcache.NewSimClient(srvNode, c.MCDs)
+			if opts.Selector != nil {
+				smClient.SetSelector(opts.Selector)
+			}
+			brick.SMCache = core.NewSMCache(env, px, smClient, imcaCfg)
+			serverChild = brick.SMCache
+		}
+		brick.Server = gluster.NewServer(srvNode, serverChild, opts.ServerConfig)
+		c.Bricks = append(c.Bricks, brick)
+	}
+	c.Posix = c.Bricks[0].Posix
+	c.SMCache = c.Bricks[0].SMCache
+	c.Server = c.Bricks[0].Server
+
+	for i := 0; i < opts.Clients; i++ {
+		node := net.NewNode(fmt.Sprintf("client%d", i), 8)
+		var stack gluster.FS
+		if opts.Bricks == 1 {
+			stack = gluster.NewClient(node, c.Bricks[0].Node)
+		} else {
+			subs := make([]gluster.FS, opts.Bricks)
+			for b, brick := range c.Bricks {
+				subs[b] = gluster.NewClient(node, brick.Node)
+			}
+			stack = gluster.NewDistribute(subs...)
+		}
+		var cm *core.CMCache
+		if opts.MCDs > 0 {
+			mc := memcache.NewSimClient(node, c.MCDs)
+			if opts.Selector != nil {
+				mc.SetSelector(opts.Selector)
+			}
+			cm = core.NewCMCache(stack, mc, imcaCfg)
+			stack = cm
+		}
+		stack = gluster.NewFuse(node, stack, opts.FuseConfig)
+		c.Mounts = append(c.Mounts, Mount{FS: stack, Node: node, CMCache: cm})
+	}
+	return c
+}
+
+// FSes returns each mount's file system, in client order.
+func (c *Cluster) FSes() []gluster.FS {
+	out := make([]gluster.FS, len(c.Mounts))
+	for i, m := range c.Mounts {
+		out[i] = m.FS
+	}
+	return out
+}
+
+// BankStats sums memcached statistics across the MCD bank.
+func (c *Cluster) BankStats() memcache.Stats {
+	var total memcache.Stats
+	for _, s := range c.MCDs {
+		st := s.Store().Stats()
+		total.CmdGet += st.CmdGet
+		total.CmdSet += st.CmdSet
+		total.GetHits += st.GetHits
+		total.GetMisses += st.GetMisses
+		total.Evictions += st.Evictions
+		total.Expired += st.Expired
+		total.CurrItems += st.CurrItems
+		total.TotalItems += st.TotalItems
+		total.Bytes += st.Bytes
+	}
+	return total
+}

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"imca/internal/blob"
+	"imca/internal/gluster"
+	"imca/internal/memcache"
+	"imca/internal/sim"
+)
+
+// CMCacheStats counts cache interactions at the client translator.
+type CMCacheStats struct {
+	StatHits   uint64
+	StatMisses uint64
+	// ReadHits counts reads fully served from the MCD bank; ReadMisses
+	// counts reads forwarded to the server because a covering block was
+	// absent.
+	ReadHits   uint64
+	ReadMisses uint64
+	// BlockLookups and BlockHits count individual covering blocks.
+	BlockLookups uint64
+	BlockHits    uint64
+}
+
+// CMCache is the client-side IMCa translator. It wraps the client's
+// protocol stack (its child) and tries to serve Stat and Read from the MCD
+// bank before involving the server.
+type CMCache struct {
+	child gluster.FS
+	mcd   *memcache.SimClient
+	cfg   Config
+
+	// fdPaths is the paper's client-side "database" recording the
+	// absolute path stored at Open for later Read key construction.
+	fdPaths map[gluster.FD]string
+
+	Stats CMCacheStats
+}
+
+var _ gluster.FS = (*CMCache)(nil)
+
+// NewCMCache wraps child with the client translator using the given MCD
+// bank client.
+func NewCMCache(child gluster.FS, mcd *memcache.SimClient, cfg Config) *CMCache {
+	return &CMCache{
+		child:   child,
+		mcd:     mcd,
+		cfg:     cfg,
+		fdPaths: make(map[gluster.FD]string),
+	}
+}
+
+// Create implements gluster.FS; create operations offer no caching
+// opportunity and are forwarded directly (paper §4.2).
+func (c *CMCache) Create(p *sim.Proc, path string) (gluster.FD, error) {
+	fd, err := c.child.Create(p, path)
+	if err == nil {
+		c.fdPaths[fd] = path
+	}
+	return fd, err
+}
+
+// Open implements gluster.FS, recording the path↔fd association.
+func (c *CMCache) Open(p *sim.Proc, path string) (gluster.FD, error) {
+	fd, err := c.child.Open(p, path)
+	if err == nil {
+		c.fdPaths[fd] = path
+	}
+	return fd, err
+}
+
+// Close implements gluster.FS; closes propagate directly to the server.
+func (c *CMCache) Close(p *sim.Proc, fd gluster.FD) error {
+	delete(c.fdPaths, fd)
+	return c.child.Close(p, fd)
+}
+
+// Stat implements gluster.FS: it first attempts to fetch the stat
+// structure from the MCD bank and falls back to the server on a miss.
+func (c *CMCache) Stat(p *sim.Proc, path string) (*gluster.Stat, error) {
+	if it, ok := c.mcd.Get(p, statKey(path)); ok {
+		if st, err := decodeStat(it.Value); err == nil {
+			c.Stats.StatHits++
+			return st, nil
+		}
+	}
+	c.Stats.StatMisses++
+	return c.child.Stat(p, path)
+}
+
+// Read implements gluster.FS. The path stored at Open plus each covering
+// aligned block offset form the MCD keys; if every covering block is
+// present the read is assembled locally, otherwise the entire read is
+// forwarded to the server (making cold misses more expensive than the
+// native file system, as the paper notes).
+func (c *CMCache) Read(p *sim.Proc, fd gluster.FD, off, size int64) (blob.Blob, error) {
+	if size <= 0 {
+		return blob.Blob{}, nil
+	}
+	path, ok := c.fdPaths[fd]
+	if !ok {
+		// Descriptor not opened through this translator; pass through.
+		return c.child.Read(p, fd, off, size)
+	}
+	bs := c.cfg.blockSize()
+	offsets := blockOffsets(off, size, bs)
+	keys := make([]string, len(offsets))
+	for i, bo := range offsets {
+		keys[i] = blockKey(path, bo)
+	}
+	c.Stats.BlockLookups += uint64(len(keys))
+	items := c.mcd.GetMulti(p, keys)
+	c.Stats.BlockHits += uint64(len(items))
+	if len(items) < len(keys) {
+		c.Stats.ReadMisses++
+		if !c.cfg.ClientPopulate {
+			return c.child.Read(p, fd, off, size)
+		}
+		// Client-populate mode: widen to block alignment, push the
+		// fetched blocks ourselves, and return the requested slice.
+		alignedOff, alignedSize := alignSpan(off, size, bs)
+		data, err := c.child.Read(p, fd, alignedOff, alignedSize)
+		if err != nil {
+			return blob.Blob{}, err
+		}
+		c.pushBlocks(p, path, alignedOff, data)
+		lo := off - alignedOff
+		if lo >= data.Len() {
+			return blob.Blob{}, nil
+		}
+		hi := lo + size
+		if hi > data.Len() {
+			hi = data.Len()
+		}
+		return data.Slice(lo, hi), nil
+	}
+
+	// Assemble the requested range from the blocks. A block shorter than
+	// the block size marks end of file.
+	var parts []blob.Blob
+	want := size
+	for i, bo := range offsets {
+		b := items[keys[i]].Value
+		lo := int64(0)
+		if bo < off {
+			lo = off - bo
+		}
+		if lo >= b.Len() {
+			break // read starts past EOF within this tail block
+		}
+		hi := b.Len()
+		if take := lo + want; take < hi {
+			hi = take
+		}
+		parts = append(parts, b.Slice(lo, hi))
+		want -= hi - lo
+		if want == 0 || b.Len() < bs {
+			break // satisfied, or EOF tail block
+		}
+	}
+	c.Stats.ReadHits++
+	return blob.Concat(parts...), nil
+}
+
+// Write implements gluster.FS; CMCache does not intercept writes — they
+// must be persistent, so they go straight to the server (paper §4.3.2).
+// In client-populate mode the completed write's aligned span is re-read
+// and pushed to the MCD bank, mirroring what SMCache does server-side.
+func (c *CMCache) Write(p *sim.Proc, fd gluster.FD, off int64, data blob.Blob) (int64, error) {
+	if !c.cfg.ClientPopulate {
+		return c.child.Write(p, fd, off, data)
+	}
+	path, tracked := c.fdPaths[fd]
+	oldSize := int64(-1)
+	if tracked {
+		if st, serr := c.child.Stat(p, path); serr == nil {
+			oldSize = st.Size
+		}
+	}
+	n, err := c.child.Write(p, fd, off, data)
+	if err != nil || n == 0 || !tracked {
+		return n, err
+	}
+	bs := c.cfg.blockSize()
+	alignedOff, alignedSize := alignSpan(off, n, bs)
+	back, rerr := c.child.Read(p, fd, alignedOff, alignedSize)
+	if rerr == nil {
+		c.pushBlocks(p, path, alignedOff, back)
+		// Refresh the old tail block when the file grows past it (see
+		// SMCache.Write).
+		if oldTail := oldSize - oldSize%bs; oldSize > 0 && oldSize%bs != 0 &&
+			off+n > oldSize && alignedOff > oldTail {
+			if tb, terr := c.child.Read(p, fd, oldTail, bs); terr == nil {
+				c.pushBlocks(p, path, oldTail, tb)
+			}
+		}
+		if st, serr := c.child.Stat(p, path); serr == nil {
+			c.mcd.Set(p, statKey(path), encodeStat(st))
+		}
+	}
+	return n, nil
+}
+
+// pushBlocks splits aligned data into blocks and stores each in the bank.
+func (c *CMCache) pushBlocks(p *sim.Proc, path string, alignedOff int64, data blob.Blob) {
+	bs := c.cfg.blockSize()
+	for pos := int64(0); pos < data.Len(); pos += bs {
+		end := pos + bs
+		if end > data.Len() {
+			end = data.Len()
+		}
+		c.mcd.Set(p, blockKey(path, alignedOff+pos), data.Slice(pos, end))
+	}
+}
+
+// Unlink implements gluster.FS; deletes are forwarded without
+// interception (the server-side translator purges the MCD entries).
+func (c *CMCache) Unlink(p *sim.Proc, path string) error {
+	return c.child.Unlink(p, path)
+}
+
+// Mkdir implements gluster.FS.
+func (c *CMCache) Mkdir(p *sim.Proc, path string) error { return c.child.Mkdir(p, path) }
+
+// Readdir implements gluster.FS.
+func (c *CMCache) Readdir(p *sim.Proc, path string) ([]string, error) {
+	return c.child.Readdir(p, path)
+}
+
+// Truncate implements gluster.FS.
+func (c *CMCache) Truncate(p *sim.Proc, path string, size int64) error {
+	return c.child.Truncate(p, path, size)
+}

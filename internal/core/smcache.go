@@ -1,0 +1,276 @@
+package core
+
+import (
+	"imca/internal/blob"
+	"imca/internal/gluster"
+	"imca/internal/memcache"
+	"imca/internal/sim"
+)
+
+// SMCacheStats counts the server translator's cache maintenance work.
+type SMCacheStats struct {
+	// BlockPushes counts data blocks sent to the MCD bank; StatPushes
+	// counts stat-structure updates; Purges counts keys deleted.
+	BlockPushes uint64
+	StatPushes  uint64
+	Purges      uint64
+	// ReadBacks counts the extra file-system reads issued after writes
+	// to regenerate the covering aligned blocks.
+	ReadBacks uint64
+}
+
+// SMCache is the server-side IMCa translator. It wraps the server's
+// storage stack (its child, typically Posix) and mirrors completed
+// operations into the MCD bank: stat structures at open/stat/write, data
+// blocks after reads and writes. Open/close/delete purge the file's
+// entries.
+type SMCache struct {
+	env   *sim.Env
+	child gluster.FS
+	mcd   *memcache.SimClient
+	cfg   Config
+
+	fdPaths map[gluster.FD]string
+	// pushed tracks which block keys each path currently has in the MCD
+	// bank, so purges delete exactly the resident keys.
+	pushed map[string]map[int64]struct{}
+
+	Stats SMCacheStats
+}
+
+var _ gluster.FS = (*SMCache)(nil)
+
+// NewSMCache wraps child with the server translator. mcd must be a client
+// on the server's own node — its traffic models the extra server-side load
+// the paper attributes to IMCa.
+func NewSMCache(env *sim.Env, child gluster.FS, mcd *memcache.SimClient, cfg Config) *SMCache {
+	return &SMCache{
+		env:     env,
+		child:   child,
+		mcd:     mcd,
+		cfg:     cfg,
+		fdPaths: make(map[gluster.FD]string),
+		pushed:  make(map[string]map[int64]struct{}),
+	}
+}
+
+// Child returns the wrapped storage stack.
+func (s *SMCache) Child() gluster.FS { return s.child }
+
+// purgeData deletes the data blocks recorded for path. The stat entry
+// stays valid (open/close do not change file contents' metadata beyond
+// what the fresh stat push provides).
+func (s *SMCache) purgeData(p *sim.Proc, path string) {
+	for bo := range s.pushed[path] {
+		s.mcd.Delete(p, blockKey(path, bo))
+		s.Stats.Purges++
+	}
+	delete(s.pushed, path)
+}
+
+// purgeAll additionally removes the stat entry — used for deletes and
+// truncates, where a stale stat would be a false positive.
+func (s *SMCache) purgeAll(p *sim.Proc, path string) {
+	s.mcd.Delete(p, statKey(path))
+	s.Stats.Purges++
+	s.purgeData(p, path)
+}
+
+// pushStat stores a file's stat structure in the MCD bank.
+func (s *SMCache) pushStat(p *sim.Proc, st *gluster.Stat) {
+	s.mcd.Set(p, statKey(st.Path), encodeStat(st))
+	s.Stats.StatPushes++
+}
+
+// pushBlocks splits data (starting at the aligned offset alignedOff) into
+// fixed-size blocks and stores each in the MCD bank.
+func (s *SMCache) pushBlocks(p *sim.Proc, path string, alignedOff int64, data blob.Blob) {
+	bs := s.cfg.blockSize()
+	set := s.pushed[path]
+	if set == nil {
+		set = make(map[int64]struct{})
+		s.pushed[path] = set
+	}
+	for pos := int64(0); pos < data.Len(); pos += bs {
+		end := pos + bs
+		if end > data.Len() {
+			end = data.Len()
+		}
+		bo := alignedOff + pos
+		s.mcd.Set(p, blockKey(path, bo), data.Slice(pos, end))
+		set[bo] = struct{}{}
+		s.Stats.BlockPushes++
+	}
+}
+
+// deferIf runs fn inline, or on a helper process when Threaded mode is on
+// (removing the MCD update from the request's critical path).
+func (s *SMCache) deferIf(p *sim.Proc, name string, fn func(q *sim.Proc)) {
+	if s.cfg.Threaded {
+		s.env.Process(name, fn)
+		return
+	}
+	fn(p)
+}
+
+// Create implements gluster.FS.
+func (s *SMCache) Create(p *sim.Proc, path string) (gluster.FD, error) {
+	fd, err := s.child.Create(p, path)
+	if err != nil {
+		return fd, err
+	}
+	s.fdPaths[fd] = path
+	s.purgeData(p, path) // a re-created path must not serve stale blocks
+	if st, serr := s.child.Stat(p, path); serr == nil {
+		s.pushStat(p, st)
+	}
+	return fd, nil
+}
+
+// Open implements gluster.FS: the MCDs are purged of data for the file,
+// then the fresh stat structure is pushed (paper §4.3.2 and §4.2).
+func (s *SMCache) Open(p *sim.Proc, path string) (gluster.FD, error) {
+	fd, err := s.child.Open(p, path)
+	if err != nil {
+		return fd, err
+	}
+	s.fdPaths[fd] = path
+	s.purgeData(p, path)
+	if st, serr := s.child.Stat(p, path); serr == nil {
+		s.pushStat(p, st)
+	}
+	return fd, nil
+}
+
+// Close implements gluster.FS: SMCache discards the file's data (not its
+// stat entry) from the MCDs when the close arrives.
+func (s *SMCache) Close(p *sim.Proc, fd gluster.FD) error {
+	if path, ok := s.fdPaths[fd]; ok {
+		s.purgeData(p, path)
+		delete(s.fdPaths, fd)
+	}
+	return s.child.Close(p, fd)
+}
+
+// Read implements gluster.FS. The read is widened to block alignment so
+// the completed data can be fed to the MCDs as whole blocks; the client's
+// requested range is sliced out of the aligned result.
+func (s *SMCache) Read(p *sim.Proc, fd gluster.FD, off, size int64) (blob.Blob, error) {
+	path, tracked := s.fdPaths[fd]
+	if !tracked || size <= 0 {
+		return s.child.Read(p, fd, off, size)
+	}
+	alignedOff, alignedSize := alignSpan(off, size, s.cfg.blockSize())
+	data, err := s.child.Read(p, fd, alignedOff, alignedSize)
+	if err != nil {
+		return blob.Blob{}, err
+	}
+	s.deferIf(p, "smcache-read-push", func(q *sim.Proc) {
+		s.pushBlocks(q, path, alignedOff, data)
+	})
+	// Slice the caller's range out of the aligned read.
+	lo := off - alignedOff
+	if lo >= data.Len() {
+		return blob.Blob{}, nil
+	}
+	hi := lo + size
+	if hi > data.Len() {
+		hi = data.Len()
+	}
+	return data.Slice(lo, hi), nil
+}
+
+// Write implements gluster.FS. The write goes to the file system first
+// (persistence), then SMCache re-reads the covering aligned span and feeds
+// those blocks plus the updated stat to the MCDs. Overlapping writes and
+// the fixed block size are why the written buffer cannot be pushed
+// directly (paper §4.3.2). In Threaded mode the read-back and pushes leave
+// the critical path.
+func (s *SMCache) Write(p *sim.Proc, fd gluster.FD, off int64, data blob.Blob) (int64, error) {
+	path, tracked := s.fdPaths[fd]
+	// The pre-write size decides whether this write grows the file past a
+	// partially-filled tail block, whose cached copy would otherwise keep
+	// claiming end-of-file.
+	oldSize := int64(-1)
+	if tracked {
+		if st, serr := s.child.Stat(p, path); serr == nil {
+			oldSize = st.Size
+		}
+	}
+	n, err := s.child.Write(p, fd, off, data)
+	if err != nil {
+		return n, err
+	}
+	if !tracked || n == 0 {
+		return n, err
+	}
+	bs := s.cfg.blockSize()
+	alignedOff, alignedSize := alignSpan(off, n, bs)
+	s.deferIf(p, "smcache-write-push", func(q *sim.Proc) {
+		back, rerr := s.child.Read(q, fd, alignedOff, alignedSize)
+		if rerr != nil {
+			return
+		}
+		s.Stats.ReadBacks++
+		s.pushBlocks(q, path, alignedOff, back)
+		// A growth past the old unaligned EOF invalidates the old tail
+		// block's implicit end-of-file; refresh it unless the write's
+		// span already covered it.
+		if oldTail := oldSize - oldSize%bs; oldSize > 0 && oldSize%bs != 0 &&
+			off+n > oldSize && alignedOff > oldTail {
+			if tb, terr := s.child.Read(q, fd, oldTail, bs); terr == nil {
+				s.pushBlocks(q, path, oldTail, tb)
+			}
+		}
+		if st, serr := s.child.Stat(q, path); serr == nil {
+			s.pushStat(q, st)
+		}
+	})
+	return n, nil
+}
+
+// Stat implements gluster.FS, feeding the completed stat structure to the
+// MCDs so later client stats hit the cache.
+func (s *SMCache) Stat(p *sim.Proc, path string) (*gluster.Stat, error) {
+	st, err := s.child.Stat(p, path)
+	if err != nil {
+		return nil, err
+	}
+	if !st.IsDir {
+		s.deferIf(p, "smcache-stat-push", func(q *sim.Proc) {
+			s.pushStat(q, st)
+		})
+	}
+	return st, nil
+}
+
+// Unlink implements gluster.FS: the file's cache entries are removed so
+// clients cannot see false positives for a deleted file (paper §4.2).
+func (s *SMCache) Unlink(p *sim.Proc, path string) error {
+	if err := s.child.Unlink(p, path); err != nil {
+		return err
+	}
+	s.purgeAll(p, path)
+	return nil
+}
+
+// Mkdir implements gluster.FS.
+func (s *SMCache) Mkdir(p *sim.Proc, path string) error { return s.child.Mkdir(p, path) }
+
+// Readdir implements gluster.FS.
+func (s *SMCache) Readdir(p *sim.Proc, path string) ([]string, error) {
+	return s.child.Readdir(p, path)
+}
+
+// Truncate implements gluster.FS, purging cached blocks that may now lie
+// past end of file.
+func (s *SMCache) Truncate(p *sim.Proc, path string, size int64) error {
+	if err := s.child.Truncate(p, path, size); err != nil {
+		return err
+	}
+	s.purgeAll(p, path)
+	if st, serr := s.child.Stat(p, path); serr == nil {
+		s.pushStat(p, st)
+	}
+	return nil
+}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"imca/internal/blob"
+	"imca/internal/gluster"
+	"imca/internal/sim"
+)
+
+// statCodec packs a gluster.Stat into bytes for MCD storage and back.
+// Layout: ino(8) size(8) atime(8) mtime(8) ctime(8) isDir(1) pathLen(2)
+// path(n), big-endian.
+
+const statFixedLen = 8*5 + 1 + 2
+
+var errBadStatEncoding = errors.New("core: bad stat encoding")
+
+func encodeStat(st *gluster.Stat) blob.Blob {
+	buf := make([]byte, statFixedLen+len(st.Path))
+	binary.BigEndian.PutUint64(buf[0:], st.Ino)
+	binary.BigEndian.PutUint64(buf[8:], uint64(st.Size))
+	binary.BigEndian.PutUint64(buf[16:], uint64(st.Atime))
+	binary.BigEndian.PutUint64(buf[24:], uint64(st.Mtime))
+	binary.BigEndian.PutUint64(buf[32:], uint64(st.Ctime))
+	if st.IsDir {
+		buf[40] = 1
+	}
+	binary.BigEndian.PutUint16(buf[41:], uint16(len(st.Path)))
+	copy(buf[statFixedLen:], st.Path)
+	return blob.FromBytes(buf)
+}
+
+func decodeStat(b blob.Blob) (*gluster.Stat, error) {
+	if b.Len() < statFixedLen {
+		return nil, errBadStatEncoding
+	}
+	buf := b.Bytes()
+	n := int(binary.BigEndian.Uint16(buf[41:]))
+	if len(buf) != statFixedLen+n {
+		return nil, errBadStatEncoding
+	}
+	return &gluster.Stat{
+		Ino:   binary.BigEndian.Uint64(buf[0:]),
+		Size:  int64(binary.BigEndian.Uint64(buf[8:])),
+		Atime: sim.Time(binary.BigEndian.Uint64(buf[16:])),
+		Mtime: sim.Time(binary.BigEndian.Uint64(buf[24:])),
+		Ctime: sim.Time(binary.BigEndian.Uint64(buf[32:])),
+		IsDir: buf[40] == 1,
+		Path:  string(buf[statFixedLen:]),
+	}, nil
+}

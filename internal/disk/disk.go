@@ -1,0 +1,179 @@
+// Package disk models rotating storage: a single disk with seek and
+// sequential-transfer costs, and RAID-0 arrays that stripe requests across
+// member disks.
+//
+// Addresses are abstract byte offsets in a flat device space; callers (the
+// file-system layers) map files onto that space. The model captures the two
+// properties the reproduced experiments depend on: sequential streams run at
+// the platter transfer rate, and interleaved streams from many clients
+// degrade to seek-bound throughput.
+package disk
+
+import (
+	"time"
+
+	"imca/internal/sim"
+)
+
+// Params describes a disk's first-order performance model.
+type Params struct {
+	// SeekTime is the average positioning cost (seek + rotational delay)
+	// paid when an access does not continue the previous one.
+	SeekTime sim.Duration
+	// TransferRate is the sustained media rate in bytes/second.
+	TransferRate float64
+}
+
+// HighPoint2008 approximates one disk of the paper's 8-disk HighPoint RAID
+// array (7200rpm SATA of the period).
+var HighPoint2008 = Params{SeekTime: 8 * time.Millisecond, TransferRate: 70e6}
+
+// Device is anything that can serve byte-addressed accesses in virtual time.
+type Device interface {
+	// Access performs a read or write of size bytes at addr, blocking p
+	// for the simulated duration.
+	Access(p *sim.Proc, addr, size int64, write bool)
+}
+
+// Disk is a single spindle. Concurrent requests queue FIFO at the arm.
+type Disk struct {
+	env     *sim.Env
+	params  Params
+	arm     *sim.Resource
+	lastEnd int64
+
+	// Stats
+	Reads, Writes uint64
+	Seeks         uint64
+	BytesRead     int64
+	BytesWritten  int64
+}
+
+// New returns a disk with the given parameters.
+func New(env *sim.Env, params Params) *Disk {
+	if params.TransferRate <= 0 {
+		panic("disk: non-positive transfer rate")
+	}
+	return &Disk{env: env, params: params, arm: sim.NewResource(env, 1), lastEnd: -1}
+}
+
+// Access implements Device.
+func (d *Disk) Access(p *sim.Proc, addr, size int64, write bool) {
+	if size < 0 || addr < 0 {
+		panic("disk: negative access")
+	}
+	d.arm.Acquire(p, 1)
+	cost := sim.Duration(0)
+	if addr != d.lastEnd {
+		cost += d.params.SeekTime
+		d.Seeks++
+	}
+	cost += sim.Duration(float64(size) / d.params.TransferRate * 1e9)
+	d.lastEnd = addr + size
+	p.Sleep(cost)
+	d.arm.Release(1)
+	if write {
+		d.Writes++
+		d.BytesWritten += size
+	} else {
+		d.Reads++
+		d.BytesRead += size
+	}
+}
+
+// Utilization returns the fraction of virtual time the arm has been busy.
+func (d *Disk) Utilization() float64 { return d.arm.Utilization() }
+
+// Array is a RAID-0 stripe set over identical member disks. A request is
+// split at stripe boundaries and the chunks proceed on their member disks
+// in parallel; the request completes when the slowest chunk does.
+type Array struct {
+	env        *sim.Env
+	disks      []*Disk
+	stripeSize int64
+}
+
+// NewArray builds a RAID-0 array of n disks with the given stripe size.
+func NewArray(env *sim.Env, n int, stripeSize int64, params Params) *Array {
+	if n <= 0 || stripeSize <= 0 {
+		panic("disk: bad array geometry")
+	}
+	a := &Array{env: env, stripeSize: stripeSize}
+	for i := 0; i < n; i++ {
+		a.disks = append(a.disks, New(env, params))
+	}
+	return a
+}
+
+// Disks exposes the member disks (for stats).
+func (a *Array) Disks() []*Disk { return a.disks }
+
+// chunk is one stripe-aligned piece of a request mapped to a member disk.
+type chunk struct {
+	disk       *Disk
+	addr, size int64
+}
+
+// mapRequest splits [addr, addr+size) into per-disk chunks.
+func (a *Array) mapRequest(addr, size int64) []chunk {
+	var out []chunk
+	n := int64(len(a.disks))
+	for size > 0 {
+		stripe := addr / a.stripeSize
+		within := addr % a.stripeSize
+		take := a.stripeSize - within
+		if take > size {
+			take = size
+		}
+		member := stripe % n
+		memberAddr := (stripe/n)*a.stripeSize + within
+		out = append(out, chunk{disk: a.disks[member], addr: memberAddr, size: take})
+		addr += take
+		size -= take
+	}
+	return out
+}
+
+// Access implements Device, striping the request across members.
+func (a *Array) Access(p *sim.Proc, addr, size int64, write bool) {
+	if size <= 0 {
+		if size < 0 {
+			panic("disk: negative access")
+		}
+		return
+	}
+	chunks := a.mapRequest(addr, size)
+	if len(chunks) == 1 {
+		chunks[0].disk.Access(p, chunks[0].addr, chunks[0].size, write)
+		return
+	}
+	// Coalesce contiguous chunks on the same member so a long sequential
+	// request costs one seek per disk, not one per stripe.
+	perDisk := make(map[*Disk][]chunk)
+	for _, c := range chunks {
+		l := perDisk[c.disk]
+		if k := len(l); k > 0 && l[k-1].addr+l[k-1].size == c.addr {
+			l[k-1].size += c.size
+		} else {
+			l = append(l, c)
+		}
+		perDisk[c.disk] = l
+	}
+	events := make([]*sim.Event, 0, len(perDisk))
+	for _, d := range a.disks { // deterministic iteration order
+		l, ok := perDisk[d]
+		if !ok {
+			continue
+		}
+		d := d
+		ev := sim.NewEvent(p.Env())
+		p.Spawn("raid-chunk", func(q *sim.Proc) {
+			for _, c := range l {
+				d.Access(q, c.addr, c.size, write)
+			}
+			ev.Trigger(nil)
+		})
+		events = append(events, ev)
+	}
+	sim.WaitAll(p, events...)
+}

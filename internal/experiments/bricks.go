@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"fmt"
+
+	"imca/internal/cluster"
+	"imca/internal/metrics"
+	"imca/internal/workload"
+)
+
+// ExtBricks contrasts the two ways of scaling a GlusterFS deployment's
+// read bandwidth: adding storage bricks (the §2.1 design: distribute the
+// namespace over more servers) versus adding cache nodes in front of one
+// server (the paper's proposal). Both multiply aggregate bandwidth; the
+// bank does it without re-provisioning storage.
+func ExtBricks(o Options) *Result {
+	scale := o.scale()
+	fileSize := scaled(256<<20, scale)
+	record := fileSize / 16
+	mcdMem := scaled(6<<30, scale)
+	threads := []int{1, 2, 4, 8}
+
+	run := func(bricks, mcds int, nt int) float64 {
+		opts := gOpts(o, cluster.Options{Clients: nt, Bricks: bricks})
+		if mcds > 0 {
+			opts.MCDs = mcds
+			opts.MCDMemBytes = mcdMem
+			opts.BlockSize = 2048
+		}
+		c := cluster.New(opts)
+		res := workload.Throughput(c.Env, c.FSes(), workload.ThroughputOptions{
+			Dir: "/io", FileSize: fileSize, RecordSize: record,
+		})
+		return res.ReadBps / 1e6
+	}
+
+	tb := metrics.NewTable("Extension: scaling by bricks vs scaling by cache nodes (read throughput)",
+		"threads", "aggregate MB/s",
+		"1 brick", "2 bricks", "4 bricks", "1 brick + 4 MCDs")
+	for _, nt := range threads {
+		tb.AddRow(fmt.Sprint(nt),
+			run(1, 0, nt), run(2, 0, nt), run(4, 0, nt), run(1, 4, nt))
+	}
+
+	lastIdx := tb.Rows() - 1
+	res := &Result{Name: "ext-bricks", Table: tb}
+	res.Notes = []string{
+		note("at %s threads: 4 bricks reach %.0f MB/s; 4 MCDs in front of one brick reach %.0f MB/s",
+			tb.X(lastIdx), tb.Value(lastIdx, "4 bricks"), tb.Value(lastIdx, "1 brick + 4 MCDs")),
+		note("brick scaling 1->4 at %s threads: %.1fx; cache-node scaling achieves %.1fx without new storage",
+			tb.X(lastIdx),
+			tb.Value(lastIdx, "4 bricks")/tb.Value(lastIdx, "1 brick"),
+			tb.Value(lastIdx, "1 brick + 4 MCDs")/tb.Value(lastIdx, "1 brick")),
+	}
+	return res
+}

@@ -1,0 +1,201 @@
+// Package experiments regenerates every table and figure in the paper's
+// evaluation (§5). Each experiment builds fresh simulated deployments,
+// drives them with the workload package, and reports a metrics.Table whose
+// rows and series match the corresponding figure.
+//
+// Scale: the paper's full parameters (262144 files, 64 clients, 1 GB
+// files, 6 GB MCDs) are divided by the Scale option so quick runs finish
+// in seconds; Scale 1 reproduces the full workload. Results are virtual
+// time, so scaling shrinks the workload without changing who wins or where
+// crossovers fall — only absolute magnitudes.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"imca/internal/cluster"
+	"imca/internal/fabric"
+	"imca/internal/gluster"
+	"imca/internal/lustre"
+	"imca/internal/metrics"
+	"imca/internal/sim"
+)
+
+// Options controls experiment size.
+type Options struct {
+	// Scale divides the paper's workload parameters. 1 = full paper
+	// scale; the default 64 finishes each experiment in seconds.
+	Scale int
+}
+
+func (o Options) scale() int {
+	if o.Scale < 1 {
+		return 64
+	}
+	return o.Scale
+}
+
+// records returns the per-measurement record count (paper: 1024).
+func (o Options) records() int {
+	switch s := o.scale(); {
+	case s <= 2:
+		return 1024
+	case s <= 16:
+		return 256
+	default:
+		return 64
+	}
+}
+
+// Result is one regenerated figure.
+type Result struct {
+	Name  string
+	Table *metrics.Table
+	// Notes are headline observations computed from the table, mirroring
+	// the claims the paper makes about the figure.
+	Notes []string
+}
+
+// Runner regenerates one figure.
+type Runner func(Options) *Result
+
+// Experiment pairs a figure id with its runner and description.
+type Experiment struct {
+	Name        string
+	Description string
+	Run         Runner
+}
+
+// Registry lists every reproducible figure in paper order.
+var Registry = []Experiment{
+	{"fig1a", "NFS multi-client IOzone read bandwidth, 4 GB server memory (motivation)", Fig1a},
+	{"fig1b", "NFS multi-client IOzone read bandwidth, 8 GB server memory (motivation)", Fig1b},
+	{"fig5", "Stat time vs. clients: NoCache, MCD(1/2/4/6), Lustre-4DS", Fig5},
+	{"fig6a", "Single-client read latency vs. record size (small), IMCa block sizes + Lustre", Fig6a},
+	{"fig6b", "Single-client read latency vs. record size (large)", Fig6b},
+	{"fig6c", "Single-client write latency: NoCache vs. IMCa inline vs. threaded", Fig6c},
+	{"fig7a", "32-client read latency (small records), 1/2/4 MCDs vs. Lustre", Fig7a},
+	{"fig7b", "32-client read latency (medium records), 1/2/4 MCDs vs. Lustre", Fig7b},
+	{"fig8a", "Read latency vs. clients, 1 MCD, 64 B records", Fig8a},
+	{"fig8b", "Read latency vs. clients, 1 MCD, 1 KB records", Fig8b},
+	{"fig8c", "Read latency vs. clients, 1 MCD, 8 KB records", Fig8c},
+	{"fig8d", "Read latency vs. clients, 1 MCD, 64 KB records", Fig8d},
+	{"fig9", "IOzone read throughput vs. threads, 1/2/4 MCDs (round-robin) vs. NoCache and Lustre-1DS", Fig9},
+	{"fig10", "Shared-file read latency vs. clients, 1 MCD vs. NoCache and Lustre-1DS cold", Fig10},
+	// The paper's §7 future-work directions, implemented as extensions.
+	{"ext-rdma", "Extension (§7): RDMA transport for the cache bank vs IPoIB", ExtRDMA},
+	{"ext-hash", "Extension (§7): key distribution — CRC32 vs modulo vs ketama consistent hashing", ExtHash},
+	{"ext-lustre", "Extension (§7): cache bank on Lustre via client-populated CMCache", ExtLustre},
+	{"ext-sharing", "Extension (§7): coherent client cache vs cache bank under write/read sharing", ExtSharing},
+	{"ext-smallfile", "Extension (§3): small-file workload; the purge-on-open trade-off", ExtSmallFiles},
+	{"ext-mdtest", "Extension (§5.2): mdtest-style create/stat/unlink metadata rates", ExtMDTest},
+	{"ext-bricks", "Extension (§2.1): scaling by storage bricks vs scaling by cache nodes", ExtBricks},
+}
+
+// Find returns the experiment with the given name.
+func Find(name string) (Experiment, bool) {
+	for _, e := range Registry {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// --- shared builders ---
+
+// glusterMounts deploys a GlusterFS (or IMCa) cluster and returns its
+// client mounts plus the cluster handle.
+func glusterMounts(opts cluster.Options) (*cluster.Cluster, []gluster.FS) {
+	c := cluster.New(opts)
+	return c, c.FSes()
+}
+
+// gOpts applies scale-dependent defaults: the server page cache shrinks
+// with the workload so cache-vs-disk behaviour is preserved.
+func gOpts(o Options, base cluster.Options) cluster.Options {
+	if base.ServerCacheBytes == 0 {
+		base.ServerCacheBytes = scaled(6<<30, o.scale())
+	}
+	return base
+}
+
+// lustreMounts deploys a Lustre cluster with the given number of clients
+// and data servers.
+func lustreMounts(clients, osts int, scale int) (*sim.Env, *lustre.Cluster, []gluster.FS, []*lustre.Client) {
+	env := sim.NewEnv()
+	net := fabric.NewNetwork(env, fabric.IPoIB)
+	cfg := lustre.DefaultConfig(osts)
+	cfg.OSTCacheBytes = scaled(6<<30, scale)
+	cfg.ClientCacheBytes = scaled(2<<30, scale)
+	cl := lustre.New(env, net, "lustre", cfg)
+	var mounts []gluster.FS
+	var lclients []*lustre.Client
+	for i := 0; i < clients; i++ {
+		lc := cl.NewClient(net.NewNode(fmt.Sprintf("lc%d", i), 8))
+		mounts = append(mounts, lc)
+		lclients = append(lclients, lc)
+	}
+	return env, cl, mounts, lclients
+}
+
+// mcdMemForLatency sizes each MCD for the latency benchmarks so the
+// memory-to-working-set ratio matches the paper's full-scale run: the
+// data volume scales with the record count (paper: 1024 records), so the
+// 6 GB daemons scale the same way.
+func (o Options) mcdMemForLatency() int64 {
+	return 6 << 30 * int64(o.records()) / 1024
+}
+
+// scaled divides a full-scale byte count by the scale factor with a sane
+// floor.
+func scaled(full int64, scale int) int64 {
+	v := full / int64(scale)
+	if v < 1<<20 {
+		v = 1 << 20
+	}
+	return v
+}
+
+// dropAll drops every Lustre client cache (the cold-cache remount).
+func dropAll(lclients []*lustre.Client) func() {
+	return func() {
+		for _, lc := range lclients {
+			lc.DropCaches()
+		}
+	}
+}
+
+// powersOfTwo returns {from, from*2, ..., to}.
+func powersOfTwo(from, to int64) []int64 {
+	var out []int64
+	for v := from; v <= to; v *= 2 {
+		out = append(out, v)
+	}
+	return out
+}
+
+func usPerOp(d sim.Duration) float64 { return float64(d) / 1e3 }
+
+func sortedKeys(m map[int64]sim.Duration) []int64 {
+	out := make([]int64, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func fmtSize(n int64) string {
+	switch {
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dM", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dK", n>>10)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}
+
+func note(format string, args ...interface{}) string { return fmt.Sprintf(format, args...) }

@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tiny runs experiments at an aggressive scale so the whole registry can
+// be smoke-tested in CI. Shapes at this scale are noisier than the
+// documented scale-16 runs, so assertions stick to structural invariants
+// and the most robust orderings.
+var tiny = Options{Scale: 1024}
+
+func TestRegistryComplete(t *testing.T) {
+	wantFigs := []string{
+		"fig1a", "fig1b", "fig5", "fig6a", "fig6b", "fig6c",
+		"fig7a", "fig7b", "fig8a", "fig8b", "fig8c", "fig8d",
+		"fig9", "fig10",
+		"ext-rdma", "ext-hash", "ext-lustre", "ext-sharing", "ext-smallfile", "ext-mdtest", "ext-bricks",
+	}
+	if len(Registry) != len(wantFigs) {
+		t.Fatalf("registry has %d entries, want %d", len(Registry), len(wantFigs))
+	}
+	for i, name := range wantFigs {
+		if Registry[i].Name != name {
+			t.Errorf("registry[%d] = %s, want %s", i, Registry[i].Name, name)
+		}
+		if Registry[i].Run == nil || Registry[i].Description == "" {
+			t.Errorf("registry[%d] incomplete", i)
+		}
+	}
+	if _, ok := Find("fig9"); !ok {
+		t.Error("Find(fig9) failed")
+	}
+	if _, ok := Find("nope"); ok {
+		t.Error("Find(nope) succeeded")
+	}
+}
+
+func TestFig1Shape(t *testing.T) {
+	res := Fig1a(tiny)
+	if res.Table.Rows() != 4 {
+		t.Fatalf("rows = %d, want 4 client counts", res.Table.Rows())
+	}
+	// At one client, RDMA must beat GigE.
+	if res.Table.Value(0, "RDMA") <= res.Table.Value(0, "GigE") {
+		t.Errorf("RDMA (%f) not above GigE (%f) at 1 client",
+			res.Table.Value(0, "RDMA"), res.Table.Value(0, "GigE"))
+	}
+}
+
+func TestFig6aShape(t *testing.T) {
+	res := Fig6a(tiny)
+	if res.Table.Rows() != 12 { // 1B..2K powers of two
+		t.Fatalf("rows = %d", res.Table.Rows())
+	}
+	// 1-byte reads: every IMCa block size must beat NoCache warm.
+	for _, col := range []string{"IMCa-256", "IMCa-2K", "IMCa-8K"} {
+		if res.Table.Value(0, col) >= res.Table.Value(0, "NoCache") {
+			t.Errorf("%s (%f µs) not below NoCache (%f µs) at 1 byte",
+				col, res.Table.Value(0, col), res.Table.Value(0, "NoCache"))
+		}
+	}
+	// Block-size ordering at 1 byte.
+	if !(res.Table.Value(0, "IMCa-256") < res.Table.Value(0, "IMCa-2K") &&
+		res.Table.Value(0, "IMCa-2K") < res.Table.Value(0, "IMCa-8K")) {
+		t.Error("block-size latency ordering violated at 1 byte")
+	}
+}
+
+func TestFig6cShape(t *testing.T) {
+	res := Fig6c(tiny)
+	for i := 0; i < res.Table.Rows(); i++ {
+		in := res.Table.Value(i, "IMCa(inline)")
+		th := res.Table.Value(i, "IMCa(threaded)")
+		nc := res.Table.Value(i, "NoCache")
+		if in <= nc {
+			t.Errorf("row %s: inline (%f) not above NoCache (%f)", res.Table.X(i), in, nc)
+		}
+		if th > nc*1.05 {
+			t.Errorf("row %s: threaded (%f) not ≈ NoCache (%f)", res.Table.X(i), th, nc)
+		}
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	res := Fig10(tiny)
+	last := res.Table.Rows() - 1
+	if res.Table.Value(last, "IMCa(1MCD)") >= res.Table.Value(last, "NoCache") {
+		t.Error("shared-file IMCa not below NoCache at max clients")
+	}
+	// Latency grows with clients for NoCache (single server).
+	if res.Table.Value(last, "NoCache") <= res.Table.Value(0, "NoCache") {
+		t.Error("NoCache shared-read latency did not grow with clients")
+	}
+}
+
+func TestExtHashShape(t *testing.T) {
+	res := ExtHash(tiny)
+	// Ketama must move far fewer keys than modulo-style selectors.
+	ket := res.Table.Value(1, "Ketama")
+	crc := res.Table.Value(1, "CRC32")
+	if ket >= crc/2 {
+		t.Errorf("ketama moved %.0f%%, crc %.0f%%; expected ketama well below", ket, crc)
+	}
+}
+
+func TestExtRDMAShape(t *testing.T) {
+	res := ExtRDMA(tiny)
+	for i := 0; i < res.Table.Rows(); i++ {
+		if res.Table.Value(i, "IMCa/RDMA") >= res.Table.Value(i, "IMCa/IPoIB") {
+			t.Errorf("row %s: RDMA (%f) not below IPoIB (%f)",
+				res.Table.X(i), res.Table.Value(i, "IMCa/RDMA"), res.Table.Value(i, "IMCa/IPoIB"))
+		}
+	}
+}
+
+func TestNotesMentionPaperClaims(t *testing.T) {
+	res := Fig6a(tiny)
+	joined := strings.Join(res.Notes, "\n")
+	for _, want := range []string{"59%", "45%", "31%"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("fig6a notes missing paper claim %s:\n%s", want, joined)
+		}
+	}
+}
+
+func TestScaledFloors(t *testing.T) {
+	if got := scaled(1<<30, 1<<20); got != 1<<20 {
+		t.Errorf("scaled floor = %d, want 1MB", got)
+	}
+	if got := scaled(6<<30, 1); got != 6<<30 {
+		t.Errorf("scaled(x,1) = %d, want x", got)
+	}
+}
+
+func TestRecordsByScale(t *testing.T) {
+	if (Options{Scale: 1}).records() != 1024 {
+		t.Error("full scale should use the paper's 1024 records")
+	}
+	if (Options{Scale: 256}).records() >= 1024 {
+		t.Error("scaled runs should reduce records")
+	}
+}
+
+func TestDeterministicExperiment(t *testing.T) {
+	a := Fig6c(tiny)
+	b := Fig6c(tiny)
+	for i := 0; i < a.Table.Rows(); i++ {
+		for _, col := range []string{"NoCache", "IMCa(inline)", "IMCa(threaded)"} {
+			if a.Table.Value(i, col) != b.Table.Value(i, col) {
+				t.Fatalf("experiment not deterministic at row %d col %s", i, col)
+			}
+		}
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	res := Fig9(tiny)
+	last := res.Table.Rows() - 1
+	// More MCDs never hurt aggregate read throughput at max threads.
+	if res.Table.Value(last, "IMCa(4MCD)") < res.Table.Value(last, "IMCa(2MCD)") {
+		t.Errorf("4 MCDs (%f) below 2 MCDs (%f) at max threads",
+			res.Table.Value(last, "IMCa(4MCD)"), res.Table.Value(last, "IMCa(2MCD)"))
+	}
+	// And the 4-MCD configuration beats the single server.
+	if res.Table.Value(last, "IMCa(4MCD)") <= res.Table.Value(last, "NoCache") {
+		t.Error("IMCa(4MCD) did not beat NoCache at max threads")
+	}
+}
+
+func TestExtSharingShape(t *testing.T) {
+	res := ExtSharing(tiny)
+	last := res.Table.Rows() - 1
+	if res.Table.Value(last, "IMCa(2MCD)") <= 0 ||
+		res.Table.Value(last, "Lustre(coherent client cache)") <= 0 {
+		t.Fatal("sharing experiment produced empty results")
+	}
+	// The bank's advantage must grow (or at least persist) with clients.
+	if res.Table.Value(last, "IMCa(2MCD)") >= res.Table.Value(last, "Lustre(coherent client cache)") {
+		t.Error("bank not ahead of the coherent client cache at max clients")
+	}
+}

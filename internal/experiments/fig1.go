@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+
+	"imca/internal/fabric"
+	"imca/internal/gluster"
+	"imca/internal/metrics"
+	"imca/internal/nfssim"
+	"imca/internal/sim"
+	"imca/internal/workload"
+)
+
+// Fig1a reproduces the motivation figure with 4 GB of server memory.
+func Fig1a(o Options) *Result { return fig1(o, 4<<30, "fig1a") }
+
+// Fig1b reproduces the motivation figure with 8 GB of server memory.
+func Fig1b(o Options) *Result { return fig1(o, 8<<30, "fig1b") }
+
+// fig1 measures multi-client IOzone read bandwidth against a single NFS
+// server for each transport. Every client streams its own 1 GB file; as
+// the aggregate working set outgrows the server's page cache, reads fall
+// back to the disk array and bandwidth collapses — the paper's case for an
+// intermediate cache tier.
+func fig1(o Options, serverMem int64, name string) *Result {
+	scale := o.scale()
+	fileSize := scaled(1<<30, scale)
+	record := fileSize / 16
+	mem := scaled(serverMem, scale)
+	clientCounts := []int{1, 2, 4, 8}
+	transports := []fabric.Transport{fabric.RDMA, fabric.IPoIB, fabric.GigE}
+
+	tb := metrics.NewTable(
+		fmt.Sprintf("Fig 1 (%s): NFS IOzone read bandwidth, server memory %s", name, fmtSize(serverMem)),
+		"clients", "aggregate MB/s", "RDMA", "IPoIB", "GigE")
+
+	finals := map[string]float64{}
+	for _, nc := range clientCounts {
+		row := make([]float64, 0, len(transports))
+		for _, tr := range transports {
+			env := sim.NewEnv()
+			net := fabric.NewNetwork(env, tr)
+			srv := nfssim.NewServer(env, net.NewNode("nfs", 8), nfssim.DefaultConfig(mem))
+			var mounts []gluster.FS
+			for i := 0; i < nc; i++ {
+				mounts = append(mounts, nfssim.NewClient(net.NewNode(fmt.Sprintf("c%d", i), 8), srv))
+			}
+			res := workload.Throughput(env, mounts, workload.ThroughputOptions{
+				Dir: "/io", FileSize: fileSize, RecordSize: record,
+			})
+			mbps := res.ReadBps / 1e6
+			row = append(row, mbps)
+			if nc == clientCounts[len(clientCounts)-1] {
+				finals[tr.Name] = mbps
+			}
+		}
+		tb.AddRow(fmt.Sprint(nc), row...)
+	}
+
+	notes := []string{
+		note("at %d clients: RDMA %.0f MB/s, IPoIB %.0f MB/s, GigE %.0f MB/s",
+			clientCounts[len(clientCounts)-1], finals["RDMA"], finals["IPoIB"], finals["GigE"]),
+		note("working set at max clients = %d x %s vs server memory %s",
+			clientCounts[len(clientCounts)-1], fmtSize(fileSize), fmtSize(mem)),
+	}
+	return &Result{Name: name, Table: tb, Notes: notes}
+}

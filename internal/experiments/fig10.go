@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+
+	"imca/internal/cluster"
+	"imca/internal/metrics"
+	"imca/internal/workload"
+)
+
+// Fig10 reproduces the read/write-sharing experiment: all nodes use one
+// file; the root node writes it, then every node reads it back, with
+// barriers between phases and record sizes. The paper reports a 45%
+// latency cut at 32 nodes with one MCD, growing with node count but still
+// linear because a single MCD serializes the readers.
+func Fig10(o Options) *Result {
+	scale := o.scale()
+	mcdMem := scaled(6<<30, scale)
+	clientCounts := []int{2, 4, 8, 16, 32}
+	const record = int64(4096)
+	sizes := []int64{record}
+
+	tb := metrics.NewTable("Fig 10: read latency to a shared file (root writes, all read)",
+		"clients", "read latency (µs/op)",
+		"NoCache", "IMCa(1MCD)", "Lustre-1DS(Cold)")
+
+	for _, nc := range clientCounts {
+		// GlusterFS NoCache.
+		c, mounts := glusterMounts(gOpts(o, cluster.Options{Clients: nc}))
+		noCache := workload.Latency(c.Env, mounts, workload.LatencyOptions{
+			Dir: "/share", RecordSizes: sizes, Records: o.records(), Shared: true,
+		})
+
+		// IMCa with one MCD.
+		ci, mountsI := glusterMounts(gOpts(o, cluster.Options{Clients: nc, MCDs: 1, MCDMemBytes: mcdMem}))
+		imca := workload.Latency(ci.Env, mountsI, workload.LatencyOptions{
+			Dir: "/share", RecordSizes: sizes, Records: o.records(), Shared: true,
+		})
+
+		// Lustre 1 DS, cold.
+		env, _, lm, lclients := lustreMounts(nc, 1, scale)
+		lus := workload.Latency(env, lm, workload.LatencyOptions{
+			Dir: "/share", RecordSizes: sizes, Records: o.records(), Shared: true,
+			AfterWrite:     dropAll(lclients),
+			BeforeReadSize: func(int64) { dropAll(lclients)() },
+		})
+
+		tb.AddRow(fmt.Sprint(nc),
+			usPerOp(noCache.Read[record]), usPerOp(imca.Read[record]), usPerOp(lus.Read[record]))
+	}
+
+	lastIdx := tb.Rows() - 1
+	res := &Result{Name: "fig10", Table: tb}
+	res.Notes = []string{
+		note("at %s nodes IMCa(1MCD) cuts %.0f%% vs NoCache (paper: 45%%)",
+			tb.X(lastIdx), 100*metrics.Reduction(tb.Value(lastIdx, "NoCache"), tb.Value(lastIdx, "IMCa(1MCD)"))),
+		note("IMCa benefit grows with nodes: %.0f%% at %s -> %.0f%% at %s",
+			100*metrics.Reduction(tb.Value(0, "NoCache"), tb.Value(0, "IMCa(1MCD)")), tb.X(0),
+			100*metrics.Reduction(tb.Value(lastIdx, "NoCache"), tb.Value(lastIdx, "IMCa(1MCD)")), tb.X(lastIdx)),
+	}
+	return res
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+
+	"imca/internal/cluster"
+	"imca/internal/metrics"
+	"imca/internal/workload"
+)
+
+// ExtMDTest extends the paper's stat benchmark (§5.2) to the full metadata
+// life cycle with an mdtest-style create/stat/unlink sweep: stat is where
+// the bank shines; create and unlink pass through to the server (the paper
+// sees "not much potential for cache based optimizations" there) and gain
+// nothing — but must not regress either, beyond the purge bookkeeping.
+func ExtMDTest(o Options) *Result {
+	scale := o.scale()
+	files := 16384 / scale
+	if files < 64 {
+		files = 64
+	}
+	const clients = 16
+	mcdMem := scaled(6<<30, scale)
+
+	run := func(mcds int) workload.MDTestResult {
+		opts := gOpts(o, cluster.Options{Clients: clients})
+		if mcds > 0 {
+			opts.MCDs = mcds
+			opts.MCDMemBytes = mcdMem
+		}
+		c := cluster.New(opts)
+		return workload.MDTest(c.Env, c.FSes(), workload.MDTestOptions{
+			Dir: "/md", FilesPerClient: files / clients,
+		})
+	}
+	lusRun := func() workload.MDTestResult {
+		env, _, lm, _ := lustreMounts(clients, 4, scale)
+		return workload.MDTest(env, lm, workload.MDTestOptions{
+			Dir: "/md", FilesPerClient: files / clients,
+		})
+	}
+
+	noCache := run(0)
+	imca := run(2)
+	lus := lusRun()
+
+	tb := metrics.NewTable(
+		fmt.Sprintf("Extension: mdtest metadata rates, %d clients, %d files", clients, files),
+		"phase", "aggregate ops/s",
+		"NoCache", "IMCa(2MCD)", "Lustre-4DS")
+	tb.AddRow("create", noCache.CreatePerSec, imca.CreatePerSec, lus.CreatePerSec)
+	tb.AddRow("stat", noCache.StatPerSec, imca.StatPerSec, lus.StatPerSec)
+	tb.AddRow("unlink", noCache.UnlinkPerSec, imca.UnlinkPerSec, lus.UnlinkPerSec)
+
+	res := &Result{Name: "ext-mdtest", Table: tb}
+	res.Notes = []string{
+		note("stat: the bank multiplies rate %.1fx over NoCache (creates pre-populate the stat keys)",
+			imca.StatPerSec/noCache.StatPerSec),
+		note("create: %.2fx of NoCache; unlink: %.2fx (pass-through ops, purge bookkeeping only)",
+			imca.CreatePerSec/noCache.CreatePerSec, imca.UnlinkPerSec/noCache.UnlinkPerSec),
+	}
+	return res
+}

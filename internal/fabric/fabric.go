@@ -1,0 +1,231 @@
+// Package fabric models a cluster interconnect on top of the sim kernel.
+//
+// A Network connects Nodes through a non-blocking switch. Each node has a
+// full-duplex NIC: transmissions serialize at the sender's TX port and the
+// receiver's RX port at the transport's bandwidth, then cross the wire after
+// the transport's base latency. Each message additionally costs host CPU at
+// both ends (protocol processing: copies, interrupts, TCP/IP stack work) —
+// that term is what distinguishes RDMA from IPoIB and GigE at equal wire
+// speed, and it is what saturates a single server as client counts grow.
+//
+// Services register per-node request handlers; Call performs a synchronous
+// RPC in virtual time, spawning a handler process on the destination node.
+package fabric
+
+import (
+	"fmt"
+	"time"
+
+	"imca/internal/sim"
+)
+
+// Transport describes a network technology's first-order performance model.
+type Transport struct {
+	Name string
+	// Latency is the one-way wire+switch latency per message.
+	Latency sim.Duration
+	// Bandwidth is the link speed in bytes/second.
+	Bandwidth float64
+	// HostOverhead is CPU time consumed per message at each end for
+	// protocol processing (near zero for RDMA, significant for TCP/IP).
+	HostOverhead sim.Duration
+	// PerByteCPUNanos is the additional per-byte host CPU cost
+	// (ns/byte) at each end — TCP copy and segmentation work that RDMA
+	// largely eliminates.
+	PerByteCPUNanos float64
+}
+
+// Transports calibrated to 2008-era hardware (the paper's testbed uses
+// InfiniBand DDR HCAs; IPoIB RC is the transport for GlusterFS and IMCa).
+// IPoIB's effective bandwidth is far below the DDR signalling rate, as was
+// widely measured for TCP over IB at the time.
+var (
+	// GigE is NFS/TCP over Gigabit Ethernet.
+	GigE = Transport{Name: "GigE", Latency: 45 * time.Microsecond, Bandwidth: 117e6, HostOverhead: 18 * time.Microsecond, PerByteCPUNanos: 1.2}
+	// IPoIB is TCP over InfiniBand DDR with Reliable Connection.
+	IPoIB = Transport{Name: "IPoIB", Latency: 22 * time.Microsecond, Bandwidth: 350e6, HostOverhead: 10 * time.Microsecond, PerByteCPUNanos: 1.0}
+	// RDMA is native InfiniBand DDR RDMA (kernel-bypass).
+	RDMA = Transport{Name: "RDMA", Latency: 8 * time.Microsecond, Bandwidth: 1200e6, HostOverhead: 2 * time.Microsecond, PerByteCPUNanos: 0.15}
+)
+
+// xmitTime returns the serialization delay for n bytes.
+func (t Transport) xmitTime(n int64) sim.Duration {
+	if n <= 0 {
+		return 0
+	}
+	return sim.Duration(float64(n) / t.Bandwidth * 1e9)
+}
+
+// headerBytes is the fixed per-message framing cost (transport + RPC
+// headers).
+const headerBytes = 96
+
+// Msg is any RPC payload that can report its wire size (excluding framing).
+type Msg interface {
+	WireSize() int64
+}
+
+// Handler serves one request on the destination node; it runs in its own
+// simulated process and may block (CPU, disk, nested Calls).
+type Handler func(p *sim.Proc, from *Node, req Msg) Msg
+
+// Network is a set of nodes joined by one transport through a non-blocking
+// switch.
+type Network struct {
+	env       *sim.Env
+	transport Transport
+	nodes     map[string]*Node
+}
+
+// NewNetwork returns an empty network using the given transport.
+func NewNetwork(env *sim.Env, transport Transport) *Network {
+	return &Network{env: env, transport: transport, nodes: make(map[string]*Node)}
+}
+
+// Env returns the simulation environment.
+func (n *Network) Env() *sim.Env { return n.env }
+
+// Transport returns the transport in use.
+func (n *Network) Transport() Transport { return n.transport }
+
+// Node is a host on the network.
+type Node struct {
+	net  *Network
+	name string
+
+	// CPU models the host's cores; protocol processing and service work
+	// contend for it.
+	CPU *sim.Resource
+
+	tx, rx   *sim.Resource
+	services map[string]Handler
+
+	// Traffic accounting.
+	TxBytes, RxBytes int64
+	TxMsgs, RxMsgs   int64
+}
+
+// NewNode adds a host with the given number of CPU cores.
+func (n *Network) NewNode(name string, cores int) *Node {
+	if _, dup := n.nodes[name]; dup {
+		panic("fabric: duplicate node name " + name)
+	}
+	node := &Node{
+		net:      n,
+		name:     name,
+		CPU:      sim.NewResource(n.env, cores),
+		tx:       sim.NewResource(n.env, 1),
+		rx:       sim.NewResource(n.env, 1),
+		services: make(map[string]Handler),
+	}
+	n.nodes[name] = node
+	return node
+}
+
+// Node returns the named node, or nil.
+func (n *Network) Node(name string) *Node { return n.nodes[name] }
+
+// Name returns the node's name.
+func (nd *Node) Name() string { return nd.name }
+
+// Network returns the network the node belongs to.
+func (nd *Node) Network() *Network { return nd.net }
+
+func (nd *Node) String() string { return "node " + nd.name }
+
+// Handle registers a service handler on the node.
+func (nd *Node) Handle(service string, h Handler) {
+	if _, dup := nd.services[service]; dup {
+		panic(fmt.Sprintf("fabric: duplicate service %q on %s", service, nd.name))
+	}
+	nd.services[service] = h
+}
+
+// hostCost is the per-message CPU charge at one end.
+func (t Transport) hostCost(wire int64) sim.Duration {
+	return t.HostOverhead + sim.Duration(float64(wire)*t.PerByteCPUNanos)
+}
+
+// transfer moves size payload bytes from src to dst in p's context,
+// charging serialization at both NICs, wire latency, and host CPU overhead
+// at both ends.
+func transfer(p *sim.Proc, src, dst *Node, size int64) {
+	t := src.net.transport
+	wire := size + headerBytes
+
+	// Sender-side protocol processing, then TX serialization.
+	src.CPU.Use(p, t.hostCost(wire))
+	src.tx.Acquire(p, 1)
+	p.Sleep(t.xmitTime(wire))
+	src.tx.Release(1)
+	src.TxBytes += wire
+	src.TxMsgs++
+
+	p.Sleep(t.Latency)
+
+	// RX serialization, then receiver-side protocol processing.
+	dst.rx.Acquire(p, 1)
+	p.Sleep(t.xmitTime(wire))
+	dst.rx.Release(1)
+	dst.RxBytes += wire
+	dst.RxMsgs++
+	dst.CPU.Use(p, t.hostCost(wire))
+}
+
+// Call performs a synchronous RPC from nd to dst: the request crosses the
+// network, a handler process runs on dst, and the response crosses back.
+// It must be called in process context.
+func (nd *Node) Call(p *sim.Proc, dst *Node, service string, req Msg) Msg {
+	if nd.net != dst.net {
+		panic("fabric: cross-network call")
+	}
+	h, ok := dst.services[service]
+	if !ok {
+		panic(fmt.Sprintf("fabric: no service %q on %s", service, dst.name))
+	}
+
+	transfer(p, nd, dst, req.WireSize())
+
+	done := sim.NewEvent(p.Env())
+	dst.net.env.Process(dst.name+"/"+service, func(hp *sim.Proc) {
+		resp := h(hp, nd, req)
+		// Response travels in the handler's context so the server pays
+		// its own send-side costs before the caller proceeds.
+		var respSize int64
+		if resp != nil {
+			respSize = resp.WireSize()
+		}
+		t := dst.net.transport
+		wire := respSize + headerBytes
+		dst.CPU.Use(hp, t.hostCost(wire))
+		dst.tx.Acquire(hp, 1)
+		hp.Sleep(t.xmitTime(wire))
+		dst.tx.Release(1)
+		dst.TxBytes += wire
+		dst.TxMsgs++
+		hp.Sleep(t.Latency)
+		nd.rx.Acquire(hp, 1)
+		hp.Sleep(t.xmitTime(wire))
+		nd.rx.Release(1)
+		nd.RxBytes += wire
+		nd.RxMsgs++
+		done.Trigger(resp)
+	})
+	resp := done.Wait(p)
+	// Caller-side protocol processing for the response.
+	var respSize int64
+	if m, ok := resp.(Msg); ok && m != nil {
+		respSize = m.WireSize()
+	}
+	nd.CPU.Use(p, nd.net.transport.hostCost(respSize+headerBytes))
+	if resp == nil {
+		return nil
+	}
+	return resp.(Msg)
+}
+
+// Bytes is a convenience Msg for raw payloads of a given size.
+type Bytes int64
+
+// WireSize implements Msg.
+func (b Bytes) WireSize() int64 { return int64(b) }

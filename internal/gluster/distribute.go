@@ -1,0 +1,151 @@
+package gluster
+
+import (
+	"hash/crc32"
+	"sort"
+
+	"imca/internal/blob"
+	"imca/internal/sim"
+)
+
+// Distribute is the namespace-distribution xlator: GlusterFS in its default
+// configuration does not stripe file data but spreads whole files across
+// subvolumes (bricks) by a hash of the path. Path operations route to the
+// owning subvolume; descriptor operations follow the subvolume that issued
+// the descriptor.
+type Distribute struct {
+	subvols []FS
+	// fdRoute remembers which subvolume issued each descriptor. Local
+	// descriptors are re-numbered so they stay unique across subvolumes.
+	fdRoute map[FD]fdMapping
+	nextFD  FD
+}
+
+type fdMapping struct {
+	sub FS
+	fd  FD
+}
+
+var _ FS = (*Distribute)(nil)
+
+// NewDistribute returns a distribute xlator over the given subvolumes.
+func NewDistribute(subvols ...FS) *Distribute {
+	if len(subvols) == 0 {
+		panic("gluster: distribute needs subvolumes")
+	}
+	return &Distribute{subvols: subvols, fdRoute: make(map[FD]fdMapping)}
+}
+
+// subFor hashes a path to its owning subvolume.
+func (d *Distribute) subFor(path string) FS {
+	h := crc32.ChecksumIEEE([]byte(clean(path)))
+	return d.subvols[int(h%uint32(len(d.subvols)))]
+}
+
+func (d *Distribute) issue(sub FS, fd FD) FD {
+	d.nextFD++
+	d.fdRoute[d.nextFD] = fdMapping{sub: sub, fd: fd}
+	return d.nextFD
+}
+
+// Create implements FS.
+func (d *Distribute) Create(p *sim.Proc, path string) (FD, error) {
+	sub := d.subFor(path)
+	fd, err := sub.Create(p, path)
+	if err != nil {
+		return 0, err
+	}
+	return d.issue(sub, fd), nil
+}
+
+// Open implements FS.
+func (d *Distribute) Open(p *sim.Proc, path string) (FD, error) {
+	sub := d.subFor(path)
+	fd, err := sub.Open(p, path)
+	if err != nil {
+		return 0, err
+	}
+	return d.issue(sub, fd), nil
+}
+
+// Close implements FS.
+func (d *Distribute) Close(p *sim.Proc, fd FD) error {
+	m, ok := d.fdRoute[fd]
+	if !ok {
+		return ErrBadFD
+	}
+	delete(d.fdRoute, fd)
+	return m.sub.Close(p, m.fd)
+}
+
+// Read implements FS.
+func (d *Distribute) Read(p *sim.Proc, fd FD, off, size int64) (blob.Blob, error) {
+	m, ok := d.fdRoute[fd]
+	if !ok {
+		return blob.Blob{}, ErrBadFD
+	}
+	return m.sub.Read(p, m.fd, off, size)
+}
+
+// Write implements FS.
+func (d *Distribute) Write(p *sim.Proc, fd FD, off int64, data blob.Blob) (int64, error) {
+	m, ok := d.fdRoute[fd]
+	if !ok {
+		return 0, ErrBadFD
+	}
+	return m.sub.Write(p, m.fd, off, data)
+}
+
+// Stat implements FS.
+func (d *Distribute) Stat(p *sim.Proc, path string) (*Stat, error) {
+	return d.subFor(path).Stat(p, path)
+}
+
+// Unlink implements FS.
+func (d *Distribute) Unlink(p *sim.Proc, path string) error {
+	return d.subFor(path).Unlink(p, path)
+}
+
+// Mkdir implements FS. Directories exist on every subvolume, as in
+// GlusterFS.
+func (d *Distribute) Mkdir(p *sim.Proc, path string) error {
+	var first error
+	for _, sub := range d.subvols {
+		if err := sub.Mkdir(p, path); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Readdir implements FS, merging listings from all subvolumes.
+func (d *Distribute) Readdir(p *sim.Proc, path string) ([]string, error) {
+	seen := make(map[string]struct{})
+	var out []string
+	var lastErr error
+	found := false
+	for _, sub := range d.subvols {
+		names, err := sub.Readdir(p, path)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		found = true
+		for _, n := range names {
+			if _, dup := seen[n]; !dup {
+				seen[n] = struct{}{}
+				out = append(out, n)
+			}
+		}
+	}
+	if !found {
+		return nil, lastErr
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// Truncate implements FS.
+func (d *Distribute) Truncate(p *sim.Proc, path string, size int64) error {
+	return d.subFor(path).Truncate(p, path, size)
+}

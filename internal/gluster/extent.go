@@ -1,0 +1,114 @@
+package gluster
+
+import (
+	"sort"
+
+	"imca/internal/blob"
+)
+
+// extent is a contiguous run of written file data.
+type extent struct {
+	off  int64
+	data blob.Blob
+}
+
+func (e extent) end() int64 { return e.off + e.data.Len() }
+
+// extentMap stores a file's contents as sorted, non-overlapping extents.
+// Unwritten gaps read as zeros. Synthetic blobs keep huge simulated files
+// cheap: a 1 GB sequentially-written file is a single extent.
+type extentMap struct {
+	exts []extent
+}
+
+// write inserts data at off, replacing any overlapped content.
+func (m *extentMap) write(off int64, data blob.Blob) {
+	if data.Len() == 0 {
+		return
+	}
+	end := off + data.Len()
+	// Locate the first extent whose end is beyond our start.
+	i := sort.Search(len(m.exts), func(i int) bool { return m.exts[i].end() > off })
+	var out []extent
+	out = append(out, m.exts[:i]...)
+
+	// Keep the left remainder of a partially-overlapped extent.
+	j := i
+	if i < len(m.exts) && m.exts[i].off < off {
+		e := m.exts[i]
+		out = append(out, extent{e.off, e.data.Slice(0, off-e.off)})
+		// The right remainder (if any) is handled below with the tail scan.
+	}
+
+	// Skip all extents fully covered; find the one straddling our end.
+	var right *extent
+	for ; j < len(m.exts) && m.exts[j].off < end; j++ {
+		e := m.exts[j]
+		if e.end() > end {
+			r := extent{end, e.data.Slice(end-e.off, e.data.Len())}
+			right = &r
+		}
+	}
+
+	// Coalesce with the previous extent when contiguous (sequential writes).
+	if n := len(out); n > 0 && out[n-1].end() == off {
+		out[n-1].data = blob.Concat(out[n-1].data, data)
+	} else {
+		out = append(out, extent{off, data})
+	}
+	if right != nil {
+		if n := len(out); out[n-1].end() == right.off {
+			out[n-1].data = blob.Concat(out[n-1].data, right.data)
+		} else {
+			out = append(out, *right)
+		}
+	}
+	out = append(out, m.exts[j:]...)
+	m.exts = out
+}
+
+// read returns the contents of [off, off+size), with zeros in the gaps.
+func (m *extentMap) read(off, size int64) blob.Blob {
+	if size <= 0 {
+		return blob.Blob{}
+	}
+	end := off + size
+	var parts []blob.Blob
+	pos := off
+	i := sort.Search(len(m.exts), func(i int) bool { return m.exts[i].end() > off })
+	for ; i < len(m.exts) && m.exts[i].off < end; i++ {
+		e := m.exts[i]
+		if e.off > pos {
+			parts = append(parts, blob.Zeros(e.off-pos))
+			pos = e.off
+		}
+		lo := pos - e.off
+		hi := e.data.Len()
+		if e.end() > end {
+			hi = end - e.off
+		}
+		parts = append(parts, e.data.Slice(lo, hi))
+		pos = e.off + hi
+	}
+	if pos < end {
+		parts = append(parts, blob.Zeros(end-pos))
+	}
+	return blob.Concat(parts...)
+}
+
+// truncate discards content at or beyond size.
+func (m *extentMap) truncate(size int64) {
+	var out []extent
+	for _, e := range m.exts {
+		switch {
+		case e.end() <= size:
+			out = append(out, e)
+		case e.off < size:
+			out = append(out, extent{e.off, e.data.Slice(0, size-e.off)})
+		}
+	}
+	m.exts = out
+}
+
+// extentCount reports the number of stored extents (for tests).
+func (m *extentMap) extentCount() int { return len(m.exts) }

@@ -1,0 +1,117 @@
+// Package gluster implements a GlusterFS-like clustered file system on the
+// simulation substrate.
+//
+// GlusterFS composes file systems out of stackable translators (xlators):
+// each xlator implements the same operation set and wraps a child,
+// transforming requests on the way down and results on the way up. This
+// package provides the xlator interface (FS), the storage xlator (Posix,
+// on the disk + page-cache models), the protocol pair (Client/Server, over
+// the fabric), the namespace-distribution xlator (Distribute), and the
+// FUSE-crossing cost model (Fuse). The IMCa translators CMCache and SMCache
+// (internal/core) plug into the same stacks.
+//
+// All operations run in simulated-process context and advance virtual time.
+package gluster
+
+import (
+	"errors"
+	"fmt"
+
+	"imca/internal/blob"
+	"imca/internal/sim"
+)
+
+// FD is a file descriptor handle issued by Open/Create.
+type FD int64
+
+// Stat describes a file, mirroring the POSIX stat fields the paper's
+// workloads consult (size and times; a producer/consumer polls Mtime).
+type Stat struct {
+	Path  string
+	Ino   uint64
+	Size  int64
+	IsDir bool
+	Atime sim.Time
+	Mtime sim.Time
+	Ctime sim.Time
+}
+
+// WireSize returns the encoded size of a stat structure.
+func (s *Stat) WireSize() int64 { return 96 + int64(len(s.Path)) }
+
+// File system errors. Protocol layers transport these by code.
+var (
+	ErrNotExist = errors.New("gluster: no such file or directory")
+	ErrExist    = errors.New("gluster: file exists")
+	ErrBadFD    = errors.New("gluster: bad file descriptor")
+	ErrIsDir    = errors.New("gluster: is a directory")
+	ErrNotDir   = errors.New("gluster: not a directory")
+)
+
+// FS is the xlator interface: the operation set every translator
+// implements. Methods must be called in simulated-process context; they
+// block p for the operation's virtual duration.
+type FS interface {
+	// Create makes a new regular file and opens it.
+	Create(p *sim.Proc, path string) (FD, error)
+	// Open opens an existing regular file.
+	Open(p *sim.Proc, path string) (FD, error)
+	// Close releases a descriptor.
+	Close(p *sim.Proc, fd FD) error
+	// Read returns up to size bytes at off; short reads happen only at
+	// end of file.
+	Read(p *sim.Proc, fd FD, off, size int64) (blob.Blob, error)
+	// Write stores data at off, extending the file if needed, and
+	// returns the byte count written. Writes are persistent: they reach
+	// the storage xlator (and its disk) before returning.
+	Write(p *sim.Proc, fd FD, off int64, data blob.Blob) (int64, error)
+	// Stat describes the file or directory at path.
+	Stat(p *sim.Proc, path string) (*Stat, error)
+	// Unlink removes a regular file.
+	Unlink(p *sim.Proc, path string) error
+	// Mkdir creates a directory (parents are created as needed).
+	Mkdir(p *sim.Proc, path string) error
+	// Readdir lists the names in a directory.
+	Readdir(p *sim.Proc, path string) ([]string, error)
+	// Truncate sets the file size.
+	Truncate(p *sim.Proc, path string, size int64) error
+}
+
+// errCode converts an FS error to a compact wire code and back.
+func errCode(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrNotExist):
+		return "ENOENT"
+	case errors.Is(err, ErrExist):
+		return "EEXIST"
+	case errors.Is(err, ErrBadFD):
+		return "EBADF"
+	case errors.Is(err, ErrIsDir):
+		return "EISDIR"
+	case errors.Is(err, ErrNotDir):
+		return "ENOTDIR"
+	default:
+		return "EIO:" + err.Error()
+	}
+}
+
+func codeErr(code string) error {
+	switch code {
+	case "":
+		return nil
+	case "ENOENT":
+		return ErrNotExist
+	case "EEXIST":
+		return ErrExist
+	case "EBADF":
+		return ErrBadFD
+	case "EISDIR":
+		return ErrIsDir
+	case "ENOTDIR":
+		return ErrNotDir
+	default:
+		return fmt.Errorf("gluster: remote error %s", code)
+	}
+}

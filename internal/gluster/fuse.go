@@ -1,0 +1,114 @@
+package gluster
+
+import (
+	"time"
+
+	"imca/internal/blob"
+	"imca/internal/fabric"
+	"imca/internal/sim"
+)
+
+// FuseConfig models the kernel VFS → FUSE → userspace crossing that every
+// GlusterFS client operation pays (the paper: "calls are translated from
+// the kernel VFS to the userspace daemon through FUSE").
+type FuseConfig struct {
+	// OpCPU is the fixed crossing cost per operation (two context
+	// switches plus request marshaling).
+	OpCPU sim.Duration
+	// PerByteCPUNanos is the user/kernel copy cost for read/write data.
+	PerByteCPUNanos float64
+}
+
+// DefaultFuseConfig matches 2008-era FUSE on the paper's client nodes:
+// two kernel/user crossings plus the glusterfs client daemon's own
+// translator work per operation.
+var DefaultFuseConfig = FuseConfig{
+	OpCPU:           25 * time.Microsecond,
+	PerByteCPUNanos: 1.0,
+}
+
+// Fuse is the top-of-stack client xlator charging the FUSE crossing cost
+// before delegating to its child.
+type Fuse struct {
+	node  *fabric.Node
+	child FS
+	cfg   FuseConfig
+}
+
+var _ FS = (*Fuse)(nil)
+
+// NewFuse wraps child with the FUSE cost model on the given client node.
+func NewFuse(node *fabric.Node, child FS, cfg FuseConfig) *Fuse {
+	if cfg.OpCPU == 0 {
+		cfg.OpCPU = DefaultFuseConfig.OpCPU
+	}
+	if cfg.PerByteCPUNanos == 0 {
+		cfg.PerByteCPUNanos = DefaultFuseConfig.PerByteCPUNanos
+	}
+	return &Fuse{node: node, child: child, cfg: cfg}
+}
+
+func (f *Fuse) charge(p *sim.Proc, payload int64) {
+	f.node.CPU.Use(p, f.cfg.OpCPU+sim.Duration(float64(payload)*f.cfg.PerByteCPUNanos))
+}
+
+// Create implements FS.
+func (f *Fuse) Create(p *sim.Proc, path string) (FD, error) {
+	f.charge(p, 0)
+	return f.child.Create(p, path)
+}
+
+// Open implements FS.
+func (f *Fuse) Open(p *sim.Proc, path string) (FD, error) {
+	f.charge(p, 0)
+	return f.child.Open(p, path)
+}
+
+// Close implements FS.
+func (f *Fuse) Close(p *sim.Proc, fd FD) error {
+	f.charge(p, 0)
+	return f.child.Close(p, fd)
+}
+
+// Read implements FS.
+func (f *Fuse) Read(p *sim.Proc, fd FD, off, size int64) (blob.Blob, error) {
+	data, err := f.child.Read(p, fd, off, size)
+	f.charge(p, data.Len())
+	return data, err
+}
+
+// Write implements FS.
+func (f *Fuse) Write(p *sim.Proc, fd FD, off int64, data blob.Blob) (int64, error) {
+	f.charge(p, data.Len())
+	return f.child.Write(p, fd, off, data)
+}
+
+// Stat implements FS.
+func (f *Fuse) Stat(p *sim.Proc, path string) (*Stat, error) {
+	f.charge(p, 0)
+	return f.child.Stat(p, path)
+}
+
+// Unlink implements FS.
+func (f *Fuse) Unlink(p *sim.Proc, path string) error {
+	f.charge(p, 0)
+	return f.child.Unlink(p, path)
+}
+
+// Mkdir implements FS.
+func (f *Fuse) Mkdir(p *sim.Proc, path string) error {
+	f.charge(p, 0)
+	return f.child.Mkdir(p, path)
+}
+
+// Readdir implements FS.
+func (f *Fuse) Readdir(p *sim.Proc, path string) ([]string, error) {
+	f.charge(p, 0)
+	return f.child.Readdir(p, path)
+}
+
+// Truncate implements FS.
+func (f *Fuse) Truncate(p *sim.Proc, path string, size int64) error {
+	f.charge(p, 0)
+	return f.child.Truncate(p, path, size)
+}

@@ -1,0 +1,291 @@
+package gluster
+
+import (
+	"container/list"
+	"time"
+
+	"imca/internal/blob"
+	"imca/internal/sim"
+)
+
+// IOCache is a client-side page cache translator with NFS-style weak
+// consistency: cached pages are served without contacting the server until
+// their validation age exceeds the TTL, at which point a stat revalidates
+// the file's mtime and drops the pages if it changed.
+//
+// It exists to demonstrate the paper's §3 motivation: a non-coherent
+// client cache is fast for private data but can serve stale bytes under
+// read/write sharing — exactly the failure mode IMCa's intermediate bank
+// avoids (the bank is updated synchronously with server writes). GlusterFS
+// ships this style of translator as io-cache; the paper's default
+// configuration leaves it off.
+type IOCache struct {
+	env   *sim.Env
+	child FS
+	// TTL is the revalidation interval (GlusterFS io-cache default 1 s).
+	ttl time.Duration
+	// capacity bounds cached bytes.
+	capacity int64
+
+	files map[string]*ioFile
+	fds   map[FD]string
+	used  int64
+	lru   *list.List // of ioKey
+
+	// Stats
+	Hits, Misses  uint64
+	Revalidations uint64
+	Stale         uint64 // revalidations that found a changed mtime
+}
+
+type ioKey struct {
+	path string
+	page int64
+}
+
+type ioFile struct {
+	pages     map[int64]*ioPage
+	mtime     sim.Time
+	validated sim.Time
+}
+
+type ioPage struct {
+	el   *list.Element
+	data blob.Blob
+}
+
+const ioPageSize = 4096
+
+var _ FS = (*IOCache)(nil)
+
+// NewIOCache wraps child with a weakly-consistent client cache.
+func NewIOCache(env *sim.Env, child FS, capacity int64, ttl time.Duration) *IOCache {
+	if capacity <= 0 {
+		capacity = 64 << 20
+	}
+	if ttl <= 0 {
+		ttl = time.Second
+	}
+	return &IOCache{
+		env: env, child: child, ttl: ttl, capacity: capacity,
+		files: make(map[string]*ioFile),
+		fds:   make(map[FD]string),
+		lru:   list.New(),
+	}
+}
+
+func (io *IOCache) fileFor(path string) *ioFile {
+	f := io.files[path]
+	if f == nil {
+		f = &ioFile{pages: make(map[int64]*ioPage), validated: -1}
+		io.files[path] = f
+	}
+	return f
+}
+
+func (io *IOCache) dropFile(path string) {
+	f := io.files[path]
+	if f == nil {
+		return
+	}
+	for pg, p := range f.pages {
+		io.used -= p.data.Len()
+		io.lru.Remove(p.el)
+		delete(f.pages, pg)
+	}
+}
+
+func (io *IOCache) insert(path string, pg int64, data blob.Blob) {
+	f := io.fileFor(path)
+	if old, ok := f.pages[pg]; ok {
+		io.used -= old.data.Len()
+		io.lru.Remove(old.el)
+	}
+	p := &ioPage{data: data}
+	p.el = io.lru.PushFront(ioKey{path, pg})
+	f.pages[pg] = p
+	io.used += data.Len()
+	for io.used > io.capacity && io.lru.Len() > 0 {
+		back := io.lru.Back()
+		k := back.Value.(ioKey)
+		victim := io.files[k.path].pages[k.page]
+		io.used -= victim.data.Len()
+		delete(io.files[k.path].pages, k.page)
+		io.lru.Remove(back)
+	}
+}
+
+// revalidate checks the file's mtime when the TTL has lapsed, dropping
+// stale pages. It is the only coherency mechanism this translator has.
+func (io *IOCache) revalidate(p *sim.Proc, path string) {
+	f := io.fileFor(path)
+	now := io.env.Now()
+	if f.validated >= 0 && now.Sub(f.validated) < io.ttl {
+		return // trust the cache inside the TTL window
+	}
+	io.Revalidations++
+	st, err := io.child.Stat(p, path)
+	if err != nil {
+		io.dropFile(path)
+		return
+	}
+	if f.validated >= 0 && st.Mtime != f.mtime {
+		io.Stale++
+		io.dropFile(path)
+	}
+	f.mtime = st.Mtime
+	f.validated = now
+}
+
+// Create implements FS.
+func (io *IOCache) Create(p *sim.Proc, path string) (FD, error) {
+	fd, err := io.child.Create(p, path)
+	if err == nil {
+		io.fds[fd] = path
+		io.dropFile(path)
+	}
+	return fd, err
+}
+
+// Open implements FS.
+func (io *IOCache) Open(p *sim.Proc, path string) (FD, error) {
+	fd, err := io.child.Open(p, path)
+	if err == nil {
+		io.fds[fd] = path
+	}
+	return fd, err
+}
+
+// Close implements FS. Pages persist past close (they may serve a later
+// open within the TTL), as in io-cache.
+func (io *IOCache) Close(p *sim.Proc, fd FD) error {
+	delete(io.fds, fd)
+	return io.child.Close(p, fd)
+}
+
+// Read implements FS, serving cached pages without server contact inside
+// the TTL window.
+func (io *IOCache) Read(p *sim.Proc, fd FD, off, size int64) (blob.Blob, error) {
+	path, tracked := io.fds[fd]
+	if !tracked || size <= 0 {
+		return io.child.Read(p, fd, off, size)
+	}
+	io.revalidate(p, path)
+	f := io.fileFor(path)
+
+	first := off / ioPageSize
+	last := (off + size - 1) / ioPageSize
+	allCached := true
+	for pg := first; pg <= last; pg++ {
+		if _, ok := f.pages[pg]; !ok {
+			allCached = false
+			break
+		}
+	}
+	if !allCached {
+		io.Misses++
+		// Fetch the whole page-aligned span and cache it.
+		lo := first * ioPageSize
+		hi := (last + 1) * ioPageSize
+		data, err := io.child.Read(p, fd, lo, hi-lo)
+		if err != nil {
+			return blob.Blob{}, err
+		}
+		for pg := first; pg <= last; pg++ {
+			plo := pg*ioPageSize - lo
+			phi := plo + ioPageSize
+			if phi > data.Len() {
+				phi = data.Len()
+			}
+			if plo >= phi {
+				break
+			}
+			io.insert(path, pg, data.Slice(plo, phi))
+		}
+		rlo := off - lo
+		if rlo >= data.Len() {
+			return blob.Blob{}, nil
+		}
+		rhi := rlo + size
+		if rhi > data.Len() {
+			rhi = data.Len()
+		}
+		return data.Slice(rlo, rhi), nil
+	}
+
+	io.Hits++
+	var parts []blob.Blob
+	for pg := first; pg <= last; pg++ {
+		page := f.pages[pg].data
+		io.lru.MoveToFront(f.pages[pg].el)
+		lo := int64(0)
+		if pg == first {
+			lo = off - pg*ioPageSize
+		}
+		hi := page.Len()
+		if end := off + size - pg*ioPageSize; end < hi {
+			hi = end
+		}
+		if lo >= hi {
+			break
+		}
+		parts = append(parts, page.Slice(lo, hi))
+	}
+	return blob.Concat(parts...), nil
+}
+
+// Write implements FS: write-through, patching our own cached pages and
+// refreshing the validation stamp (writers see their own writes; other
+// clients wait for their TTL).
+func (io *IOCache) Write(p *sim.Proc, fd FD, off int64, data blob.Blob) (int64, error) {
+	n, err := io.child.Write(p, fd, off, data)
+	if err != nil {
+		return n, err
+	}
+	path, tracked := io.fds[fd]
+	if !tracked {
+		return n, nil
+	}
+	// Invalidate overlapped pages (simpler and safe vs patching).
+	f := io.fileFor(path)
+	first := off / ioPageSize
+	last := (off + n - 1) / ioPageSize
+	for pg := first; pg <= last; pg++ {
+		if pp, ok := f.pages[pg]; ok {
+			io.used -= pp.data.Len()
+			io.lru.Remove(pp.el)
+			delete(f.pages, pg)
+		}
+	}
+	if st, serr := io.child.Stat(p, path); serr == nil {
+		f.mtime = st.Mtime
+		f.validated = io.env.Now()
+	}
+	return n, nil
+}
+
+// Stat implements FS (uncached; io-cache only caches data).
+func (io *IOCache) Stat(p *sim.Proc, path string) (*Stat, error) {
+	return io.child.Stat(p, path)
+}
+
+// Unlink implements FS.
+func (io *IOCache) Unlink(p *sim.Proc, path string) error {
+	io.dropFile(path)
+	delete(io.files, path)
+	return io.child.Unlink(p, path)
+}
+
+// Mkdir implements FS.
+func (io *IOCache) Mkdir(p *sim.Proc, path string) error { return io.child.Mkdir(p, path) }
+
+// Readdir implements FS.
+func (io *IOCache) Readdir(p *sim.Proc, path string) ([]string, error) {
+	return io.child.Readdir(p, path)
+}
+
+// Truncate implements FS.
+func (io *IOCache) Truncate(p *sim.Proc, path string, size int64) error {
+	io.dropFile(path)
+	return io.child.Truncate(p, path, size)
+}

@@ -1,0 +1,140 @@
+package gluster
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"imca/internal/blob"
+	"imca/internal/metrics"
+	"imca/internal/sim"
+)
+
+// IOStats is GlusterFS's io-stats translator: a transparent layer that
+// counts operations, bytes, and per-operation latency histograms. Insert
+// it anywhere in a stack to see what that level observes — e.g. above and
+// below CMCache to quantify exactly what the cache absorbs.
+type IOStats struct {
+	env   *sim.Env
+	child FS
+
+	ops    map[string]*metrics.Histogram
+	ReadB  int64
+	WriteB int64
+}
+
+var _ FS = (*IOStats)(nil)
+
+// NewIOStats wraps child with operation accounting.
+func NewIOStats(env *sim.Env, child FS) *IOStats {
+	return &IOStats{env: env, child: child, ops: make(map[string]*metrics.Histogram)}
+}
+
+func (s *IOStats) observe(name string, start sim.Time) {
+	h := s.ops[name]
+	if h == nil {
+		h = &metrics.Histogram{}
+		s.ops[name] = h
+	}
+	h.Observe(s.env.Now().Sub(start))
+}
+
+// Op returns the latency histogram for one operation type (nil if never
+// called).
+func (s *IOStats) Op(name string) *metrics.Histogram { return s.ops[name] }
+
+// Dump writes a per-operation summary.
+func (s *IOStats) Dump(w io.Writer) {
+	names := make([]string, 0, len(s.ops))
+	for n := range s.ops {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.ops[n]
+		fmt.Fprintf(w, "%-9s n=%-7d mean=%-12v p99=%v\n", n, h.Count(), h.Mean(), h.Quantile(0.99))
+	}
+	fmt.Fprintf(w, "bytes: read %d, written %d\n", s.ReadB, s.WriteB)
+}
+
+// Create implements FS.
+func (s *IOStats) Create(p *sim.Proc, path string) (FD, error) {
+	start := p.Now()
+	fd, err := s.child.Create(p, path)
+	s.observe("create", start)
+	return fd, err
+}
+
+// Open implements FS.
+func (s *IOStats) Open(p *sim.Proc, path string) (FD, error) {
+	start := p.Now()
+	fd, err := s.child.Open(p, path)
+	s.observe("open", start)
+	return fd, err
+}
+
+// Close implements FS.
+func (s *IOStats) Close(p *sim.Proc, fd FD) error {
+	start := p.Now()
+	err := s.child.Close(p, fd)
+	s.observe("close", start)
+	return err
+}
+
+// Read implements FS.
+func (s *IOStats) Read(p *sim.Proc, fd FD, off, size int64) (blob.Blob, error) {
+	start := p.Now()
+	data, err := s.child.Read(p, fd, off, size)
+	s.observe("read", start)
+	s.ReadB += data.Len()
+	return data, err
+}
+
+// Write implements FS.
+func (s *IOStats) Write(p *sim.Proc, fd FD, off int64, data blob.Blob) (int64, error) {
+	start := p.Now()
+	n, err := s.child.Write(p, fd, off, data)
+	s.observe("write", start)
+	s.WriteB += n
+	return n, err
+}
+
+// Stat implements FS.
+func (s *IOStats) Stat(p *sim.Proc, path string) (*Stat, error) {
+	start := p.Now()
+	st, err := s.child.Stat(p, path)
+	s.observe("stat", start)
+	return st, err
+}
+
+// Unlink implements FS.
+func (s *IOStats) Unlink(p *sim.Proc, path string) error {
+	start := p.Now()
+	err := s.child.Unlink(p, path)
+	s.observe("unlink", start)
+	return err
+}
+
+// Mkdir implements FS.
+func (s *IOStats) Mkdir(p *sim.Proc, path string) error {
+	start := p.Now()
+	err := s.child.Mkdir(p, path)
+	s.observe("mkdir", start)
+	return err
+}
+
+// Readdir implements FS.
+func (s *IOStats) Readdir(p *sim.Proc, path string) ([]string, error) {
+	start := p.Now()
+	names, err := s.child.Readdir(p, path)
+	s.observe("readdir", start)
+	return names, err
+}
+
+// Truncate implements FS.
+func (s *IOStats) Truncate(p *sim.Proc, path string, size int64) error {
+	start := p.Now()
+	err := s.child.Truncate(p, path, size)
+	s.observe("truncate", start)
+	return err
+}

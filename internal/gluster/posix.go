@@ -1,0 +1,385 @@
+package gluster
+
+import (
+	"sort"
+	"strings"
+
+	"imca/internal/blob"
+	"imca/internal/disk"
+	"imca/internal/pagecache"
+	"imca/internal/sim"
+)
+
+// PosixConfig sizes the storage xlator.
+type PosixConfig struct {
+	// Dev is the backing device (a disk or RAID array).
+	Dev disk.Device
+	// CacheBytes bounds the OS buffer cache (the server's RAM available
+	// for file data + metadata pages).
+	CacheBytes int64
+	// PageSize is the buffer-cache page size (default 4096).
+	PageSize int64
+	// ReadaheadBytes extends the last missing extent of a read by this
+	// much (clipped to EOF), modeling the kernel's sequential readahead;
+	// it is what lets streaming reads approach the platter rate instead
+	// of paying a seek per request. Default 4 MB; negative disables.
+	ReadaheadBytes int64
+}
+
+const (
+	defaultPageSize = 4096
+	// metaRegion reserves space at each file's base address for its
+	// on-disk inode/indirect blocks; data starts after it.
+	metaRegion = 4096
+	// fileRegion is the virtual address space reserved per file. The
+	// device address space is abstract, so generous spacing costs
+	// nothing and keeps files disjoint. The extra stripe of stagger
+	// spreads files' starting addresses across RAID members, as a real
+	// allocator would, so concurrent streams do not convoy on one disk.
+	fileRegion  = 4<<30 + fileStagger
+	fileStagger = 1 << 20
+	// metaInoBit marks buffer-cache entries holding metadata pages so
+	// they never collide with data pages of the same inode.
+	metaInoBit = uint64(1) << 63
+	// journalBase is the device region where metadata UPDATES are
+	// journaled. A journaling file system appends metadata sequentially,
+	// so back-to-back creates do not each pay a full seek; metadata
+	// READS still go to the inode's home location.
+	journalBase = int64(1) << 50
+)
+
+type inode struct {
+	ino   uint64
+	path  string
+	size  int64
+	base  int64
+	atime sim.Time
+	mtime sim.Time
+	ctime sim.Time
+	data  extentMap
+}
+
+type openFile struct {
+	ino  *inode
+	path string
+}
+
+// Posix is the storage xlator: it keeps the namespace and file contents in
+// memory (extent maps of blobs) while charging virtual time to the disk
+// model through an LRU buffer cache, like a local file system on the
+// GlusterFS server ("brick").
+type Posix struct {
+	env       *sim.Env
+	dev       disk.Device
+	cache     *pagecache.Cache
+	pageSize  int64
+	readahead int64
+
+	files      map[string]*inode
+	dirs       map[string]map[string]struct{}
+	fds        map[FD]*openFile
+	nextFD     FD
+	nextIno    uint64
+	nextOff    int64
+	journalOff int64
+
+	// Stats
+	DiskReads, DiskWrites uint64
+}
+
+var _ FS = (*Posix)(nil)
+
+// NewPosix returns a storage xlator over the given device and cache size.
+func NewPosix(env *sim.Env, cfg PosixConfig) *Posix {
+	ps := cfg.PageSize
+	if ps == 0 {
+		ps = defaultPageSize
+	}
+	if cfg.Dev == nil {
+		panic("gluster: posix needs a device")
+	}
+	ra := cfg.ReadaheadBytes
+	switch {
+	case ra == 0:
+		ra = 8 << 20
+	case ra < 0:
+		ra = 0
+	}
+	p := &Posix{
+		env:       env,
+		dev:       cfg.Dev,
+		cache:     pagecache.New(cfg.CacheBytes, ps),
+		pageSize:  ps,
+		readahead: ra,
+		files:     make(map[string]*inode),
+		dirs:      make(map[string]map[string]struct{}),
+		fds:       make(map[FD]*openFile),
+	}
+	p.dirs["/"] = make(map[string]struct{})
+	return p
+}
+
+// Cache exposes the buffer cache (for stats and cold-cache experiments).
+func (px *Posix) Cache() *pagecache.Cache { return px.cache }
+
+// clean normalizes a path to absolute form without a trailing slash.
+func clean(path string) string {
+	if !strings.HasPrefix(path, "/") {
+		path = "/" + path
+	}
+	for strings.Contains(path, "//") {
+		path = strings.ReplaceAll(path, "//", "/")
+	}
+	if len(path) > 1 {
+		path = strings.TrimSuffix(path, "/")
+	}
+	return path
+}
+
+func parentOf(path string) (dir, name string) {
+	i := strings.LastIndexByte(path, '/')
+	if i <= 0 {
+		return "/", path[i+1:]
+	}
+	return path[:i], path[i+1:]
+}
+
+// ensureDir creates path and any missing ancestors as directories.
+func (px *Posix) ensureDir(path string) map[string]struct{} {
+	if d, ok := px.dirs[path]; ok {
+		return d
+	}
+	parent, name := parentOf(path)
+	pd := px.ensureDir(parent)
+	pd[name] = struct{}{}
+	d := make(map[string]struct{})
+	px.dirs[path] = d
+	return d
+}
+
+func (px *Posix) metaKey(ino uint64) uint64 { return ino | metaInoBit }
+
+// touchMeta accounts a metadata-page access: a buffer-cache hit is free,
+// a miss reads the inode block from disk.
+func (px *Posix) touchMeta(p *sim.Proc, in *inode, write bool) {
+	if write {
+		// Reserve the journal slot before blocking in the disk queue, so
+		// concurrent metadata updates append in order.
+		off := px.journalOff
+		px.journalOff += metaRegion
+		px.dev.Access(p, journalBase+off, metaRegion, true)
+		px.DiskWrites++
+		px.cache.Insert(px.metaKey(in.ino), 0, metaRegion)
+		return
+	}
+	if missing := px.cache.Lookup(px.metaKey(in.ino), 0, metaRegion); len(missing) > 0 {
+		px.dev.Access(p, in.base, metaRegion, false)
+		px.DiskReads++
+		px.cache.Insert(px.metaKey(in.ino), 0, metaRegion)
+	}
+}
+
+// Create implements FS.
+func (px *Posix) Create(p *sim.Proc, path string) (FD, error) {
+	path = clean(path)
+	if _, ok := px.files[path]; ok {
+		return 0, ErrExist
+	}
+	if _, ok := px.dirs[path]; ok {
+		return 0, ErrIsDir
+	}
+	dir, name := parentOf(path)
+	px.ensureDir(dir)[name] = struct{}{}
+	px.nextIno++
+	now := px.env.Now()
+	in := &inode{
+		ino:   px.nextIno,
+		path:  path,
+		base:  px.nextOff,
+		atime: now, mtime: now, ctime: now,
+	}
+	px.nextOff += fileRegion
+	px.files[path] = in
+	px.touchMeta(p, in, true)
+	px.nextFD++
+	px.fds[px.nextFD] = &openFile{ino: in, path: path}
+	return px.nextFD, nil
+}
+
+// Open implements FS.
+func (px *Posix) Open(p *sim.Proc, path string) (FD, error) {
+	path = clean(path)
+	in, ok := px.files[path]
+	if !ok {
+		if _, isDir := px.dirs[path]; isDir {
+			return 0, ErrIsDir
+		}
+		return 0, ErrNotExist
+	}
+	px.touchMeta(p, in, false)
+	px.nextFD++
+	px.fds[px.nextFD] = &openFile{ino: in, path: path}
+	return px.nextFD, nil
+}
+
+// Close implements FS.
+func (px *Posix) Close(p *sim.Proc, fd FD) error {
+	if _, ok := px.fds[fd]; !ok {
+		return ErrBadFD
+	}
+	delete(px.fds, fd)
+	return nil
+}
+
+// Read implements FS.
+func (px *Posix) Read(p *sim.Proc, fd FD, off, size int64) (blob.Blob, error) {
+	of, ok := px.fds[fd]
+	if !ok {
+		return blob.Blob{}, ErrBadFD
+	}
+	in := of.ino
+	if off >= in.size {
+		return blob.Blob{}, nil
+	}
+	if off+size > in.size {
+		size = in.size - off
+	}
+	dataBase := in.base + metaRegion
+	missing := px.cache.Lookup(in.ino, off, size)
+	for i, r := range missing {
+		n := r.Len
+		if i == len(missing)-1 && r.End() >= off+size {
+			// The miss reaches the end of the request: read ahead.
+			n += px.readahead
+		}
+		// Clip the page-aligned miss to the file size: the tail page
+		// of a short file reads only what exists.
+		if r.Off+n > in.size {
+			n = in.size - r.Off
+		}
+		if n <= 0 {
+			continue
+		}
+		px.dev.Access(p, dataBase+r.Off, n, false)
+		px.DiskReads++
+		px.cache.Insert(in.ino, r.Off, n)
+	}
+	in.atime = px.env.Now()
+	return in.data.read(off, size), nil
+}
+
+// Write implements FS. Writes are write-through: they reach the device
+// before returning (the paper's "Writes are always persistent").
+func (px *Posix) Write(p *sim.Proc, fd FD, off int64, data blob.Blob) (int64, error) {
+	of, ok := px.fds[fd]
+	if !ok {
+		return 0, ErrBadFD
+	}
+	in := of.ino
+	size := data.Len()
+	if size == 0 {
+		return 0, nil
+	}
+	px.dev.Access(p, in.base+metaRegion+off, size, true)
+	px.DiskWrites++
+	px.cache.Insert(in.ino, off, size)
+	in.data.write(off, data)
+	if off+size > in.size {
+		in.size = off + size
+	}
+	in.mtime = px.env.Now()
+	return size, nil
+}
+
+// Stat implements FS.
+func (px *Posix) Stat(p *sim.Proc, path string) (*Stat, error) {
+	path = clean(path)
+	if _, ok := px.dirs[path]; ok {
+		return &Stat{Path: path, IsDir: true}, nil
+	}
+	in, ok := px.files[path]
+	if !ok {
+		return nil, ErrNotExist
+	}
+	px.touchMeta(p, in, false)
+	return &Stat{
+		Path: path, Ino: in.ino, Size: in.size,
+		Atime: in.atime, Mtime: in.mtime, Ctime: in.ctime,
+	}, nil
+}
+
+// Unlink implements FS.
+func (px *Posix) Unlink(p *sim.Proc, path string) error {
+	path = clean(path)
+	in, ok := px.files[path]
+	if !ok {
+		if _, isDir := px.dirs[path]; isDir {
+			return ErrIsDir
+		}
+		return ErrNotExist
+	}
+	dir, name := parentOf(path)
+	if d, ok := px.dirs[dir]; ok {
+		delete(d, name)
+	}
+	delete(px.files, path)
+	px.cache.InvalidateFile(in.ino)
+	px.cache.InvalidateFile(px.metaKey(in.ino))
+	// The deallocation record is journaled like any metadata update.
+	off := px.journalOff
+	px.journalOff += metaRegion
+	px.dev.Access(p, journalBase+off, metaRegion, true)
+	px.DiskWrites++
+	return nil
+}
+
+// Mkdir implements FS.
+func (px *Posix) Mkdir(p *sim.Proc, path string) error {
+	path = clean(path)
+	if _, ok := px.files[path]; ok {
+		return ErrExist
+	}
+	if _, ok := px.dirs[path]; ok {
+		return ErrExist
+	}
+	px.ensureDir(path)
+	return nil
+}
+
+// Readdir implements FS.
+func (px *Posix) Readdir(p *sim.Proc, path string) ([]string, error) {
+	path = clean(path)
+	d, ok := px.dirs[path]
+	if !ok {
+		if _, isFile := px.files[path]; isFile {
+			return nil, ErrNotDir
+		}
+		return nil, ErrNotExist
+	}
+	names := make([]string, 0, len(d))
+	for n := range d {
+		names = append(names, n)
+	}
+	sort.Strings(names) // deterministic listing order
+	return names, nil
+}
+
+// Truncate implements FS.
+func (px *Posix) Truncate(p *sim.Proc, path string, size int64) error {
+	path = clean(path)
+	in, ok := px.files[path]
+	if !ok {
+		return ErrNotExist
+	}
+	in.data.truncate(size)
+	if size < in.size {
+		px.cache.InvalidateRange(in.ino, size, in.size-size)
+	}
+	in.size = size
+	in.mtime = px.env.Now()
+	px.touchMeta(p, in, true)
+	return nil
+}
+
+// FileCount returns the number of regular files (for tests).
+func (px *Posix) FileCount() int { return len(px.files) }

@@ -1,0 +1,111 @@
+package gluster
+
+import (
+	"imca/internal/blob"
+	"imca/internal/fabric"
+)
+
+// ServiceName is the fabric service registered by the GlusterFS server
+// daemon (glusterfsd).
+const ServiceName = "glusterfsd"
+
+// Wire messages for the GlusterFS protocol. Sizes approximate the real
+// protocol's per-op headers.
+
+type openReq struct {
+	Path   string
+	Create bool
+}
+
+func (r *openReq) WireSize() int64 { return 32 + int64(len(r.Path)) }
+
+type openResp struct {
+	FD   FD
+	Code string
+}
+
+func (r *openResp) WireSize() int64 { return 16 + int64(len(r.Code)) }
+
+type closeReq struct{ FD FD }
+
+func (r *closeReq) WireSize() int64 { return 16 }
+
+type readReq struct {
+	FD        FD
+	Off, Size int64
+}
+
+func (r *readReq) WireSize() int64 { return 32 }
+
+type readResp struct {
+	Data blob.Blob
+	Code string
+}
+
+func (r *readResp) WireSize() int64 { return 16 + r.Data.Len() + int64(len(r.Code)) }
+
+type writeReq struct {
+	FD   FD
+	Off  int64
+	Data blob.Blob
+}
+
+func (r *writeReq) WireSize() int64 { return 32 + r.Data.Len() }
+
+type writeResp struct {
+	N    int64
+	Code string
+}
+
+func (r *writeResp) WireSize() int64 { return 16 + int64(len(r.Code)) }
+
+type statReq struct{ Path string }
+
+func (r *statReq) WireSize() int64 { return 16 + int64(len(r.Path)) }
+
+type statResp struct {
+	St   *Stat
+	Code string
+}
+
+func (r *statResp) WireSize() int64 {
+	n := int64(16 + len(r.Code))
+	if r.St != nil {
+		n += r.St.WireSize()
+	}
+	return n
+}
+
+type pathReq struct {
+	Op   string // "unlink" | "mkdir" | "truncate"
+	Path string
+	Size int64 // truncate only
+}
+
+func (r *pathReq) WireSize() int64 { return 32 + int64(len(r.Path)) }
+
+type simpleResp struct{ Code string }
+
+func (r *simpleResp) WireSize() int64 { return 8 + int64(len(r.Code)) }
+
+type readdirReq struct{ Path string }
+
+func (r *readdirReq) WireSize() int64 { return 16 + int64(len(r.Path)) }
+
+type readdirResp struct {
+	Names []string
+	Code  string
+}
+
+func (r *readdirResp) WireSize() int64 {
+	n := int64(16 + len(r.Code))
+	for _, s := range r.Names {
+		n += int64(len(s)) + 8
+	}
+	return n
+}
+
+var (
+	_ fabric.Msg = (*openReq)(nil)
+	_ fabric.Msg = (*readResp)(nil)
+)

@@ -1,0 +1,140 @@
+package gluster
+
+import (
+	"imca/internal/blob"
+	"imca/internal/sim"
+)
+
+// ReadAhead is the GlusterFS read-ahead translator: when it detects a
+// sequential read pattern on a descriptor, it requests more than asked
+// from its child and serves subsequent reads from the prefetched window.
+// The paper notes GlusterFS ships this translator (§2.1); it is a
+// *client-side* window per descriptor, unlike the server page cache.
+type ReadAhead struct {
+	child FS
+	// WindowSize is how much to prefetch past the requested range.
+	windowSize int64
+
+	files map[FD]*raState
+
+	// Stats
+	PrefetchedBytes int64
+	ServedFromRA    int64
+}
+
+type raState struct {
+	nextOff int64 // expected offset for a sequential read
+	winOff  int64 // prefetched window [winOff, winOff+win.Len())
+	win     blob.Blob
+	seq     bool
+}
+
+var _ FS = (*ReadAhead)(nil)
+
+// NewReadAhead wraps child with a read-ahead window of the given size
+// (GlusterFS default: a few blocks; 128 KB here when zero).
+func NewReadAhead(child FS, windowSize int64) *ReadAhead {
+	if windowSize <= 0 {
+		windowSize = 128 << 10
+	}
+	return &ReadAhead{child: child, windowSize: windowSize, files: make(map[FD]*raState)}
+}
+
+// Create implements FS.
+func (ra *ReadAhead) Create(p *sim.Proc, path string) (FD, error) {
+	fd, err := ra.child.Create(p, path)
+	if err == nil {
+		ra.files[fd] = &raState{}
+	}
+	return fd, err
+}
+
+// Open implements FS.
+func (ra *ReadAhead) Open(p *sim.Proc, path string) (FD, error) {
+	fd, err := ra.child.Open(p, path)
+	if err == nil {
+		ra.files[fd] = &raState{}
+	}
+	return fd, err
+}
+
+// Close implements FS.
+func (ra *ReadAhead) Close(p *sim.Proc, fd FD) error {
+	delete(ra.files, fd)
+	return ra.child.Close(p, fd)
+}
+
+// Read implements FS. Sequential patterns trigger prefetch; random reads
+// pass through untouched.
+func (ra *ReadAhead) Read(p *sim.Proc, fd FD, off, size int64) (blob.Blob, error) {
+	st, tracked := ra.files[fd]
+	if !tracked || size <= 0 {
+		return ra.child.Read(p, fd, off, size)
+	}
+
+	// Serve fully from the window when possible.
+	if off >= st.winOff && off+size <= st.winOff+st.win.Len() {
+		ra.ServedFromRA += size
+		st.nextOff = off + size
+		return st.win.Slice(off-st.winOff, off-st.winOff+size), nil
+	}
+
+	sequential := off == st.nextOff
+	st.nextOff = off + size
+	if !sequential {
+		st.seq = false
+		return ra.child.Read(p, fd, off, size)
+	}
+	if !st.seq {
+		// First sequential hit arms the prefetcher; fetch plain once.
+		st.seq = true
+		return ra.child.Read(p, fd, off, size)
+	}
+
+	// Confirmed sequential: fetch request + window.
+	data, err := ra.child.Read(p, fd, off, size+ra.windowSize)
+	if err != nil {
+		return blob.Blob{}, err
+	}
+	if data.Len() > size {
+		st.winOff = off
+		st.win = data
+		ra.PrefetchedBytes += data.Len() - size
+	}
+	if data.Len() >= size {
+		return data.Slice(0, size), nil
+	}
+	return data, nil
+}
+
+// Write implements FS, invalidating any window overlapping the write.
+func (ra *ReadAhead) Write(p *sim.Proc, fd FD, off int64, data blob.Blob) (int64, error) {
+	if st, ok := ra.files[fd]; ok {
+		if off < st.winOff+st.win.Len() && off+data.Len() > st.winOff {
+			st.win = blob.Blob{}
+		}
+	}
+	return ra.child.Write(p, fd, off, data)
+}
+
+// Stat implements FS.
+func (ra *ReadAhead) Stat(p *sim.Proc, path string) (*Stat, error) { return ra.child.Stat(p, path) }
+
+// Unlink implements FS.
+func (ra *ReadAhead) Unlink(p *sim.Proc, path string) error { return ra.child.Unlink(p, path) }
+
+// Mkdir implements FS.
+func (ra *ReadAhead) Mkdir(p *sim.Proc, path string) error { return ra.child.Mkdir(p, path) }
+
+// Readdir implements FS.
+func (ra *ReadAhead) Readdir(p *sim.Proc, path string) ([]string, error) {
+	return ra.child.Readdir(p, path)
+}
+
+// Truncate implements FS.
+func (ra *ReadAhead) Truncate(p *sim.Proc, path string, size int64) error {
+	for _, st := range ra.files {
+		st.win = blob.Blob{}
+	}
+	return ra.child.Truncate(p, path, size)
+}

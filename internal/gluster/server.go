@@ -1,0 +1,217 @@
+package gluster
+
+import (
+	"time"
+
+	"imca/internal/blob"
+	"imca/internal/fabric"
+	"imca/internal/sim"
+)
+
+// ServerConfig models the glusterfsd daemon's processing costs.
+type ServerConfig struct {
+	// IOThreads bounds how many requests the daemon services
+	// concurrently (the io-threads translator; requests beyond it queue).
+	IOThreads int
+	// OpCPU is the daemon + VFS processing cost per operation.
+	OpCPU sim.Duration
+	// PerByteCPUNanos is the copy cost (ns/byte) for data moved through
+	// the daemon (FUSE-less on the server, but the brick still copies
+	// between the network stack and the file system).
+	PerByteCPUNanos float64
+}
+
+// DefaultServerConfig matches a 2008-era glusterfsd (GlusterFS 1.3) on an
+// 8-core node: a userspace daemon whose per-operation path — event loop,
+// protocol decode, translator stack, VFS calls into the brick file system,
+// and completion callbacks — costs far more than a kernel server would.
+var DefaultServerConfig = ServerConfig{
+	IOThreads:       6,
+	OpCPU:           160 * time.Microsecond,
+	PerByteCPUNanos: 0.4,
+}
+
+// Server is the protocol-server xlator: it exposes a child FS (typically
+// SMCache wrapping Posix) as the "glusterfsd" fabric service.
+type Server struct {
+	node    *fabric.Node
+	child   FS
+	cfg     ServerConfig
+	threads *sim.Resource
+
+	// Ops counts completed requests by type for experiment reporting.
+	Ops map[string]uint64
+}
+
+// NewServer attaches a GlusterFS daemon to node serving child.
+func NewServer(node *fabric.Node, child FS, cfg ServerConfig) *Server {
+	if cfg.IOThreads <= 0 {
+		cfg.IOThreads = DefaultServerConfig.IOThreads
+	}
+	if cfg.OpCPU == 0 {
+		cfg.OpCPU = DefaultServerConfig.OpCPU
+	}
+	if cfg.PerByteCPUNanos == 0 {
+		cfg.PerByteCPUNanos = DefaultServerConfig.PerByteCPUNanos
+	}
+	s := &Server{
+		node:    node,
+		child:   child,
+		cfg:     cfg,
+		threads: sim.NewResource(node.Network().Env(), cfg.IOThreads),
+		Ops:     make(map[string]uint64),
+	}
+	node.Handle(ServiceName, s.handle)
+	return s
+}
+
+// Node returns the fabric node the daemon runs on.
+func (s *Server) Node() *fabric.Node { return s.node }
+
+// Child returns the served xlator stack.
+func (s *Server) Child() FS { return s.child }
+
+func (s *Server) charge(p *sim.Proc, payload int64) {
+	cpu := s.cfg.OpCPU + sim.Duration(float64(payload)*s.cfg.PerByteCPUNanos)
+	s.node.CPU.Use(p, cpu)
+}
+
+func (s *Server) handle(p *sim.Proc, from *fabric.Node, req fabric.Msg) fabric.Msg {
+	s.threads.Acquire(p, 1)
+	defer s.threads.Release(1)
+	switch r := req.(type) {
+	case *openReq:
+		s.charge(p, 0)
+		var fd FD
+		var err error
+		if r.Create {
+			s.Ops["create"]++
+			fd, err = s.child.Create(p, r.Path)
+		} else {
+			s.Ops["open"]++
+			fd, err = s.child.Open(p, r.Path)
+		}
+		return &openResp{FD: fd, Code: errCode(err)}
+	case *closeReq:
+		s.Ops["close"]++
+		s.charge(p, 0)
+		err := s.child.Close(p, r.FD)
+		return &simpleResp{Code: errCode(err)}
+	case *readReq:
+		s.Ops["read"]++
+		data, err := s.child.Read(p, r.FD, r.Off, r.Size)
+		s.charge(p, data.Len())
+		return &readResp{Data: data, Code: errCode(err)}
+	case *writeReq:
+		s.Ops["write"]++
+		s.charge(p, r.Data.Len())
+		n, err := s.child.Write(p, r.FD, r.Off, r.Data)
+		return &writeResp{N: n, Code: errCode(err)}
+	case *statReq:
+		s.Ops["stat"]++
+		s.charge(p, 0)
+		st, err := s.child.Stat(p, r.Path)
+		return &statResp{St: st, Code: errCode(err)}
+	case *pathReq:
+		s.Ops[r.Op]++
+		s.charge(p, 0)
+		var err error
+		switch r.Op {
+		case "unlink":
+			err = s.child.Unlink(p, r.Path)
+		case "mkdir":
+			err = s.child.Mkdir(p, r.Path)
+		case "truncate":
+			err = s.child.Truncate(p, r.Path, r.Size)
+		default:
+			panic("gluster: unknown pathReq op " + r.Op)
+		}
+		return &simpleResp{Code: errCode(err)}
+	case *readdirReq:
+		s.Ops["readdir"]++
+		s.charge(p, 0)
+		names, err := s.child.Readdir(p, r.Path)
+		return &readdirResp{Names: names, Code: errCode(err)}
+	default:
+		panic("gluster: unknown request type")
+	}
+}
+
+// Client is the protocol-client xlator: the client half of the GlusterFS
+// transport, forwarding every operation to one server over the fabric.
+type Client struct {
+	node   *fabric.Node
+	server *fabric.Node
+}
+
+var _ FS = (*Client)(nil)
+
+// NewClient returns a protocol client on node talking to the daemon on
+// server.
+func NewClient(node, server *fabric.Node) *Client {
+	return &Client{node: node, server: server}
+}
+
+func (c *Client) call(p *sim.Proc, req fabric.Msg) fabric.Msg {
+	return c.node.Call(p, c.server, ServiceName, req)
+}
+
+// Create implements FS.
+func (c *Client) Create(p *sim.Proc, path string) (FD, error) {
+	r := c.call(p, &openReq{Path: path, Create: true}).(*openResp)
+	return r.FD, codeErr(r.Code)
+}
+
+// Open implements FS.
+func (c *Client) Open(p *sim.Proc, path string) (FD, error) {
+	r := c.call(p, &openReq{Path: path}).(*openResp)
+	return r.FD, codeErr(r.Code)
+}
+
+// Close implements FS.
+func (c *Client) Close(p *sim.Proc, fd FD) error {
+	r := c.call(p, &closeReq{FD: fd}).(*simpleResp)
+	return codeErr(r.Code)
+}
+
+// Read implements FS.
+func (c *Client) Read(p *sim.Proc, fd FD, off, size int64) (blob.Blob, error) {
+	r := c.call(p, &readReq{FD: fd, Off: off, Size: size}).(*readResp)
+	return r.Data, codeErr(r.Code)
+}
+
+// Write implements FS.
+func (c *Client) Write(p *sim.Proc, fd FD, off int64, data blob.Blob) (int64, error) {
+	r := c.call(p, &writeReq{FD: fd, Off: off, Data: data}).(*writeResp)
+	return r.N, codeErr(r.Code)
+}
+
+// Stat implements FS.
+func (c *Client) Stat(p *sim.Proc, path string) (*Stat, error) {
+	r := c.call(p, &statReq{Path: path}).(*statResp)
+	return r.St, codeErr(r.Code)
+}
+
+// Unlink implements FS.
+func (c *Client) Unlink(p *sim.Proc, path string) error {
+	r := c.call(p, &pathReq{Op: "unlink", Path: path}).(*simpleResp)
+	return codeErr(r.Code)
+}
+
+// Mkdir implements FS.
+func (c *Client) Mkdir(p *sim.Proc, path string) error {
+	r := c.call(p, &pathReq{Op: "mkdir", Path: path}).(*simpleResp)
+	return codeErr(r.Code)
+}
+
+// Readdir implements FS.
+func (c *Client) Readdir(p *sim.Proc, path string) ([]string, error) {
+	r := c.call(p, &readdirReq{Path: path}).(*readdirResp)
+	return r.Names, codeErr(r.Code)
+}
+
+// Truncate implements FS.
+func (c *Client) Truncate(p *sim.Proc, path string, size int64) error {
+	r := c.call(p, &pathReq{Op: "truncate", Path: path, Size: size}).(*simpleResp)
+	return codeErr(r.Code)
+}

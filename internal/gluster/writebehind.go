@@ -1,0 +1,160 @@
+package gluster
+
+import (
+	"imca/internal/blob"
+	"imca/internal/sim"
+)
+
+// WriteBehind is the GlusterFS write-behind translator: small sequential
+// writes are aggregated in a per-descriptor buffer and flushed to the
+// child as one larger write when the buffer fills, the pattern breaks, or
+// the file is closed. Reads and stats force a flush first so the caller
+// always observes its own writes.
+//
+// Note the interaction the paper's design implies: stacking WriteBehind
+// above CMCache changes nothing (CMCache forwards writes), but it delays
+// when writes become persistent — GlusterFS disables it where strict
+// persistence matters, so IMCa deployments leave it off by default.
+type WriteBehind struct {
+	child FS
+	// bufferSize is the aggregation limit per descriptor (GlusterFS
+	// default 1 MB; 128 KB here when zero keeps latencies bounded).
+	bufferSize int64
+
+	files map[FD]*wbState
+
+	// Stats
+	Flushes         uint64
+	AggregatedBytes int64
+}
+
+type wbState struct {
+	start   int64 // file offset of the buffered run
+	pending blob.Blob
+}
+
+var _ FS = (*WriteBehind)(nil)
+
+// NewWriteBehind wraps child with a write-aggregation buffer.
+func NewWriteBehind(child FS, bufferSize int64) *WriteBehind {
+	if bufferSize <= 0 {
+		bufferSize = 128 << 10
+	}
+	return &WriteBehind{child: child, bufferSize: bufferSize, files: make(map[FD]*wbState)}
+}
+
+func (wb *WriteBehind) flush(p *sim.Proc, fd FD, st *wbState) error {
+	if st == nil || st.pending.Len() == 0 {
+		return nil
+	}
+	_, err := wb.child.Write(p, fd, st.start, st.pending)
+	st.pending = blob.Blob{}
+	wb.Flushes++
+	return err
+}
+
+// FlushAll flushes every descriptor's pending buffer (fsync-on-everything).
+func (wb *WriteBehind) FlushAll(p *sim.Proc) error {
+	var first error
+	for fd, st := range wb.files {
+		if err := wb.flush(p, fd, st); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Create implements FS.
+func (wb *WriteBehind) Create(p *sim.Proc, path string) (FD, error) {
+	fd, err := wb.child.Create(p, path)
+	if err == nil {
+		wb.files[fd] = &wbState{}
+	}
+	return fd, err
+}
+
+// Open implements FS.
+func (wb *WriteBehind) Open(p *sim.Proc, path string) (FD, error) {
+	fd, err := wb.child.Open(p, path)
+	if err == nil {
+		wb.files[fd] = &wbState{}
+	}
+	return fd, err
+}
+
+// Close implements FS, flushing buffered writes first.
+func (wb *WriteBehind) Close(p *sim.Proc, fd FD) error {
+	if st, ok := wb.files[fd]; ok {
+		if err := wb.flush(p, fd, st); err != nil {
+			return err
+		}
+		delete(wb.files, fd)
+	}
+	return wb.child.Close(p, fd)
+}
+
+// Write implements FS: contiguous writes aggregate; anything else flushes
+// the previous run first.
+func (wb *WriteBehind) Write(p *sim.Proc, fd FD, off int64, data blob.Blob) (int64, error) {
+	st, tracked := wb.files[fd]
+	if !tracked {
+		return wb.child.Write(p, fd, off, data)
+	}
+	n := data.Len()
+	if st.pending.Len() > 0 && off != st.start+st.pending.Len() {
+		if err := wb.flush(p, fd, st); err != nil {
+			return 0, err
+		}
+	}
+	if st.pending.Len() == 0 {
+		st.start = off
+	}
+	st.pending = blob.Concat(st.pending, data)
+	wb.AggregatedBytes += n
+	if st.pending.Len() >= wb.bufferSize {
+		if err := wb.flush(p, fd, st); err != nil {
+			return 0, err
+		}
+	}
+	return n, nil
+}
+
+// Read implements FS, flushing pending writes on the descriptor so the
+// reader observes them.
+func (wb *WriteBehind) Read(p *sim.Proc, fd FD, off, size int64) (blob.Blob, error) {
+	if st, ok := wb.files[fd]; ok {
+		if err := wb.flush(p, fd, st); err != nil {
+			return blob.Blob{}, err
+		}
+	}
+	return wb.child.Read(p, fd, off, size)
+}
+
+// Stat implements FS; pending data would falsify sizes, so flush
+// everything for the path's descriptors first. (Cheap approximation:
+// flush all — GlusterFS tracks per-inode.)
+func (wb *WriteBehind) Stat(p *sim.Proc, path string) (*Stat, error) {
+	if err := wb.FlushAll(p); err != nil {
+		return nil, err
+	}
+	return wb.child.Stat(p, path)
+}
+
+// Unlink implements FS.
+func (wb *WriteBehind) Unlink(p *sim.Proc, path string) error { return wb.child.Unlink(p, path) }
+
+// Mkdir implements FS.
+func (wb *WriteBehind) Mkdir(p *sim.Proc, path string) error { return wb.child.Mkdir(p, path) }
+
+// Readdir implements FS.
+func (wb *WriteBehind) Readdir(p *sim.Proc, path string) ([]string, error) {
+	return wb.child.Readdir(p, path)
+}
+
+// Truncate implements FS.
+func (wb *WriteBehind) Truncate(p *sim.Proc, path string, size int64) error {
+	if err := wb.FlushAll(p); err != nil {
+		return err
+	}
+	return wb.child.Truncate(p, path, size)
+}

@@ -1,0 +1,303 @@
+package memcache
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"imca/internal/blob"
+)
+
+// The memcached binary protocol: fixed 24-byte headers, binary-safe keys
+// and values, quiet variants for pipelining. This implementation covers
+// the core command set (get/set/add/replace/delete/incr/decr/append/
+// prepend/version/noop/flush/quit/stat) and interoperates with standard
+// binary-protocol clients.
+
+const (
+	binReqMagic  = 0x80
+	binRespMagic = 0x81
+)
+
+// Binary opcodes.
+const (
+	binOpGet     = 0x00
+	binOpSet     = 0x01
+	binOpAdd     = 0x02
+	binOpReplace = 0x03
+	binOpDelete  = 0x04
+	binOpIncr    = 0x05
+	binOpDecr    = 0x06
+	binOpQuit    = 0x07
+	binOpFlush   = 0x08
+	binOpGetQ    = 0x09
+	binOpNoop    = 0x0a
+	binOpVersion = 0x0b
+	binOpGetK    = 0x0c
+	binOpGetKQ   = 0x0d
+	binOpAppend  = 0x0e
+	binOpPrepend = 0x0f
+	binOpStat    = 0x10
+)
+
+// Binary response status codes.
+const (
+	binStatusOK          = 0x0000
+	binStatusKeyNotFound = 0x0001
+	binStatusKeyExists   = 0x0002
+	binStatusTooLarge    = 0x0003
+	binStatusInvalidArgs = 0x0004
+	binStatusNotStored   = 0x0005
+	binStatusNonNumeric  = 0x0006
+	binStatusUnknownCmd  = 0x0081
+)
+
+// binHeader is a decoded request/response header.
+type binHeader struct {
+	magic     byte
+	opcode    byte
+	keyLen    uint16
+	extrasLen uint8
+	status    uint16 // vbucket in requests
+	bodyLen   uint32
+	opaque    uint32
+	cas       uint64
+}
+
+func readBinHeader(r io.Reader) (binHeader, error) {
+	var buf [24]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return binHeader{}, err
+	}
+	return binHeader{
+		magic:     buf[0],
+		opcode:    buf[1],
+		keyLen:    binary.BigEndian.Uint16(buf[2:]),
+		extrasLen: buf[4],
+		status:    binary.BigEndian.Uint16(buf[6:]),
+		bodyLen:   binary.BigEndian.Uint32(buf[8:]),
+		opaque:    binary.BigEndian.Uint32(buf[12:]),
+		cas:       binary.BigEndian.Uint64(buf[16:]),
+	}, nil
+}
+
+func writeBinResponse(w io.Writer, opcode byte, status uint16, opaque uint32, cas uint64, extras, key, value []byte) error {
+	var buf [24]byte
+	buf[0] = binRespMagic
+	buf[1] = opcode
+	binary.BigEndian.PutUint16(buf[2:], uint16(len(key)))
+	buf[4] = uint8(len(extras))
+	binary.BigEndian.PutUint16(buf[6:], status)
+	binary.BigEndian.PutUint32(buf[8:], uint32(len(extras)+len(key)+len(value)))
+	binary.BigEndian.PutUint32(buf[12:], opaque)
+	binary.BigEndian.PutUint64(buf[16:], cas)
+	if _, err := w.Write(buf[:]); err != nil {
+		return err
+	}
+	for _, part := range [][]byte{extras, key, value} {
+		if len(part) > 0 {
+			if _, err := w.Write(part); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func binStatusFor(err error) uint16 {
+	switch err {
+	case nil:
+		return binStatusOK
+	case ErrCacheMiss:
+		return binStatusKeyNotFound
+	case ErrExists:
+		return binStatusKeyExists
+	case ErrTooLarge:
+		return binStatusTooLarge
+	case ErrNotStored:
+		return binStatusNotStored
+	case ErrNotNumeric:
+		return binStatusNonNumeric
+	case ErrBadKey:
+		return binStatusInvalidArgs
+	default:
+		return binStatusInvalidArgs
+	}
+}
+
+// ServeBinaryConn runs the binary protocol on rw against store until the
+// peer quits or the connection errors.
+func ServeBinaryConn(store *Store, rw io.ReadWriter) error {
+	r := bufio.NewReader(rw)
+	w := bufio.NewWriter(rw)
+	for {
+		quit, err := serveBinaryOne(store, r, w)
+		if err != nil {
+			return err
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		if quit {
+			return nil
+		}
+	}
+}
+
+func serveBinaryOne(store *Store, r *bufio.Reader, w *bufio.Writer) (quit bool, err error) {
+	h, err := readBinHeader(r)
+	if err != nil {
+		return false, err
+	}
+	if h.magic != binReqMagic {
+		return false, fmt.Errorf("memcache: bad request magic 0x%02x", h.magic)
+	}
+	body := make([]byte, h.bodyLen)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return false, err
+	}
+	if int(h.extrasLen)+int(h.keyLen) > len(body) {
+		return false, fmt.Errorf("memcache: inconsistent binary lengths")
+	}
+	extras := body[:h.extrasLen]
+	key := string(body[h.extrasLen : int(h.extrasLen)+int(h.keyLen)])
+	value := body[int(h.extrasLen)+int(h.keyLen):]
+
+	quiet := h.opcode == binOpGetQ || h.opcode == binOpGetKQ
+	respond := func(status uint16, cas uint64, rextras, rkey, rvalue []byte) error {
+		if quiet && status == binStatusKeyNotFound {
+			return nil // quiet gets suppress misses
+		}
+		return writeBinResponse(w, h.opcode, status, h.opaque, cas, rextras, rkey, rvalue)
+	}
+
+	switch h.opcode {
+	case binOpGet, binOpGetK, binOpGetQ, binOpGetKQ:
+		it, gerr := store.Get(key)
+		if gerr != nil {
+			return false, respond(binStatusKeyNotFound, 0, nil, nil, nil)
+		}
+		fl := make([]byte, 4)
+		binary.BigEndian.PutUint32(fl, it.Flags)
+		var rkey []byte
+		if h.opcode == binOpGetK || h.opcode == binOpGetKQ {
+			rkey = []byte(key)
+		}
+		return false, respond(binStatusOK, it.CAS, fl, rkey, it.Value.Bytes())
+
+	case binOpSet, binOpAdd, binOpReplace:
+		if len(extras) != 8 {
+			return false, respond(binStatusInvalidArgs, 0, nil, nil, nil)
+		}
+		item := &Item{
+			Key:        key,
+			Value:      blob.FromBytes(append([]byte(nil), value...)),
+			Flags:      binary.BigEndian.Uint32(extras[0:]),
+			Expiration: normalizeExp(int64(binary.BigEndian.Uint32(extras[4:])), store.Now()),
+			CAS:        h.cas,
+		}
+		var serr error
+		switch {
+		case h.cas != 0:
+			serr = store.CompareAndSwap(item)
+		case h.opcode == binOpSet:
+			serr = store.Set(item)
+		case h.opcode == binOpAdd:
+			serr = store.Add(item)
+		default:
+			serr = store.Replace(item)
+		}
+		return false, respond(binStatusFor(serr), item.CAS, nil, nil, nil)
+
+	case binOpAppend, binOpPrepend:
+		v := blob.FromBytes(append([]byte(nil), value...))
+		var serr error
+		if h.opcode == binOpAppend {
+			serr = store.Append(key, v)
+		} else {
+			serr = store.Prepend(key, v)
+		}
+		return false, respond(binStatusFor(serr), 0, nil, nil, nil)
+
+	case binOpDelete:
+		derr := store.Delete(key)
+		return false, respond(binStatusFor(derr), 0, nil, nil, nil)
+
+	case binOpIncr, binOpDecr:
+		if len(extras) != 20 {
+			return false, respond(binStatusInvalidArgs, 0, nil, nil, nil)
+		}
+		delta := binary.BigEndian.Uint64(extras[0:])
+		initial := binary.BigEndian.Uint64(extras[8:])
+		expiry := binary.BigEndian.Uint32(extras[16:])
+		v, ierr := store.IncrDecr(key, delta, h.opcode == binOpIncr)
+		if ierr == ErrCacheMiss && expiry != 0xffffffff {
+			// Binary protocol: a miss with expiry != -1 seeds the counter.
+			item := &Item{Key: key, Value: blob.FromBytes(formatUint(initial)),
+				Expiration: normalizeExp(int64(expiry), store.Now())}
+			if serr := store.Set(item); serr != nil {
+				return false, respond(binStatusFor(serr), 0, nil, nil, nil)
+			}
+			v, ierr = initial, nil
+		}
+		if ierr != nil {
+			return false, respond(binStatusFor(ierr), 0, nil, nil, nil)
+		}
+		num := make([]byte, 8)
+		binary.BigEndian.PutUint64(num, v)
+		return false, respond(binStatusOK, 0, nil, nil, num)
+
+	case binOpFlush:
+		store.FlushAll()
+		return false, respond(binStatusOK, 0, nil, nil, nil)
+
+	case binOpNoop:
+		return false, respond(binStatusOK, 0, nil, nil, nil)
+
+	case binOpVersion:
+		return false, respond(binStatusOK, 0, nil, nil, []byte("1.2.8-imca"))
+
+	case binOpStat:
+		st := store.Stats()
+		stats := map[string]uint64{
+			"cmd_get": st.CmdGet, "cmd_set": st.CmdSet,
+			"get_hits": st.GetHits, "get_misses": st.GetMisses,
+			"evictions": st.Evictions, "curr_items": st.CurrItems,
+			"bytes": uint64(st.Bytes),
+		}
+		for k, v := range stats {
+			if err := writeBinResponse(w, h.opcode, binStatusOK, h.opaque, 0,
+				nil, []byte(k), []byte(fmt.Sprint(v))); err != nil {
+				return false, err
+			}
+		}
+		// Terminating empty stat response.
+		return false, writeBinResponse(w, h.opcode, binStatusOK, h.opaque, 0, nil, nil, nil)
+
+	case binOpQuit:
+		_ = respond(binStatusOK, 0, nil, nil, nil)
+		return true, nil
+
+	default:
+		return false, respond(binStatusUnknownCmd, 0, nil, nil, nil)
+	}
+}
+
+// ServeAutoConn sniffs the first byte to select the binary (0x80 magic) or
+// text protocol, as dual-protocol deployments expect.
+func ServeAutoConn(store *Store, rw io.ReadWriter) error {
+	br := bufio.NewReader(rw)
+	first, err := br.Peek(1)
+	if err != nil {
+		return err
+	}
+	wrapped := struct {
+		io.Reader
+		io.Writer
+	}{br, rw}
+	if first[0] == binReqMagic {
+		return ServeBinaryConn(store, wrapped)
+	}
+	return ServeConn(store, wrapped)
+}

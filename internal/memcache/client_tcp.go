@@ -1,0 +1,307 @@
+package memcache
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+
+	"imca/internal/blob"
+)
+
+// Client is a memcached text-protocol client for one or more TCP servers,
+// the Go analogue of libmemcache. Keys are routed to servers by the
+// configured Selector (CRC32 by default).
+type Client struct {
+	selector Selector
+
+	mu    sync.Mutex
+	conns []*clientConn
+}
+
+type clientConn struct {
+	addr string
+	mu   sync.Mutex
+	c    net.Conn
+	r    *bufio.Reader
+	w    *bufio.Writer
+}
+
+// Dial connects to the given server addresses.
+func Dial(addrs ...string) (*Client, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("memcache: no servers")
+	}
+	cl := &Client{selector: CRC32Selector{}}
+	for _, a := range addrs {
+		c, err := net.Dial("tcp", a)
+		if err != nil {
+			cl.Close()
+			return nil, err
+		}
+		cl.conns = append(cl.conns, &clientConn{
+			addr: a, c: c,
+			r: bufio.NewReader(c), w: bufio.NewWriter(c),
+		})
+	}
+	return cl, nil
+}
+
+// SetSelector replaces the key distribution function.
+func (cl *Client) SetSelector(s Selector) { cl.selector = s }
+
+// Close closes all server connections.
+func (cl *Client) Close() error {
+	var first error
+	for _, cc := range cl.conns {
+		if cc.c != nil {
+			if err := cc.c.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}
+
+func (cl *Client) pick(key string) *clientConn {
+	return cl.conns[cl.selector.Pick(key, len(cl.conns))]
+}
+
+// Set stores item unconditionally.
+func (cl *Client) Set(item *Item) error { return cl.storeCmd("set", item) }
+
+// Add stores item only if absent.
+func (cl *Client) Add(item *Item) error { return cl.storeCmd("add", item) }
+
+// Replace stores item only if present.
+func (cl *Client) Replace(item *Item) error { return cl.storeCmd("replace", item) }
+
+// CompareAndSwap stores item only if its CAS token (from Gets) still
+// matches the server's.
+func (cl *Client) CompareAndSwap(item *Item) error { return cl.storeCmd("cas", item) }
+
+func (cl *Client) storeCmd(cmd string, item *Item) error {
+	cc := cl.pick(item.Key)
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	val := item.Value.Bytes()
+	if cmd == "cas" {
+		fmt.Fprintf(cc.w, "cas %s %d %d %d %d\r\n", item.Key, item.Flags, item.Expiration, len(val), item.CAS)
+	} else {
+		fmt.Fprintf(cc.w, "%s %s %d %d %d\r\n", cmd, item.Key, item.Flags, item.Expiration, len(val))
+	}
+	cc.w.Write(val)
+	cc.w.WriteString("\r\n")
+	if err := cc.w.Flush(); err != nil {
+		return err
+	}
+	line, err := readLine(cc.r)
+	if err != nil {
+		return err
+	}
+	switch string(line) {
+	case "STORED":
+		return nil
+	case "NOT_STORED":
+		return ErrNotStored
+	case "EXISTS":
+		return ErrExists
+	case "NOT_FOUND":
+		return ErrCacheMiss
+	default:
+		return fmt.Errorf("memcache: server answered %q", line)
+	}
+}
+
+// Get fetches one key.
+func (cl *Client) Get(key string) (*Item, error) {
+	items, err := cl.getFrom(cl.pick(key), []string{key}, false)
+	if err != nil {
+		return nil, err
+	}
+	it, ok := items[key]
+	if !ok {
+		return nil, ErrCacheMiss
+	}
+	return it, nil
+}
+
+// Gets fetches one key with its CAS token for a later CompareAndSwap.
+func (cl *Client) Gets(key string) (*Item, error) {
+	items, err := cl.getFrom(cl.pick(key), []string{key}, true)
+	if err != nil {
+		return nil, err
+	}
+	it, ok := items[key]
+	if !ok {
+		return nil, ErrCacheMiss
+	}
+	return it, nil
+}
+
+// GetMulti fetches many keys, batching one request per server.
+func (cl *Client) GetMulti(keys []string) (map[string]*Item, error) {
+	byConn := make(map[*clientConn][]string)
+	for _, k := range keys {
+		cc := cl.pick(k)
+		byConn[cc] = append(byConn[cc], k)
+	}
+	out := make(map[string]*Item, len(keys))
+	for _, cc := range cl.conns { // deterministic order
+		ks, ok := byConn[cc]
+		if !ok {
+			continue
+		}
+		items, err := cl.getFrom(cc, ks, false)
+		if err != nil {
+			return nil, err
+		}
+		for k, it := range items {
+			out[k] = it
+		}
+	}
+	return out, nil
+}
+
+func (cl *Client) getFrom(cc *clientConn, keys []string, withCAS bool) (map[string]*Item, error) {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	verb := "get"
+	if withCAS {
+		verb = "gets"
+	}
+	fmt.Fprintf(cc.w, "%s %s\r\n", verb, strings.Join(keys, " "))
+	if err := cc.w.Flush(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]*Item)
+	for {
+		line, err := readLine(cc.r)
+		if err != nil {
+			return nil, err
+		}
+		if string(line) == "END" {
+			return out, nil
+		}
+		var key string
+		var flags uint32
+		var n int64
+		var cas uint64
+		if withCAS {
+			if _, err := fmt.Sscanf(string(line), "VALUE %s %d %d %d", &key, &flags, &n, &cas); err != nil {
+				return nil, fmt.Errorf("memcache: bad VALUE line %q", line)
+			}
+		} else if _, err := fmt.Sscanf(string(line), "VALUE %s %d %d", &key, &flags, &n); err != nil {
+			return nil, fmt.Errorf("memcache: bad VALUE line %q", line)
+		}
+		data := make([]byte, n+2)
+		if _, err := readFull(cc.r, data); err != nil {
+			return nil, err
+		}
+		if !bytes.HasSuffix(data, []byte("\r\n")) {
+			return nil, fmt.Errorf("memcache: bad data terminator")
+		}
+		out[key] = &Item{Key: key, Value: blob.FromBytes(data[:n]), Flags: flags, CAS: cas}
+	}
+}
+
+// Delete removes a key.
+func (cl *Client) Delete(key string) error {
+	cc := cl.pick(key)
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	fmt.Fprintf(cc.w, "delete %s\r\n", key)
+	if err := cc.w.Flush(); err != nil {
+		return err
+	}
+	line, err := readLine(cc.r)
+	if err != nil {
+		return err
+	}
+	switch string(line) {
+	case "DELETED":
+		return nil
+	case "NOT_FOUND":
+		return ErrCacheMiss
+	default:
+		return fmt.Errorf("memcache: server answered %q", line)
+	}
+}
+
+// Incr adds delta to a numeric value and returns the result.
+func (cl *Client) Incr(key string, delta uint64) (uint64, error) {
+	return cl.incrDecr("incr", key, delta)
+}
+
+// Decr subtracts delta (flooring at zero) and returns the result.
+func (cl *Client) Decr(key string, delta uint64) (uint64, error) {
+	return cl.incrDecr("decr", key, delta)
+}
+
+func (cl *Client) incrDecr(cmd, key string, delta uint64) (uint64, error) {
+	cc := cl.pick(key)
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	fmt.Fprintf(cc.w, "%s %s %d\r\n", cmd, key, delta)
+	if err := cc.w.Flush(); err != nil {
+		return 0, err
+	}
+	line, err := readLine(cc.r)
+	if err != nil {
+		return 0, err
+	}
+	s := string(line)
+	if s == "NOT_FOUND" {
+		return 0, ErrCacheMiss
+	}
+	if strings.HasPrefix(s, "CLIENT_ERROR") {
+		return 0, ErrNotNumeric
+	}
+	return strconv.ParseUint(s, 10, 64)
+}
+
+// ServerStats returns each server's stats keyed by address.
+func (cl *Client) ServerStats() (map[string]map[string]string, error) {
+	out := make(map[string]map[string]string)
+	for _, cc := range cl.conns {
+		cc.mu.Lock()
+		fmt.Fprintf(cc.w, "stats\r\n")
+		if err := cc.w.Flush(); err != nil {
+			cc.mu.Unlock()
+			return nil, err
+		}
+		m := make(map[string]string)
+		for {
+			line, err := readLine(cc.r)
+			if err != nil {
+				cc.mu.Unlock()
+				return nil, err
+			}
+			if string(line) == "END" {
+				break
+			}
+			parts := strings.SplitN(string(line), " ", 3)
+			if len(parts) == 3 && parts[0] == "STAT" {
+				m[parts[1]] = parts[2]
+			}
+		}
+		out[cc.addr] = m
+		cc.mu.Unlock()
+	}
+	return out, nil
+}
+
+func readFull(r *bufio.Reader, buf []byte) (int, error) {
+	total := 0
+	for total < len(buf) {
+		n, err := r.Read(buf[total:])
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

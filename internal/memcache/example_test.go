@@ -1,0 +1,45 @@
+package memcache_test
+
+import (
+	"fmt"
+
+	"imca/internal/blob"
+	"imca/internal/memcache"
+)
+
+// The cache engine behind both the simulated MCDs and the TCP daemon:
+// memcached semantics without any networking.
+func ExampleStore() {
+	clock := int64(0)
+	store := memcache.NewStore(4<<20, func() int64 { return clock })
+
+	store.Set(&memcache.Item{Key: "greeting", Value: blob.FromString("hello"), Flags: 7})
+	it, _ := store.Get("greeting")
+	fmt.Printf("%s (flags=%d)\n", it.Value.Bytes(), it.Flags)
+
+	// Lazy expiration follows the injected clock.
+	store.Set(&memcache.Item{Key: "ephemeral", Value: blob.FromString("x"), Expiration: 10})
+	clock = 11
+	if _, err := store.Get("ephemeral"); err == memcache.ErrCacheMiss {
+		fmt.Println("expired")
+	}
+	// Output:
+	// hello (flags=7)
+	// expired
+}
+
+// Selectors decide which daemon in the bank owns a key; the block-modulo
+// selector spreads consecutive file blocks round-robin (the paper's Fig 9
+// configuration).
+func ExampleBlockModuloSelector() {
+	sel := memcache.BlockModuloSelector{BlockSize: 2048}
+	for block := int64(0); block < 4; block++ {
+		key := fmt.Sprintf("/data/file:%d", block*2048)
+		fmt.Printf("block %d -> mcd%d\n", block, sel.Pick(key, 4))
+	}
+	// Output:
+	// block 0 -> mcd0
+	// block 1 -> mcd1
+	// block 2 -> mcd2
+	// block 3 -> mcd3
+}

@@ -1,0 +1,96 @@
+package memcache
+
+import (
+	"crypto/md5"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// KetamaSelector is a consistent-hash key distributor (the "ketama"
+// algorithm that later became the standard memcached distribution). The
+// paper's future work proposes investigating alternative hashing
+// algorithms for spreading data across the cache bank; consistent hashing
+// has a property the CRC32 modulo lacks — when the bank grows or shrinks
+// by one daemon, only ~1/n of the keys move instead of nearly all of
+// them, so resizing the bank does not flush it.
+//
+// Each server is mapped to VirtualNodes points on a 32-bit ring; a key is
+// served by the first server point at or clockwise of its hash.
+type KetamaSelector struct {
+	// VirtualNodes per server (default 160, as in ketama).
+	VirtualNodes int
+
+	rings map[int]ketamaRing // lazily built per server count
+}
+
+type ketamaPoint struct {
+	hash   uint32
+	server int
+}
+
+type ketamaRing []ketamaPoint
+
+// NewKetamaSelector returns a consistent-hash selector with the standard
+// 160 virtual nodes per server.
+func NewKetamaSelector() *KetamaSelector {
+	return &KetamaSelector{VirtualNodes: 160}
+}
+
+func (k *KetamaSelector) ring(n int) ketamaRing {
+	if k.rings == nil {
+		k.rings = make(map[int]ketamaRing)
+	}
+	if r, ok := k.rings[n]; ok {
+		return r
+	}
+	vn := k.VirtualNodes
+	if vn <= 0 {
+		vn = 160
+	}
+	// Four points per md5 digest, as in the original implementation.
+	r := make(ketamaRing, 0, n*vn)
+	for s := 0; s < n; s++ {
+		for v := 0; v < (vn+3)/4; v++ {
+			sum := md5.Sum([]byte(fmt.Sprintf("server-%d-%d", s, v)))
+			for o := 0; o < 4 && len(r) < n*vn; o++ {
+				h := binary.LittleEndian.Uint32(sum[o*4:])
+				r = append(r, ketamaPoint{hash: h, server: s})
+			}
+		}
+	}
+	sort.Slice(r, func(i, j int) bool { return r[i].hash < r[j].hash })
+	k.rings[n] = r
+	return r
+}
+
+// Pick implements Selector.
+func (k *KetamaSelector) Pick(key string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	r := k.ring(n)
+	sum := md5.Sum([]byte(key))
+	h := binary.LittleEndian.Uint32(sum[:4])
+	i := sort.Search(len(r), func(i int) bool { return r[i].hash >= h })
+	if i == len(r) {
+		i = 0
+	}
+	return r[i].server
+}
+
+// MovedKeys reports what fraction of sample keys change servers when the
+// bank grows from n to n+1 daemons — the resizing cost the selector is
+// designed to minimize.
+func MovedKeys(s Selector, keys []string, n int) float64 {
+	if len(keys) == 0 {
+		return 0
+	}
+	moved := 0
+	for _, k := range keys {
+		if s.Pick(k, n) != s.Pick(k, n+1) {
+			moved++
+		}
+	}
+	return float64(moved) / float64(len(keys))
+}

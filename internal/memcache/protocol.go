@@ -1,0 +1,304 @@
+package memcache
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"imca/internal/blob"
+)
+
+// relativeTTLCutoff: expirations up to 30 days are relative seconds;
+// larger values are absolute unix timestamps (memcached convention).
+const relativeTTLCutoff = 60 * 60 * 24 * 30
+
+// normalizeExp converts a protocol exptime to an absolute second count.
+func normalizeExp(exp int64, now int64) int64 {
+	switch {
+	case exp == 0:
+		return 0
+	case exp < 0:
+		return now - 1 // already expired
+	case exp <= relativeTTLCutoff:
+		return now + exp
+	default:
+		return exp
+	}
+}
+
+// ServeConn runs the memcached text protocol on rw against store until the
+// peer quits or the connection errors. It returns the first I/O error (or
+// nil on a clean "quit").
+func ServeConn(store *Store, rw io.ReadWriter) error {
+	r := bufio.NewReader(rw)
+	w := bufio.NewWriter(rw)
+	for {
+		line, err := readLine(r)
+		if err != nil {
+			return err
+		}
+		if len(line) == 0 {
+			continue
+		}
+		quit, err := dispatch(store, r, w, line)
+		if err != nil {
+			return err
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+		if quit {
+			return nil
+		}
+	}
+}
+
+func readLine(r *bufio.Reader) ([]byte, error) {
+	line, err := r.ReadBytes('\n')
+	if err != nil {
+		return nil, err
+	}
+	return bytes.TrimRight(line, "\r\n"), nil
+}
+
+// dispatch handles one command line. It reports whether the peer asked to
+// quit.
+func dispatch(store *Store, r *bufio.Reader, w *bufio.Writer, line []byte) (bool, error) {
+	fields := strings.Fields(string(line))
+	cmd := fields[0]
+	args := fields[1:]
+	switch cmd {
+	case "get", "gets":
+		return false, cmdGet(store, w, args, cmd == "gets")
+	case "set", "add", "replace", "append", "prepend", "cas":
+		return false, cmdStore(store, r, w, cmd, args)
+	case "delete":
+		return false, cmdDelete(store, w, args)
+	case "incr", "decr":
+		return false, cmdIncrDecr(store, w, cmd, args)
+	case "stats":
+		if len(args) > 0 && args[0] == "slabs" {
+			return false, cmdStatsSlabs(store, w)
+		}
+		return false, cmdStats(store, w)
+	case "flush_all":
+		store.FlushAll()
+		if !hasNoreply(args) {
+			fmt.Fprintf(w, "OK\r\n")
+		}
+		return false, nil
+	case "version":
+		fmt.Fprintf(w, "VERSION 1.2.8-imca\r\n")
+		return false, nil
+	case "verbosity":
+		if !hasNoreply(args) {
+			fmt.Fprintf(w, "OK\r\n")
+		}
+		return false, nil
+	case "quit":
+		return true, nil
+	default:
+		fmt.Fprintf(w, "ERROR\r\n")
+		return false, nil
+	}
+}
+
+func hasNoreply(args []string) bool {
+	return len(args) > 0 && args[len(args)-1] == "noreply"
+}
+
+func cmdGet(store *Store, w *bufio.Writer, keys []string, withCAS bool) error {
+	for _, k := range keys {
+		it, err := store.Get(k)
+		if err != nil {
+			continue
+		}
+		if withCAS {
+			fmt.Fprintf(w, "VALUE %s %d %d %d\r\n", it.Key, it.Flags, it.Value.Len(), it.CAS)
+		} else {
+			fmt.Fprintf(w, "VALUE %s %d %d\r\n", it.Key, it.Flags, it.Value.Len())
+		}
+		if _, err := w.Write(it.Value.Bytes()); err != nil {
+			return err
+		}
+		if _, err := w.WriteString("\r\n"); err != nil {
+			return err
+		}
+	}
+	_, err := w.WriteString("END\r\n")
+	return err
+}
+
+func cmdStore(store *Store, r *bufio.Reader, w *bufio.Writer, cmd string, args []string) error {
+	noreply := hasNoreply(args)
+	if noreply {
+		args = args[:len(args)-1]
+	}
+	want := 4
+	if cmd == "cas" {
+		want = 5
+	}
+	if len(args) != want {
+		fmt.Fprintf(w, "CLIENT_ERROR bad command line format\r\n")
+		return nil
+	}
+	key := args[0]
+	flags, err1 := strconv.ParseUint(args[1], 10, 32)
+	exp, err2 := strconv.ParseInt(args[2], 10, 64)
+	nbytes, err3 := strconv.ParseInt(args[3], 10, 64)
+	var casID uint64
+	var err4 error
+	if cmd == "cas" {
+		casID, err4 = strconv.ParseUint(args[4], 10, 64)
+	}
+	if err1 != nil || err2 != nil || err3 != nil || err4 != nil || nbytes < 0 {
+		fmt.Fprintf(w, "CLIENT_ERROR bad command line format\r\n")
+		return nil
+	}
+
+	data := make([]byte, nbytes+2)
+	if _, err := io.ReadFull(r, data); err != nil {
+		return err
+	}
+	if !bytes.HasSuffix(data, []byte("\r\n")) {
+		if !noreply {
+			fmt.Fprintf(w, "CLIENT_ERROR bad data chunk\r\n")
+		}
+		return nil
+	}
+	value := blob.FromBytes(data[:nbytes])
+
+	item := &Item{
+		Key:        key,
+		Value:      value,
+		Flags:      uint32(flags),
+		Expiration: normalizeExp(exp, store.Now()),
+		CAS:        casID,
+	}
+	var err error
+	switch cmd {
+	case "set":
+		err = store.Set(item)
+	case "add":
+		err = store.Add(item)
+	case "replace":
+		err = store.Replace(item)
+	case "cas":
+		err = store.CompareAndSwap(item)
+	case "append":
+		err = store.Append(key, value)
+	case "prepend":
+		err = store.Prepend(key, value)
+	}
+	if noreply {
+		return nil
+	}
+	switch err {
+	case nil:
+		fmt.Fprintf(w, "STORED\r\n")
+	case ErrNotStored:
+		fmt.Fprintf(w, "NOT_STORED\r\n")
+	case ErrExists:
+		fmt.Fprintf(w, "EXISTS\r\n")
+	case ErrCacheMiss:
+		fmt.Fprintf(w, "NOT_FOUND\r\n")
+	case ErrTooLarge:
+		fmt.Fprintf(w, "SERVER_ERROR object too large for cache\r\n")
+	case ErrBadKey:
+		fmt.Fprintf(w, "CLIENT_ERROR bad key\r\n")
+	default:
+		fmt.Fprintf(w, "SERVER_ERROR %v\r\n", err)
+	}
+	return nil
+}
+
+func cmdDelete(store *Store, w *bufio.Writer, args []string) error {
+	noreply := hasNoreply(args)
+	if noreply {
+		args = args[:len(args)-1]
+	}
+	if len(args) < 1 {
+		fmt.Fprintf(w, "CLIENT_ERROR bad command line format\r\n")
+		return nil
+	}
+	err := store.Delete(args[0])
+	if noreply {
+		return nil
+	}
+	if err != nil {
+		fmt.Fprintf(w, "NOT_FOUND\r\n")
+	} else {
+		fmt.Fprintf(w, "DELETED\r\n")
+	}
+	return nil
+}
+
+func cmdIncrDecr(store *Store, w *bufio.Writer, cmd string, args []string) error {
+	noreply := hasNoreply(args)
+	if noreply {
+		args = args[:len(args)-1]
+	}
+	if len(args) != 2 {
+		fmt.Fprintf(w, "CLIENT_ERROR bad command line format\r\n")
+		return nil
+	}
+	delta, err := strconv.ParseUint(args[1], 10, 64)
+	if err != nil {
+		fmt.Fprintf(w, "CLIENT_ERROR invalid numeric delta argument\r\n")
+		return nil
+	}
+	v, err := store.IncrDecr(args[0], delta, cmd == "incr")
+	if noreply {
+		return nil
+	}
+	switch err {
+	case nil:
+		fmt.Fprintf(w, "%d\r\n", v)
+	case ErrCacheMiss:
+		fmt.Fprintf(w, "NOT_FOUND\r\n")
+	case ErrNotNumeric:
+		fmt.Fprintf(w, "CLIENT_ERROR cannot increment or decrement non-numeric value\r\n")
+	default:
+		fmt.Fprintf(w, "SERVER_ERROR %v\r\n", err)
+	}
+	return nil
+}
+
+func cmdStatsSlabs(store *Store, w *bufio.Writer) error {
+	classes := store.SlabStats()
+	ids := make([]int, 0, len(classes))
+	for ci := range classes {
+		ids = append(ids, ci)
+	}
+	sort.Ints(ids)
+	for _, ci := range ids {
+		c := classes[ci]
+		fmt.Fprintf(w, "STAT %d:chunk_size %d\r\n", ci+1, c.ChunkSize)
+		fmt.Fprintf(w, "STAT %d:used_chunks %d\r\n", ci+1, c.UsedChunks)
+		fmt.Fprintf(w, "STAT %d:free_chunks %d\r\n", ci+1, c.FreeChunks)
+	}
+	_, err := w.WriteString("END\r\n")
+	return err
+}
+
+func cmdStats(store *Store, w *bufio.Writer) error {
+	st := store.Stats()
+	fmt.Fprintf(w, "STAT cmd_get %d\r\n", st.CmdGet)
+	fmt.Fprintf(w, "STAT cmd_set %d\r\n", st.CmdSet)
+	fmt.Fprintf(w, "STAT get_hits %d\r\n", st.GetHits)
+	fmt.Fprintf(w, "STAT get_misses %d\r\n", st.GetMisses)
+	fmt.Fprintf(w, "STAT delete_hits %d\r\n", st.DeleteHits)
+	fmt.Fprintf(w, "STAT delete_misses %d\r\n", st.DeleteMiss)
+	fmt.Fprintf(w, "STAT evictions %d\r\n", st.Evictions)
+	fmt.Fprintf(w, "STAT expired %d\r\n", st.Expired)
+	fmt.Fprintf(w, "STAT curr_items %d\r\n", st.CurrItems)
+	fmt.Fprintf(w, "STAT total_items %d\r\n", st.TotalItems)
+	fmt.Fprintf(w, "STAT bytes %d\r\n", st.Bytes)
+	fmt.Fprintf(w, "STAT limit_maxbytes %d\r\n", st.LimitBytes)
+	_, err := w.WriteString("END\r\n")
+	return err
+}

@@ -1,0 +1,186 @@
+package memcache
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+)
+
+// talk runs one scripted protocol exchange against a fresh store and
+// returns everything the server wrote.
+func talk(t *testing.T, input string) string {
+	t.Helper()
+	store := newTestStore(4)
+	return talkTo(t, store, input)
+}
+
+func talkTo(t *testing.T, store *Store, input string) string {
+	t.Helper()
+	var out bytes.Buffer
+	err := ServeConn(store, readWriter{strings.NewReader(input), &out})
+	if err != nil && err.Error() != "EOF" {
+		t.Fatalf("ServeConn: %v", err)
+	}
+	return out.String()
+}
+
+type readWriter struct {
+	r io.Reader
+	w *bytes.Buffer
+}
+
+func (rw readWriter) Read(p []byte) (int, error)  { return rw.r.Read(p) }
+func (rw readWriter) Write(p []byte) (int, error) { return rw.w.Write(p) }
+
+func TestProtocolSetGet(t *testing.T) {
+	out := talk(t, "set foo 42 0 5\r\nhello\r\nget foo\r\nquit\r\n")
+	want := "STORED\r\nVALUE foo 42 5\r\nhello\r\nEND\r\n"
+	if out != want {
+		t.Errorf("out = %q, want %q", out, want)
+	}
+}
+
+func TestProtocolGetMiss(t *testing.T) {
+	out := talk(t, "get nothing\r\nquit\r\n")
+	if out != "END\r\n" {
+		t.Errorf("out = %q, want END only", out)
+	}
+}
+
+func TestProtocolMultiKeyGet(t *testing.T) {
+	out := talk(t, "set a 0 0 1\r\nx\r\nset b 0 0 1\r\ny\r\nget a missing b\r\nquit\r\n")
+	if !strings.Contains(out, "VALUE a 0 1\r\nx\r\n") || !strings.Contains(out, "VALUE b 0 1\r\ny\r\n") {
+		t.Errorf("multi-get output missing values: %q", out)
+	}
+	if strings.Contains(out, "missing") {
+		t.Errorf("multi-get returned a missing key: %q", out)
+	}
+}
+
+func TestProtocolGetsReturnsCAS(t *testing.T) {
+	out := talk(t, "set a 0 0 1\r\nx\r\ngets a\r\nquit\r\n")
+	if !strings.Contains(out, "VALUE a 0 1 1\r\n") {
+		t.Errorf("gets output lacks CAS token: %q", out)
+	}
+}
+
+func TestProtocolCASConflict(t *testing.T) {
+	out := talk(t, "set a 0 0 1\r\nx\r\ncas a 0 0 1 99\r\ny\r\nquit\r\n")
+	if !strings.Contains(out, "EXISTS\r\n") {
+		t.Errorf("stale cas did not report EXISTS: %q", out)
+	}
+}
+
+func TestProtocolAddReplace(t *testing.T) {
+	out := talk(t, "add a 0 0 1\r\nx\r\nadd a 0 0 1\r\ny\r\nreplace b 0 0 1\r\nz\r\nquit\r\n")
+	if !strings.HasPrefix(out, "STORED\r\nNOT_STORED\r\nNOT_STORED\r\n") {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestProtocolAppendPrepend(t *testing.T) {
+	out := talk(t, "set a 0 0 3\r\nmid\r\nappend a 0 0 4\r\n-end\r\nprepend a 0 0 6\r\nstart-\r\nget a\r\nquit\r\n")
+	if !strings.Contains(out, "VALUE a 0 13\r\nstart-mid-end\r\n") {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestProtocolDelete(t *testing.T) {
+	out := talk(t, "set a 0 0 1\r\nx\r\ndelete a\r\ndelete a\r\nquit\r\n")
+	if out != "STORED\r\nDELETED\r\nNOT_FOUND\r\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestProtocolIncrDecr(t *testing.T) {
+	out := talk(t, "set n 0 0 2\r\n10\r\nincr n 5\r\ndecr n 100\r\nincr missing 1\r\nquit\r\n")
+	if out != "STORED\r\n15\r\n0\r\nNOT_FOUND\r\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestProtocolNoreply(t *testing.T) {
+	out := talk(t, "set a 0 0 1 noreply\r\nx\r\nget a\r\nquit\r\n")
+	if out != "VALUE a 0 1\r\nx\r\nEND\r\n" {
+		t.Errorf("noreply set produced output: %q", out)
+	}
+}
+
+func TestProtocolFlushAll(t *testing.T) {
+	out := talk(t, "set a 0 0 1\r\nx\r\nflush_all\r\nget a\r\nquit\r\n")
+	if out != "STORED\r\nOK\r\nEND\r\n" {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestProtocolStats(t *testing.T) {
+	out := talk(t, "set a 0 0 1\r\nx\r\nget a\r\nstats\r\nquit\r\n")
+	for _, want := range []string{"STAT cmd_get 1", "STAT cmd_set 1", "STAT get_hits 1", "STAT curr_items 1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestProtocolVersionAndUnknown(t *testing.T) {
+	out := talk(t, "version\r\nbogus command\r\nquit\r\n")
+	if !strings.HasPrefix(out, "VERSION ") || !strings.Contains(out, "ERROR\r\n") {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestProtocolBadDataChunk(t *testing.T) {
+	// Data not terminated by CRLF at the declared length.
+	out := talk(t, "set a 0 0 2\r\nxxx\r\nquit\r\n")
+	if !strings.Contains(out, "CLIENT_ERROR bad data chunk") {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestProtocolBadStoreArgs(t *testing.T) {
+	out := talk(t, "set a 0 0\r\nquit\r\n")
+	if !strings.Contains(out, "CLIENT_ERROR") {
+		t.Errorf("out = %q", out)
+	}
+}
+
+func TestProtocolExpirationRelative(t *testing.T) {
+	now := int64(5000)
+	store := NewStore(4<<20, func() int64 { return now })
+	talkTo(t, store, "set a 0 60 1\r\nx\r\nquit\r\n")
+	it, err := store.Get("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it.Expiration != 5060 {
+		t.Errorf("relative TTL stored as %d, want 5060", it.Expiration)
+	}
+	// Absolute timestamps pass through.
+	talkTo(t, store, fmt.Sprintf("set b 0 %d 1\r\nx\r\nquit\r\n", relativeTTLCutoff+999))
+	it, _ = store.Get("b")
+	if it.Expiration != relativeTTLCutoff+999 {
+		t.Errorf("absolute TTL stored as %d", it.Expiration)
+	}
+	// Negative means already expired.
+	talkTo(t, store, "set c 0 -1 1\r\nx\r\nquit\r\n")
+	if _, err := store.Get("c"); err != ErrCacheMiss {
+		t.Error("negative exptime item retrievable")
+	}
+}
+
+func TestProtocolBinaryValue(t *testing.T) {
+	// Values containing \r\n bytes must survive: length-delimited reads.
+	out := talk(t, "set bin 0 0 6\r\nab\r\ncd\r\nget bin\r\nquit\r\n")
+	if !strings.Contains(out, "VALUE bin 0 6\r\nab\r\ncd\r\n") {
+		t.Errorf("binary value mangled: %q", out)
+	}
+}
+
+func TestProtocolStatsSlabs(t *testing.T) {
+	out := talk(t, "set a 0 0 5\r\nhello\r\nstats slabs\r\nquit\r\n")
+	if !strings.Contains(out, ":chunk_size") || !strings.Contains(out, ":used_chunks 1") {
+		t.Errorf("stats slabs output = %q", out)
+	}
+}

@@ -1,0 +1,53 @@
+package memcache
+
+import (
+	"hash/crc32"
+	"strconv"
+	"strings"
+)
+
+// Selector maps a key to one of n cache servers.
+//
+// The paper's SMCache/CMCache use libmemcache's default CRC32 hash for
+// locating blocks on MCDs, and replace it with a static modulo of the block
+// number ("round-robin") for the IOzone throughput experiment (Fig. 9),
+// where spreading consecutive blocks across all MCDs maximizes aggregate
+// bandwidth.
+type Selector interface {
+	Pick(key string, n int) int
+}
+
+// CRC32Selector distributes keys by CRC32, following libmemcache's default
+// hashing: the checksum is folded to 15 bits before the modulo.
+type CRC32Selector struct{}
+
+// Pick implements Selector.
+func (CRC32Selector) Pick(key string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	h := (crc32.ChecksumIEEE([]byte(key)) >> 16) & 0x7fff
+	return int(h % uint32(n))
+}
+
+// BlockModuloSelector distributes block keys round-robin by block number.
+// It expects IMCa data keys of the form "<path>:<byte offset>" and assigns
+// server (offset/BlockSize) mod n. Keys without a numeric offset suffix
+// (e.g. ":stat" keys) fall back to CRC32.
+type BlockModuloSelector struct {
+	BlockSize int64
+}
+
+// Pick implements Selector.
+func (s BlockModuloSelector) Pick(key string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	i := strings.LastIndexByte(key, ':')
+	if i >= 0 {
+		if off, err := strconv.ParseInt(key[i+1:], 10, 64); err == nil && s.BlockSize > 0 {
+			return int((off / s.BlockSize) % int64(n))
+		}
+	}
+	return CRC32Selector{}.Pick(key, n)
+}

@@ -1,0 +1,78 @@
+package memcache
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCRC32SelectorInRangeAndDeterministic(t *testing.T) {
+	s := CRC32Selector{}
+	for i := 0; i < 1000; i++ {
+		k := fmt.Sprintf("/dir/file-%d:stat", i)
+		got := s.Pick(k, 7)
+		if got < 0 || got >= 7 {
+			t.Fatalf("Pick(%q) = %d out of range", k, got)
+		}
+		if again := s.Pick(k, 7); again != got {
+			t.Fatalf("Pick not deterministic for %q", k)
+		}
+	}
+}
+
+func TestCRC32SelectorSingleServer(t *testing.T) {
+	if got := (CRC32Selector{}).Pick("anything", 1); got != 0 {
+		t.Errorf("Pick with n=1 = %d", got)
+	}
+}
+
+func TestCRC32SelectorSpread(t *testing.T) {
+	s := CRC32Selector{}
+	counts := make([]int, 4)
+	for i := 0; i < 4000; i++ {
+		counts[s.Pick(fmt.Sprintf("/data/f%d:0", i), 4)]++
+	}
+	for i, c := range counts {
+		if c < 600 || c > 1400 {
+			t.Errorf("server %d got %d of 4000 keys (poor spread)", i, c)
+		}
+	}
+}
+
+func TestBlockModuloSelectorRoundRobins(t *testing.T) {
+	s := BlockModuloSelector{BlockSize: 2048}
+	for blk := int64(0); blk < 16; blk++ {
+		key := fmt.Sprintf("/bench/file1:%d", blk*2048)
+		want := int(blk % 4)
+		if got := s.Pick(key, 4); got != want {
+			t.Errorf("block %d -> server %d, want %d", blk, got, want)
+		}
+	}
+}
+
+func TestBlockModuloSelectorConsecutiveBlocksDistinctServers(t *testing.T) {
+	// The Fig. 9 rationale: a large sequential read touches all MCDs.
+	s := BlockModuloSelector{BlockSize: 2048}
+	seen := map[int]bool{}
+	for blk := int64(0); blk < 4; blk++ {
+		seen[s.Pick(fmt.Sprintf("/f:%d", blk*2048), 4)] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("4 consecutive blocks used %d servers, want 4", len(seen))
+	}
+}
+
+func TestBlockModuloSelectorFallbackForStatKeys(t *testing.T) {
+	s := BlockModuloSelector{BlockSize: 2048}
+	got := s.Pick("/some/file:stat", 4)
+	want := CRC32Selector{}.Pick("/some/file:stat", 4)
+	if got != want {
+		t.Errorf("stat key pick = %d, want CRC32 fallback %d", got, want)
+	}
+}
+
+func TestBlockModuloSelectorSingleServer(t *testing.T) {
+	s := BlockModuloSelector{BlockSize: 2048}
+	if got := s.Pick("/f:4096", 1); got != 0 {
+		t.Errorf("Pick n=1 = %d", got)
+	}
+}

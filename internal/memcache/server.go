@@ -1,0 +1,88 @@
+package memcache
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+// Server is a memcached-compatible TCP daemon speaking the text protocol.
+type Server struct {
+	store *Store
+	ln    net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewServer returns a daemon bounded to limit bytes using wall-clock time
+// for expirations.
+func NewServer(limit int64) *Server {
+	return &Server{
+		store: NewStore(limit, func() int64 { return time.Now().Unix() }),
+		conns: make(map[net.Conn]struct{}),
+	}
+}
+
+// Store exposes the underlying cache engine (for stats and tests).
+func (s *Server) Store() *Store { return s.store }
+
+// Listen binds addr (e.g. "127.0.0.1:11211") and begins accepting
+// connections in the background. It returns the bound address.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return ln.Addr(), nil
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() {
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				conn.Close()
+			}()
+			_ = ServeAutoConn(s.store, conn)
+		}()
+	}
+}
+
+// Close stops accepting, drops live connections, and waits for handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if s.ln != nil {
+		err = s.ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}

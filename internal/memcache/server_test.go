@@ -1,0 +1,208 @@
+package memcache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"imca/internal/blob"
+)
+
+// startServer launches a TCP daemon on an ephemeral port.
+func startServer(t *testing.T) (*Server, string) {
+	t.Helper()
+	srv := NewServer(16 << 20)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, addr.String()
+}
+
+func TestTCPClientServerRoundTrip(t *testing.T) {
+	_, addr := startServer(t)
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if err := cl.Set(&Item{Key: "greeting", Value: blob.FromString("hello"), Flags: 3}); err != nil {
+		t.Fatal(err)
+	}
+	it, err := cl.Get("greeting")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(it.Value.Bytes()) != "hello" || it.Flags != 3 {
+		t.Errorf("got %q flags=%d", it.Value.Bytes(), it.Flags)
+	}
+	if _, err := cl.Get("absent"); err != ErrCacheMiss {
+		t.Errorf("get absent = %v, want ErrCacheMiss", err)
+	}
+}
+
+func TestTCPClientAddReplaceDelete(t *testing.T) {
+	_, addr := startServer(t)
+	cl, _ := Dial(addr)
+	defer cl.Close()
+
+	if err := cl.Add(&Item{Key: "k", Value: blob.FromString("1")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Add(&Item{Key: "k", Value: blob.FromString("2")}); err != ErrNotStored {
+		t.Errorf("add existing = %v", err)
+	}
+	if err := cl.Replace(&Item{Key: "k", Value: blob.FromString("3")}); err != nil {
+		t.Errorf("replace = %v", err)
+	}
+	if err := cl.Delete("k"); err != nil {
+		t.Errorf("delete = %v", err)
+	}
+	if err := cl.Delete("k"); err != ErrCacheMiss {
+		t.Errorf("double delete = %v", err)
+	}
+}
+
+func TestTCPClientIncrDecr(t *testing.T) {
+	_, addr := startServer(t)
+	cl, _ := Dial(addr)
+	defer cl.Close()
+	cl.Set(&Item{Key: "n", Value: blob.FromString("41")})
+	if v, err := cl.Incr("n", 1); err != nil || v != 42 {
+		t.Errorf("incr = %d, %v", v, err)
+	}
+	if v, err := cl.Decr("n", 2); err != nil || v != 40 {
+		t.Errorf("decr = %d, %v", v, err)
+	}
+}
+
+func TestTCPClientGetMultiAcrossServers(t *testing.T) {
+	_, addr1 := startServer(t)
+	_, addr2 := startServer(t)
+	cl, err := Dial(addr1, addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	keys := make([]string, 20)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("multi-key-%d", i)
+		if err := cl.Set(&Item{Key: keys[i], Value: blob.FromString(fmt.Sprint(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := cl.GetMulti(append(keys, "never-set"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(keys) {
+		t.Errorf("GetMulti returned %d items, want %d", len(got), len(keys))
+	}
+	for i, k := range keys {
+		if it := got[k]; it == nil || string(it.Value.Bytes()) != fmt.Sprint(i) {
+			t.Errorf("key %s wrong or missing", k)
+		}
+	}
+}
+
+func TestTCPClientKeysSpreadAcrossServers(t *testing.T) {
+	srv1, addr1 := startServer(t)
+	srv2, addr2 := startServer(t)
+	cl, _ := Dial(addr1, addr2)
+	defer cl.Close()
+	for i := 0; i < 64; i++ {
+		cl.Set(&Item{Key: fmt.Sprintf("spread-%d", i), Value: blob.FromString("v")})
+	}
+	n1, n2 := srv1.Store().Len(), srv2.Store().Len()
+	if n1+n2 != 64 {
+		t.Fatalf("total items %d, want 64", n1+n2)
+	}
+	if n1 == 0 || n2 == 0 {
+		t.Errorf("CRC32 distribution degenerate: %d/%d", n1, n2)
+	}
+}
+
+func TestTCPServerStats(t *testing.T) {
+	_, addr := startServer(t)
+	cl, _ := Dial(addr)
+	defer cl.Close()
+	cl.Set(&Item{Key: "a", Value: blob.FromString("v")})
+	cl.Get("a")
+	cl.Get("miss")
+	stats, err := cl.ServerStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := stats[addr]
+	if m["get_hits"] != "1" || m["get_misses"] != "1" {
+		t.Errorf("stats = %v", m)
+	}
+}
+
+func TestTCPConcurrentClients(t *testing.T) {
+	srv, addr := startServer(t)
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl, err := Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer cl.Close()
+			for i := 0; i < 50; i++ {
+				k := fmt.Sprintf("w%d-i%d", w, i)
+				if err := cl.Set(&Item{Key: k, Value: blob.FromString(k)}); err != nil {
+					errs <- err
+					return
+				}
+				it, err := cl.Get(k)
+				if err != nil || string(it.Value.Bytes()) != k {
+					errs <- fmt.Errorf("readback %s: %v", k, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if got := srv.Store().Len(); got != workers*50 {
+		t.Errorf("items = %d, want %d", got, workers*50)
+	}
+}
+
+func TestTCPClientGetsAndCAS(t *testing.T) {
+	_, addr := startServer(t)
+	cl, _ := Dial(addr)
+	defer cl.Close()
+
+	cl.Set(&Item{Key: "cc", Value: blob.FromString("v1")})
+	it, err := cl.Gets("cc")
+	if err != nil || it.CAS == 0 {
+		t.Fatalf("gets = %+v, %v", it, err)
+	}
+	// CAS with the current token succeeds.
+	it.Value = blob.FromString("v2")
+	if err := cl.CompareAndSwap(it); err != nil {
+		t.Fatalf("cas = %v", err)
+	}
+	// Re-using the stale token conflicts.
+	it.Value = blob.FromString("v3")
+	if err := cl.CompareAndSwap(it); err != ErrExists {
+		t.Errorf("stale cas = %v, want ErrExists", err)
+	}
+	got, _ := cl.Get("cc")
+	if string(got.Value.Bytes()) != "v2" {
+		t.Errorf("value = %q, want v2", got.Value.Bytes())
+	}
+}

@@ -1,0 +1,294 @@
+package memcache
+
+import (
+	"time"
+
+	"imca/internal/blob"
+	"imca/internal/fabric"
+	"imca/internal/sim"
+)
+
+// ServiceName is the fabric service the simulated MCD registers.
+const ServiceName = "mcd"
+
+// Simulated per-operation service costs for a 2008-era memcached: command
+// parsing + hash lookup + slab bookkeeping per key, plus a copy cost per
+// byte moved in or out of the cache.
+const (
+	perKeyServiceTime = 6 * time.Microsecond
+	// perByteCopyNanos models ~2 GB/s memory copies (0.5 ns/byte).
+	perByteCopyNanos = 0.5
+)
+
+func copyTime(n int64) sim.Duration {
+	return sim.Duration(float64(n) * perByteCopyNanos)
+}
+
+// Wire message types for the simulated memcached protocol. WireSize values
+// approximate the text protocol's framing.
+
+// GetReq requests one or more keys.
+type GetReq struct{ Keys []string }
+
+// WireSize implements fabric.Msg.
+func (r *GetReq) WireSize() int64 {
+	n := int64(8)
+	for _, k := range r.Keys {
+		n += int64(len(k)) + 1
+	}
+	return n
+}
+
+// GetResp carries the found items. Down reports that the daemon is dead
+// (connection refused); the caller treats every key as a miss.
+type GetResp struct {
+	Items []*Item
+	Down  bool
+}
+
+// WireSize implements fabric.Msg.
+func (r *GetResp) WireSize() int64 {
+	n := int64(8)
+	for _, it := range r.Items {
+		n += int64(len(it.Key)) + it.Value.Len() + 40
+	}
+	return n
+}
+
+// SetReq stores one item (always an unconditional set, as IMCa uses).
+type SetReq struct{ Item *Item }
+
+// WireSize implements fabric.Msg.
+func (r *SetReq) WireSize() int64 {
+	return int64(len(r.Item.Key)) + r.Item.Value.Len() + 40
+}
+
+// SetResp acknowledges a store.
+type SetResp struct {
+	Err  string
+	Down bool
+}
+
+// WireSize implements fabric.Msg.
+func (r *SetResp) WireSize() int64 { return 8 + int64(len(r.Err)) }
+
+// DelReq deletes one key.
+type DelReq struct{ Key string }
+
+// WireSize implements fabric.Msg.
+func (r *DelReq) WireSize() int64 { return 8 + int64(len(r.Key)) }
+
+// DelResp acknowledges a delete.
+type DelResp struct {
+	Found bool
+	Down  bool
+}
+
+// WireSize implements fabric.Msg.
+func (r *DelResp) WireSize() int64 { return 8 }
+
+// SimServer is a memcached daemon attached to a fabric node inside the
+// simulation. Like memcached 1.2 of the paper's era, the daemon itself is
+// single-threaded: cache operations serialize on one event loop, while
+// kernel TCP processing (the fabric's host overhead) uses the node's other
+// cores.
+type SimServer struct {
+	node   *fabric.Node
+	store  *Store
+	daemon *sim.Resource
+	down   bool
+}
+
+// NewSimServer starts an MCD on node with the given memory limit.
+func NewSimServer(node *fabric.Node, limitBytes int64) *SimServer {
+	env := node.Network().Env()
+	s := &SimServer{
+		node:   node,
+		store:  NewStore(limitBytes, func() int64 { return int64(env.Now().Seconds()) }),
+		daemon: sim.NewResource(env, 1),
+	}
+	node.Handle(ServiceName, s.handle)
+	return s
+}
+
+// Node returns the fabric node the daemon runs on.
+func (s *SimServer) Node() *fabric.Node { return s.node }
+
+// Store exposes the cache engine for stats inspection.
+func (s *SimServer) Store() *Store { return s.store }
+
+// Fail kills the daemon: its contents are lost and requests are refused
+// until Recover. The paper's §4.4 argues MCD failures never affect
+// correctness because writes are persistent at the server first.
+func (s *SimServer) Fail() {
+	s.down = true
+	s.store.FlushAll()
+}
+
+// Recover restarts the daemon (empty, as a restarted memcached would be).
+func (s *SimServer) Recover() { s.down = false }
+
+// Down reports whether the daemon is failed.
+func (s *SimServer) Down() bool { return s.down }
+
+func (s *SimServer) handle(p *sim.Proc, from *fabric.Node, req fabric.Msg) fabric.Msg {
+	if s.down {
+		// Connection refused: the kernel answers with a reset after one
+		// wire round trip; no daemon time is spent.
+		switch req.(type) {
+		case *GetReq:
+			return &GetResp{Down: true}
+		case *SetReq:
+			return &SetResp{Down: true}
+		case *DelReq:
+			return &DelResp{Down: true}
+		}
+	}
+	s.daemon.Acquire(p, 1)
+	defer s.daemon.Release(1)
+	switch r := req.(type) {
+	case *GetReq:
+		s.node.CPU.Use(p, sim.Duration(len(r.Keys))*perKeyServiceTime)
+		resp := &GetResp{}
+		var moved int64
+		for _, k := range r.Keys {
+			if it, err := s.store.Get(k); err == nil {
+				resp.Items = append(resp.Items, it)
+				moved += it.Value.Len()
+			}
+		}
+		if moved > 0 {
+			s.node.CPU.Use(p, copyTime(moved))
+		}
+		return resp
+	case *SetReq:
+		s.node.CPU.Use(p, perKeyServiceTime+copyTime(r.Item.Value.Len()))
+		if err := s.store.Set(r.Item); err != nil {
+			return &SetResp{Err: err.Error()}
+		}
+		return &SetResp{}
+	case *DelReq:
+		s.node.CPU.Use(p, perKeyServiceTime)
+		err := s.store.Delete(r.Key)
+		return &DelResp{Found: err == nil}
+	default:
+		panic("memcache: unknown request type")
+	}
+}
+
+// SimClient accesses a bank of simulated MCDs from one fabric node,
+// distributing keys with a Selector (CRC32 by default, matching
+// libmemcache).
+type SimClient struct {
+	node     *fabric.Node
+	servers  []*SimServer
+	selector Selector
+}
+
+// NewSimClient returns a client on node addressing the given MCD bank.
+func NewSimClient(node *fabric.Node, servers []*SimServer) *SimClient {
+	if len(servers) == 0 {
+		panic("memcache: empty MCD bank")
+	}
+	return &SimClient{node: node, servers: servers, selector: CRC32Selector{}}
+}
+
+// SetSelector replaces the key distribution function.
+func (c *SimClient) SetSelector(s Selector) { c.selector = s }
+
+// Servers returns the MCD bank.
+func (c *SimClient) Servers() []*SimServer { return c.servers }
+
+func (c *SimClient) pick(key string) *SimServer {
+	return c.servers[c.selector.Pick(key, len(c.servers))]
+}
+
+// Get fetches one key; ok is false on a miss.
+func (c *SimClient) Get(p *sim.Proc, key string) (*Item, bool) {
+	srv := c.pick(key)
+	resp := c.node.Call(p, srv.node, ServiceName, &GetReq{Keys: []string{key}}).(*GetResp)
+	if len(resp.Items) == 0 {
+		return nil, false
+	}
+	return resp.Items[0], true
+}
+
+// GetMulti fetches many keys with one batched request per MCD; requests to
+// distinct MCDs proceed in parallel. The result maps found keys to items.
+func (c *SimClient) GetMulti(p *sim.Proc, keys []string) map[string]*Item {
+	if len(keys) == 1 {
+		it, ok := c.Get(p, keys[0])
+		if !ok {
+			return map[string]*Item{}
+		}
+		return map[string]*Item{keys[0]: it}
+	}
+	byServer := make(map[*SimServer][]string)
+	for _, k := range keys {
+		s := c.pick(k)
+		byServer[s] = append(byServer[s], k)
+	}
+	out := make(map[string]*Item, len(keys))
+	var events []*sim.Event
+	for _, s := range c.servers { // deterministic order
+		ks, ok := byServer[s]
+		if !ok {
+			continue
+		}
+		s := s
+		ev := sim.NewEvent(p.Env())
+		p.Spawn("mcd-get", func(q *sim.Proc) {
+			resp := c.node.Call(q, s.node, ServiceName, &GetReq{Keys: ks}).(*GetResp)
+			ev.Trigger(resp)
+		})
+		events = append(events, ev)
+	}
+	for _, ev := range events {
+		resp := ev.Wait(p).(*GetResp)
+		for _, it := range resp.Items {
+			out[it.Key] = it
+		}
+	}
+	return out
+}
+
+// Set stores an item on its MCD and waits for the acknowledgement. A dead
+// daemon drops the update (the bank is best-effort; correctness lives at
+// the file server).
+func (c *SimClient) Set(p *sim.Proc, key string, value blob.Blob) error {
+	srv := c.pick(key)
+	resp := c.node.Call(p, srv.node, ServiceName, &SetReq{Item: &Item{Key: key, Value: value}}).(*SetResp)
+	switch {
+	case resp.Down:
+		return ErrServerDown
+	case resp.Err != "":
+		return ErrNotStored
+	}
+	return nil
+}
+
+// Delete removes a key from its MCD.
+func (c *SimClient) Delete(p *sim.Proc, key string) bool {
+	srv := c.pick(key)
+	resp := c.node.Call(p, srv.node, ServiceName, &DelReq{Key: key}).(*DelResp)
+	return resp.Found
+}
+
+// BankStats sums Stats across the MCD bank.
+func (c *SimClient) BankStats() Stats {
+	var total Stats
+	for _, s := range c.servers {
+		st := s.store.Stats()
+		total.CmdGet += st.CmdGet
+		total.CmdSet += st.CmdSet
+		total.GetHits += st.GetHits
+		total.GetMisses += st.GetMisses
+		total.Evictions += st.Evictions
+		total.Expired += st.Expired
+		total.CurrItems += st.CurrItems
+		total.TotalItems += st.TotalItems
+		total.Bytes += st.Bytes
+		total.LimitBytes += st.LimitBytes
+	}
+	return total
+}

@@ -1,0 +1,232 @@
+package memcache
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"imca/internal/blob"
+	"imca/internal/fabric"
+	"imca/internal/sim"
+)
+
+// simBank builds a client node plus n MCDs on an IPoIB network.
+func simBank(n int, mcdMemMB int64) (*sim.Env, *SimClient) {
+	env := sim.NewEnv()
+	net := fabric.NewNetwork(env, fabric.IPoIB)
+	client := net.NewNode("client", 8)
+	servers := make([]*SimServer, n)
+	for i := range servers {
+		servers[i] = NewSimServer(net.NewNode(fmt.Sprintf("mcd%d", i), 8), mcdMemMB<<20)
+	}
+	return env, NewSimClient(client, servers)
+}
+
+func TestSimSetGet(t *testing.T) {
+	env, cl := simBank(1, 64)
+	env.Process("t", func(p *sim.Proc) {
+		if err := cl.Set(p, "k", blob.FromString("value")); err != nil {
+			t.Fatal(err)
+		}
+		it, ok := cl.Get(p, "k")
+		if !ok || string(it.Value.Bytes()) != "value" {
+			t.Errorf("get = %v, %v", it, ok)
+		}
+		if _, ok := cl.Get(p, "missing"); ok {
+			t.Error("hit on missing key")
+		}
+	})
+	env.Run()
+}
+
+func TestSimGetCostsARoundTrip(t *testing.T) {
+	env, cl := simBank(1, 64)
+	var getTime sim.Duration
+	env.Process("t", func(p *sim.Proc) {
+		cl.Set(p, "k", blob.FromString("v"))
+		start := p.Now()
+		cl.Get(p, "k")
+		getTime = p.Now().Sub(start)
+	})
+	env.Run()
+	if getTime < 2*fabric.IPoIB.Latency {
+		t.Errorf("get took %v, below a network round trip", getTime)
+	}
+	if getTime > time.Millisecond {
+		t.Errorf("get took %v, implausibly slow", getTime)
+	}
+}
+
+func TestSimDelete(t *testing.T) {
+	env, cl := simBank(2, 64)
+	env.Process("t", func(p *sim.Proc) {
+		cl.Set(p, "k", blob.FromString("v"))
+		if !cl.Delete(p, "k") {
+			t.Error("delete of present key reported not found")
+		}
+		if cl.Delete(p, "k") {
+			t.Error("delete of absent key reported found")
+		}
+		if _, ok := cl.Get(p, "k"); ok {
+			t.Error("key present after delete")
+		}
+	})
+	env.Run()
+}
+
+func TestSimKeysSpreadAcrossBank(t *testing.T) {
+	env, cl := simBank(4, 64)
+	env.Process("t", func(p *sim.Proc) {
+		for i := 0; i < 200; i++ {
+			cl.Set(p, fmt.Sprintf("key-%d", i), blob.FromString("v"))
+		}
+	})
+	env.Run()
+	for i, s := range cl.Servers() {
+		if s.Store().Len() == 0 {
+			t.Errorf("mcd%d received no keys (bad CRC32 spread)", i)
+		}
+	}
+	if cl.BankStats().CurrItems != 200 {
+		t.Errorf("bank total = %d, want 200", cl.BankStats().CurrItems)
+	}
+}
+
+func TestSimGetMultiBatchesPerServer(t *testing.T) {
+	env, cl := simBank(4, 64)
+	keys := make([]string, 32)
+	env.Process("t", func(p *sim.Proc) {
+		for i := range keys {
+			keys[i] = fmt.Sprintf("mk-%d", i)
+			cl.Set(p, keys[i], blob.FromString("v"))
+		}
+		items := cl.GetMulti(p, keys)
+		if len(items) != len(keys) {
+			t.Errorf("GetMulti returned %d, want %d", len(items), len(keys))
+		}
+	})
+	env.Run()
+	// One batched get per server, not one per key: each store's CmdGet
+	// counts keys, but message counts stay at one per server per phase.
+	var totalGets uint64
+	for _, s := range cl.Servers() {
+		totalGets += s.Store().Stats().CmdGet
+	}
+	if totalGets != 32 {
+		t.Errorf("store-level gets = %d, want 32", totalGets)
+	}
+}
+
+func TestSimGetMultiParallelAcrossServers(t *testing.T) {
+	// Fetching 4 large values spread over 4 MCDs should take much less
+	// than 4x one fetch, because the per-server batches run in parallel.
+	mkKeys := func(cl *SimClient) []string {
+		// Pick keys that land on distinct servers.
+		used := map[int]string{}
+		for i := 0; len(used) < 4 && i < 10000; i++ {
+			k := fmt.Sprintf("pk-%d", i)
+			s := cl.selector.Pick(k, 4)
+			if _, ok := used[s]; !ok {
+				used[s] = k
+			}
+		}
+		out := make([]string, 0, 4)
+		for s := 0; s < 4; s++ {
+			out = append(out, used[s])
+		}
+		return out
+	}
+
+	env, cl := simBank(4, 64)
+	keys := mkKeys(cl)
+	const valSize = 256 << 10
+	var oneAtATime, batched sim.Duration
+	env.Process("t", func(p *sim.Proc) {
+		for _, k := range keys {
+			cl.Set(p, k, blob.Synthetic(1, 0, valSize))
+		}
+		start := p.Now()
+		for _, k := range keys {
+			cl.Get(p, k)
+		}
+		oneAtATime = p.Now().Sub(start)
+		start = p.Now()
+		items := cl.GetMulti(p, keys)
+		batched = p.Now().Sub(start)
+		if len(items) != 4 {
+			t.Fatalf("GetMulti found %d of 4", len(items))
+		}
+	})
+	env.Run()
+	if batched >= oneAtATime {
+		t.Errorf("batched multi-get (%v) not faster than serial gets (%v)", batched, oneAtATime)
+	}
+}
+
+func TestSimCapacityEvictions(t *testing.T) {
+	// A 2MB MCD cannot hold 4MB of values: evictions must appear and
+	// early keys must miss.
+	env, cl := simBank(1, 2)
+	env.Process("t", func(p *sim.Proc) {
+		for i := 0; i < 64; i++ {
+			cl.Set(p, fmt.Sprintf("big-%d", i), blob.Synthetic(uint64(i), 0, 64<<10))
+		}
+		if _, ok := cl.Get(p, "big-0"); ok {
+			t.Error("oldest item survived in an overcommitted MCD")
+		}
+		if _, ok := cl.Get(p, "big-63"); !ok {
+			t.Error("newest item missing")
+		}
+	})
+	env.Run()
+	if cl.BankStats().Evictions == 0 {
+		t.Error("no evictions recorded")
+	}
+}
+
+func TestSimServerSharedByManyClients(t *testing.T) {
+	env := sim.NewEnv()
+	net := fabric.NewNetwork(env, fabric.IPoIB)
+	srv := NewSimServer(net.NewNode("mcd", 8), 64<<20)
+	const n = 8
+	done := 0
+	for i := 0; i < n; i++ {
+		node := net.NewNode(fmt.Sprintf("c%d", i), 8)
+		cl := NewSimClient(node, []*SimServer{srv})
+		i := i
+		env.Process("client", func(p *sim.Proc) {
+			key := fmt.Sprintf("shared-%d", i)
+			cl.Set(p, key, blob.FromString("v"))
+			if _, ok := cl.Get(p, key); !ok {
+				t.Errorf("client %d lost its key", i)
+			}
+			done++
+		})
+	}
+	env.Run()
+	if done != n {
+		t.Errorf("done = %d, want %d", done, n)
+	}
+	if srv.Store().Len() != n {
+		t.Errorf("server items = %d, want %d", srv.Store().Len(), n)
+	}
+}
+
+func TestSimStoreExpiresOnVirtualClock(t *testing.T) {
+	env, cl := simBank(1, 64)
+	store := cl.Servers()[0].Store()
+	env.Process("t", func(p *sim.Proc) {
+		// Store an item expiring 5 virtual seconds from now, directly via
+		// the engine (IMCa itself never sets TTLs).
+		store.Set(&Item{Key: "ttl", Value: blob.FromString("v"),
+			Expiration: int64(p.Now().Seconds()) + 5})
+		if _, err := store.Get("ttl"); err != nil {
+			t.Fatal("item missing before expiry")
+		}
+		p.Sleep(6 * time.Second) // virtual time, instantaneous on the wall
+		if _, err := store.Get("ttl"); err != ErrCacheMiss {
+			t.Error("item survived its virtual-time expiry")
+		}
+	})
+	env.Run()
+}

@@ -1,0 +1,128 @@
+package memcache
+
+import (
+	"fmt"
+	"testing"
+
+	"imca/internal/blob"
+)
+
+// Tests exercising the slab allocator's internal behaviour: class
+// selection, per-class LRU isolation, and page accounting.
+
+func TestSlabEvictionIsPerClass(t *testing.T) {
+	// Fill one class to its page limit, then keep inserting into it.
+	// Items in a *different* class must survive, because memcached evicts
+	// within the requesting class only.
+	s := NewStore(3<<20, fixedClock()) // 3 slab pages
+	// Class A: ~100KB values. Class B: ~200B values.
+	small := func(i int) string { return fmt.Sprintf("small-%03d", i) }
+	if err := s.Set(&Item{Key: "small-seed", Value: blob.Synthetic(1, 0, 200)}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; ; i++ {
+		if err := s.Set(&Item{Key: fmt.Sprintf("big-%03d", i), Value: blob.Synthetic(2, 0, 100<<10)}); err != nil {
+			t.Fatal(err)
+		}
+		if s.Stats().Evictions > 5 {
+			break
+		}
+		if i > 500 {
+			t.Fatal("no evictions")
+		}
+	}
+	for i := 0; i < 3; i++ {
+		s.Set(&Item{Key: small(i), Value: blob.Synthetic(1, 0, 200)})
+	}
+	// The small items' class was never under pressure.
+	if _, err := s.Get("small-seed"); err != nil {
+		t.Error("small-class item evicted by big-class pressure")
+	}
+}
+
+func TestSlabClassSelection(t *testing.T) {
+	s := newTestStore(4)
+	// Identical-size items land in the same class; the class chunk must
+	// be >= item size.
+	sizes := []int64{1, 87, 88, 89, 1000, 10_000, 500_000}
+	for _, sz := range sizes {
+		ci := s.classFor(sz)
+		if ci < 0 {
+			t.Fatalf("size %d has no class", sz)
+		}
+		if s.classes[ci].chunkSize < sz {
+			t.Errorf("size %d assigned chunk %d", sz, s.classes[ci].chunkSize)
+		}
+		if ci > 0 && s.classes[ci-1].chunkSize >= sz {
+			t.Errorf("size %d not in the smallest fitting class", sz)
+		}
+	}
+}
+
+func TestSlabGrowthFactorBounded(t *testing.T) {
+	s := newTestStore(4)
+	for i := 1; i < len(s.classes); i++ {
+		ratio := float64(s.classes[i].chunkSize) / float64(s.classes[i-1].chunkSize)
+		if ratio > 1.6 {
+			t.Errorf("class %d/%d ratio %.2f exceeds bound", i, i-1, ratio)
+		}
+	}
+}
+
+func TestSlabOverwriteReleasesChunk(t *testing.T) {
+	// Repeatedly overwriting one key must not leak chunks: free count
+	// returns to steady state.
+	s := NewStore(2<<20, fixedClock())
+	for i := 0; i < 1000; i++ {
+		if err := s.Set(&Item{Key: "k", Value: blob.Synthetic(uint64(i+1), 0, 500)}); err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+	}
+	if s.Len() != 1 {
+		t.Errorf("len = %d, want 1", s.Len())
+	}
+	if ev := s.Stats().Evictions; ev != 0 {
+		t.Errorf("evictions = %d; overwrites should reuse chunks", ev)
+	}
+}
+
+func TestSlabCrossClassOverwrite(t *testing.T) {
+	// Growing a value so it changes class must free the old chunk and
+	// take one in the new class.
+	s := newTestStore(4)
+	s.Set(&Item{Key: "k", Value: blob.Synthetic(1, 0, 100)})
+	s.Set(&Item{Key: "k", Value: blob.Synthetic(1, 0, 50_000)})
+	it, err := s.Get("k")
+	if err != nil || it.Value.Len() != 50_000 {
+		t.Fatalf("after cross-class overwrite: %v", err)
+	}
+	// And back down.
+	s.Set(&Item{Key: "k", Value: blob.Synthetic(1, 0, 10)})
+	it, _ = s.Get("k")
+	if it.Value.Len() != 10 {
+		t.Error("shrink overwrite failed")
+	}
+}
+
+func TestStoreManySmallItemsDenseAccounting(t *testing.T) {
+	s := NewStore(8<<20, fixedClock())
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if err := s.Set(&Item{Key: fmt.Sprintf("dense-%05d", i), Value: blob.Synthetic(uint64(i+1), 0, 64)}); err != nil {
+			t.Fatalf("set %d: %v", i, err)
+		}
+	}
+	st := s.Stats()
+	if st.CurrItems > n {
+		t.Errorf("items = %d > inserted %d", st.CurrItems, n)
+	}
+	if st.CurrItems < n/2 {
+		t.Errorf("only %d of %d small items fit 8MB; accounting suspicious", st.CurrItems, n)
+	}
+	// Spot-check the most recent items all survive.
+	for i := n - 100; i < n; i++ {
+		if _, err := s.Get(fmt.Sprintf("dense-%05d", i)); err != nil {
+			t.Fatalf("recent item %d missing", i)
+		}
+	}
+}

@@ -1,0 +1,532 @@
+// Package memcache reimplements the memcached object cache: a slab
+// allocator with per-class LRU eviction, lazy expiration, the text
+// protocol, and a client library with pluggable key→server distribution
+// (CRC32 hashing, as in libmemcache, or static modulo / round-robin).
+//
+// The same Store backs two deployments:
+//
+//   - a real TCP daemon (Server / cmd/memcached) speaking the memcached
+//     text protocol over net.Conn, usable with any memcached client, and
+//   - simulated MCD nodes (SimServer) attached to fabric nodes inside the
+//     discrete-event simulation, used by the IMCa experiments.
+//
+// Values are blobs (see internal/blob), so simulated deployments can cache
+// gigabytes of synthetic file data without allocating it, while the TCP
+// daemon stores literal bytes.
+package memcache
+
+import (
+	"errors"
+	"sync"
+
+	"imca/internal/blob"
+)
+
+// Memcached-compatible limits.
+const (
+	// MaxKeyLen is the longest permitted key (the paper quotes 256; real
+	// memcached enforces 250 printable bytes, which we follow).
+	MaxKeyLen = 250
+	// MaxValueLen is the largest storable object (1 MB), which the paper
+	// notes places a natural upper bound on the IMCa block size.
+	MaxValueLen = 1 << 20
+	// slabPageSize is the allocation unit handed to a slab class.
+	slabPageSize = 1 << 20
+	// itemOverhead approximates memcached's per-item header + pointers.
+	itemOverhead = 48
+	// minChunkSize is the smallest slab chunk.
+	minChunkSize = 88
+	// growthFactor is the chunk-size ratio between consecutive classes.
+	growthFactor = 1.25
+)
+
+// Store errors.
+var (
+	ErrCacheMiss  = errors.New("memcache: cache miss")
+	ErrNotStored  = errors.New("memcache: not stored")
+	ErrExists     = errors.New("memcache: compare-and-swap conflict")
+	ErrTooLarge   = errors.New("memcache: object too large")
+	ErrBadKey     = errors.New("memcache: invalid key")
+	ErrNotNumeric = errors.New("memcache: value is not a number")
+	ErrServerDown = errors.New("memcache: server down")
+)
+
+// Item is a cache entry.
+type Item struct {
+	Key   string
+	Value blob.Blob
+	Flags uint32
+	// Expiration is an absolute virtual/wall time in seconds, or 0 for
+	// no expiry. Protocol layers convert relative TTLs before storing.
+	Expiration int64
+	CAS        uint64
+
+	class      int
+	lruPrev    *Item
+	lruNext    *Item
+	lastAccess int64
+}
+
+// Stats mirrors the counters reported by memcached's "stats" command that
+// the paper's analysis relies on (hits, misses, evictions).
+type Stats struct {
+	CmdGet     uint64
+	CmdSet     uint64
+	GetHits    uint64
+	GetMisses  uint64
+	DeleteHits uint64
+	DeleteMiss uint64
+	Evictions  uint64
+	Expired    uint64
+	CurrItems  uint64
+	TotalItems uint64
+	Bytes      int64
+	LimitBytes int64
+}
+
+// slabClass is one chunk-size class: items whose total size fits chunkSize
+// are stored here, and eviction is LRU within the class.
+type slabClass struct {
+	chunkSize  int64
+	freeChunks int64
+	// Per-class LRU: head = most recently used.
+	head, tail *Item
+}
+
+// Store is the cache engine. It is safe for concurrent use.
+type Store struct {
+	mu      sync.Mutex
+	limit   int64
+	alloced int64 // slab pages handed out
+	classes []slabClass
+	table   map[string]*Item
+	cas     uint64
+	// Now returns the current time in seconds; the simulation supplies
+	// virtual time, the TCP server supplies wall time.
+	Now func() int64
+
+	stats Stats
+}
+
+// NewStore returns a store bounded to limit bytes of slab memory (the -m
+// option of memcached). now supplies the clock in seconds.
+func NewStore(limit int64, now func() int64) *Store {
+	if now == nil {
+		panic("memcache: nil clock")
+	}
+	s := &Store{limit: limit, table: make(map[string]*Item), Now: now}
+	s.stats.LimitBytes = limit
+	for size := int64(minChunkSize); ; {
+		s.classes = append(s.classes, slabClass{chunkSize: size})
+		if size >= slabPageSize {
+			break
+		}
+		next := int64(float64(size) * growthFactor)
+		// Align up to 8 like memcached.
+		next = (next + 7) &^ 7
+		if next <= size {
+			next = size + 8
+		}
+		if next > slabPageSize {
+			next = slabPageSize
+		}
+		size = next
+	}
+	return s
+}
+
+// classFor returns the slab class index for an item of total size n, or -1
+// if it does not fit the largest chunk.
+func (s *Store) classFor(n int64) int {
+	for i := range s.classes {
+		if n <= s.classes[i].chunkSize {
+			return i
+		}
+	}
+	return -1
+}
+
+func itemSize(key string, value blob.Blob) int64 {
+	return int64(len(key)) + value.Len() + itemOverhead
+}
+
+func validKey(key string) bool {
+	if len(key) == 0 || len(key) > MaxKeyLen {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if c <= ' ' || c == 0x7f {
+			return false
+		}
+	}
+	return true
+}
+
+// lruUnlink removes it from its class's LRU list.
+func (c *slabClass) lruUnlink(it *Item) {
+	if it.lruPrev != nil {
+		it.lruPrev.lruNext = it.lruNext
+	} else {
+		c.head = it.lruNext
+	}
+	if it.lruNext != nil {
+		it.lruNext.lruPrev = it.lruPrev
+	} else {
+		c.tail = it.lruPrev
+	}
+	it.lruPrev, it.lruNext = nil, nil
+}
+
+// lruPush inserts it at the head (most recent).
+func (c *slabClass) lruPush(it *Item) {
+	it.lruPrev = nil
+	it.lruNext = c.head
+	if c.head != nil {
+		c.head.lruPrev = it
+	}
+	c.head = it
+	if c.tail == nil {
+		c.tail = it
+	}
+}
+
+// expired reports whether it has lazily expired at time now.
+func (it *Item) expired(now int64) bool {
+	return it.Expiration != 0 && it.Expiration <= now
+}
+
+// removeLocked deletes an item from the table and returns its chunk to the
+// class free list.
+func (s *Store) removeLocked(it *Item) {
+	delete(s.table, it.Key)
+	c := &s.classes[it.class]
+	c.lruUnlink(it)
+	c.freeChunks++
+	s.stats.CurrItems--
+	s.stats.Bytes -= itemSize(it.Key, it.Value)
+}
+
+// reserveChunkLocked obtains a chunk in class ci, growing the class by a
+// slab page if the memory limit allows, else evicting LRU items of the
+// same class (memcached's policy).
+func (s *Store) reserveChunkLocked(ci int) error {
+	c := &s.classes[ci]
+	if c.freeChunks > 0 {
+		c.freeChunks--
+		return nil
+	}
+	if s.alloced+slabPageSize <= s.limit {
+		s.alloced += slabPageSize
+		c.freeChunks += slabPageSize / c.chunkSize // >=1: max chunk == page size
+		c.freeChunks--
+		return nil
+	}
+	// Evict from this class's LRU tail.
+	for c.tail != nil {
+		evict := c.tail
+		if evict.expired(s.Now()) {
+			s.stats.Expired++
+		} else {
+			s.stats.Evictions++
+		}
+		s.removeLocked(evict)
+		if c.freeChunks > 0 {
+			c.freeChunks--
+			return nil
+		}
+	}
+	return ErrTooLarge // class has no memory and nothing to evict
+}
+
+// Set unconditionally stores item.
+func (s *Store) Set(item *Item) error { return s.store(item, "set") }
+
+// Add stores item only if the key is absent.
+func (s *Store) Add(item *Item) error { return s.store(item, "add") }
+
+// Replace stores item only if the key is present.
+func (s *Store) Replace(item *Item) error { return s.store(item, "replace") }
+
+// CompareAndSwap stores item only if its CAS matches the stored item's.
+func (s *Store) CompareAndSwap(item *Item) error { return s.store(item, "cas") }
+
+// Append appends value bytes to an existing item.
+func (s *Store) Append(key string, v blob.Blob) error { return s.concat(key, v, false) }
+
+// Prepend prepends value bytes to an existing item.
+func (s *Store) Prepend(key string, v blob.Blob) error { return s.concat(key, v, true) }
+
+func (s *Store) store(item *Item, op string) error {
+	if !validKey(item.Key) {
+		return ErrBadKey
+	}
+	if item.Value.Len() > MaxValueLen {
+		return ErrTooLarge
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.CmdSet++
+	now := s.Now()
+
+	old, exists := s.table[item.Key]
+	if exists && old.expired(now) {
+		s.stats.Expired++
+		s.removeLocked(old)
+		exists = false
+	}
+	switch op {
+	case "add":
+		if exists {
+			return ErrNotStored
+		}
+	case "replace":
+		if !exists {
+			return ErrNotStored
+		}
+	case "cas":
+		if !exists {
+			return ErrCacheMiss
+		}
+		if old.CAS != item.CAS {
+			return ErrExists
+		}
+	}
+	return s.insertLocked(item, old, exists, now)
+}
+
+// insertLocked places item in the table, replacing old if exists.
+func (s *Store) insertLocked(item *Item, old *Item, exists bool, now int64) error {
+	size := itemSize(item.Key, item.Value)
+	ci := s.classFor(size)
+	if ci < 0 {
+		return ErrTooLarge
+	}
+	if exists {
+		s.removeLocked(old)
+	}
+	if err := s.reserveChunkLocked(ci); err != nil {
+		return err
+	}
+	s.cas++
+	stored := &Item{
+		Key:        item.Key,
+		Value:      item.Value,
+		Flags:      item.Flags,
+		Expiration: item.Expiration,
+		CAS:        s.cas,
+		class:      ci,
+		lastAccess: now,
+	}
+	s.table[item.Key] = stored
+	s.classes[ci].lruPush(stored)
+	s.stats.CurrItems++
+	s.stats.TotalItems++
+	s.stats.Bytes += size
+	item.CAS = s.cas
+	return nil
+}
+
+func (s *Store) concat(key string, v blob.Blob, front bool) error {
+	if !validKey(key) {
+		return ErrBadKey
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.CmdSet++
+	now := s.Now()
+	old, ok := s.table[key]
+	if !ok || old.expired(now) {
+		if ok {
+			s.stats.Expired++
+			s.removeLocked(old)
+		}
+		return ErrNotStored
+	}
+	var nv blob.Blob
+	if front {
+		nv = blob.Concat(v, old.Value)
+	} else {
+		nv = blob.Concat(old.Value, v)
+	}
+	if nv.Len() > MaxValueLen {
+		return ErrTooLarge
+	}
+	it := &Item{Key: key, Value: nv, Flags: old.Flags, Expiration: old.Expiration}
+	return s.insertLocked(it, old, true, now)
+}
+
+// Get returns the item for key, or ErrCacheMiss.
+func (s *Store) Get(key string) (*Item, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.getLocked(key)
+}
+
+func (s *Store) getLocked(key string) (*Item, error) {
+	s.stats.CmdGet++
+	it, ok := s.table[key]
+	if !ok {
+		s.stats.GetMisses++
+		return nil, ErrCacheMiss
+	}
+	now := s.Now()
+	if it.expired(now) {
+		s.stats.Expired++
+		s.stats.GetMisses++
+		s.removeLocked(it)
+		return nil, ErrCacheMiss
+	}
+	s.stats.GetHits++
+	it.lastAccess = now
+	c := &s.classes[it.class]
+	c.lruUnlink(it)
+	c.lruPush(it)
+	return &Item{Key: it.Key, Value: it.Value, Flags: it.Flags, Expiration: it.Expiration, CAS: it.CAS}, nil
+}
+
+// GetMulti returns the present items among keys, keyed by key.
+func (s *Store) GetMulti(keys []string) map[string]*Item {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]*Item, len(keys))
+	for _, k := range keys {
+		if it, err := s.getLocked(k); err == nil {
+			out[k] = it
+		}
+	}
+	return out
+}
+
+// Delete removes key, returning ErrCacheMiss if absent.
+func (s *Store) Delete(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	it, ok := s.table[key]
+	if !ok || it.expired(s.Now()) {
+		if ok {
+			s.stats.Expired++
+			s.removeLocked(it)
+		}
+		s.stats.DeleteMiss++
+		return ErrCacheMiss
+	}
+	s.removeLocked(it)
+	s.stats.DeleteHits++
+	return nil
+}
+
+// IncrDecr adjusts a numeric ASCII value by delta (decr floors at 0, as in
+// memcached). It returns the new value.
+func (s *Store) IncrDecr(key string, delta uint64, incr bool) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	it, ok := s.table[key]
+	if !ok || it.expired(s.Now()) {
+		if ok {
+			s.stats.Expired++
+			s.removeLocked(it)
+		}
+		return 0, ErrCacheMiss
+	}
+	cur, err := parseUint(it.Value.Bytes())
+	if err != nil {
+		return 0, ErrNotNumeric
+	}
+	var next uint64
+	if incr {
+		next = cur + delta
+	} else if delta > cur {
+		next = 0
+	} else {
+		next = cur - delta
+	}
+	nv := blob.FromBytes(formatUint(next))
+	item := &Item{Key: key, Value: nv, Flags: it.Flags, Expiration: it.Expiration}
+	if err := s.insertLocked(item, it, true, s.Now()); err != nil {
+		return 0, err
+	}
+	return next, nil
+}
+
+// FlushAll invalidates every item immediately.
+func (s *Store) FlushAll() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, it := range s.table {
+		s.removeLocked(it)
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// ClassStat describes one slab class's occupancy.
+type ClassStat struct {
+	ChunkSize  int64
+	UsedChunks int64
+	FreeChunks int64
+}
+
+// SlabStats returns occupancy for every class that has ever held an item,
+// mirroring memcached's "stats slabs" output.
+func (s *Store) SlabStats() map[int]ClassStat {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	used := make(map[int]int64)
+	for _, it := range s.table {
+		used[it.class]++
+	}
+	out := make(map[int]ClassStat)
+	for ci := range s.classes {
+		c := &s.classes[ci]
+		if used[ci] == 0 && c.freeChunks == 0 {
+			continue
+		}
+		out[ci] = ClassStat{
+			ChunkSize:  c.chunkSize,
+			UsedChunks: used[ci],
+			FreeChunks: c.freeChunks,
+		}
+	}
+	return out
+}
+
+// Len returns the current item count.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.table)
+}
+
+func parseUint(b []byte) (uint64, error) {
+	if len(b) == 0 {
+		return 0, ErrNotNumeric
+	}
+	var v uint64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, ErrNotNumeric
+		}
+		v = v*10 + uint64(c-'0')
+	}
+	return v, nil
+}
+
+func formatUint(v uint64) []byte {
+	if v == 0 {
+		return []byte{'0'}
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return buf[i:]
+}

@@ -1,0 +1,23 @@
+package metrics_test
+
+import (
+	"os"
+
+	"imca/internal/metrics"
+)
+
+// Tables collect one row per x value and one column per configuration,
+// exactly like the paper's figures.
+func ExampleTable_Render() {
+	tb := metrics.NewTable("Stat benchmark", "clients", "seconds", "NoCache", "MCD(1)")
+	tb.AddRow("1", 4.45, 1.93)
+	tb.AddRow("64", 27.96, 6.32)
+	tb.Render(os.Stdout)
+	// Output:
+	// # Stat benchmark
+	// # y: seconds
+	// clients  NoCache  MCD(1)
+	// --------------------------
+	// 1           4.45    1.93
+	// 64         27.96    6.32
+}

@@ -1,0 +1,146 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"time"
+)
+
+// Histogram accumulates durations into power-of-two buckets (1µs, 2µs,
+// 4µs, …), the usual shape for latency distributions: cheap to update,
+// good enough resolution for percentile estimates across six decades.
+type Histogram struct {
+	buckets [40]uint64
+	count   uint64
+	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
+}
+
+// bucketFor maps a duration to its bucket index (bucket i spans
+// [2^i, 2^(i+1)) microseconds; sub-microsecond goes to bucket 0).
+func bucketFor(d time.Duration) int {
+	us := uint64(d / time.Microsecond)
+	if us == 0 {
+		return 0
+	}
+	b := bits.Len64(us) - 1
+	if b >= len(Histogram{}.buckets) {
+		b = len(Histogram{}.buckets) - 1
+	}
+	return b
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.buckets[bucketFor(d)]++
+	h.count++
+	h.sum += d
+	if h.count == 1 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the average observation.
+func (h *Histogram) Mean() time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.count)
+}
+
+// Min and Max return the observed extremes.
+func (h *Histogram) Min() time.Duration { return h.min }
+
+// Max returns the largest observation.
+func (h *Histogram) Max() time.Duration { return h.max }
+
+// Quantile estimates the q-quantile (0 < q <= 1) from the buckets; the
+// answer is exact to within one bucket's width.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h.count == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(h.count)))
+	if target == 0 {
+		target = 1
+	}
+	if target > h.count {
+		target = h.count
+	}
+	var seen uint64
+	for i, c := range h.buckets {
+		seen += c
+		if seen >= target {
+			// Report the bucket's upper edge.
+			return time.Duration(uint64(1)<<(uint(i)+1)) * time.Microsecond
+		}
+	}
+	return h.max
+}
+
+// Render writes a compact textual distribution: one line per non-empty
+// bucket with a proportional bar.
+func (h *Histogram) Render(w io.Writer) {
+	if h.count == 0 {
+		fmt.Fprintln(w, "(no observations)")
+		return
+	}
+	var peak uint64
+	for _, c := range h.buckets {
+		if c > peak {
+			peak = c
+		}
+	}
+	fmt.Fprintf(w, "count=%d mean=%v min=%v max=%v p50=%v p99=%v\n",
+		h.count, h.Mean(), h.min, h.max, h.Quantile(0.5), h.Quantile(0.99))
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		lo := time.Duration(uint64(1)<<uint(i)) * time.Microsecond
+		if i == 0 {
+			lo = 0
+		}
+		hi := time.Duration(uint64(1)<<(uint(i)+1)) * time.Microsecond
+		bar := int(c * 40 / peak)
+		fmt.Fprintf(w, "%10v-%-10v %8d %s\n", lo, hi, c, stringsRepeat('#', bar))
+	}
+}
+
+func stringsRepeat(c byte, n int) string {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = c
+	}
+	return string(b)
+}
+
+// Merge adds other's observations into h.
+func (h *Histogram) Merge(other *Histogram) {
+	if other.count == 0 {
+		return
+	}
+	for i, c := range other.buckets {
+		h.buckets[i] += c
+	}
+	if h.count == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	h.count += other.count
+	h.sum += other.sum
+}

@@ -1,0 +1,205 @@
+// Package pagecache implements an OS buffer cache model: a byte-capacity
+// bounded LRU of fixed-size pages keyed by (file, page index).
+//
+// It tracks only presence, not contents — in the simulation, data contents
+// travel as blobs while the cache decides whether an access hits memory or
+// must go to the disk model. The same structure serves as the server's
+// buffer cache (GlusterFS/NFS experiments) and as each Lustre client's
+// local cache.
+package pagecache
+
+import (
+	"container/list"
+)
+
+// Range is a byte extent within a file.
+type Range struct {
+	Off, Len int64
+}
+
+// End returns the first byte past the range.
+func (r Range) End() int64 { return r.Off + r.Len }
+
+type key struct {
+	ino uint64
+	idx int64
+}
+
+// Cache is a bounded LRU page cache. It is not safe for concurrent use; in
+// the simulation exactly one process runs at a time, so no locking is
+// needed.
+type Cache struct {
+	pageSize int64
+	capacity int64
+	used     int64
+	lru      *list.List // of key; front = most recent
+	pages    map[key]*list.Element
+	perFile  map[uint64]map[int64]struct{}
+
+	Hits, Misses, Evictions uint64
+}
+
+// New returns a cache bounded to capacity bytes of pageSize pages.
+func New(capacity, pageSize int64) *Cache {
+	if pageSize <= 0 || capacity < 0 {
+		panic("pagecache: bad geometry")
+	}
+	return &Cache{
+		pageSize: pageSize,
+		capacity: capacity,
+		lru:      list.New(),
+		pages:    make(map[key]*list.Element),
+		perFile:  make(map[uint64]map[int64]struct{}),
+	}
+}
+
+// PageSize returns the page size.
+func (c *Cache) PageSize() int64 { return c.pageSize }
+
+// Used returns the bytes currently cached.
+func (c *Cache) Used() int64 { return c.used }
+
+// Len returns the number of cached pages.
+func (c *Cache) Len() int { return c.lru.Len() }
+
+// pageSpan returns the page index range [lo, hi) covering [off, off+size).
+func (c *Cache) pageSpan(off, size int64) (lo, hi int64) {
+	lo = off / c.pageSize
+	hi = (off + size + c.pageSize - 1) / c.pageSize
+	return lo, hi
+}
+
+// Lookup checks which pages covering [off, off+size) of file ino are
+// present. Present pages are freshened; the return value lists the missing
+// extents (page-aligned, coalesced, in order). An empty result means the
+// access is fully cached.
+func (c *Cache) Lookup(ino uint64, off, size int64) []Range {
+	if size <= 0 {
+		return nil
+	}
+	lo, hi := c.pageSpan(off, size)
+	var missing []Range
+	for idx := lo; idx < hi; idx++ {
+		if el, ok := c.pages[key{ino, idx}]; ok {
+			c.Hits++
+			c.lru.MoveToFront(el)
+			continue
+		}
+		c.Misses++
+		start := idx * c.pageSize
+		if n := len(missing); n > 0 && missing[n-1].End() == start {
+			missing[n-1].Len += c.pageSize
+		} else {
+			missing = append(missing, Range{Off: start, Len: c.pageSize})
+		}
+	}
+	return missing
+}
+
+// Contains reports whether every page covering the extent is cached,
+// without freshening or counting stats.
+func (c *Cache) Contains(ino uint64, off, size int64) bool {
+	if size <= 0 {
+		return true
+	}
+	lo, hi := c.pageSpan(off, size)
+	for idx := lo; idx < hi; idx++ {
+		if _, ok := c.pages[key{ino, idx}]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Insert adds all pages covering [off, off+size) of ino, evicting
+// least-recently-used pages as needed. Pages already present are freshened.
+func (c *Cache) Insert(ino uint64, off, size int64) {
+	if size <= 0 {
+		return
+	}
+	lo, hi := c.pageSpan(off, size)
+	for idx := lo; idx < hi; idx++ {
+		k := key{ino, idx}
+		if el, ok := c.pages[k]; ok {
+			c.lru.MoveToFront(el)
+			continue
+		}
+		if c.pageSize > c.capacity {
+			continue // degenerate: nothing fits
+		}
+		for c.used+c.pageSize > c.capacity {
+			c.evictOldest()
+		}
+		el := c.lru.PushFront(k)
+		c.pages[k] = el
+		c.used += c.pageSize
+		f := c.perFile[ino]
+		if f == nil {
+			f = make(map[int64]struct{})
+			c.perFile[ino] = f
+		}
+		f[idx] = struct{}{}
+	}
+}
+
+func (c *Cache) evictOldest() {
+	el := c.lru.Back()
+	if el == nil {
+		panic("pagecache: eviction from empty cache")
+	}
+	c.removeElement(el)
+	c.Evictions++
+}
+
+func (c *Cache) removeElement(el *list.Element) {
+	k := el.Value.(key)
+	c.lru.Remove(el)
+	delete(c.pages, k)
+	c.used -= c.pageSize
+	if f := c.perFile[k.ino]; f != nil {
+		delete(f, k.idx)
+		if len(f) == 0 {
+			delete(c.perFile, k.ino)
+		}
+	}
+}
+
+// InvalidateFile drops every cached page of ino.
+func (c *Cache) InvalidateFile(ino uint64) {
+	f := c.perFile[ino]
+	for idx := range f {
+		if el, ok := c.pages[key{ino, idx}]; ok {
+			c.removeElement(el)
+		}
+	}
+}
+
+// InvalidateRange drops cached pages overlapping [off, off+size) of ino.
+func (c *Cache) InvalidateRange(ino uint64, off, size int64) {
+	if size <= 0 {
+		return
+	}
+	lo, hi := c.pageSpan(off, size)
+	for idx := lo; idx < hi; idx++ {
+		if el, ok := c.pages[key{ino, idx}]; ok {
+			c.removeElement(el)
+		}
+	}
+}
+
+// Clear empties the cache (e.g. an unmount/remount for a cold-cache run).
+func (c *Cache) Clear() {
+	c.lru.Init()
+	c.pages = make(map[key]*list.Element)
+	c.perFile = make(map[uint64]map[int64]struct{})
+	c.used = 0
+}
+
+// HitRate returns hits/(hits+misses), or 0 before any lookups.
+func (c *Cache) HitRate() float64 {
+	total := c.Hits + c.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(total)
+}

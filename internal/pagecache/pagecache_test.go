@@ -1,0 +1,213 @@
+package pagecache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMissThenHit(t *testing.T) {
+	c := New(1<<20, 4096)
+	missing := c.Lookup(1, 0, 4096)
+	if len(missing) != 1 || missing[0] != (Range{0, 4096}) {
+		t.Fatalf("missing = %v, want one full page", missing)
+	}
+	c.Insert(1, 0, 4096)
+	if got := c.Lookup(1, 0, 4096); len(got) != 0 {
+		t.Errorf("after insert still missing %v", got)
+	}
+	if c.Hits != 1 || c.Misses != 1 {
+		t.Errorf("hits/misses = %d/%d, want 1/1", c.Hits, c.Misses)
+	}
+}
+
+func TestUnalignedLookupCoversPages(t *testing.T) {
+	c := New(1<<20, 4096)
+	// Bytes [4000, 4200) touch pages 0 and 1.
+	missing := c.Lookup(1, 4000, 200)
+	if len(missing) != 1 {
+		t.Fatalf("missing = %v, want one coalesced range", missing)
+	}
+	if missing[0] != (Range{0, 8192}) {
+		t.Errorf("missing = %v, want [0,8192)", missing[0])
+	}
+}
+
+func TestPartialHitReturnsHoles(t *testing.T) {
+	c := New(1<<20, 4096)
+	c.Insert(1, 4096, 4096) // page 1 only
+	missing := c.Lookup(1, 0, 12288)
+	if len(missing) != 2 {
+		t.Fatalf("missing = %v, want two holes", missing)
+	}
+	if missing[0] != (Range{0, 4096}) || missing[1] != (Range{8192, 4096}) {
+		t.Errorf("missing = %v, want pages 0 and 2", missing)
+	}
+}
+
+func TestFilesAreIndependent(t *testing.T) {
+	c := New(1<<20, 4096)
+	c.Insert(1, 0, 4096)
+	if got := c.Lookup(2, 0, 4096); len(got) != 1 {
+		t.Errorf("file 2 hit on file 1's page")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(3*4096, 4096) // 3 pages
+	c.Insert(1, 0, 3*4096) // pages 0,1,2
+	c.Lookup(1, 0, 4096)   // freshen page 0
+	c.Insert(1, 3*4096, 4096)
+	// Page 1 was least recently used; page 0 was freshened.
+	if !c.Contains(1, 0, 4096) {
+		t.Error("freshened page 0 was evicted")
+	}
+	if c.Contains(1, 4096, 4096) {
+		t.Error("LRU page 1 survived eviction")
+	}
+	if c.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", c.Evictions)
+	}
+}
+
+func TestCapacityNeverExceeded(t *testing.T) {
+	c := New(10*4096, 4096)
+	for i := int64(0); i < 100; i++ {
+		c.Insert(uint64(i%7), i*4096, 4096)
+		if c.Used() > 10*4096 {
+			t.Fatalf("used %d exceeds capacity", c.Used())
+		}
+	}
+	if c.Len() != 10 {
+		t.Errorf("len = %d, want 10", c.Len())
+	}
+}
+
+func TestInsertLargerThanCapacityKeepsSubset(t *testing.T) {
+	c := New(4*4096, 4096)
+	c.Insert(1, 0, 16*4096)
+	if c.Used() != 4*4096 {
+		t.Errorf("used = %d, want full capacity", c.Used())
+	}
+	// The most recently inserted pages survive.
+	if !c.Contains(1, 12*4096, 4*4096) {
+		t.Error("tail pages not resident after streaming insert")
+	}
+}
+
+func TestInvalidateFile(t *testing.T) {
+	c := New(1<<20, 4096)
+	c.Insert(1, 0, 8*4096)
+	c.Insert(2, 0, 4*4096)
+	c.InvalidateFile(1)
+	if c.Contains(1, 0, 4096) {
+		t.Error("file 1 pages survived InvalidateFile")
+	}
+	if !c.Contains(2, 0, 4*4096) {
+		t.Error("file 2 pages lost by file 1 invalidation")
+	}
+	if c.Used() != 4*4096 {
+		t.Errorf("used = %d, want %d", c.Used(), 4*4096)
+	}
+}
+
+func TestInvalidateRange(t *testing.T) {
+	c := New(1<<20, 4096)
+	c.Insert(1, 0, 4*4096)
+	c.InvalidateRange(1, 4096, 4096)
+	if c.Contains(1, 4096, 4096) {
+		t.Error("invalidated page still present")
+	}
+	if !c.Contains(1, 0, 4096) || !c.Contains(1, 8192, 8192) {
+		t.Error("neighboring pages lost")
+	}
+}
+
+func TestClear(t *testing.T) {
+	c := New(1<<20, 4096)
+	c.Insert(1, 0, 64*4096)
+	c.Clear()
+	if c.Used() != 0 || c.Len() != 0 {
+		t.Errorf("after Clear used=%d len=%d", c.Used(), c.Len())
+	}
+	if c.Contains(1, 0, 4096) {
+		t.Error("page present after Clear")
+	}
+	// Cache remains usable.
+	c.Insert(1, 0, 4096)
+	if !c.Contains(1, 0, 4096) {
+		t.Error("insert after Clear failed")
+	}
+}
+
+func TestZeroSizeOps(t *testing.T) {
+	c := New(1<<20, 4096)
+	if got := c.Lookup(1, 100, 0); got != nil {
+		t.Errorf("zero-size lookup = %v, want nil", got)
+	}
+	c.Insert(1, 100, 0)
+	if c.Len() != 0 {
+		t.Error("zero-size insert cached a page")
+	}
+	if !c.Contains(1, 100, 0) {
+		t.Error("zero-size Contains should be true")
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	c := New(1<<20, 4096)
+	if c.HitRate() != 0 {
+		t.Error("hit rate before lookups should be 0")
+	}
+	c.Insert(1, 0, 4096)
+	c.Lookup(1, 0, 4096)    // hit
+	c.Lookup(1, 4096, 4096) // miss
+	if got := c.HitRate(); got != 0.5 {
+		t.Errorf("hit rate = %f, want 0.5", got)
+	}
+}
+
+// Property: after Insert of an extent, Lookup of any sub-extent reports no
+// missing pages.
+func TestPropertyInsertCoversLookups(t *testing.T) {
+	f := func(offRaw, sizeRaw uint16, subOff, subLen uint16) bool {
+		c := New(1<<30, 4096)
+		off := int64(offRaw)
+		size := int64(sizeRaw%8192) + 1
+		c.Insert(9, off, size)
+		lo := off + int64(subOff)%size
+		maxLen := off + size - lo
+		l := int64(subLen)%maxLen + 1
+		return len(c.Lookup(9, lo, l)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: used bytes always equal page count * page size and never exceed
+// capacity.
+func TestPropertyAccounting(t *testing.T) {
+	f := func(ops []uint32) bool {
+		const cap = 16 * 4096
+		c := New(cap, 4096)
+		for _, op := range ops {
+			ino := uint64(op % 5)
+			off := int64(op>>3) % (1 << 20)
+			switch op % 4 {
+			case 0, 1:
+				c.Insert(ino, off, int64(op%9000)+1)
+			case 2:
+				c.Lookup(ino, off, int64(op%9000)+1)
+			case 3:
+				c.InvalidateFile(ino)
+			}
+			if c.Used() != int64(c.Len())*4096 || c.Used() > cap {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

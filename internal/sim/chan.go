@@ -1,0 +1,124 @@
+package sim
+
+// Chan is a virtual-time channel carrying values of type T between
+// processes. Capacity 0 gives rendezvous semantics (the sender blocks until
+// a receiver takes the value); capacity n buffers up to n values.
+type Chan[T any] struct {
+	env *Env
+	cap int
+	buf []T
+
+	sendQ []*chanSender[T]
+	recvQ []*chanReceiver[T]
+}
+
+type chanSender[T any] struct {
+	p *Proc
+	v T
+}
+
+type chanReceiver[T any] struct {
+	p  *Proc
+	v  T
+	ok bool
+}
+
+// NewChan returns a channel with the given buffer capacity.
+func NewChan[T any](env *Env, capacity int) *Chan[T] {
+	if capacity < 0 {
+		panic("sim: negative channel capacity")
+	}
+	return &Chan[T]{env: env, cap: capacity}
+}
+
+// Len returns the number of buffered values.
+func (c *Chan[T]) Len() int { return len(c.buf) }
+
+// Send delivers v, blocking p in virtual time until a receiver or buffer
+// slot is available.
+func (c *Chan[T]) Send(p *Proc, v T) {
+	// Hand off directly to a waiting receiver.
+	if len(c.recvQ) > 0 {
+		r := c.recvQ[0]
+		c.recvQ = c.recvQ[1:]
+		r.v, r.ok = v, true
+		c.env.scheduleProc(r.p, 0)
+		return
+	}
+	if len(c.buf) < c.cap {
+		c.buf = append(c.buf, v)
+		return
+	}
+	s := &chanSender[T]{p: p, v: v}
+	c.sendQ = append(c.sendQ, s)
+	p.park()
+}
+
+// TrySend delivers v without blocking; it reports whether the value was
+// accepted.
+func (c *Chan[T]) TrySend(v T) bool {
+	if len(c.recvQ) > 0 {
+		r := c.recvQ[0]
+		c.recvQ = c.recvQ[1:]
+		r.v, r.ok = v, true
+		c.env.scheduleProc(r.p, 0)
+		return true
+	}
+	if len(c.buf) < c.cap {
+		c.buf = append(c.buf, v)
+		return true
+	}
+	return false
+}
+
+// Recv blocks p until a value is available and returns it.
+func (c *Chan[T]) Recv(p *Proc) T {
+	if len(c.buf) > 0 {
+		v := c.buf[0]
+		c.buf = c.buf[1:]
+		// A blocked sender can now occupy the freed slot.
+		if len(c.sendQ) > 0 {
+			s := c.sendQ[0]
+			c.sendQ = c.sendQ[1:]
+			c.buf = append(c.buf, s.v)
+			c.env.scheduleProc(s.p, 0)
+		}
+		return v
+	}
+	if len(c.sendQ) > 0 { // rendezvous with a blocked sender
+		s := c.sendQ[0]
+		c.sendQ = c.sendQ[1:]
+		c.env.scheduleProc(s.p, 0)
+		return s.v
+	}
+	r := &chanReceiver[T]{p: p}
+	c.recvQ = append(c.recvQ, r)
+	p.park()
+	if !r.ok {
+		panic("sim: receiver woken without a value")
+	}
+	return r.v
+}
+
+// TryRecv returns a value if one is immediately available.
+func (c *Chan[T]) TryRecv() (T, bool) {
+	var zero T
+	if len(c.buf) > 0 {
+		v := c.buf[0]
+		c.buf = c.buf[1:]
+		if len(c.sendQ) > 0 {
+			s := c.sendQ[0]
+			c.sendQ = c.sendQ[1:]
+			c.buf = append(c.buf, s.v)
+			c.env.scheduleProc(s.p, 0)
+		}
+		return v, true
+	}
+	if len(c.sendQ) > 0 {
+		s := c.sendQ[0]
+		c.sendQ = c.sendQ[1:]
+		c.env.scheduleProc(s.p, 0)
+		return s.v, true
+	}
+	return zero, false
+}

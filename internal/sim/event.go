@@ -1,0 +1,55 @@
+package sim
+
+// Event is a one-shot notification in virtual time. Processes wait on it;
+// once triggered, all current and future waiters proceed immediately and
+// receive the trigger value.
+type Event struct {
+	env       *Env
+	triggered bool
+	value     interface{}
+	waiters   []*Proc
+}
+
+// NewEvent returns an untriggered event.
+func NewEvent(env *Env) *Event {
+	return &Event{env: env}
+}
+
+// Triggered reports whether the event has fired.
+func (ev *Event) Triggered() bool { return ev.triggered }
+
+// Value returns the value passed to Trigger, or nil before triggering.
+func (ev *Event) Value() interface{} { return ev.value }
+
+// Trigger fires the event, waking all waiters at the current instant.
+// Triggering an already-triggered event is a no-op (the first value wins).
+// It may be called from any process or from scheduler context.
+func (ev *Event) Trigger(v interface{}) {
+	if ev.triggered {
+		return
+	}
+	ev.triggered = true
+	ev.value = v
+	for _, p := range ev.waiters {
+		ev.env.scheduleProc(p, 0)
+	}
+	ev.waiters = nil
+}
+
+// Wait parks p until the event triggers and returns the trigger value. If
+// the event has already triggered it returns immediately.
+func (ev *Event) Wait(p *Proc) interface{} {
+	if ev.triggered {
+		return ev.value
+	}
+	ev.waiters = append(ev.waiters, p)
+	p.park()
+	return ev.value
+}
+
+// WaitAll parks p until every event in evs has triggered.
+func WaitAll(p *Proc, evs ...*Event) {
+	for _, ev := range evs {
+		ev.Wait(p)
+	}
+}

@@ -1,0 +1,142 @@
+package sim
+
+// Resource is a counted server with a FIFO queue: up to Capacity units may
+// be held concurrently; further acquirers wait in arrival order. It models
+// contended hardware such as a NIC, a disk arm, or a pool of server
+// threads.
+type Resource struct {
+	env      *Env
+	capacity int
+	inUse    int
+	waiters  []*resWaiter
+
+	// Utilization accounting.
+	busyTime Duration
+	lastBusy Time
+	acquires uint64
+	waitTime Duration
+	maxQueue int
+}
+
+type resWaiter struct {
+	p *Proc
+	n int
+	t Time
+}
+
+// NewResource returns a resource with the given concurrent capacity.
+func NewResource(env *Env, capacity int) *Resource {
+	if capacity <= 0 {
+		panic("sim: resource capacity must be positive")
+	}
+	return &Resource{env: env, capacity: capacity}
+}
+
+// Capacity returns the configured concurrency.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// InUse returns the number of units currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// QueueLen returns the number of waiting acquirers.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+func (r *Resource) accountBusy() {
+	if r.inUse > 0 {
+		r.busyTime += r.env.now.Sub(r.lastBusy)
+	}
+	r.lastBusy = r.env.now
+}
+
+// Acquire blocks p until n units are available and takes them.
+func (r *Resource) Acquire(p *Proc, n int) {
+	if n <= 0 || n > r.capacity {
+		panic("sim: bad acquire count")
+	}
+	r.acquires++
+	if len(r.waiters) == 0 && r.inUse+n <= r.capacity {
+		r.accountBusy()
+		r.inUse += n
+		return
+	}
+	w := &resWaiter{p: p, n: n, t: r.env.now}
+	r.waiters = append(r.waiters, w)
+	if len(r.waiters) > r.maxQueue {
+		r.maxQueue = len(r.waiters)
+	}
+	p.park()
+}
+
+// Release returns n units and wakes as many FIFO waiters as now fit.
+func (r *Resource) Release(n int) {
+	if n <= 0 || n > r.inUse {
+		panic("sim: bad release count")
+	}
+	r.accountBusy()
+	r.inUse -= n
+	for len(r.waiters) > 0 && r.inUse+r.waiters[0].n <= r.capacity {
+		w := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		r.accountBusy()
+		r.inUse += w.n
+		r.waitTime += r.env.now.Sub(w.t)
+		r.env.scheduleProc(w.p, 0)
+	}
+}
+
+// Use acquires one unit, holds it for d, and releases it: the common
+// "serve one request" pattern.
+func (r *Resource) Use(p *Proc, d Duration) {
+	r.Acquire(p, 1)
+	p.Sleep(d)
+	r.Release(1)
+}
+
+// Utilization returns the fraction of elapsed virtual time the resource has
+// been at least partially busy.
+func (r *Resource) Utilization() float64 {
+	r.accountBusy()
+	if r.env.now == 0 {
+		return 0
+	}
+	return float64(r.busyTime) / float64(r.env.now)
+}
+
+// Stats summarizes contention seen so far.
+func (r *Resource) Stats() (acquires uint64, avgWait Duration, maxQueue int) {
+	acquires = r.acquires
+	if r.acquires > 0 {
+		avgWait = r.waitTime / Duration(r.acquires)
+	}
+	return acquires, avgWait, r.maxQueue
+}
+
+// Barrier blocks processes until a fixed number have arrived, then releases
+// them all at the same instant. It is reusable: after releasing a
+// generation it resets for the next.
+type Barrier struct {
+	env     *Env
+	parties int
+	waiting []*Proc
+}
+
+// NewBarrier returns a barrier for the given number of parties.
+func NewBarrier(env *Env, parties int) *Barrier {
+	if parties <= 0 {
+		panic("sim: barrier parties must be positive")
+	}
+	return &Barrier{env: env, parties: parties}
+}
+
+// Wait blocks p until all parties have arrived.
+func (b *Barrier) Wait(p *Proc) {
+	if len(b.waiting)+1 == b.parties {
+		for _, q := range b.waiting {
+			b.env.scheduleProc(q, 0)
+		}
+		b.waiting = b.waiting[:0]
+		return
+	}
+	b.waiting = append(b.waiting, p)
+	p.park()
+}

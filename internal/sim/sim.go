@@ -1,0 +1,241 @@
+// Package sim implements a deterministic discrete-event simulation kernel.
+//
+// Simulated activities are written as ordinary Go functions running in
+// goroutines ("processes"), but time is virtual: a process advances the
+// clock only by blocking on one of the kernel's primitives (Sleep, Event,
+// Chan, Resource, Barrier). The kernel runs exactly one process goroutine
+// at a time and orders simultaneous events by creation sequence, so a
+// simulation is fully deterministic and race-free without locks.
+//
+// The typical shape of a simulation:
+//
+//	env := sim.NewEnv()
+//	env.Process("client", func(p *sim.Proc) {
+//		p.Sleep(10 * time.Microsecond)
+//		// ... interact with other processes via Chan/Event/Resource
+//	})
+//	env.Run()
+//
+// All kernel methods that take a *Proc must be called from that process's
+// own goroutine while it is the running process.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Duration re-exports time.Duration for virtual intervals; virtual and wall
+// durations share units but never mix clocks.
+type Duration = time.Duration
+
+// Add returns the time d after t.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the interval t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds returns t expressed in seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+// String formats the time as a duration since simulation start.
+func (t Time) String() string { return Duration(t).String() }
+
+// event is a scheduled wake-up of a process or a deferred function call.
+type event struct {
+	at   Time
+	seq  uint64
+	proc *Proc  // process to resume, or nil
+	fn   func() // function to run in scheduler context, or nil
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Env is a simulation environment: a virtual clock plus the set of
+// processes and pending events that advance it.
+type Env struct {
+	now     Time
+	seq     uint64
+	heap    eventHeap
+	yielded chan struct{} // handshake: running process -> scheduler
+	living  int           // processes started and not yet finished
+	parked  int           // processes blocked on a primitive
+	nextPID int
+
+	// EventsProcessed counts dispatched events — a cheap measure of how
+	// much simulated activity a run performed, useful when comparing the
+	// cost of scenarios or hunting runaway models.
+	EventsProcessed uint64
+}
+
+// NewEnv returns an empty environment with the clock at zero.
+func NewEnv() *Env {
+	return &Env{yielded: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() Time { return e.now }
+
+// schedule enqueues an event at absolute time at.
+func (e *Env) schedule(ev *event) {
+	e.seq++
+	ev.seq = e.seq
+	heap.Push(&e.heap, ev)
+}
+
+// scheduleProc enqueues a wake-up for p after delay d.
+func (e *Env) scheduleProc(p *Proc, d Duration) {
+	if d < 0 {
+		panic("sim: negative delay")
+	}
+	e.schedule(&event{at: e.now.Add(d), proc: p})
+}
+
+// Proc is a simulated process. Its methods must be called only from its own
+// goroutine while it is the running process.
+type Proc struct {
+	env    *Env
+	name   string
+	pid    int
+	resume chan struct{}
+	done   *Event
+	ended  bool
+}
+
+// Name returns the name given at creation.
+func (p *Proc) Name() string { return p.name }
+
+// Env returns the environment the process belongs to.
+func (p *Proc) Env() *Env { return p.env }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.env.now }
+
+// Done returns an event triggered when the process function returns.
+func (p *Proc) Done() *Event { return p.done }
+
+// String identifies the process for diagnostics.
+func (p *Proc) String() string { return fmt.Sprintf("proc %d (%s)", p.pid, p.name) }
+
+// Process creates a process that will start at the current virtual time
+// (when the scheduler next reaches it). It may be called before Run or from
+// a running process.
+func (e *Env) Process(name string, fn func(p *Proc)) *Proc {
+	e.nextPID++
+	p := &Proc{
+		env:    e,
+		name:   name,
+		pid:    e.nextPID,
+		resume: make(chan struct{}),
+	}
+	p.done = NewEvent(e)
+	e.living++
+	e.schedule(&event{at: e.now, fn: func() {
+		go p.run(fn)
+		<-e.yielded
+	}})
+	return p
+}
+
+// Spawn creates a child process; identical to Env.Process but callable in
+// process context for symmetry.
+func (p *Proc) Spawn(name string, fn func(p *Proc)) *Proc {
+	return p.env.Process(name, fn)
+}
+
+func (p *Proc) run(fn func(p *Proc)) {
+	defer func() {
+		p.ended = true
+		p.env.living--
+		p.done.Trigger(nil)
+		p.env.yielded <- struct{}{}
+	}()
+	fn(p)
+}
+
+// park blocks the calling process goroutine and returns control to the
+// scheduler; the process resumes when a scheduled event wakes it.
+func (p *Proc) park() {
+	p.env.parked++
+	p.env.yielded <- struct{}{}
+	<-p.resume
+	p.env.parked--
+}
+
+// Sleep advances the process by d of virtual time.
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		panic("sim: negative sleep")
+	}
+	p.env.scheduleProc(p, d)
+	p.park()
+}
+
+// Yield lets any other process scheduled for the current instant run before
+// this one continues.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// wake delivers a resume to p and waits for it to yield again. Must be
+// called in scheduler context only.
+func (e *Env) wake(p *Proc) {
+	p.resume <- struct{}{}
+	<-e.yielded
+}
+
+// Run processes events until none remain. It returns the final virtual
+// time. If processes remain parked with no pending events, the simulation
+// is deadlocked and Run panics with a diagnostic, since that always
+// indicates a modelling bug.
+func (e *Env) Run() Time {
+	return e.RunUntil(Time(1<<62 - 1))
+}
+
+// RunUntil processes events with timestamps <= limit and returns the
+// current virtual time afterwards.
+func (e *Env) RunUntil(limit Time) Time {
+	for len(e.heap) > 0 {
+		ev := e.heap[0]
+		if ev.at > limit {
+			e.now = limit
+			return e.now
+		}
+		heap.Pop(&e.heap)
+		e.now = ev.at
+		e.EventsProcessed++
+		switch {
+		case ev.fn != nil:
+			ev.fn()
+		case ev.proc != nil:
+			if !ev.proc.ended {
+				e.wake(ev.proc)
+			}
+		}
+	}
+	if e.living > 0 && e.parked == e.living {
+		panic(fmt.Sprintf("sim: deadlock at %v: %d process(es) parked with no pending events", e.now, e.parked))
+	}
+	return e.now
+}

@@ -1,0 +1,439 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestClockAdvancesWithSleep(t *testing.T) {
+	env := NewEnv()
+	var woke Time
+	env.Process("sleeper", func(p *Proc) {
+		p.Sleep(42 * time.Microsecond)
+		woke = p.Now()
+	})
+	end := env.Run()
+	if woke != Time(42*time.Microsecond) {
+		t.Errorf("woke at %v, want 42µs", woke)
+	}
+	if end != woke {
+		t.Errorf("Run returned %v, want %v", end, woke)
+	}
+}
+
+func TestZeroSleepYields(t *testing.T) {
+	env := NewEnv()
+	var order []string
+	env.Process("a", func(p *Proc) {
+		order = append(order, "a1")
+		p.Yield()
+		order = append(order, "a2")
+	})
+	env.Process("b", func(p *Proc) {
+		order = append(order, "b1")
+	})
+	env.Run()
+	want := []string{"a1", "b1", "a2"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSimultaneousEventsRunInScheduleOrder(t *testing.T) {
+	env := NewEnv()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		env.Process("p", func(p *Proc) {
+			p.Sleep(time.Millisecond)
+			order = append(order, i)
+		})
+	}
+	env.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v, want ascending", order)
+		}
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() []int {
+		env := NewEnv()
+		var order []int
+		for i := 0; i < 50; i++ {
+			i := i
+			env.Process("p", func(p *Proc) {
+				p.Sleep(Duration(i%7) * time.Microsecond)
+				order = append(order, i)
+				p.Sleep(Duration((i*31)%11) * time.Microsecond)
+				order = append(order, 100+i)
+			})
+		}
+		env.Run()
+		return order
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("different lengths %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("runs diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestEventWakesAllWaiters(t *testing.T) {
+	env := NewEnv()
+	ev := NewEvent(env)
+	woke := 0
+	for i := 0; i < 5; i++ {
+		env.Process("waiter", func(p *Proc) {
+			if got := ev.Wait(p); got != "go" {
+				t.Errorf("Wait returned %v, want go", got)
+			}
+			woke++
+		})
+	}
+	env.Process("trigger", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		ev.Trigger("go")
+	})
+	env.Run()
+	if woke != 5 {
+		t.Errorf("woke = %d, want 5", woke)
+	}
+	if !ev.Triggered() {
+		t.Error("event not marked triggered")
+	}
+}
+
+func TestEventWaitAfterTriggerReturnsImmediately(t *testing.T) {
+	env := NewEnv()
+	ev := NewEvent(env)
+	env.Process("p", func(p *Proc) {
+		ev.Trigger(7)
+		before := p.Now()
+		if got := ev.Wait(p); got != 7 {
+			t.Errorf("got %v, want 7", got)
+		}
+		if p.Now() != before {
+			t.Error("Wait on triggered event advanced time")
+		}
+	})
+	env.Run()
+}
+
+func TestEventSecondTriggerIgnored(t *testing.T) {
+	env := NewEnv()
+	ev := NewEvent(env)
+	env.Process("p", func(p *Proc) {
+		ev.Trigger(1)
+		ev.Trigger(2)
+		if ev.Value() != 1 {
+			t.Errorf("value = %v, want 1 (first trigger wins)", ev.Value())
+		}
+	})
+	env.Run()
+}
+
+func TestChanRendezvous(t *testing.T) {
+	env := NewEnv()
+	ch := NewChan[int](env, 0)
+	var got int
+	var sendDone, recvDone Time
+	env.Process("sender", func(p *Proc) {
+		ch.Send(p, 99)
+		sendDone = p.Now()
+	})
+	env.Process("receiver", func(p *Proc) {
+		p.Sleep(5 * time.Microsecond)
+		got = ch.Recv(p)
+		recvDone = p.Now()
+	})
+	env.Run()
+	if got != 99 {
+		t.Errorf("got %d, want 99", got)
+	}
+	if sendDone < recvDone-Time(time.Microsecond) {
+		// sender must have blocked until the receiver arrived
+	}
+	if sendDone != Time(5*time.Microsecond) {
+		t.Errorf("sender finished at %v, want 5µs (blocked on rendezvous)", sendDone)
+	}
+}
+
+func TestChanBufferedDoesNotBlockUntilFull(t *testing.T) {
+	env := NewEnv()
+	ch := NewChan[int](env, 2)
+	var t1, t2, t3 Time
+	env.Process("sender", func(p *Proc) {
+		ch.Send(p, 1)
+		t1 = p.Now()
+		ch.Send(p, 2)
+		t2 = p.Now()
+		ch.Send(p, 3) // blocks: buffer full
+		t3 = p.Now()
+	})
+	env.Process("receiver", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		for i := 1; i <= 3; i++ {
+			if got := ch.Recv(p); got != i {
+				t.Errorf("recv %d, want %d (FIFO)", got, i)
+			}
+		}
+	})
+	env.Run()
+	if t1 != 0 || t2 != 0 {
+		t.Errorf("buffered sends blocked: t1=%v t2=%v", t1, t2)
+	}
+	if t3 != Time(time.Millisecond) {
+		t.Errorf("third send completed at %v, want 1ms", t3)
+	}
+}
+
+func TestChanTrySendTryRecv(t *testing.T) {
+	env := NewEnv()
+	ch := NewChan[string](env, 1)
+	env.Process("p", func(p *Proc) {
+		if _, ok := ch.TryRecv(); ok {
+			t.Error("TryRecv on empty chan succeeded")
+		}
+		if !ch.TrySend("x") {
+			t.Error("TrySend into empty buffer failed")
+		}
+		if ch.TrySend("y") {
+			t.Error("TrySend into full buffer succeeded")
+		}
+		v, ok := ch.TryRecv()
+		if !ok || v != "x" {
+			t.Errorf("TryRecv = %q,%v; want x,true", v, ok)
+		}
+	})
+	env.Run()
+}
+
+func TestResourceSerializes(t *testing.T) {
+	env := NewEnv()
+	res := NewResource(env, 1)
+	var finish []Time
+	for i := 0; i < 3; i++ {
+		env.Process("user", func(p *Proc) {
+			res.Use(p, 10*time.Microsecond)
+			finish = append(finish, p.Now())
+		})
+	}
+	env.Run()
+	want := []Time{Time(10 * time.Microsecond), Time(20 * time.Microsecond), Time(30 * time.Microsecond)}
+	for i := range want {
+		if finish[i] != want[i] {
+			t.Fatalf("finish = %v, want %v", finish, want)
+		}
+	}
+}
+
+func TestResourceCapacityTwoRunsPairsConcurrently(t *testing.T) {
+	env := NewEnv()
+	res := NewResource(env, 2)
+	var finish []Time
+	for i := 0; i < 4; i++ {
+		env.Process("user", func(p *Proc) {
+			res.Use(p, 10*time.Microsecond)
+			finish = append(finish, p.Now())
+		})
+	}
+	env.Run()
+	if finish[1] != Time(10*time.Microsecond) || finish[3] != Time(20*time.Microsecond) {
+		t.Errorf("finish = %v, want pairs at 10µs and 20µs", finish)
+	}
+}
+
+func TestResourceFIFOOrder(t *testing.T) {
+	env := NewEnv()
+	res := NewResource(env, 1)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		env.Process("user", func(p *Proc) {
+			p.Sleep(Duration(i) * time.Microsecond) // arrive in index order
+			res.Acquire(p, 1)
+			order = append(order, i)
+			p.Sleep(100 * time.Microsecond)
+			res.Release(1)
+		})
+	}
+	env.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("service order %v, want FIFO", order)
+		}
+	}
+}
+
+func TestResourceUtilization(t *testing.T) {
+	env := NewEnv()
+	res := NewResource(env, 1)
+	env.Process("u", func(p *Proc) {
+		res.Use(p, 30*time.Microsecond)
+		p.Sleep(70 * time.Microsecond)
+	})
+	env.Run()
+	if u := res.Utilization(); u < 0.29 || u > 0.31 {
+		t.Errorf("utilization = %f, want ~0.30", u)
+	}
+}
+
+func TestBarrierReleasesTogetherAndIsReusable(t *testing.T) {
+	env := NewEnv()
+	bar := NewBarrier(env, 3)
+	var released []Time
+	for i := 0; i < 3; i++ {
+		i := i
+		env.Process("p", func(p *Proc) {
+			p.Sleep(Duration(i*10) * time.Microsecond)
+			bar.Wait(p)
+			released = append(released, p.Now())
+			// Second generation.
+			p.Sleep(Duration((3-i)*10) * time.Microsecond)
+			bar.Wait(p)
+			released = append(released, p.Now())
+		})
+	}
+	env.Run()
+	if len(released) != 6 {
+		t.Fatalf("released %d times, want 6", len(released))
+	}
+	for i := 1; i < 3; i++ {
+		if released[i] != released[0] {
+			t.Errorf("first generation not simultaneous: %v", released[:3])
+		}
+	}
+	for i := 4; i < 6; i++ {
+		if released[i] != released[3] {
+			t.Errorf("second generation not simultaneous: %v", released[3:])
+		}
+	}
+}
+
+func TestProcDoneEvent(t *testing.T) {
+	env := NewEnv()
+	child := env.Process("child", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+	})
+	var sawDone Time
+	env.Process("parent", func(p *Proc) {
+		child.Done().Wait(p)
+		sawDone = p.Now()
+	})
+	env.Run()
+	if sawDone != Time(time.Millisecond) {
+		t.Errorf("parent saw done at %v, want 1ms", sawDone)
+	}
+}
+
+func TestSpawnFromProcess(t *testing.T) {
+	env := NewEnv()
+	total := 0
+	env.Process("root", func(p *Proc) {
+		kids := make([]*Proc, 4)
+		for i := range kids {
+			kids[i] = p.Spawn("kid", func(q *Proc) {
+				q.Sleep(time.Microsecond)
+				total++
+			})
+		}
+		for _, k := range kids {
+			k.Done().Wait(p)
+		}
+		total *= 10
+	})
+	env.Run()
+	if total != 40 {
+		t.Errorf("total = %d, want 40", total)
+	}
+}
+
+func TestRunUntilStopsEarly(t *testing.T) {
+	env := NewEnv()
+	steps := 0
+	env.Process("ticker", func(p *Proc) {
+		for i := 0; i < 100; i++ {
+			p.Sleep(time.Millisecond)
+			steps++
+		}
+	})
+	now := env.RunUntil(Time(5500 * time.Microsecond))
+	if steps != 5 {
+		t.Errorf("steps = %d, want 5", steps)
+	}
+	if now != Time(5500*time.Microsecond) {
+		t.Errorf("now = %v, want 5.5ms", now)
+	}
+	// Resuming completes the remainder.
+	env.Run()
+	if steps != 100 {
+		t.Errorf("after resume steps = %d, want 100", steps)
+	}
+}
+
+func TestDeadlockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected deadlock panic")
+		}
+	}()
+	env := NewEnv()
+	ch := NewChan[int](env, 0)
+	env.Process("stuck", func(p *Proc) {
+		ch.Recv(p) // nobody will ever send
+	})
+	env.Run()
+}
+
+func TestNegativeSleepPanics(t *testing.T) {
+	env := NewEnv()
+	env.Process("bad", func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic on negative sleep")
+			}
+		}()
+		p.Sleep(-1)
+	})
+	env.Run()
+}
+
+func TestManyProcessesThroughput(t *testing.T) {
+	env := NewEnv()
+	const n = 1000
+	done := 0
+	for i := 0; i < n; i++ {
+		env.Process("worker", func(p *Proc) {
+			for j := 0; j < 10; j++ {
+				p.Sleep(time.Microsecond)
+			}
+			done++
+		})
+	}
+	env.Run()
+	if done != n {
+		t.Errorf("done = %d, want %d", done, n)
+	}
+}
+
+func TestEventsProcessedCounter(t *testing.T) {
+	env := NewEnv()
+	env.Process("p", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			p.Sleep(time.Microsecond)
+		}
+	})
+	env.Run()
+	// 1 start event + 5 sleep wake-ups.
+	if env.EventsProcessed != 6 {
+		t.Errorf("EventsProcessed = %d, want 6", env.EventsProcessed)
+	}
+}

@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"fmt"
+
+	"imca/internal/gluster"
+	"imca/internal/sim"
+)
+
+// MDTestOptions parameterizes the metadata-rate benchmark, modeled on the
+// HPC community's mdtest: each client creates its own set of files, every
+// client stats every file, then each client removes its own files, with
+// barriers between phases. It extends the paper's stat benchmark (§5.2) to
+// the full metadata life cycle.
+type MDTestOptions struct {
+	Dir string
+	// FilesPerClient created (and later removed) by each client.
+	FilesPerClient int
+}
+
+// MDTestResult reports aggregate operation rates (ops per second of
+// virtual time) per phase.
+type MDTestResult struct {
+	CreatePerSec float64
+	StatPerSec   float64
+	UnlinkPerSec float64
+}
+
+// MDTest runs the three-phase metadata benchmark and returns aggregate
+// rates. Each phase's rate divides total operations by the slowest
+// client's phase time, as mdtest reports.
+func MDTest(env *sim.Env, mounts []gluster.FS, opts MDTestOptions) MDTestResult {
+	if opts.FilesPerClient <= 0 {
+		panic("workload: mdtest needs files")
+	}
+	nc := len(mounts)
+	n := opts.FilesPerClient
+
+	clientDir := func(ci int) string { return fmt.Sprintf("%s/c%03d", opts.Dir, ci) }
+
+	var createMax, statMax, unlinkMax sim.Duration
+	bar := sim.NewBarrier(env, nc)
+	for ci, fs := range mounts {
+		ci, fs := ci, fs
+		env.Process(fmt.Sprintf("mdtest-%d", ci), func(p *sim.Proc) {
+			// Phase 1: create.
+			bar.Wait(p)
+			t0 := p.Now()
+			for i := 0; i < n; i++ {
+				fd, err := fs.Create(p, FilePath(clientDir(ci), i))
+				if err != nil {
+					panic(fmt.Sprintf("workload: mdtest create: %v", err))
+				}
+				if err := fs.Close(p, fd); err != nil {
+					panic(err)
+				}
+			}
+			if d := p.Now().Sub(t0); d > createMax {
+				createMax = d
+			}
+			bar.Wait(p)
+
+			// Phase 2: stat every file of every client.
+			bar.Wait(p)
+			t0 = p.Now()
+			for other := 0; other < nc; other++ {
+				for i := 0; i < n; i++ {
+					if _, err := fs.Stat(p, FilePath(clientDir(other), i)); err != nil {
+						panic(fmt.Sprintf("workload: mdtest stat: %v", err))
+					}
+				}
+			}
+			if d := p.Now().Sub(t0); d > statMax {
+				statMax = d
+			}
+			bar.Wait(p)
+
+			// Phase 3: unlink own files.
+			bar.Wait(p)
+			t0 = p.Now()
+			for i := 0; i < n; i++ {
+				if err := fs.Unlink(p, FilePath(clientDir(ci), i)); err != nil {
+					panic(fmt.Sprintf("workload: mdtest unlink: %v", err))
+				}
+			}
+			if d := p.Now().Sub(t0); d > unlinkMax {
+				unlinkMax = d
+			}
+		})
+	}
+	env.Run()
+
+	rate := func(ops int, d sim.Duration) float64 {
+		if d <= 0 {
+			return 0
+		}
+		return float64(ops) / (float64(d) / 1e9)
+	}
+	return MDTestResult{
+		CreatePerSec: rate(nc*n, createMax),
+		StatPerSec:   rate(nc*nc*n, statMax),
+		UnlinkPerSec: rate(nc*n, unlinkMax),
+	}
+}

@@ -1,0 +1,327 @@
+// Package workload implements the paper's benchmark drivers: the stat
+// benchmark (§5.2), the single/multi-client latency benchmark (§5.3–5.4),
+// the shared-file read/write-sharing benchmark (§5.6), and an IOzone-like
+// streaming throughput benchmark (§5.5). Drivers operate on gluster.FS
+// mounts, so the same code measures GlusterFS, IMCa, NFS, and Lustre.
+package workload
+
+import (
+	"fmt"
+
+	"imca/internal/blob"
+	"imca/internal/gluster"
+	"imca/internal/sim"
+)
+
+// CacheDropper is implemented by clients whose local cache can be dropped
+// (Lustre's unmount/remount "cold cache" configuration).
+type CacheDropper interface {
+	DropCaches()
+}
+
+// CreateFiles makes n empty files "<dir>/f<k>" through fs (the stat
+// benchmark's untimed first stage). It runs the simulation to completion.
+func CreateFiles(env *sim.Env, fs gluster.FS, dir string, n int) {
+	env.Process("create-files", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			fd, err := fs.Create(p, FilePath(dir, i))
+			if err != nil {
+				panic(fmt.Sprintf("workload: create %d: %v", i, err))
+			}
+			if err := fs.Close(p, fd); err != nil {
+				panic(fmt.Sprintf("workload: close %d: %v", i, err))
+			}
+		}
+	})
+	env.Run()
+}
+
+// FilePath names the i'th benchmark file in dir.
+func FilePath(dir string, i int) string {
+	return fmt.Sprintf("%s/f%06d", dir, i)
+}
+
+// StatBench runs the timed stage of the stat benchmark: every client stats
+// every one of the n files; the reported result is the maximum time any
+// client needed (the paper's metric).
+func StatBench(env *sim.Env, mounts []gluster.FS, dir string, n int) sim.Duration {
+	start := sim.NewBarrier(env, len(mounts))
+	var maxElapsed sim.Duration
+	for ci, fs := range mounts {
+		fs := fs
+		env.Process(fmt.Sprintf("statbench-%d", ci), func(p *sim.Proc) {
+			start.Wait(p)
+			t0 := p.Now()
+			for i := 0; i < n; i++ {
+				if _, err := fs.Stat(p, FilePath(dir, i)); err != nil {
+					panic(fmt.Sprintf("workload: stat %d: %v", i, err))
+				}
+			}
+			if d := p.Now().Sub(t0); d > maxElapsed {
+				maxElapsed = d
+			}
+		})
+	}
+	env.Run()
+	return maxElapsed
+}
+
+// LatencyOptions parameterizes the latency benchmark.
+type LatencyOptions struct {
+	// Dir is the working directory; each client uses its own file,
+	// unless Shared selects the read/write-sharing variant where only
+	// client 0 writes and everyone reads the same file.
+	Dir string
+	// RecordSizes to sweep (the paper: 1 byte to 64 KB+, powers of two).
+	RecordSizes []int64
+	// Records per measurement (the paper uses 1024).
+	Records int
+	Shared  bool
+	// AfterWrite runs between the write and read stages (e.g. dropping
+	// client caches for a Lustre cold-cache run).
+	AfterWrite func()
+	// BeforeReadSize runs before each record size's read measurement
+	// (all clients held at a barrier), so cold-cache runs stay cold for
+	// every record size rather than only the first.
+	BeforeReadSize func(recordSize int64)
+}
+
+// LatencyResult reports average per-operation times by record size.
+type LatencyResult struct {
+	Write map[int64]sim.Duration
+	Read  map[int64]sim.Duration
+}
+
+// Latency runs the paper's latency benchmark: for each record size, every
+// writer writes Records sequential records from the start of its file
+// (separated by barriers), then the benchmark returns to the beginning and
+// repeats with reads. Reported times are averaged over records and over
+// clients.
+func Latency(env *sim.Env, mounts []gluster.FS, opts LatencyOptions) LatencyResult {
+	if opts.Records <= 0 {
+		opts.Records = 1024
+	}
+	if len(opts.RecordSizes) == 0 {
+		panic("workload: no record sizes")
+	}
+	nc := len(mounts)
+	res := LatencyResult{
+		Write: make(map[int64]sim.Duration, len(opts.RecordSizes)),
+		Read:  make(map[int64]sim.Duration, len(opts.RecordSizes)),
+	}
+
+	// Open files on every client up front (the fd↔path database is
+	// populated here; for IMCa this is also where open-purges land,
+	// before any data is written).
+	fds := make([]gluster.FD, nc)
+	env.Process("latency-open", func(p *sim.Proc) {
+		for ci, fs := range mounts {
+			path := FilePath(opts.Dir, ci)
+			if opts.Shared {
+				path = opts.Dir + "/shared"
+			}
+			var err error
+			if opts.Shared && ci > 0 {
+				fds[ci], err = fs.Open(p, path)
+			} else {
+				fds[ci], err = fs.Create(p, path)
+			}
+			if err != nil {
+				panic(fmt.Sprintf("workload: open client %d: %v", ci, err))
+			}
+		}
+	})
+	env.Run()
+
+	writerCount := nc
+	if opts.Shared {
+		writerCount = 1
+	}
+
+	// Write stage: one barrier generation per record size.
+	writeTotals := make([]sim.Duration, len(opts.RecordSizes))
+	bar := sim.NewBarrier(env, writerCount)
+	for ci := 0; ci < writerCount; ci++ {
+		ci := ci
+		fs := mounts[ci]
+		env.Process(fmt.Sprintf("lat-write-%d", ci), func(p *sim.Proc) {
+			for si, r := range opts.RecordSizes {
+				bar.Wait(p)
+				t0 := p.Now()
+				for k := 0; k < opts.Records; k++ {
+					off := int64(k) * r
+					if _, err := fs.Write(p, fds[ci], off, blob.Synthetic(uint64(ci)+1, off, r)); err != nil {
+						panic(fmt.Sprintf("workload: write: %v", err))
+					}
+				}
+				writeTotals[si] += p.Now().Sub(t0)
+				bar.Wait(p)
+			}
+		})
+	}
+	env.Run()
+	for si, r := range opts.RecordSizes {
+		res.Write[r] = writeTotals[si] / sim.Duration(opts.Records*writerCount)
+	}
+
+	if opts.AfterWrite != nil {
+		opts.AfterWrite()
+	}
+
+	// Read stage: all clients participate.
+	readTotals := make([]sim.Duration, len(opts.RecordSizes))
+	rbar := sim.NewBarrier(env, nc)
+	for ci := 0; ci < nc; ci++ {
+		ci := ci
+		fs := mounts[ci]
+		env.Process(fmt.Sprintf("lat-read-%d", ci), func(p *sim.Proc) {
+			for si, r := range opts.RecordSizes {
+				rbar.Wait(p)
+				if opts.BeforeReadSize != nil {
+					if ci == 0 {
+						opts.BeforeReadSize(r)
+					}
+					rbar.Wait(p)
+				}
+				t0 := p.Now()
+				seed := uint64(ci) + 1
+				if opts.Shared {
+					seed = 1
+				}
+				for k := 0; k < opts.Records; k++ {
+					off := int64(k) * r
+					data, err := fs.Read(p, fds[ci], off, r)
+					if err != nil {
+						panic(fmt.Sprintf("workload: read: %v", err))
+					}
+					if data.Len() > 0 && data.At(0) != blob.Synthetic(seed, off, 1).At(0) {
+						panic("workload: read returned wrong data")
+					}
+				}
+				readTotals[si] += p.Now().Sub(t0)
+				rbar.Wait(p)
+			}
+		})
+	}
+	env.Run()
+	for si, r := range opts.RecordSizes {
+		res.Read[r] = readTotals[si] / sim.Duration(opts.Records*nc)
+	}
+	return res
+}
+
+// ThroughputOptions parameterizes the IOzone-like streaming benchmark.
+type ThroughputOptions struct {
+	Dir        string
+	FileSize   int64
+	RecordSize int64
+	// AfterWrite runs between the write and read stages.
+	AfterWrite func()
+	// ReRead adds a second read pass (IOzone's re-read test), which
+	// measures the fully-warm path.
+	ReRead bool
+}
+
+// ThroughputResult reports aggregate bandwidth in bytes per second of
+// virtual time.
+type ThroughputResult struct {
+	WriteBps  float64
+	ReadBps   float64
+	ReReadBps float64
+}
+
+// Throughput streams FileSize bytes per client (each to its own file) in
+// RecordSize units: a write pass, then a timed read pass. Aggregate
+// bandwidth divides total bytes by the slowest client's elapsed time, as
+// IOzone's throughput mode reports.
+func Throughput(env *sim.Env, mounts []gluster.FS, opts ThroughputOptions) ThroughputResult {
+	if opts.RecordSize <= 0 || opts.FileSize <= 0 || opts.FileSize%opts.RecordSize != 0 {
+		panic("workload: bad throughput geometry")
+	}
+	nc := len(mounts)
+	fds := make([]gluster.FD, nc)
+
+	var res ThroughputResult
+
+	// Write pass.
+	bar := sim.NewBarrier(env, nc)
+	var wStart, wEnd sim.Time
+	for ci, fs := range mounts {
+		ci, fs := ci, fs
+		env.Process(fmt.Sprintf("tput-write-%d", ci), func(p *sim.Proc) {
+			var err error
+			fds[ci], err = fs.Create(p, FilePath(opts.Dir, ci))
+			if err != nil {
+				panic(fmt.Sprintf("workload: create: %v", err))
+			}
+			bar.Wait(p)
+			if wStart == 0 {
+				wStart = p.Now()
+			}
+			seed := uint64(ci) + 1
+			for off := int64(0); off < opts.FileSize; off += opts.RecordSize {
+				if _, err := fs.Write(p, fds[ci], off, blob.Synthetic(seed, off, opts.RecordSize)); err != nil {
+					panic(fmt.Sprintf("workload: write: %v", err))
+				}
+			}
+			if p.Now() > wEnd {
+				wEnd = p.Now()
+			}
+		})
+	}
+	env.Run()
+	res.WriteBps = float64(opts.FileSize*int64(nc)) / wEnd.Sub(wStart).Seconds()
+
+	if opts.AfterWrite != nil {
+		opts.AfterWrite()
+	}
+
+	// Read pass.
+	rbar := sim.NewBarrier(env, nc)
+	var rStart, rEnd sim.Time
+	for ci, fs := range mounts {
+		ci, fs := ci, fs
+		env.Process(fmt.Sprintf("tput-read-%d", ci), func(p *sim.Proc) {
+			rbar.Wait(p)
+			if rStart == 0 {
+				rStart = p.Now()
+			}
+			for off := int64(0); off < opts.FileSize; off += opts.RecordSize {
+				data, err := fs.Read(p, fds[ci], off, opts.RecordSize)
+				if err != nil || data.Len() != opts.RecordSize {
+					panic(fmt.Sprintf("workload: read %d bytes at %d: %v", data.Len(), off, err))
+				}
+			}
+			if p.Now() > rEnd {
+				rEnd = p.Now()
+			}
+		})
+	}
+	env.Run()
+	res.ReadBps = float64(opts.FileSize*int64(nc)) / rEnd.Sub(rStart).Seconds()
+
+	if opts.ReRead {
+		rrbar := sim.NewBarrier(env, nc)
+		var rrStart, rrEnd sim.Time
+		for ci, fs := range mounts {
+			ci, fs := ci, fs
+			env.Process(fmt.Sprintf("tput-reread-%d", ci), func(p *sim.Proc) {
+				rrbar.Wait(p)
+				if rrStart == 0 {
+					rrStart = p.Now()
+				}
+				for off := int64(0); off < opts.FileSize; off += opts.RecordSize {
+					if _, err := fs.Read(p, fds[ci], off, opts.RecordSize); err != nil {
+						panic(fmt.Sprintf("workload: reread: %v", err))
+					}
+				}
+				if p.Now() > rrEnd {
+					rrEnd = p.Now()
+				}
+			})
+		}
+		env.Run()
+		res.ReReadBps = float64(opts.FileSize*int64(nc)) / rrEnd.Sub(rrStart).Seconds()
+	}
+	return res
+}

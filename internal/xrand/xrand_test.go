@@ -1,0 +1,116 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterministicStreams(t *testing.T) {
+	a, b := New(7), New(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := New(8)
+	same := 0
+	a = New(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds collided %d/100 times", same)
+	}
+}
+
+func TestIntnUniformish(t *testing.T) {
+	r := New(42)
+	counts := make([]int, 10)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(10)]++
+	}
+	for v, c := range counts {
+		if c < draws/10*8/10 || c > draws/10*12/10 {
+			t.Errorf("value %d drawn %d times, expected ~%d", v, c, draws/10)
+		}
+	}
+}
+
+func TestIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %f out of [0,1)", f)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(5)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestZipfSkewAndSupport(t *testing.T) {
+	r := New(9)
+	z := NewZipf(r, 1.0, 100)
+	counts := make([]int, 100)
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		k := z.Draw()
+		if k < 0 || k >= 100 {
+			t.Fatalf("draw %d out of support", k)
+		}
+		counts[k]++
+	}
+	// P(0)/P(1) should be ~2 for s=1.
+	ratio := float64(counts[0]) / float64(counts[1])
+	if ratio < 1.6 || ratio > 2.4 {
+		t.Errorf("P(0)/P(1) = %.2f, want ~2", ratio)
+	}
+	// Head heavier than tail.
+	if counts[0] < counts[99]*10 {
+		t.Errorf("head %d not clearly above tail %d", counts[0], counts[99])
+	}
+}
+
+func TestZipfMatchesTheory(t *testing.T) {
+	// For s=1, n=10: P(k) = (1/(k+1)) / H(10).
+	h := 0.0
+	for k := 1; k <= 10; k++ {
+		h += 1 / float64(k)
+	}
+	r := New(11)
+	z := NewZipf(r, 1.0, 10)
+	counts := make([]int, 10)
+	const draws = 300000
+	for i := 0; i < draws; i++ {
+		counts[z.Draw()]++
+	}
+	for k := 0; k < 10; k++ {
+		want := (1 / float64(k+1)) / h
+		got := float64(counts[k]) / draws
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("P(%d) = %.3f, want %.3f", k, got, want)
+		}
+	}
+}

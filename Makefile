@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: all build vet test race verify bench
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Tier-1 check: vet + build + race tests + example link check.
+verify:
+	sh scripts/verify.sh
+
+bench:
+	$(GO) test -bench . -benchtime=1x

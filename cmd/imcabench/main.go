@@ -5,11 +5,17 @@
 //
 //	imcabench -list
 //	imcabench -exp fig5 [-scale 64] [-csv]
+//	imcabench -exp fig6a -breakdown
 //	imcabench -exp all  [-scale 64]
 //
 // Scale divides the paper's full workload parameters (262144 files, 1 GB
 // files, 6 GB MCDs); -scale 1 runs the full-size experiment. Results are
 // virtual-time measurements and are deterministic for a given scale.
+//
+// -breakdown additionally traces selected configurations through the
+// per-operation context (internal/optrace) and prints per-layer latency
+// decompositions after the figure's table. Tracing costs no virtual time,
+// so the tables are identical with or without it.
 package main
 
 import (
@@ -28,6 +34,7 @@ func main() {
 		scale = flag.Int("scale", 64, "divide the paper's workload parameters by this factor (1 = full scale)")
 		csv   = flag.Bool("csv", false, "emit CSV instead of an aligned table")
 		plot  = flag.Bool("plot", false, "render an ASCII chart as well")
+		brk   = flag.Bool("breakdown", false, "print per-layer latency decompositions (experiments that support tracing)")
 	)
 	flag.Parse()
 
@@ -42,7 +49,7 @@ func main() {
 		return
 	}
 
-	opts := experiments.Options{Scale: *scale}
+	opts := experiments.Options{Scale: *scale, Breakdown: *brk}
 	run := func(e experiments.Experiment) {
 		start := time.Now()
 		res := e.Run(opts)
@@ -58,6 +65,12 @@ func main() {
 		}
 		for _, n := range res.Notes {
 			fmt.Printf("note: %s\n", n)
+		}
+		if *brk {
+			for _, nb := range res.Breakdowns {
+				fmt.Printf("\n-- %s --\n", nb.Title)
+				nb.Breakdown.Report(os.Stdout)
+			}
 		}
 	}
 

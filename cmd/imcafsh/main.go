@@ -19,8 +19,15 @@
 //	ls PATH                  list a directory
 //	flush                    flush every MCD (cold bank)
 //	stats                    translator and bank counters
+//	trace [on|off]           toggle per-command latency tracing
+//	breakdown                per-layer aggregate over traced commands
 //	time                     current virtual time
 //	help | quit
+//
+// With tracing on, each command's report is followed by its per-layer
+// latency decomposition (where the operation's virtual time went: FUSE,
+// CMCache, the MCD round trip, the server, the disk). Tracing costs no
+// virtual time, so timings are identical with it on or off.
 package main
 
 import (
@@ -34,13 +41,16 @@ import (
 	"imca/internal/blob"
 	"imca/internal/cluster"
 	"imca/internal/gluster"
+	"imca/internal/optrace"
 	"imca/internal/sim"
 )
 
 type shell struct {
-	c   *cluster.Cluster
-	fs  gluster.FS
-	fds map[string]gluster.FD
+	c     *cluster.Cluster
+	fs    gluster.FS
+	fds   map[string]gluster.FD
+	col   *optrace.Collector
+	trace bool
 }
 
 func main() {
@@ -54,7 +64,7 @@ func main() {
 	c := cluster.New(cluster.Options{
 		Clients: *clients, MCDs: *mcds, MCDMemBytes: 256 << 20, BlockSize: *block,
 	})
-	sh := &shell{c: c, fs: c.Mounts[0].FS, fds: make(map[string]gluster.FD)}
+	sh := &shell{c: c, fs: c.Mounts[0].FS, fds: make(map[string]gluster.FD), col: optrace.NewCollector()}
 
 	fmt.Printf("imcafsh: %d client(s), %d MCD(s), block %d — type 'help'\n", *clients, *mcds, *block)
 	in := bufio.NewScanner(os.Stdin)
@@ -76,16 +86,34 @@ func main() {
 }
 
 // inSim runs fn as a simulated process and returns the virtual time it
-// took.
-func (sh *shell) inSim(fn func(p *sim.Proc)) sim.Duration {
+// took; with tracing on, the whole command becomes one traced operation.
+func (sh *shell) inSim(name string, fn func(p *sim.Proc)) sim.Duration {
 	var took sim.Duration
 	sh.c.Env.Process("shell", func(p *sim.Proc) {
 		start := p.Now()
-		fn(p)
+		if sh.trace {
+			sh.col.Begin(p, name)
+			root := optrace.StartSpan(p, optrace.LayerOp, name)
+			fn(p)
+			root.End(p)
+			sh.col.End(p)
+		} else {
+			fn(p)
+		}
 		took = p.Now().Sub(start)
 	})
 	sh.c.Env.Run()
 	return took
+}
+
+// printTrace shows where the last traced command's virtual time went.
+func (sh *shell) printTrace() {
+	if !sh.trace || sh.col.Last == nil {
+		return
+	}
+	for _, lt := range sh.col.Last.ByLayer() {
+		fmt.Printf("  %-9s %12v\n", lt.Layer, lt.Self)
+	}
 }
 
 func (sh *shell) dispatch(args []string) {
@@ -97,7 +125,22 @@ func (sh *shell) dispatch(args []string) {
 	cmd := args[0]
 	switch cmd {
 	case "help":
-		fmt.Println("create|open|close|rm|stat|ls PATH; write|read PATH OFF SIZE; flush; stats; time; quit")
+		fmt.Println("create|open|close|rm|stat|ls PATH; write|read PATH OFF SIZE; flush; stats; trace [on|off]; breakdown; time; quit")
+	case "trace":
+		switch {
+		case len(args) == 1:
+			sh.trace = !sh.trace
+		case args[1] == "on":
+			sh.trace = true
+		case args[1] == "off":
+			sh.trace = false
+		default:
+			fmt.Println("usage: trace [on|off]")
+			return
+		}
+		fmt.Printf("tracing %v\n", map[bool]string{true: "on", false: "off"}[sh.trace])
+	case "breakdown":
+		sh.col.Breakdown().Report(os.Stdout)
 	case "time":
 		fmt.Printf("virtual time: %v\n", sim.Duration(sh.c.Env.Now()))
 	case "flush":
@@ -137,7 +180,7 @@ func (sh *shell) fdFor(path string) (gluster.FD, bool) {
 
 func (sh *shell) pathCmd(cmd, path string) {
 	var err error
-	took := sh.inSim(func(p *sim.Proc) {
+	took := sh.inSim(cmd, func(p *sim.Proc) {
 		switch cmd {
 		case "create":
 			var fd gluster.FD
@@ -175,6 +218,7 @@ func (sh *shell) pathCmd(cmd, path string) {
 		}
 	})
 	report(cmd, took, err)
+	sh.printTrace()
 }
 
 func (sh *shell) ioCmd(cmd, path string, off, size int64) {
@@ -185,7 +229,7 @@ func (sh *shell) ioCmd(cmd, path string, off, size int64) {
 	}
 	var err error
 	var hit string
-	took := sh.inSim(func(p *sim.Proc) {
+	took := sh.inSim(cmd, func(p *sim.Proc) {
 		switch cmd {
 		case "write":
 			_, err = sh.fs.Write(p, fd, off, blob.Synthetic(uint64(len(path))+1, off, size))
@@ -210,6 +254,7 @@ func (sh *shell) ioCmd(cmd, path string, off, size int64) {
 		}
 	})
 	report(cmd+hit, took, err)
+	sh.printTrace()
 }
 
 func report(what string, took sim.Duration, err error) {

@@ -189,7 +189,9 @@ func (c *Cluster) FSes() []gluster.FS {
 	return out
 }
 
-// BankStats sums memcached statistics across the MCD bank.
+// BankStats sums memcached statistics across the MCD bank. DownReplies is
+// a client-side observation, so it sums over every translator's bank
+// client (all mounts' CMCaches and all bricks' SMCaches).
 func (c *Cluster) BankStats() memcache.Stats {
 	var total memcache.Stats
 	for _, s := range c.MCDs {
@@ -203,6 +205,16 @@ func (c *Cluster) BankStats() memcache.Stats {
 		total.CurrItems += st.CurrItems
 		total.TotalItems += st.TotalItems
 		total.Bytes += st.Bytes
+	}
+	for _, m := range c.Mounts {
+		if m.CMCache != nil {
+			total.DownReplies += m.CMCache.Bank().DownReplies()
+		}
+	}
+	for _, b := range c.Bricks {
+		if b.SMCache != nil {
+			total.DownReplies += b.SMCache.Bank().DownReplies()
+		}
 	}
 	return total
 }

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"strconv"
+
 	"imca/internal/blob"
 	"imca/internal/gluster"
 	"imca/internal/memcache"
+	"imca/internal/optrace"
 	"imca/internal/sim"
 )
 
@@ -49,6 +52,9 @@ func NewCMCache(child gluster.FS, mcd *memcache.SimClient, cfg Config) *CMCache 
 	}
 }
 
+// Bank returns the MCD bank client (for stats inspection).
+func (c *CMCache) Bank() *memcache.SimClient { return c.mcd }
+
 // Create implements gluster.FS; create operations offer no caching
 // opportunity and are forwarded directly (paper §4.2).
 func (c *CMCache) Create(p *sim.Proc, path string) (gluster.FD, error) {
@@ -75,15 +81,22 @@ func (c *CMCache) Close(p *sim.Proc, fd gluster.FD) error {
 }
 
 // Stat implements gluster.FS: it first attempts to fetch the stat
-// structure from the MCD bank and falls back to the server on a miss.
+// structure from the MCD bank and falls back to the server on a miss. Any
+// cache-budget deadline is spent once the bank answers (or fails to): the
+// server fallback must complete.
 func (c *CMCache) Stat(p *sim.Proc, path string) (*gluster.Stat, error) {
+	sp := optrace.StartSpan(p, optrace.LayerCMCache, "stat")
+	defer sp.End(p)
 	if it, ok := c.mcd.Get(p, statKey(path)); ok {
 		if st, err := decodeStat(it.Value); err == nil {
 			c.Stats.StatHits++
+			sp.SetAttr("result", "hit")
 			return st, nil
 		}
 	}
 	c.Stats.StatMisses++
+	sp.SetAttr("result", "miss")
+	optrace.ClearDeadline(p)
 	return c.child.Stat(p, path)
 }
 
@@ -101,6 +114,9 @@ func (c *CMCache) Read(p *sim.Proc, fd gluster.FD, off, size int64) (blob.Blob, 
 		// Descriptor not opened through this translator; pass through.
 		return c.child.Read(p, fd, off, size)
 	}
+	sp := optrace.StartSpan(p, optrace.LayerCMCache, "read")
+	sp.SetAttr("bytes", strconv.FormatInt(size, 10))
+	defer sp.End(p)
 	bs := c.cfg.blockSize()
 	offsets := blockOffsets(off, size, bs)
 	keys := make([]string, len(offsets))
@@ -111,31 +127,16 @@ func (c *CMCache) Read(p *sim.Proc, fd gluster.FD, off, size int64) (blob.Blob, 
 	items := c.mcd.GetMulti(p, keys)
 	c.Stats.BlockHits += uint64(len(items))
 	if len(items) < len(keys) {
-		c.Stats.ReadMisses++
-		if !c.cfg.ClientPopulate {
-			return c.child.Read(p, fd, off, size)
-		}
-		// Client-populate mode: widen to block alignment, push the
-		// fetched blocks ourselves, and return the requested slice.
-		alignedOff, alignedSize := alignSpan(off, size, bs)
-		data, err := c.child.Read(p, fd, alignedOff, alignedSize)
-		if err != nil {
-			return blob.Blob{}, err
-		}
-		c.pushBlocks(p, path, alignedOff, data)
-		lo := off - alignedOff
-		if lo >= data.Len() {
-			return blob.Blob{}, nil
-		}
-		hi := lo + size
-		if hi > data.Len() {
-			hi = data.Len()
-		}
-		return data.Slice(lo, hi), nil
+		sp.SetAttr("result", "miss")
+		return c.forwardRead(p, fd, path, off, size)
 	}
 
 	// Assemble the requested range from the blocks. A block shorter than
-	// the block size marks end of file.
+	// the block size claims end of file — trustworthy only in the final
+	// covering block. A short block with more covering blocks behind it is
+	// an inconsistency (e.g. a stale tail block of a file that has since
+	// grown): returning the assembly would be a silent short read, so the
+	// whole read falls back to the server instead.
 	var parts []blob.Blob
 	want := size
 	for i, bo := range offsets {
@@ -144,21 +145,58 @@ func (c *CMCache) Read(p *sim.Proc, fd gluster.FD, off, size int64) (blob.Blob, 
 		if bo < off {
 			lo = off - bo
 		}
-		if lo >= b.Len() {
-			break // read starts past EOF within this tail block
+		if lo < b.Len() {
+			hi := b.Len()
+			if take := lo + want; take < hi {
+				hi = take
+			}
+			parts = append(parts, b.Slice(lo, hi))
+			want -= hi - lo
 		}
-		hi := b.Len()
-		if take := lo + want; take < hi {
-			hi = take
+		if want == 0 {
+			break
 		}
-		parts = append(parts, b.Slice(lo, hi))
-		want -= hi - lo
-		if want == 0 || b.Len() < bs {
-			break // satisfied, or EOF tail block
+		if b.Len() < bs {
+			if i < len(offsets)-1 {
+				// Mid-range EOF claim contradicted by the blocks after it.
+				sp.SetAttr("result", "short-miss")
+				return c.forwardRead(p, fd, path, off, size)
+			}
+			break // EOF in the final block: a legitimate short read
 		}
 	}
 	c.Stats.ReadHits++
+	sp.SetAttr("result", "hit")
 	return blob.Concat(parts...), nil
+}
+
+// forwardRead satisfies a read from the server after the MCD bank could
+// not. The cache-budget deadline (if any) is spent: the server path is
+// authoritative and must complete.
+func (c *CMCache) forwardRead(p *sim.Proc, fd gluster.FD, path string, off, size int64) (blob.Blob, error) {
+	c.Stats.ReadMisses++
+	optrace.ClearDeadline(p)
+	if !c.cfg.ClientPopulate {
+		return c.child.Read(p, fd, off, size)
+	}
+	// Client-populate mode: widen to block alignment, push the fetched
+	// blocks ourselves, and return the requested slice.
+	bs := c.cfg.blockSize()
+	alignedOff, alignedSize := alignSpan(off, size, bs)
+	data, err := c.child.Read(p, fd, alignedOff, alignedSize)
+	if err != nil {
+		return blob.Blob{}, err
+	}
+	c.pushBlocks(p, path, alignedOff, data)
+	lo := off - alignedOff
+	if lo >= data.Len() {
+		return blob.Blob{}, nil
+	}
+	hi := lo + size
+	if hi > data.Len() {
+		hi = data.Len()
+	}
+	return data.Slice(lo, hi), nil
 }
 
 // Write implements gluster.FS; CMCache does not intercept writes — they
@@ -166,6 +204,9 @@ func (c *CMCache) Read(p *sim.Proc, fd gluster.FD, off, size int64) (blob.Blob, 
 // In client-populate mode the completed write's aligned span is re-read
 // and pushed to the MCD bank, mirroring what SMCache does server-side.
 func (c *CMCache) Write(p *sim.Proc, fd gluster.FD, off int64, data blob.Blob) (int64, error) {
+	sp := optrace.StartSpan(p, optrace.LayerCMCache, "write")
+	sp.SetAttr("bytes", strconv.FormatInt(data.Len(), 10))
+	defer sp.End(p)
 	if !c.cfg.ClientPopulate {
 		return c.child.Write(p, fd, off, data)
 	}

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"strconv"
+
 	"imca/internal/blob"
 	"imca/internal/gluster"
 	"imca/internal/memcache"
+	"imca/internal/optrace"
 	"imca/internal/sim"
 )
 
@@ -57,23 +60,36 @@ func NewSMCache(env *sim.Env, child gluster.FS, mcd *memcache.SimClient, cfg Con
 // Child returns the wrapped storage stack.
 func (s *SMCache) Child() gluster.FS { return s.child }
 
-// purgeData deletes the data blocks recorded for path. The stat entry
-// stays valid (open/close do not change file contents' metadata beyond
-// what the fresh stat push provides).
-func (s *SMCache) purgeData(p *sim.Proc, path string) {
+// Bank returns the MCD bank client (for stats inspection).
+func (s *SMCache) Bank() *memcache.SimClient { return s.mcd }
+
+// purgeData deletes the data blocks recorded for path, returning how many
+// keys it removed. The stat entry stays valid (open/close do not change
+// file contents' metadata beyond what the fresh stat push provides).
+func (s *SMCache) purgeData(p *sim.Proc, path string) int {
+	n := 0
 	for bo := range s.pushed[path] {
 		s.mcd.Delete(p, blockKey(path, bo))
 		s.Stats.Purges++
+		n++
 	}
 	delete(s.pushed, path)
+	return n
 }
 
 // purgeAll additionally removes the stat entry — used for deletes and
 // truncates, where a stale stat would be a false positive.
-func (s *SMCache) purgeAll(p *sim.Proc, path string) {
+func (s *SMCache) purgeAll(p *sim.Proc, path string) int {
 	s.mcd.Delete(p, statKey(path))
 	s.Stats.Purges++
-	s.purgeData(p, path)
+	return 1 + s.purgeData(p, path)
+}
+
+// setPurged annotates a span with the number of purged keys.
+func setPurged(sp *optrace.Span, n int) {
+	if n > 0 {
+		sp.SetAttr("purged", strconv.Itoa(n))
+	}
 }
 
 // pushStat stores a file's stat structure in the MCD bank.
@@ -115,12 +131,14 @@ func (s *SMCache) deferIf(p *sim.Proc, name string, fn func(q *sim.Proc)) {
 
 // Create implements gluster.FS.
 func (s *SMCache) Create(p *sim.Proc, path string) (gluster.FD, error) {
+	sp := optrace.StartSpan(p, optrace.LayerSMCache, "create")
+	defer sp.End(p)
 	fd, err := s.child.Create(p, path)
 	if err != nil {
 		return fd, err
 	}
 	s.fdPaths[fd] = path
-	s.purgeData(p, path) // a re-created path must not serve stale blocks
+	setPurged(sp, s.purgeData(p, path)) // a re-created path must not serve stale blocks
 	if st, serr := s.child.Stat(p, path); serr == nil {
 		s.pushStat(p, st)
 	}
@@ -130,12 +148,14 @@ func (s *SMCache) Create(p *sim.Proc, path string) (gluster.FD, error) {
 // Open implements gluster.FS: the MCDs are purged of data for the file,
 // then the fresh stat structure is pushed (paper §4.3.2 and §4.2).
 func (s *SMCache) Open(p *sim.Proc, path string) (gluster.FD, error) {
+	sp := optrace.StartSpan(p, optrace.LayerSMCache, "open")
+	defer sp.End(p)
 	fd, err := s.child.Open(p, path)
 	if err != nil {
 		return fd, err
 	}
 	s.fdPaths[fd] = path
-	s.purgeData(p, path)
+	setPurged(sp, s.purgeData(p, path))
 	if st, serr := s.child.Stat(p, path); serr == nil {
 		s.pushStat(p, st)
 	}
@@ -145,8 +165,10 @@ func (s *SMCache) Open(p *sim.Proc, path string) (gluster.FD, error) {
 // Close implements gluster.FS: SMCache discards the file's data (not its
 // stat entry) from the MCDs when the close arrives.
 func (s *SMCache) Close(p *sim.Proc, fd gluster.FD) error {
+	sp := optrace.StartSpan(p, optrace.LayerSMCache, "close")
+	defer sp.End(p)
 	if path, ok := s.fdPaths[fd]; ok {
-		s.purgeData(p, path)
+		setPurged(sp, s.purgeData(p, path))
 		delete(s.fdPaths, fd)
 	}
 	return s.child.Close(p, fd)
@@ -156,6 +178,8 @@ func (s *SMCache) Close(p *sim.Proc, fd gluster.FD) error {
 // the completed data can be fed to the MCDs as whole blocks; the client's
 // requested range is sliced out of the aligned result.
 func (s *SMCache) Read(p *sim.Proc, fd gluster.FD, off, size int64) (blob.Blob, error) {
+	sp := optrace.StartSpan(p, optrace.LayerSMCache, "read")
+	defer sp.End(p)
 	path, tracked := s.fdPaths[fd]
 	if !tracked || size <= 0 {
 		return s.child.Read(p, fd, off, size)
@@ -187,6 +211,8 @@ func (s *SMCache) Read(p *sim.Proc, fd gluster.FD, off, size int64) (blob.Blob, 
 // directly (paper §4.3.2). In Threaded mode the read-back and pushes leave
 // the critical path.
 func (s *SMCache) Write(p *sim.Proc, fd gluster.FD, off int64, data blob.Blob) (int64, error) {
+	sp := optrace.StartSpan(p, optrace.LayerSMCache, "write")
+	defer sp.End(p)
 	path, tracked := s.fdPaths[fd]
 	// The pre-write size decides whether this write grows the file past a
 	// partially-filled tail block, whose cached copy would otherwise keep
@@ -232,6 +258,8 @@ func (s *SMCache) Write(p *sim.Proc, fd gluster.FD, off int64, data blob.Blob) (
 // Stat implements gluster.FS, feeding the completed stat structure to the
 // MCDs so later client stats hit the cache.
 func (s *SMCache) Stat(p *sim.Proc, path string) (*gluster.Stat, error) {
+	sp := optrace.StartSpan(p, optrace.LayerSMCache, "stat")
+	defer sp.End(p)
 	st, err := s.child.Stat(p, path)
 	if err != nil {
 		return nil, err
@@ -247,10 +275,12 @@ func (s *SMCache) Stat(p *sim.Proc, path string) (*gluster.Stat, error) {
 // Unlink implements gluster.FS: the file's cache entries are removed so
 // clients cannot see false positives for a deleted file (paper §4.2).
 func (s *SMCache) Unlink(p *sim.Proc, path string) error {
+	sp := optrace.StartSpan(p, optrace.LayerSMCache, "unlink")
+	defer sp.End(p)
 	if err := s.child.Unlink(p, path); err != nil {
 		return err
 	}
-	s.purgeAll(p, path)
+	setPurged(sp, s.purgeAll(p, path))
 	return nil
 }
 
@@ -265,10 +295,12 @@ func (s *SMCache) Readdir(p *sim.Proc, path string) ([]string, error) {
 // Truncate implements gluster.FS, purging cached blocks that may now lie
 // past end of file.
 func (s *SMCache) Truncate(p *sim.Proc, path string, size int64) error {
+	sp := optrace.StartSpan(p, optrace.LayerSMCache, "truncate")
+	defer sp.End(p)
 	if err := s.child.Truncate(p, path, size); err != nil {
 		return err
 	}
-	s.purgeAll(p, path)
+	setPurged(sp, s.purgeAll(p, path))
 	if st, serr := s.child.Stat(p, path); serr == nil {
 		s.pushStat(p, st)
 	}

@@ -19,6 +19,7 @@ import (
 	"imca/internal/gluster"
 	"imca/internal/lustre"
 	"imca/internal/metrics"
+	"imca/internal/optrace"
 	"imca/internal/sim"
 )
 
@@ -27,6 +28,11 @@ type Options struct {
 	// Scale divides the paper's workload parameters. 1 = full paper
 	// scale; the default 64 finishes each experiment in seconds.
 	Scale int
+	// Breakdown additionally traces selected configurations and attaches
+	// per-layer latency decompositions to the result (imcabench
+	// -breakdown). Tracing costs no virtual time: the tables are
+	// identical with it on or off.
+	Breakdown bool
 }
 
 func (o Options) scale() int {
@@ -55,6 +61,15 @@ type Result struct {
 	// Notes are headline observations computed from the table, mirroring
 	// the claims the paper makes about the figure.
 	Notes []string
+	// Breakdowns are per-layer latency decompositions, present when
+	// Options.Breakdown was set and the experiment supports tracing.
+	Breakdowns []NamedBreakdown
+}
+
+// NamedBreakdown titles one latency decomposition for display.
+type NamedBreakdown struct {
+	Title     string
+	Breakdown *optrace.Breakdown
 }
 
 // Runner regenerates one figure.
@@ -91,6 +106,7 @@ var Registry = []Experiment{
 	{"ext-smallfile", "Extension (§3): small-file workload; the purge-on-open trade-off", ExtSmallFiles},
 	{"ext-mdtest", "Extension (§5.2): mdtest-style create/stat/unlink metadata rates", ExtMDTest},
 	{"ext-bricks", "Extension (§2.1): scaling by storage bricks vs scaling by cache nodes", ExtBricks},
+	{"ext-breakdown", "Extension (§6): per-layer latency decomposition of one warm read at each block size", ExtBreakdown},
 }
 
 // Find returns the experiment with the given name.

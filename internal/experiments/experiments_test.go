@@ -17,6 +17,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig7a", "fig7b", "fig8a", "fig8b", "fig8c", "fig8d",
 		"fig9", "fig10",
 		"ext-rdma", "ext-hash", "ext-lustre", "ext-sharing", "ext-smallfile", "ext-mdtest", "ext-bricks",
+		"ext-breakdown",
 	}
 	if len(Registry) != len(wantFigs) {
 		t.Fatalf("registry has %d entries, want %d", len(Registry), len(wantFigs))
@@ -179,5 +180,53 @@ func TestExtSharingShape(t *testing.T) {
 	// The bank's advantage must grow (or at least persist) with clients.
 	if res.Table.Value(last, "IMCa(2MCD)") >= res.Table.Value(last, "Lustre(coherent client cache)") {
 		t.Error("bank not ahead of the coherent client cache at max clients")
+	}
+}
+
+func TestExtBreakdownShape(t *testing.T) {
+	res := ExtBreakdown(tiny)
+	rows := res.Table.Rows()
+	if rows < 3 {
+		t.Fatalf("rows = %d, want at least a few layers plus end-to-end", rows)
+	}
+	if res.Table.X(rows-1) != "end-to-end" {
+		t.Fatalf("last row = %q, want end-to-end", res.Table.X(rows-1))
+	}
+	// The decomposition is a partition: layer segments sum to the
+	// end-to-end latency, per block size.
+	for _, col := range []string{"IMCa-256", "IMCa-2K", "IMCa-8K"} {
+		var sum float64
+		for i := 0; i < rows-1; i++ {
+			sum += res.Table.Value(i, col)
+		}
+		total := res.Table.Value(rows-1, col)
+		if total <= 0 {
+			t.Errorf("%s end-to-end = %f, want > 0", col, total)
+		}
+		if diff := sum - total; diff > 0.01 || diff < -0.01 {
+			t.Errorf("%s: layer sum %f µs != end-to-end %f µs", col, sum, total)
+		}
+	}
+	if len(res.Breakdowns) != 3 {
+		t.Errorf("Breakdowns = %d, want 3", len(res.Breakdowns))
+	}
+}
+
+func TestBreakdownOptionKeepsTablesIdentical(t *testing.T) {
+	plain := Fig6a(tiny)
+	traced := Fig6a(Options{Scale: tiny.Scale, Breakdown: true})
+	for i := 0; i < plain.Table.Rows(); i++ {
+		for _, col := range []string{"NoCache", "IMCa-2K"} {
+			if plain.Table.Value(i, col) != traced.Table.Value(i, col) {
+				t.Fatalf("row %d %s: %f (plain) != %f (traced) — tracing must cost zero virtual time",
+					i, col, plain.Table.Value(i, col), traced.Table.Value(i, col))
+			}
+		}
+	}
+	if len(traced.Breakdowns) == 0 {
+		t.Error("traced run attached no breakdowns")
+	}
+	if len(plain.Breakdowns) != 0 {
+		t.Error("plain run attached breakdowns")
 	}
 }

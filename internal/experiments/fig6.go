@@ -1,17 +1,43 @@
 package experiments
 
 import (
+	"fmt"
+
 	"imca/internal/cluster"
 	"imca/internal/gluster"
 	"imca/internal/metrics"
+	"imca/internal/optrace"
 	"imca/internal/workload"
 )
 
 // latencyRun executes the single/multi-client latency benchmark on a fresh
 // GlusterFS/IMCa deployment and returns the per-record-size averages.
 func latencyRun(o Options, opts cluster.Options, sizes []int64) workload.LatencyResult {
+	return latencyRunTrace(o, opts, sizes, false)
+}
+
+// latencyRunTrace is latencyRun with optional per-operation tracing; the
+// latencies are identical either way (tracing costs no virtual time), but
+// the traced result additionally carries per-layer breakdowns.
+func latencyRunTrace(o Options, opts cluster.Options, sizes []int64, trace bool) workload.LatencyResult {
 	c, mounts := glusterMounts(gOpts(o, opts))
-	return latencyRunOn(o, c, mounts, sizes)
+	return workload.Latency(c.Env, mounts, workload.LatencyOptions{
+		Dir:         "/lat",
+		RecordSizes: sizes,
+		Records:     o.records(),
+		Trace:       trace,
+	})
+}
+
+// breakdownSet titles one per-record-size breakdown map for display.
+func breakdownSet(prefix string, sizes []int64, m map[int64]*optrace.Breakdown) []NamedBreakdown {
+	var out []NamedBreakdown
+	for _, r := range sizes {
+		if b := m[r]; b != nil && b.Count() > 0 {
+			out = append(out, NamedBreakdown{fmt.Sprintf("%s, %s records", prefix, fmtSize(r)), b})
+		}
+	}
+	return out
 }
 
 // latencyRunOn drives an already-deployed cluster (so callers can inspect
@@ -44,9 +70,9 @@ func lustreLatencyRun(o Options, clients, osts int, sizes []int64, cold bool) wo
 func fig6Read(o Options, name, title string, sizes []int64) *Result {
 	mcdMem := o.mcdMemForLatency()
 
-	noCache := latencyRun(o, cluster.Options{Clients: 1}, sizes)
+	noCache := latencyRunTrace(o, cluster.Options{Clients: 1}, sizes, o.Breakdown)
 	imca256 := latencyRun(o, cluster.Options{Clients: 1, MCDs: 1, MCDMemBytes: mcdMem, BlockSize: 256}, sizes)
-	imca2k := latencyRun(o, cluster.Options{Clients: 1, MCDs: 1, MCDMemBytes: mcdMem, BlockSize: 2048}, sizes)
+	imca2k := latencyRunTrace(o, cluster.Options{Clients: 1, MCDs: 1, MCDMemBytes: mcdMem, BlockSize: 2048}, sizes, o.Breakdown)
 	imca8k := latencyRun(o, cluster.Options{Clients: 1, MCDs: 1, MCDMemBytes: mcdMem, BlockSize: 8192}, sizes)
 	lus1Cold := lustreLatencyRun(o, 1, 1, sizes, true)
 	lus4Cold := lustreLatencyRun(o, 1, 4, sizes, true)
@@ -61,7 +87,14 @@ func fig6Read(o Options, name, title string, sizes []int64) *Result {
 			usPerOp(imca2k.Read[r]), usPerOp(imca8k.Read[r]),
 			usPerOp(lus1Cold.Read[r]), usPerOp(lus4Cold.Read[r]), usPerOp(lus4Warm.Read[r]))
 	}
-	return &Result{Name: name, Table: tb}
+	res := &Result{Name: name, Table: tb}
+	if o.Breakdown {
+		res.Breakdowns = append(res.Breakdowns,
+			breakdownSet("IMCa-2K read", sizes, imca2k.ReadBreakdowns)...)
+		res.Breakdowns = append(res.Breakdowns,
+			breakdownSet("NoCache read", sizes, noCache.ReadBreakdowns)...)
+	}
+	return res
 }
 
 // Fig6a is the small-record read latency sweep (1 B – 2 KB): IMCa wins at
@@ -106,8 +139,8 @@ func Fig6c(o Options) *Result {
 	sizes := []int64{1, 16, 256, 2048, 8192, 65536}
 
 	noCache := latencyRun(o, cluster.Options{Clients: 1}, sizes)
-	inline := latencyRun(o, cluster.Options{Clients: 1, MCDs: 1, MCDMemBytes: mcdMem, BlockSize: 2048}, sizes)
-	threaded := latencyRun(o, cluster.Options{Clients: 1, MCDs: 1, MCDMemBytes: mcdMem, BlockSize: 2048, Threaded: true}, sizes)
+	inline := latencyRunTrace(o, cluster.Options{Clients: 1, MCDs: 1, MCDMemBytes: mcdMem, BlockSize: 2048}, sizes, o.Breakdown)
+	threaded := latencyRunTrace(o, cluster.Options{Clients: 1, MCDs: 1, MCDMemBytes: mcdMem, BlockSize: 2048, Threaded: true}, sizes, o.Breakdown)
 
 	tb := metrics.NewTable("Fig 6(c): single-client write latency, IMCa block 2K",
 		"record size", "write latency (µs/op)",
@@ -123,6 +156,12 @@ func Fig6c(o Options) *Result {
 			tb.Value(mid, "IMCa(inline)"), tb.Value(mid, "NoCache")),
 		note("2K writes: threaded %.0f µs vs NoCache %.0f µs (paper: threaded ≈ NoCache)",
 			tb.Value(mid, "IMCa(threaded)"), tb.Value(mid, "NoCache")),
+	}
+	if o.Breakdown {
+		res.Breakdowns = append(res.Breakdowns,
+			breakdownSet("IMCa(inline) write", sizes, inline.WriteBreakdowns)...)
+		res.Breakdowns = append(res.Breakdowns,
+			breakdownSet("IMCa(threaded) write", sizes, threaded.WriteBreakdowns)...)
 	}
 	return res
 }

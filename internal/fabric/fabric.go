@@ -16,8 +16,15 @@ import (
 	"fmt"
 	"time"
 
+	"imca/internal/optrace"
 	"imca/internal/sim"
 )
+
+// ErrDeadline is returned by Call when the calling process's operation
+// context (see optrace) has a virtual-time deadline that the call would
+// pass. Cache layers treat it as a miss; the wire and the far daemon may
+// still carry the abandoned request and response.
+var ErrDeadline = optrace.ErrDeadline
 
 // Transport describes a network technology's first-order performance model.
 type Transport struct {
@@ -175,7 +182,16 @@ func transfer(p *sim.Proc, src, dst *Node, size int64) {
 // Call performs a synchronous RPC from nd to dst: the request crosses the
 // network, a handler process runs on dst, and the response crosses back.
 // It must be called in process context.
-func (nd *Node) Call(p *sim.Proc, dst *Node, service string, req Msg) Msg {
+//
+// When the calling process carries an operation context with a deadline
+// (see optrace), Call honors it: if the deadline has already passed, or
+// passes while the request serializes, or passes before the response
+// arrives, Call abandons the RPC and returns ErrDeadline at the deadline
+// instant. The far side is unaware — a spawned handler still runs to
+// completion and its response still crosses the wire, exactly as a real
+// timed-out RPC leaves work behind. Tracing and deadline checks cost no
+// virtual time.
+func (nd *Node) Call(p *sim.Proc, dst *Node, service string, req Msg) (Msg, error) {
 	if nd.net != dst.net {
 		panic("fabric: cross-network call")
 	}
@@ -183,11 +199,26 @@ func (nd *Node) Call(p *sim.Proc, dst *Node, service string, req Msg) Msg {
 	if !ok {
 		panic(fmt.Sprintf("fabric: no service %q on %s", service, dst.name))
 	}
+	deadline, hasDeadline := optrace.Deadline(p)
+	if hasDeadline && p.Now() >= deadline {
+		return nil, ErrDeadline
+	}
 
+	sp := optrace.StartSpan(p, optrace.LayerNet, service)
+	sp.SetAttr("to", dst.name)
+	rq := optrace.StartSpan(p, optrace.LayerNet, "request")
 	transfer(p, nd, dst, req.WireSize())
+	rq.End(p)
+	if hasDeadline && p.Now() >= deadline {
+		// Expired during serialization: the request is on the wire but the
+		// caller gives up before waiting for service.
+		sp.SetAttr("deadline", "expired")
+		sp.End(p)
+		return nil, ErrDeadline
+	}
 
 	done := sim.NewEvent(p.Env())
-	dst.net.env.Process(dst.name+"/"+service, func(hp *sim.Proc) {
+	hp := dst.net.env.Process(dst.name+"/"+service, func(hp *sim.Proc) {
 		resp := h(hp, nd, req)
 		// Response travels in the handler's context so the server pays
 		// its own send-side costs before the caller proceeds.
@@ -211,17 +242,33 @@ func (nd *Node) Call(p *sim.Proc, dst *Node, service string, req Msg) Msg {
 		nd.RxMsgs++
 		done.Trigger(resp)
 	})
-	resp := done.Wait(p)
+	// The handler inherits the caller's operation context, so spans it
+	// opens (server daemon, storage, disk) nest under this call's span.
+	optrace.Fork(p, hp)
+
+	var resp interface{}
+	if hasDeadline {
+		v, ok := done.WaitUntil(p, deadline)
+		if !ok {
+			sp.SetAttr("deadline", "expired")
+			sp.End(p)
+			return nil, ErrDeadline
+		}
+		resp = v
+	} else {
+		resp = done.Wait(p)
+	}
 	// Caller-side protocol processing for the response.
 	var respSize int64
 	if m, ok := resp.(Msg); ok && m != nil {
 		respSize = m.WireSize()
 	}
 	nd.CPU.Use(p, nd.net.transport.hostCost(respSize+headerBytes))
+	sp.End(p)
 	if resp == nil {
-		return nil
+		return nil, nil
 	}
-	return resp.(Msg)
+	return resp.(Msg), nil
 }
 
 // Bytes is a convenience Msg for raw payloads of a given size.

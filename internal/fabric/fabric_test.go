@@ -129,7 +129,8 @@ func TestNestedCalls(t *testing.T) {
 	c := net.NewNode("c", 8)
 	c.Handle("leaf", echo)
 	b.Handle("mid", func(p *sim.Proc, from *Node, req Msg) Msg {
-		return b.Call(p, c, "leaf", req)
+		resp, _ := b.Call(p, c, "leaf", req)
+		return resp
 	})
 	var direct, nested sim.Duration
 	env.Process("client", func(p *sim.Proc) {

@@ -5,6 +5,7 @@ import (
 
 	"imca/internal/blob"
 	"imca/internal/fabric"
+	"imca/internal/optrace"
 	"imca/internal/sim"
 )
 
@@ -54,24 +55,32 @@ func (f *Fuse) charge(p *sim.Proc, payload int64) {
 
 // Create implements FS.
 func (f *Fuse) Create(p *sim.Proc, path string) (FD, error) {
+	sp := optrace.StartSpan(p, optrace.LayerFuse, "create")
+	defer sp.End(p)
 	f.charge(p, 0)
 	return f.child.Create(p, path)
 }
 
 // Open implements FS.
 func (f *Fuse) Open(p *sim.Proc, path string) (FD, error) {
+	sp := optrace.StartSpan(p, optrace.LayerFuse, "open")
+	defer sp.End(p)
 	f.charge(p, 0)
 	return f.child.Open(p, path)
 }
 
 // Close implements FS.
 func (f *Fuse) Close(p *sim.Proc, fd FD) error {
+	sp := optrace.StartSpan(p, optrace.LayerFuse, "close")
+	defer sp.End(p)
 	f.charge(p, 0)
 	return f.child.Close(p, fd)
 }
 
 // Read implements FS.
 func (f *Fuse) Read(p *sim.Proc, fd FD, off, size int64) (blob.Blob, error) {
+	sp := optrace.StartSpan(p, optrace.LayerFuse, "read")
+	defer sp.End(p)
 	data, err := f.child.Read(p, fd, off, size)
 	f.charge(p, data.Len())
 	return data, err
@@ -79,36 +88,48 @@ func (f *Fuse) Read(p *sim.Proc, fd FD, off, size int64) (blob.Blob, error) {
 
 // Write implements FS.
 func (f *Fuse) Write(p *sim.Proc, fd FD, off int64, data blob.Blob) (int64, error) {
+	sp := optrace.StartSpan(p, optrace.LayerFuse, "write")
+	defer sp.End(p)
 	f.charge(p, data.Len())
 	return f.child.Write(p, fd, off, data)
 }
 
 // Stat implements FS.
 func (f *Fuse) Stat(p *sim.Proc, path string) (*Stat, error) {
+	sp := optrace.StartSpan(p, optrace.LayerFuse, "stat")
+	defer sp.End(p)
 	f.charge(p, 0)
 	return f.child.Stat(p, path)
 }
 
 // Unlink implements FS.
 func (f *Fuse) Unlink(p *sim.Proc, path string) error {
+	sp := optrace.StartSpan(p, optrace.LayerFuse, "unlink")
+	defer sp.End(p)
 	f.charge(p, 0)
 	return f.child.Unlink(p, path)
 }
 
 // Mkdir implements FS.
 func (f *Fuse) Mkdir(p *sim.Proc, path string) error {
+	sp := optrace.StartSpan(p, optrace.LayerFuse, "mkdir")
+	defer sp.End(p)
 	f.charge(p, 0)
 	return f.child.Mkdir(p, path)
 }
 
 // Readdir implements FS.
 func (f *Fuse) Readdir(p *sim.Proc, path string) ([]string, error) {
+	sp := optrace.StartSpan(p, optrace.LayerFuse, "readdir")
+	defer sp.End(p)
 	f.charge(p, 0)
 	return f.child.Readdir(p, path)
 }
 
 // Truncate implements FS.
 func (f *Fuse) Truncate(p *sim.Proc, path string, size int64) error {
+	sp := optrace.StartSpan(p, optrace.LayerFuse, "truncate")
+	defer sp.End(p)
 	f.charge(p, 0)
 	return f.child.Truncate(p, path, size)
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"imca/internal/blob"
+	"imca/internal/optrace"
 	"imca/internal/sim"
 )
 
@@ -166,6 +167,8 @@ func (io *IOCache) Close(p *sim.Proc, fd FD) error {
 // Read implements FS, serving cached pages without server contact inside
 // the TTL window.
 func (io *IOCache) Read(p *sim.Proc, fd FD, off, size int64) (blob.Blob, error) {
+	sp := optrace.StartSpan(p, optrace.LayerIOCache, "read")
+	defer sp.End(p)
 	path, tracked := io.fds[fd]
 	if !tracked || size <= 0 {
 		return io.child.Read(p, fd, off, size)
@@ -184,6 +187,7 @@ func (io *IOCache) Read(p *sim.Proc, fd FD, off, size int64) (blob.Blob, error) 
 	}
 	if !allCached {
 		io.Misses++
+		sp.SetAttr("result", "miss")
 		// Fetch the whole page-aligned span and cache it.
 		lo := first * ioPageSize
 		hi := (last + 1) * ioPageSize
@@ -214,6 +218,7 @@ func (io *IOCache) Read(p *sim.Proc, fd FD, off, size int64) (blob.Blob, error) 
 	}
 
 	io.Hits++
+	sp.SetAttr("result", "hit")
 	var parts []blob.Blob
 	for pg := first; pg <= last; pg++ {
 		page := f.pages[pg].data
@@ -238,6 +243,8 @@ func (io *IOCache) Read(p *sim.Proc, fd FD, off, size int64) (blob.Blob, error) 
 // refreshing the validation stamp (writers see their own writes; other
 // clients wait for their TTL).
 func (io *IOCache) Write(p *sim.Proc, fd FD, off int64, data blob.Blob) (int64, error) {
+	sp := optrace.StartSpan(p, optrace.LayerIOCache, "write")
+	defer sp.End(p)
 	n, err := io.child.Write(p, fd, off, data)
 	if err != nil {
 		return n, err

@@ -7,6 +7,7 @@ import (
 
 	"imca/internal/blob"
 	"imca/internal/metrics"
+	"imca/internal/optrace"
 	"imca/internal/sim"
 )
 
@@ -59,6 +60,8 @@ func (s *IOStats) Dump(w io.Writer) {
 
 // Create implements FS.
 func (s *IOStats) Create(p *sim.Proc, path string) (FD, error) {
+	sp := optrace.StartSpan(p, optrace.LayerIOStats, "create")
+	defer sp.End(p)
 	start := p.Now()
 	fd, err := s.child.Create(p, path)
 	s.observe("create", start)
@@ -67,6 +70,8 @@ func (s *IOStats) Create(p *sim.Proc, path string) (FD, error) {
 
 // Open implements FS.
 func (s *IOStats) Open(p *sim.Proc, path string) (FD, error) {
+	sp := optrace.StartSpan(p, optrace.LayerIOStats, "open")
+	defer sp.End(p)
 	start := p.Now()
 	fd, err := s.child.Open(p, path)
 	s.observe("open", start)
@@ -75,6 +80,8 @@ func (s *IOStats) Open(p *sim.Proc, path string) (FD, error) {
 
 // Close implements FS.
 func (s *IOStats) Close(p *sim.Proc, fd FD) error {
+	sp := optrace.StartSpan(p, optrace.LayerIOStats, "close")
+	defer sp.End(p)
 	start := p.Now()
 	err := s.child.Close(p, fd)
 	s.observe("close", start)
@@ -83,6 +90,8 @@ func (s *IOStats) Close(p *sim.Proc, fd FD) error {
 
 // Read implements FS.
 func (s *IOStats) Read(p *sim.Proc, fd FD, off, size int64) (blob.Blob, error) {
+	sp := optrace.StartSpan(p, optrace.LayerIOStats, "read")
+	defer sp.End(p)
 	start := p.Now()
 	data, err := s.child.Read(p, fd, off, size)
 	s.observe("read", start)
@@ -92,6 +101,8 @@ func (s *IOStats) Read(p *sim.Proc, fd FD, off, size int64) (blob.Blob, error) {
 
 // Write implements FS.
 func (s *IOStats) Write(p *sim.Proc, fd FD, off int64, data blob.Blob) (int64, error) {
+	sp := optrace.StartSpan(p, optrace.LayerIOStats, "write")
+	defer sp.End(p)
 	start := p.Now()
 	n, err := s.child.Write(p, fd, off, data)
 	s.observe("write", start)
@@ -101,6 +112,8 @@ func (s *IOStats) Write(p *sim.Proc, fd FD, off int64, data blob.Blob) (int64, e
 
 // Stat implements FS.
 func (s *IOStats) Stat(p *sim.Proc, path string) (*Stat, error) {
+	sp := optrace.StartSpan(p, optrace.LayerIOStats, "stat")
+	defer sp.End(p)
 	start := p.Now()
 	st, err := s.child.Stat(p, path)
 	s.observe("stat", start)
@@ -109,6 +122,8 @@ func (s *IOStats) Stat(p *sim.Proc, path string) (*Stat, error) {
 
 // Unlink implements FS.
 func (s *IOStats) Unlink(p *sim.Proc, path string) error {
+	sp := optrace.StartSpan(p, optrace.LayerIOStats, "unlink")
+	defer sp.End(p)
 	start := p.Now()
 	err := s.child.Unlink(p, path)
 	s.observe("unlink", start)
@@ -117,6 +132,8 @@ func (s *IOStats) Unlink(p *sim.Proc, path string) error {
 
 // Mkdir implements FS.
 func (s *IOStats) Mkdir(p *sim.Proc, path string) error {
+	sp := optrace.StartSpan(p, optrace.LayerIOStats, "mkdir")
+	defer sp.End(p)
 	start := p.Now()
 	err := s.child.Mkdir(p, path)
 	s.observe("mkdir", start)
@@ -125,6 +142,8 @@ func (s *IOStats) Mkdir(p *sim.Proc, path string) error {
 
 // Readdir implements FS.
 func (s *IOStats) Readdir(p *sim.Proc, path string) ([]string, error) {
+	sp := optrace.StartSpan(p, optrace.LayerIOStats, "readdir")
+	defer sp.End(p)
 	start := p.Now()
 	names, err := s.child.Readdir(p, path)
 	s.observe("readdir", start)
@@ -133,6 +152,8 @@ func (s *IOStats) Readdir(p *sim.Proc, path string) ([]string, error) {
 
 // Truncate implements FS.
 func (s *IOStats) Truncate(p *sim.Proc, path string, size int64) error {
+	sp := optrace.StartSpan(p, optrace.LayerIOStats, "truncate")
+	defer sp.End(p)
 	start := p.Now()
 	err := s.child.Truncate(p, path, size)
 	s.observe("truncate", start)

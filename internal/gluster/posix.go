@@ -4,6 +4,8 @@ import (
 	"sort"
 	"strings"
 
+	"imca/internal/optrace"
+
 	"imca/internal/blob"
 	"imca/internal/disk"
 	"imca/internal/pagecache"
@@ -181,6 +183,8 @@ func (px *Posix) touchMeta(p *sim.Proc, in *inode, write bool) {
 
 // Create implements FS.
 func (px *Posix) Create(p *sim.Proc, path string) (FD, error) {
+	sp := optrace.StartSpan(p, optrace.LayerPosix, "create")
+	defer sp.End(p)
 	path = clean(path)
 	if _, ok := px.files[path]; ok {
 		return 0, ErrExist
@@ -208,6 +212,8 @@ func (px *Posix) Create(p *sim.Proc, path string) (FD, error) {
 
 // Open implements FS.
 func (px *Posix) Open(p *sim.Proc, path string) (FD, error) {
+	sp := optrace.StartSpan(p, optrace.LayerPosix, "open")
+	defer sp.End(p)
 	path = clean(path)
 	in, ok := px.files[path]
 	if !ok {
@@ -224,6 +230,8 @@ func (px *Posix) Open(p *sim.Proc, path string) (FD, error) {
 
 // Close implements FS.
 func (px *Posix) Close(p *sim.Proc, fd FD) error {
+	sp := optrace.StartSpan(p, optrace.LayerPosix, "close")
+	defer sp.End(p)
 	if _, ok := px.fds[fd]; !ok {
 		return ErrBadFD
 	}
@@ -233,6 +241,8 @@ func (px *Posix) Close(p *sim.Proc, fd FD) error {
 
 // Read implements FS.
 func (px *Posix) Read(p *sim.Proc, fd FD, off, size int64) (blob.Blob, error) {
+	sp := optrace.StartSpan(p, optrace.LayerPosix, "read")
+	defer sp.End(p)
 	of, ok := px.fds[fd]
 	if !ok {
 		return blob.Blob{}, ErrBadFD
@@ -271,6 +281,8 @@ func (px *Posix) Read(p *sim.Proc, fd FD, off, size int64) (blob.Blob, error) {
 // Write implements FS. Writes are write-through: they reach the device
 // before returning (the paper's "Writes are always persistent").
 func (px *Posix) Write(p *sim.Proc, fd FD, off int64, data blob.Blob) (int64, error) {
+	sp := optrace.StartSpan(p, optrace.LayerPosix, "write")
+	defer sp.End(p)
 	of, ok := px.fds[fd]
 	if !ok {
 		return 0, ErrBadFD
@@ -293,6 +305,8 @@ func (px *Posix) Write(p *sim.Proc, fd FD, off int64, data blob.Blob) (int64, er
 
 // Stat implements FS.
 func (px *Posix) Stat(p *sim.Proc, path string) (*Stat, error) {
+	sp := optrace.StartSpan(p, optrace.LayerPosix, "stat")
+	defer sp.End(p)
 	path = clean(path)
 	if _, ok := px.dirs[path]; ok {
 		return &Stat{Path: path, IsDir: true}, nil
@@ -310,6 +324,8 @@ func (px *Posix) Stat(p *sim.Proc, path string) (*Stat, error) {
 
 // Unlink implements FS.
 func (px *Posix) Unlink(p *sim.Proc, path string) error {
+	sp := optrace.StartSpan(p, optrace.LayerPosix, "unlink")
+	defer sp.End(p)
 	path = clean(path)
 	in, ok := px.files[path]
 	if !ok {
@@ -335,6 +351,8 @@ func (px *Posix) Unlink(p *sim.Proc, path string) error {
 
 // Mkdir implements FS.
 func (px *Posix) Mkdir(p *sim.Proc, path string) error {
+	sp := optrace.StartSpan(p, optrace.LayerPosix, "mkdir")
+	defer sp.End(p)
 	path = clean(path)
 	if _, ok := px.files[path]; ok {
 		return ErrExist
@@ -348,6 +366,8 @@ func (px *Posix) Mkdir(p *sim.Proc, path string) error {
 
 // Readdir implements FS.
 func (px *Posix) Readdir(p *sim.Proc, path string) ([]string, error) {
+	sp := optrace.StartSpan(p, optrace.LayerPosix, "readdir")
+	defer sp.End(p)
 	path = clean(path)
 	d, ok := px.dirs[path]
 	if !ok {
@@ -366,6 +386,8 @@ func (px *Posix) Readdir(p *sim.Proc, path string) ([]string, error) {
 
 // Truncate implements FS.
 func (px *Posix) Truncate(p *sim.Proc, path string, size int64) error {
+	sp := optrace.StartSpan(p, optrace.LayerPosix, "truncate")
+	defer sp.End(p)
 	path = clean(path)
 	in, ok := px.files[path]
 	if !ok {

@@ -5,6 +5,7 @@ import (
 
 	"imca/internal/blob"
 	"imca/internal/fabric"
+	"imca/internal/optrace"
 	"imca/internal/sim"
 )
 
@@ -76,7 +77,33 @@ func (s *Server) charge(p *sim.Proc, payload int64) {
 	s.node.CPU.Use(p, cpu)
 }
 
+// reqName names a protocol request for stats and spans.
+func reqName(req fabric.Msg) string {
+	switch r := req.(type) {
+	case *openReq:
+		if r.Create {
+			return "create"
+		}
+		return "open"
+	case *closeReq:
+		return "close"
+	case *readReq:
+		return "read"
+	case *writeReq:
+		return "write"
+	case *statReq:
+		return "stat"
+	case *pathReq:
+		return r.Op
+	case *readdirReq:
+		return "readdir"
+	}
+	return "?"
+}
+
 func (s *Server) handle(p *sim.Proc, from *fabric.Node, req fabric.Msg) fabric.Msg {
+	sp := optrace.StartSpan(p, optrace.LayerServer, reqName(req))
+	defer sp.End(p)
 	s.threads.Acquire(p, 1)
 	defer s.threads.Release(1)
 	switch r := req.(type) {
@@ -152,66 +179,112 @@ func NewClient(node, server *fabric.Node) *Client {
 	return &Client{node: node, server: server}
 }
 
-func (c *Client) call(p *sim.Proc, req fabric.Msg) fabric.Msg {
-	return c.node.Call(p, c.server, ServiceName, req)
+// call performs one protocol RPC under a protocol-layer span. The server
+// path is authoritative, so callers above it clear any cache-budget
+// deadline first; if one is still armed and expires, the error propagates
+// up like any other FS error.
+func (c *Client) call(p *sim.Proc, name string, req fabric.Msg) (fabric.Msg, error) {
+	sp := optrace.StartSpan(p, optrace.LayerProtocol, name)
+	defer sp.End(p)
+	m, err := c.node.Call(p, c.server, ServiceName, req)
+	if err != nil {
+		sp.SetAttr("deadline", "expired")
+	}
+	return m, err
 }
 
 // Create implements FS.
 func (c *Client) Create(p *sim.Proc, path string) (FD, error) {
-	r := c.call(p, &openReq{Path: path, Create: true}).(*openResp)
+	m, err := c.call(p, "create", &openReq{Path: path, Create: true})
+	if err != nil {
+		return 0, err
+	}
+	r := m.(*openResp)
 	return r.FD, codeErr(r.Code)
 }
 
 // Open implements FS.
 func (c *Client) Open(p *sim.Proc, path string) (FD, error) {
-	r := c.call(p, &openReq{Path: path}).(*openResp)
+	m, err := c.call(p, "open", &openReq{Path: path})
+	if err != nil {
+		return 0, err
+	}
+	r := m.(*openResp)
 	return r.FD, codeErr(r.Code)
 }
 
 // Close implements FS.
 func (c *Client) Close(p *sim.Proc, fd FD) error {
-	r := c.call(p, &closeReq{FD: fd}).(*simpleResp)
-	return codeErr(r.Code)
+	m, err := c.call(p, "close", &closeReq{FD: fd})
+	if err != nil {
+		return err
+	}
+	return codeErr(m.(*simpleResp).Code)
 }
 
 // Read implements FS.
 func (c *Client) Read(p *sim.Proc, fd FD, off, size int64) (blob.Blob, error) {
-	r := c.call(p, &readReq{FD: fd, Off: off, Size: size}).(*readResp)
+	m, err := c.call(p, "read", &readReq{FD: fd, Off: off, Size: size})
+	if err != nil {
+		return blob.Blob{}, err
+	}
+	r := m.(*readResp)
 	return r.Data, codeErr(r.Code)
 }
 
 // Write implements FS.
 func (c *Client) Write(p *sim.Proc, fd FD, off int64, data blob.Blob) (int64, error) {
-	r := c.call(p, &writeReq{FD: fd, Off: off, Data: data}).(*writeResp)
+	m, err := c.call(p, "write", &writeReq{FD: fd, Off: off, Data: data})
+	if err != nil {
+		return 0, err
+	}
+	r := m.(*writeResp)
 	return r.N, codeErr(r.Code)
 }
 
 // Stat implements FS.
 func (c *Client) Stat(p *sim.Proc, path string) (*Stat, error) {
-	r := c.call(p, &statReq{Path: path}).(*statResp)
+	m, err := c.call(p, "stat", &statReq{Path: path})
+	if err != nil {
+		return nil, err
+	}
+	r := m.(*statResp)
 	return r.St, codeErr(r.Code)
 }
 
 // Unlink implements FS.
 func (c *Client) Unlink(p *sim.Proc, path string) error {
-	r := c.call(p, &pathReq{Op: "unlink", Path: path}).(*simpleResp)
-	return codeErr(r.Code)
+	m, err := c.call(p, "unlink", &pathReq{Op: "unlink", Path: path})
+	if err != nil {
+		return err
+	}
+	return codeErr(m.(*simpleResp).Code)
 }
 
 // Mkdir implements FS.
 func (c *Client) Mkdir(p *sim.Proc, path string) error {
-	r := c.call(p, &pathReq{Op: "mkdir", Path: path}).(*simpleResp)
-	return codeErr(r.Code)
+	m, err := c.call(p, "mkdir", &pathReq{Op: "mkdir", Path: path})
+	if err != nil {
+		return err
+	}
+	return codeErr(m.(*simpleResp).Code)
 }
 
 // Readdir implements FS.
 func (c *Client) Readdir(p *sim.Proc, path string) ([]string, error) {
-	r := c.call(p, &readdirReq{Path: path}).(*readdirResp)
+	m, err := c.call(p, "readdir", &readdirReq{Path: path})
+	if err != nil {
+		return nil, err
+	}
+	r := m.(*readdirResp)
 	return r.Names, codeErr(r.Code)
 }
 
 // Truncate implements FS.
 func (c *Client) Truncate(p *sim.Proc, path string, size int64) error {
-	r := c.call(p, &pathReq{Op: "truncate", Path: path, Size: size}).(*simpleResp)
-	return codeErr(r.Code)
+	m, err := c.call(p, "truncate", &pathReq{Op: "truncate", Path: path, Size: size})
+	if err != nil {
+		return err
+	}
+	return codeErr(m.(*simpleResp).Code)
 }

@@ -143,7 +143,10 @@ func (cl *Client) DropCaches() {
 
 func (cl *Client) mds(p *sim.Proc, req *mdsReq) *mdsResp {
 	req.Client = cl.id
-	return cl.node.Call(p, cl.cluster.mdsNode, "mds", req).(*mdsResp)
+	// Lustre's RPCs do not participate in optrace deadlines; a nil reply
+	// here would mean a deadline leaked onto a Lustre operation.
+	resp, _ := cl.node.Call(p, cl.cluster.mdsNode, "mds", req)
+	return resp.(*mdsResp)
 }
 
 // Create implements gluster.FS.
@@ -242,7 +245,8 @@ func (cl *Client) onePieceIO(p *sim.Proc, path string, ostIdx int, objOff, dataO
 	if write {
 		req.Data = data.Slice(dataOff, dataOff+size)
 	}
-	resp := cl.node.Call(p, o.node, "ost", req).(*ostResp)
+	m, _ := cl.node.Call(p, o.node, "ost", req)
+	resp := m.(*ostResp)
 	return resp.Data
 }
 

@@ -1,10 +1,12 @@
 package memcache
 
 import (
+	"strconv"
 	"time"
 
 	"imca/internal/blob"
 	"imca/internal/fabric"
+	"imca/internal/optrace"
 	"imca/internal/sim"
 )
 
@@ -131,8 +133,24 @@ func (s *SimServer) Recover() { s.down = false }
 // Down reports whether the daemon is failed.
 func (s *SimServer) Down() bool { return s.down }
 
+// reqName names a request type for spans.
+func reqName(req fabric.Msg) string {
+	switch req.(type) {
+	case *GetReq:
+		return "get"
+	case *SetReq:
+		return "set"
+	case *DelReq:
+		return "delete"
+	}
+	return "?"
+}
+
 func (s *SimServer) handle(p *sim.Proc, from *fabric.Node, req fabric.Msg) fabric.Msg {
+	sp := optrace.StartSpan(p, optrace.LayerMCDSrv, reqName(req))
+	defer sp.End(p)
 	if s.down {
+		sp.SetAttr("down", "true")
 		// Connection refused: the kernel answers with a reset after one
 		// wire round trip; no daemon time is spent.
 		switch req.(type) {
@@ -183,6 +201,9 @@ type SimClient struct {
 	node     *fabric.Node
 	servers  []*SimServer
 	selector Selector
+	// downReplies counts requests that came back with Down set (connection
+	// refused by a failed daemon). Surfaced through BankStats.
+	downReplies uint64
 }
 
 // NewSimClient returns a client on node addressing the given MCD bank.
@@ -203,18 +224,45 @@ func (c *SimClient) pick(key string) *SimServer {
 	return c.servers[c.selector.Pick(key, len(c.servers))]
 }
 
-// Get fetches one key; ok is false on a miss.
+// Get fetches one key; ok is false on a miss. A dead daemon or an expired
+// operation deadline also reads as a miss — the bank degrades, it never
+// stalls or fails an operation.
 func (c *SimClient) Get(p *sim.Proc, key string) (*Item, bool) {
 	srv := c.pick(key)
-	resp := c.node.Call(p, srv.node, ServiceName, &GetReq{Keys: []string{key}}).(*GetResp)
-	if len(resp.Items) == 0 {
+	sp := optrace.StartSpan(p, optrace.LayerMCD, "get")
+	sp.SetAttr("server", srv.node.Name())
+	defer sp.End(p)
+	m, err := c.node.Call(p, srv.node, ServiceName, &GetReq{Keys: []string{key}})
+	if err != nil {
+		sp.SetAttr("result", "deadline")
 		return nil, false
 	}
+	resp := m.(*GetResp)
+	if resp.Down {
+		c.downReplies++
+		sp.SetAttr("result", "down")
+		return nil, false
+	}
+	if len(resp.Items) == 0 {
+		sp.SetAttr("result", "miss")
+		return nil, false
+	}
+	sp.SetAttr("result", "hit")
+	sp.SetAttr("bytes", strconv.FormatInt(resp.Items[0].Value.Len(), 10))
 	return resp.Items[0], true
+}
+
+// mcdReply carries one MCD's scatter-gather outcome back to GetMulti.
+type mcdReply struct {
+	resp     *GetResp
+	deadline bool
 }
 
 // GetMulti fetches many keys with one batched request per MCD; requests to
 // distinct MCDs proceed in parallel. The result maps found keys to items.
+// Keys served by a dead daemon, or abandoned because the operation's
+// deadline expired, are simply absent — misses the caller satisfies from
+// the server.
 func (c *SimClient) GetMulti(p *sim.Proc, keys []string) map[string]*Item {
 	if len(keys) == 1 {
 		it, ok := c.Get(p, keys[0])
@@ -237,15 +285,44 @@ func (c *SimClient) GetMulti(p *sim.Proc, keys []string) map[string]*Item {
 		}
 		s := s
 		ev := sim.NewEvent(p.Env())
-		p.Spawn("mcd-get", func(q *sim.Proc) {
-			resp := c.node.Call(q, s.node, ServiceName, &GetReq{Keys: ks}).(*GetResp)
-			ev.Trigger(resp)
+		worker := p.Spawn("mcd-get", func(q *sim.Proc) {
+			sp := optrace.StartSpan(q, optrace.LayerMCD, "getmulti")
+			sp.SetAttr("server", s.node.Name())
+			sp.SetAttr("keys", strconv.Itoa(len(ks)))
+			m, err := c.node.Call(q, s.node, ServiceName, &GetReq{Keys: ks})
+			if err != nil {
+				sp.SetAttr("result", "deadline")
+				sp.End(q)
+				ev.Trigger(mcdReply{deadline: true})
+				return
+			}
+			resp := m.(*GetResp)
+			switch {
+			case resp.Down:
+				sp.SetAttr("result", "down")
+			case len(resp.Items) == len(ks):
+				sp.SetAttr("result", "hit")
+			default:
+				sp.SetAttr("result", "partial")
+			}
+			sp.End(q)
+			ev.Trigger(mcdReply{resp: resp})
 		})
+		// The workers run on the operation's critical path: their spans
+		// nest under the caller's current span.
+		optrace.Fork(p, worker)
 		events = append(events, ev)
 	}
 	for _, ev := range events {
-		resp := ev.Wait(p).(*GetResp)
-		for _, it := range resp.Items {
+		r := ev.Wait(p).(mcdReply)
+		if r.deadline {
+			continue
+		}
+		if r.resp.Down {
+			c.downReplies++
+			continue
+		}
+		for _, it := range r.resp.Items {
 			out[it.Key] = it
 		}
 	}
@@ -254,25 +331,55 @@ func (c *SimClient) GetMulti(p *sim.Proc, keys []string) map[string]*Item {
 
 // Set stores an item on its MCD and waits for the acknowledgement. A dead
 // daemon drops the update (the bank is best-effort; correctness lives at
-// the file server).
+// the file server), and so does an expired operation deadline.
 func (c *SimClient) Set(p *sim.Proc, key string, value blob.Blob) error {
 	srv := c.pick(key)
-	resp := c.node.Call(p, srv.node, ServiceName, &SetReq{Item: &Item{Key: key, Value: value}}).(*SetResp)
+	sp := optrace.StartSpan(p, optrace.LayerMCD, "set")
+	sp.SetAttr("server", srv.node.Name())
+	sp.SetAttr("bytes", strconv.FormatInt(value.Len(), 10))
+	defer sp.End(p)
+	m, err := c.node.Call(p, srv.node, ServiceName, &SetReq{Item: &Item{Key: key, Value: value}})
+	if err != nil {
+		sp.SetAttr("result", "deadline")
+		return err
+	}
+	resp := m.(*SetResp)
 	switch {
 	case resp.Down:
+		c.downReplies++
+		sp.SetAttr("result", "down")
 		return ErrServerDown
 	case resp.Err != "":
+		sp.SetAttr("result", "error")
 		return ErrNotStored
 	}
+	sp.SetAttr("result", "stored")
 	return nil
 }
 
 // Delete removes a key from its MCD.
 func (c *SimClient) Delete(p *sim.Proc, key string) bool {
 	srv := c.pick(key)
-	resp := c.node.Call(p, srv.node, ServiceName, &DelReq{Key: key}).(*DelResp)
+	sp := optrace.StartSpan(p, optrace.LayerMCD, "delete")
+	sp.SetAttr("server", srv.node.Name())
+	defer sp.End(p)
+	m, err := c.node.Call(p, srv.node, ServiceName, &DelReq{Key: key})
+	if err != nil {
+		sp.SetAttr("result", "deadline")
+		return false
+	}
+	resp := m.(*DelResp)
+	if resp.Down {
+		c.downReplies++
+		sp.SetAttr("result", "down")
+		return false
+	}
 	return resp.Found
 }
+
+// DownReplies returns how many of this client's requests were answered by
+// a dead daemon's connection reset.
+func (c *SimClient) DownReplies() uint64 { return c.downReplies }
 
 // BankStats sums Stats across the MCD bank.
 func (c *SimClient) BankStats() Stats {
@@ -290,5 +397,6 @@ func (c *SimClient) BankStats() Stats {
 		total.Bytes += st.Bytes
 		total.LimitBytes += st.LimitBytes
 	}
+	total.DownReplies = c.downReplies
 	return total
 }

@@ -7,6 +7,7 @@ import (
 
 	"imca/internal/blob"
 	"imca/internal/fabric"
+	"imca/internal/optrace"
 	"imca/internal/sim"
 )
 
@@ -229,4 +230,109 @@ func TestSimStoreExpiresOnVirtualClock(t *testing.T) {
 		}
 	})
 	env.Run()
+}
+
+func TestSimGetMultiWithOneMCDDown(t *testing.T) {
+	// Fail 1 MCD of 4: GetMulti must return exactly the keys served by the
+	// survivors, count the dead daemon's reset, and never stall.
+	env, cl := simBank(4, 64)
+	keys := make([]string, 32)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("dk-%d", i)
+	}
+	victim := 2
+	var onDead, onLive int
+	for _, k := range keys {
+		if cl.selector.Pick(k, 4) == victim {
+			onDead++
+		} else {
+			onLive++
+		}
+	}
+	if onDead == 0 || onLive == 0 {
+		t.Fatal("key set does not exercise both dead and live MCDs")
+	}
+	env.Process("t", func(p *sim.Proc) {
+		for _, k := range keys {
+			cl.Set(p, k, blob.FromString("v"))
+		}
+		cl.Servers()[victim].Fail()
+		items := cl.GetMulti(p, keys)
+		if len(items) != onLive {
+			t.Errorf("GetMulti found %d keys, want %d (the live MCDs' share)", len(items), onLive)
+		}
+		for _, k := range keys {
+			_, got := items[k]
+			wantHit := cl.selector.Pick(k, 4) != victim
+			if got != wantHit {
+				t.Errorf("key %s: hit=%v, want %v", k, got, wantHit)
+			}
+		}
+	})
+	env.Run()
+	if got := cl.BankStats().DownReplies; got != 1 {
+		t.Errorf("DownReplies = %d, want 1 (one batched request hit the dead MCD)", got)
+	}
+}
+
+func TestSimGetFromDownMCDIsAMiss(t *testing.T) {
+	env, cl := simBank(1, 64)
+	env.Process("t", func(p *sim.Proc) {
+		cl.Set(p, "k", blob.FromString("v"))
+		cl.Servers()[0].Fail()
+		if _, ok := cl.Get(p, "k"); ok {
+			t.Error("hit from a failed daemon")
+		}
+		if err := cl.Set(p, "k", blob.FromString("v")); err != ErrServerDown {
+			t.Errorf("Set on dead MCD: err = %v, want ErrServerDown", err)
+		}
+		cl.Servers()[0].Recover()
+		if _, ok := cl.Get(p, "k"); ok {
+			t.Error("recovered daemon should restart empty")
+		}
+	})
+	env.Run()
+	if got := cl.DownReplies(); got != 2 {
+		t.Errorf("DownReplies = %d, want 2 (one get + one set refused)", got)
+	}
+}
+
+func TestSimGetDeadlineIsAMiss(t *testing.T) {
+	// An operation deadline shorter than the MCD round trip turns the get
+	// into a miss without failing it — and must not count as a down reply.
+	env, cl := simBank(1, 64)
+	col := optrace.NewCollector()
+	env.Process("t", func(p *sim.Proc) {
+		cl.Set(p, "k", blob.FromString("v"))
+		op := col.Begin(p, "get")
+		op.SetDeadline(p.Now().Add(time.Microsecond)) // far below one RTT
+		deadline, _ := op.DeadlineTime()
+		start := p.Now()
+		if _, ok := cl.Get(p, "k"); ok {
+			t.Error("hit despite an expired deadline")
+		}
+		// The deadline expires while the request is still serializing; the
+		// caller resumes once the send completes (a send in flight cannot be
+		// aborted), past the deadline but well short of a full round trip.
+		if p.Now() < deadline {
+			t.Errorf("caller resumed at %v, before the deadline %v", p.Now(), deadline)
+		}
+		if rtt := p.Now().Sub(start); rtt > 60*time.Microsecond {
+			t.Errorf("abandoned get took %v, should not wait for the response", rtt)
+		}
+		col.End(p)
+	})
+	env.Run()
+	if got := cl.DownReplies(); got != 0 {
+		t.Errorf("DownReplies = %d, want 0 (deadline is not a down reply)", got)
+	}
+	var mcd *optrace.Span
+	for _, s := range col.Last.Spans {
+		if s.Layer == optrace.LayerMCD {
+			mcd = s
+		}
+	}
+	if mcd.Attr("result") != "deadline" {
+		t.Errorf("mcd span result = %q, want deadline", mcd.Attr("result"))
+	}
 }

@@ -82,6 +82,10 @@ type Stats struct {
 	TotalItems uint64
 	Bytes      int64
 	LimitBytes int64
+	// DownReplies counts requests answered by a dead daemon's connection
+	// reset. The store never increments it — it is a client-side
+	// observation, summed into BankStats by SimClient.
+	DownReplies uint64
 }
 
 // slabClass is one chunk-size class: items whose total size fits chunkSize

@@ -52,6 +52,9 @@ func (h *Histogram) Observe(d time.Duration) {
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.count }
 
+// Sum returns the total of all observations.
+func (h *Histogram) Sum() time.Duration { return h.sum }
+
 // Mean returns the average observation.
 func (h *Histogram) Mean() time.Duration {
 	if h.count == 0 {

@@ -163,7 +163,8 @@ func NewClient(node *fabric.Node, server *Server) *Client {
 }
 
 func (c *Client) call(p *sim.Proc, req *nfsReq) *nfsResp {
-	return c.node.Call(p, c.server, "nfsd", req).(*nfsResp)
+	resp, _ := c.node.Call(p, c.server, "nfsd", req)
+	return resp.(*nfsResp)
 }
 
 // Create implements gluster.FS.

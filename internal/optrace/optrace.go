@@ -1,0 +1,356 @@
+// Package optrace threads a per-operation context through the simulated
+// storage stack: an operation ID, a virtual-time deadline, and a stack of
+// spans recording where the operation's virtual time went (FUSE crossing,
+// cache-bank RPC, server daemon, disk, …) — the latency-breakdown evidence
+// the paper's §5–6 analysis argues from.
+//
+// The context rides in sim.Proc's opaque context slot, so xlator
+// signatures stay (p *sim.Proc, ...). Layers open spans with StartSpan and
+// close them with End; both are nil-safe no-ops when no operation is
+// attached, and neither advances virtual time, so tracing never perturbs a
+// simulation's results.
+//
+// Deadlines model a latency budget for the cache fast path: fabric.Node.Call
+// returns ErrDeadline when the virtual clock would pass the attached
+// operation's deadline, and the cache layers convert that into a miss so a
+// slow or dead MCD degrades service instead of stalling it. The
+// authoritative server path clears the deadline — reads must eventually
+// return correct data.
+package optrace
+
+import (
+	"errors"
+	"sort"
+
+	"imca/internal/sim"
+)
+
+// ErrDeadline reports that an operation's virtual-time deadline expired
+// before or during a remote call. Layers between the caller and the wire
+// translate it into degraded-but-correct behaviour (a cache miss, a server
+// fallback) rather than an operation failure.
+var ErrDeadline = errors.New("optrace: operation deadline exceeded")
+
+// Canonical layer names, ordered top of stack to bottom. Breakdown reports
+// follow this order so tables read like the request path.
+const (
+	LayerOp       = "op"
+	LayerFuse     = "fuse"
+	LayerIOStats  = "iostats"
+	LayerIOCache  = "iocache"
+	LayerCMCache  = "cmcache"
+	LayerMCD      = "mcd"
+	LayerProtocol = "protocol"
+	LayerNet      = "net"
+	LayerMCDSrv   = "mcdsrv"
+	LayerServer   = "server"
+	LayerSMCache  = "smcache"
+	LayerPosix    = "posix"
+)
+
+// layerRank orders known layers for deterministic reports; unknown layers
+// sort after these, alphabetically.
+var layerRank = map[string]int{
+	LayerOp: 0, LayerFuse: 1, LayerIOStats: 2, LayerIOCache: 3,
+	LayerCMCache: 4, LayerMCD: 5, LayerProtocol: 6, LayerNet: 7,
+	LayerMCDSrv: 8, LayerServer: 9, LayerSMCache: 10, LayerPosix: 11,
+}
+
+// SortLayers orders layer names canonically (stack order, unknowns last).
+func SortLayers(names []string) {
+	sort.Slice(names, func(i, j int) bool {
+		ri, iok := layerRank[names[i]]
+		rj, jok := layerRank[names[j]]
+		switch {
+		case iok && jok:
+			return ri < rj
+		case iok:
+			return true
+		case jok:
+			return false
+		default:
+			return names[i] < names[j]
+		}
+	})
+}
+
+// Attr is one key/value annotation on a span (hit/miss, bytes, server
+// name, …). Values are plain strings so traces stay deterministic and
+// cheap to render.
+type Attr struct{ Key, Value string }
+
+// Span is one layer's timed segment of an operation. Start and Finish are
+// virtual times; children opened while a span is current subtract from its
+// Self time.
+type Span struct {
+	Layer  string
+	Name   string
+	Start  sim.Time
+	Finish sim.Time
+	Attrs  []Attr
+
+	parent   *Span
+	op       *Op
+	childDur sim.Duration
+	depth    int
+	ended    bool
+}
+
+// Dur returns the span's total virtual duration.
+func (s *Span) Dur() sim.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.Finish.Sub(s.Start)
+}
+
+// Self returns the span's exclusive virtual time: its duration minus the
+// durations of its direct children. Concurrent children (scatter-gather
+// fan-out) can overlap each other, so Self is clamped at zero.
+func (s *Span) Self() sim.Duration {
+	if s == nil {
+		return 0
+	}
+	if d := s.Dur() - s.childDur; d > 0 {
+		return d
+	}
+	return 0
+}
+
+// Depth returns the span's nesting depth at open time (root = 0).
+func (s *Span) Depth() int {
+	if s == nil {
+		return 0
+	}
+	return s.depth
+}
+
+// SetAttr annotates the span; it is a nil-safe no-op without tracing.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.Attrs = append(s.Attrs, Attr{key, value})
+}
+
+// Attr returns the value of the first attribute named key ("" if absent).
+func (s *Span) Attr(key string) string {
+	if s == nil {
+		return ""
+	}
+	for _, a := range s.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// End closes the span at p's current virtual time, folds its duration
+// into its parent's child accounting, and records it on the operation. It
+// is a nil-safe no-op, and closing twice is ignored.
+func (s *Span) End(p *sim.Proc) {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	s.Finish = p.Now()
+	if s.parent != nil {
+		s.parent.childDur += s.Dur()
+	}
+	s.op.Spans = append(s.op.Spans, s)
+	if st, ok := p.Ctx().(*state); ok && st.cur == s {
+		st.cur = s.parent
+	}
+}
+
+// Op is the per-operation context: identity, deadline, and the recorded
+// spans. One Op may span several processes (RPC handlers, scatter-gather
+// workers) — Fork hands it to a helper process.
+type Op struct {
+	ID   uint64
+	Name string
+	// Start and Finish bracket the operation (set by Collector.Begin/End).
+	Start  sim.Time
+	Finish sim.Time
+	// Spans lists completed spans in completion order.
+	Spans []*Span
+
+	deadline    sim.Time
+	hasDeadline bool
+}
+
+// Dur returns the operation's end-to-end virtual duration.
+func (o *Op) Dur() sim.Duration { return o.Finish.Sub(o.Start) }
+
+// SetDeadline arms the operation's virtual-time deadline.
+func (o *Op) SetDeadline(t sim.Time) { o.deadline, o.hasDeadline = t, true }
+
+// ClearDeadline disarms the deadline (the server fallback path does this:
+// the authoritative read must complete regardless of the cache budget).
+func (o *Op) ClearDeadline() { o.deadline, o.hasDeadline = 0, false }
+
+// DeadlineTime returns the armed deadline, if any.
+func (o *Op) DeadlineTime() (sim.Time, bool) { return o.deadline, o.hasDeadline }
+
+// LayerTime is a layer's summed exclusive time within one operation.
+type LayerTime struct {
+	Layer string
+	Self  sim.Duration
+}
+
+// ByLayer partitions the operation's traced time among layers, in
+// canonical stack order: every instant covered by at least one span is
+// attributed to exactly one layer — the deepest span active at that
+// instant (ties broken by stack rank, then by latest start). Because this
+// is a partition, the layer times sum exactly to the root span's duration
+// (and hence to the operation's end-to-end time when a root span covers
+// it), even when scatter-gather helpers run spans concurrently — a plain
+// per-span exclusive-time sum would double-count their overlap.
+func (o *Op) ByLayer() []LayerTime {
+	if len(o.Spans) == 0 {
+		return nil
+	}
+	// Sweep over the distinct span boundaries; each elementary interval
+	// belongs wholly to one set of active spans.
+	times := make([]sim.Time, 0, 2*len(o.Spans))
+	for _, s := range o.Spans {
+		times = append(times, s.Start, s.Finish)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	sums := make(map[string]sim.Duration)
+	for i := 0; i+1 < len(times); i++ {
+		lo, hi := times[i], times[i+1]
+		if hi <= lo {
+			continue
+		}
+		var best *Span
+		for _, s := range o.Spans {
+			if s.Start > lo || s.Finish < hi {
+				continue
+			}
+			if best == nil || deeper(s, best) {
+				best = s
+			}
+		}
+		if best != nil {
+			sums[best.Layer] += hi.Sub(lo)
+		}
+	}
+	names := make([]string, 0, len(sums))
+	for n := range sums {
+		names = append(names, n)
+	}
+	SortLayers(names)
+	out := make([]LayerTime, len(names))
+	for i, n := range names {
+		out[i] = LayerTime{n, sums[n]}
+	}
+	return out
+}
+
+// deeper reports whether a should win over b when both are active at the
+// same instant: nesting depth first, then stack rank (lower layers win),
+// then the later-started span. The rules are deterministic so traces
+// aggregate reproducibly.
+func deeper(a, b *Span) bool {
+	if a.depth != b.depth {
+		return a.depth > b.depth
+	}
+	ra, aok := layerRank[a.Layer]
+	rb, bok := layerRank[b.Layer]
+	if aok && bok && ra != rb {
+		return ra > rb
+	}
+	return a.Start > b.Start
+}
+
+// state is what lives in a proc's context slot: the operation plus this
+// process's current (innermost open) span. Each process has its own span
+// cursor, so concurrent helpers nest correctly under the span that spawned
+// them without sharing a stack.
+type state struct {
+	op  *Op
+	cur *Span
+}
+
+// Attach associates op with p; subsequent StartSpan calls on p record into
+// it. It replaces any previously attached operation.
+func Attach(p *sim.Proc, op *Op) { p.SetCtx(&state{op: op}) }
+
+// Detach removes and returns p's operation (nil if none).
+func Detach(p *sim.Proc) *Op {
+	st, ok := p.Ctx().(*state)
+	if !ok {
+		return nil
+	}
+	p.SetCtx(nil)
+	return st.op
+}
+
+// FromProc returns the operation attached to p, or nil.
+func FromProc(p *sim.Proc) *Op {
+	if st, ok := p.Ctx().(*state); ok {
+		return st.op
+	}
+	return nil
+}
+
+// Fork copies the parent's operation context onto a child process, so
+// spans the child opens nest under the parent's current span. Layers that
+// spawn helper processes on the operation's critical path (RPC handlers,
+// scatter-gather workers) call this right after creating the child; it
+// must run before the child first executes, which is guaranteed when the
+// parent is the running process. No-op when the parent has no context.
+func Fork(parent, child *sim.Proc) {
+	st, ok := parent.Ctx().(*state)
+	if !ok {
+		return
+	}
+	child.SetCtx(&state{op: st.op, cur: st.cur})
+}
+
+// StartSpan opens a span on p's operation and makes it the process's
+// current span. It returns nil — still safe to annotate and end — when no
+// operation is attached, and costs no virtual time either way.
+func StartSpan(p *sim.Proc, layer, name string) *Span {
+	st, ok := p.Ctx().(*state)
+	if !ok {
+		return nil
+	}
+	s := &Span{
+		Layer:  layer,
+		Name:   name,
+		Start:  p.Now(),
+		parent: st.cur,
+		op:     st.op,
+	}
+	if st.cur != nil {
+		s.depth = st.cur.depth + 1
+	}
+	st.cur = s
+	return s
+}
+
+// Deadline returns the deadline of p's operation, if one is armed.
+func Deadline(p *sim.Proc) (sim.Time, bool) {
+	if op := FromProc(p); op != nil {
+		return op.DeadlineTime()
+	}
+	return 0, false
+}
+
+// Expired reports whether p's operation has an armed deadline at or before
+// the current virtual time.
+func Expired(p *sim.Proc) bool {
+	dl, ok := Deadline(p)
+	return ok && p.Now() >= dl
+}
+
+// ClearDeadline disarms the deadline on p's operation, if any. Cache
+// layers call it when falling back to the authoritative server path.
+func ClearDeadline(p *sim.Proc) {
+	if op := FromProc(p); op != nil {
+		op.ClearDeadline()
+	}
+}

@@ -53,3 +53,36 @@ func WaitAll(p *Proc, evs ...*Event) {
 		ev.Wait(p)
 	}
 }
+
+// WaitUntil parks p until the event triggers or the virtual clock reaches
+// deadline, whichever happens first. It returns (value, true) when the
+// event fired in time and (nil, false) on timeout. If both land on the same
+// instant the timeout wins (it was scheduled first).
+//
+// The race is run through two helper processes so that neither outcome can
+// leave a stale wake-up behind: the loser's trigger is a no-op on the
+// already-fired race event, and the event-side helper simply ends when the
+// original event eventually fires.
+func (ev *Event) WaitUntil(p *Proc, deadline Time) (interface{}, bool) {
+	if ev.triggered {
+		return ev.value, true
+	}
+	if deadline <= p.env.now {
+		return nil, false
+	}
+	type outcome struct {
+		v     interface{}
+		fired bool
+	}
+	race := NewEvent(p.env)
+	p.env.Process(p.name+"/timeout", func(tp *Proc) {
+		tp.Sleep(deadline.Sub(tp.env.now))
+		race.Trigger(outcome{nil, false})
+	})
+	p.env.Process(p.name+"/wait", func(wp *Proc) {
+		v := ev.Wait(wp)
+		race.Trigger(outcome{v, true})
+	})
+	r := race.Wait(p).(outcome)
+	return r.v, r.fired
+}

@@ -123,6 +123,7 @@ type Proc struct {
 	resume chan struct{}
 	done   *Event
 	ended  bool
+	ctx    interface{}
 }
 
 // Name returns the name given at creation.
@@ -136,6 +137,17 @@ func (p *Proc) Now() Time { return p.env.now }
 
 // Done returns an event triggered when the process function returns.
 func (p *Proc) Done() *Event { return p.done }
+
+// Ctx returns the process's context slot, or nil. The slot is opaque to the
+// kernel; higher layers (e.g. optrace) use it to attach per-operation state
+// without widening every call signature.
+func (p *Proc) Ctx() interface{} { return p.ctx }
+
+// SetCtx stores v in the process's context slot. It may be called by the
+// process itself, or by its creator before the new process first runs
+// (e.g. to hand an RPC handler the caller's operation context); the kernel
+// runs one goroutine at a time, so the slot needs no locking.
+func (p *Proc) SetCtx(v interface{}) { p.ctx = v }
 
 // String identifies the process for diagnostics.
 func (p *Proc) String() string { return fmt.Sprintf("proc %d (%s)", p.pid, p.name) }

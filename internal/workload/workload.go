@@ -10,6 +10,7 @@ import (
 
 	"imca/internal/blob"
 	"imca/internal/gluster"
+	"imca/internal/optrace"
 	"imca/internal/sim"
 )
 
@@ -84,12 +85,66 @@ type LatencyOptions struct {
 	// (all clients held at a barrier), so cold-cache runs stay cold for
 	// every record size rather than only the first.
 	BeforeReadSize func(recordSize int64)
+	// Trace wraps every measured record operation in an optrace
+	// operation with a root span, accumulating per-layer latency
+	// decompositions by record size. Tracing costs no virtual time, so
+	// the measured latencies are identical with it on or off.
+	Trace bool
 }
 
 // LatencyResult reports average per-operation times by record size.
 type LatencyResult struct {
 	Write map[int64]sim.Duration
 	Read  map[int64]sim.Duration
+	// WriteBreakdowns and ReadBreakdowns hold the per-record-size
+	// latency decompositions accumulated when LatencyOptions.Trace is
+	// set (nil otherwise).
+	WriteBreakdowns map[int64]*optrace.Breakdown
+	ReadBreakdowns  map[int64]*optrace.Breakdown
+}
+
+// traceStart begins a traced operation on p when tracing is enabled and
+// opens its root span; both helpers are no-ops with a nil collector slice.
+func traceStart(p *sim.Proc, cols []*optrace.Collector, si int, name string) *optrace.Span {
+	if cols == nil {
+		return nil
+	}
+	cols[si].Begin(p, name)
+	return optrace.StartSpan(p, optrace.LayerOp, name)
+}
+
+// traceEnd closes the root span and folds the finished operation into its
+// record size's breakdown.
+func traceEnd(p *sim.Proc, cols []*optrace.Collector, si int, root *optrace.Span) {
+	if cols == nil {
+		return
+	}
+	root.End(p)
+	cols[si].End(p)
+}
+
+// newCollectors returns one collector per record size (nil unless traced).
+func newCollectors(on bool, n int) []*optrace.Collector {
+	if !on {
+		return nil
+	}
+	cols := make([]*optrace.Collector, n)
+	for i := range cols {
+		cols[i] = optrace.NewCollector()
+	}
+	return cols
+}
+
+// breakdownMap collects the per-size breakdowns keyed by record size.
+func breakdownMap(cols []*optrace.Collector, sizes []int64) map[int64]*optrace.Breakdown {
+	if cols == nil {
+		return nil
+	}
+	out := make(map[int64]*optrace.Breakdown, len(sizes))
+	for si, r := range sizes {
+		out[r] = cols[si].Breakdown()
+	}
+	return out
 }
 
 // Latency runs the paper's latency benchmark: for each record size, every
@@ -140,6 +195,7 @@ func Latency(env *sim.Env, mounts []gluster.FS, opts LatencyOptions) LatencyResu
 
 	// Write stage: one barrier generation per record size.
 	writeTotals := make([]sim.Duration, len(opts.RecordSizes))
+	wcols := newCollectors(opts.Trace, len(opts.RecordSizes))
 	bar := sim.NewBarrier(env, writerCount)
 	for ci := 0; ci < writerCount; ci++ {
 		ci := ci
@@ -150,7 +206,10 @@ func Latency(env *sim.Env, mounts []gluster.FS, opts LatencyOptions) LatencyResu
 				t0 := p.Now()
 				for k := 0; k < opts.Records; k++ {
 					off := int64(k) * r
-					if _, err := fs.Write(p, fds[ci], off, blob.Synthetic(uint64(ci)+1, off, r)); err != nil {
+					root := traceStart(p, wcols, si, "write")
+					_, err := fs.Write(p, fds[ci], off, blob.Synthetic(uint64(ci)+1, off, r))
+					traceEnd(p, wcols, si, root)
+					if err != nil {
 						panic(fmt.Sprintf("workload: write: %v", err))
 					}
 				}
@@ -163,6 +222,7 @@ func Latency(env *sim.Env, mounts []gluster.FS, opts LatencyOptions) LatencyResu
 	for si, r := range opts.RecordSizes {
 		res.Write[r] = writeTotals[si] / sim.Duration(opts.Records*writerCount)
 	}
+	res.WriteBreakdowns = breakdownMap(wcols, opts.RecordSizes)
 
 	if opts.AfterWrite != nil {
 		opts.AfterWrite()
@@ -170,6 +230,7 @@ func Latency(env *sim.Env, mounts []gluster.FS, opts LatencyOptions) LatencyResu
 
 	// Read stage: all clients participate.
 	readTotals := make([]sim.Duration, len(opts.RecordSizes))
+	rcols := newCollectors(opts.Trace, len(opts.RecordSizes))
 	rbar := sim.NewBarrier(env, nc)
 	for ci := 0; ci < nc; ci++ {
 		ci := ci
@@ -190,7 +251,9 @@ func Latency(env *sim.Env, mounts []gluster.FS, opts LatencyOptions) LatencyResu
 				}
 				for k := 0; k < opts.Records; k++ {
 					off := int64(k) * r
+					root := traceStart(p, rcols, si, "read")
 					data, err := fs.Read(p, fds[ci], off, r)
+					traceEnd(p, rcols, si, root)
 					if err != nil {
 						panic(fmt.Sprintf("workload: read: %v", err))
 					}
@@ -207,6 +270,7 @@ func Latency(env *sim.Env, mounts []gluster.FS, opts LatencyOptions) LatencyResu
 	for si, r := range opts.RecordSizes {
 		res.Read[r] = readTotals[si] / sim.Duration(opts.Records*nc)
 	}
+	res.ReadBreakdowns = breakdownMap(rcols, opts.RecordSizes)
 	return res
 }
 

@@ -1,0 +1,22 @@
+#!/bin/sh
+# Tier-1 verification: vet, build, race-enabled tests, and a link check of
+# every runnable example. CI and `make verify` run exactly this.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "== build examples"
+for d in examples/*/; do
+	echo "   go build ./${d%/}"
+	go build -o /dev/null "./${d%/}"
+done
+
+echo "verify: OK"

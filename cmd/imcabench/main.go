@@ -6,6 +6,7 @@
 //	imcabench -list
 //	imcabench -exp fig5 [-scale 64] [-csv]
 //	imcabench -exp fig6a -breakdown
+//	imcabench -exp fig6a -telemetry -trace-out fig6a.json
 //	imcabench -exp all  [-scale 64]
 //
 // Scale divides the paper's full workload parameters (262144 files, 1 GB
@@ -16,6 +17,12 @@
 // per-operation context (internal/optrace) and prints per-layer latency
 // decompositions after the figure's table. Tracing costs no virtual time,
 // so the tables are identical with or without it.
+//
+// -telemetry instruments selected configurations with the telemetry
+// registry (internal/telemetry) and prints their final counters after the
+// table; -trace-out FILE writes the retained operations as a Chrome
+// trace-event JSON file, openable in Perfetto. Both share tracing's
+// guarantee: the tables are byte-identical with them on or off.
 package main
 
 import (
@@ -25,6 +32,8 @@ import (
 	"time"
 
 	"imca/internal/experiments"
+	"imca/internal/optrace"
+	"imca/internal/telemetry"
 )
 
 func main() {
@@ -35,6 +44,8 @@ func main() {
 		csv   = flag.Bool("csv", false, "emit CSV instead of an aligned table")
 		plot  = flag.Bool("plot", false, "render an ASCII chart as well")
 		brk   = flag.Bool("breakdown", false, "print per-layer latency decompositions (experiments that support tracing)")
+		tele  = flag.Bool("telemetry", false, "print final telemetry counters of instrumented configurations")
+		trOut = flag.String("trace-out", "", "write retained operations as Chrome trace-event JSON (open in Perfetto)")
 	)
 	flag.Parse()
 
@@ -49,10 +60,12 @@ func main() {
 		return
 	}
 
-	opts := experiments.Options{Scale: *scale, Breakdown: *brk}
+	opts := experiments.Options{Scale: *scale, Breakdown: *brk, Telemetry: *tele, TraceOps: *trOut != ""}
+	var tracedOps []*optrace.Op
 	run := func(e experiments.Experiment) {
 		start := time.Now()
 		res := e.Run(opts)
+		tracedOps = append(tracedOps, res.Ops...)
 		fmt.Printf("\n== %s (scale 1/%d, %s wall) ==\n", e.Name, *scale, time.Since(start).Round(time.Millisecond))
 		if *csv {
 			res.Table.CSV(os.Stdout)
@@ -72,18 +85,40 @@ func main() {
 				nb.Breakdown.Report(os.Stdout)
 			}
 		}
+		if *tele {
+			for _, d := range res.Telemetry {
+				fmt.Printf("\n-- %s --\n%s", d.Title, d.Text)
+			}
+		}
 	}
 
 	if *exp == "all" {
 		for _, e := range experiments.Registry {
 			run(e)
 		}
-		return
+	} else {
+		e, ok := experiments.Find(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "imcabench: unknown experiment %q (try -list)\n", *exp)
+			os.Exit(2)
+		}
+		run(e)
 	}
-	e, ok := experiments.Find(*exp)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "imcabench: unknown experiment %q (try -list)\n", *exp)
-		os.Exit(2)
+
+	if *trOut != "" {
+		f, err := os.Create(*trOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "imcabench: %v\n", err)
+			os.Exit(1)
+		}
+		werr := telemetry.WriteChromeTrace(f, tracedOps)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "imcabench: %v\n", werr)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %d traced op(s) to %s\n", len(tracedOps), *trOut)
 	}
-	run(e)
 }

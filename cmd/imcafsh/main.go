@@ -19,6 +19,7 @@
 //	ls PATH                  list a directory
 //	flush                    flush every MCD (cold bank)
 //	stats                    translator and bank counters
+//	telemetry [SUBSTR]       full instrument registry (optionally filtered)
 //	trace [on|off]           toggle per-command latency tracing
 //	breakdown                per-layer aggregate over traced commands
 //	time                     current virtual time
@@ -43,6 +44,7 @@ import (
 	"imca/internal/gluster"
 	"imca/internal/optrace"
 	"imca/internal/sim"
+	"imca/internal/telemetry"
 )
 
 type shell struct {
@@ -50,6 +52,7 @@ type shell struct {
 	fs    gluster.FS
 	fds   map[string]gluster.FD
 	col   *optrace.Collector
+	reg   *telemetry.Registry
 	trace bool
 }
 
@@ -64,7 +67,9 @@ func main() {
 	c := cluster.New(cluster.Options{
 		Clients: *clients, MCDs: *mcds, MCDMemBytes: 256 << 20, BlockSize: *block,
 	})
-	sh := &shell{c: c, fs: c.Mounts[0].FS, fds: make(map[string]gluster.FD), col: optrace.NewCollector()}
+	reg := telemetry.NewRegistry()
+	c.Instrument(reg)
+	sh := &shell{c: c, fs: c.Mounts[0].FS, fds: make(map[string]gluster.FD), col: optrace.NewCollector(), reg: reg}
 
 	fmt.Printf("imcafsh: %d client(s), %d MCD(s), block %d — type 'help'\n", *clients, *mcds, *block)
 	in := bufio.NewScanner(os.Stdin)
@@ -125,7 +130,7 @@ func (sh *shell) dispatch(args []string) {
 	cmd := args[0]
 	switch cmd {
 	case "help":
-		fmt.Println("create|open|close|rm|stat|ls PATH; write|read PATH OFF SIZE; flush; stats; trace [on|off]; breakdown; time; quit")
+		fmt.Println("create|open|close|rm|stat|ls PATH; write|read PATH OFF SIZE; flush; stats; telemetry [SUBSTR]; trace [on|off]; breakdown; time; quit")
 	case "trace":
 		switch {
 		case len(args) == 1:
@@ -150,6 +155,12 @@ func (sh *shell) dispatch(args []string) {
 		fmt.Println("bank flushed")
 	case "stats":
 		sh.printStats()
+	case "telemetry":
+		substr := ""
+		if len(args) > 1 {
+			substr = args[1]
+		}
+		sh.reg.DumpFilter(os.Stdout, substr)
 	case "create", "open", "close", "rm", "stat", "ls":
 		if len(args) != 2 {
 			fmt.Printf("usage: %s PATH\n", cmd)

@@ -5,6 +5,10 @@
 //	imcatrace record -out t.trace -workload latency -clients 4
 //	imcatrace replay -in t.trace -mcds 2 -block 2048
 //	imcatrace replay -in t.trace -mcds 0            # NoCache baseline
+//
+// After an IMCa replay the tool prints the cache bank's statistics (gets,
+// hits, misses, evictions, down replies, deadline misses) so replays are
+// comparable beyond elapsed virtual time.
 package main
 
 import (
@@ -36,7 +40,10 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   imcatrace record -out FILE [-workload latency|smallfiles|mdtest] [-clients N]
-  imcatrace replay -in FILE [-clients N] [-mcds N] [-block BYTES] [-threaded]`)
+  imcatrace replay -in FILE [-clients N] [-mcds N] [-block BYTES] [-threaded]
+
+replay prints per-op-kind averages, and with MCDs also the cache bank's
+stats (gets/hits/misses, sets, evictions, down replies, deadline misses).`)
 	os.Exit(2)
 }
 
@@ -132,8 +139,10 @@ func replay(args []string) {
 	}
 	if *mcds > 0 {
 		bank := c.BankStats()
-		fmt.Printf("bank: %d gets (%d hits), %d sets, %d items\n",
-			bank.CmdGet, bank.GetHits, bank.CmdSet, bank.CurrItems)
+		fmt.Printf("bank: %d gets (%d hits, %d misses), %d sets, %d items, %d evictions\n",
+			bank.CmdGet, bank.GetHits, bank.GetMisses, bank.CmdSet, bank.CurrItems, bank.Evictions)
+		fmt.Printf("bank: %d down replies, %d deadline misses\n",
+			bank.DownReplies, bank.DeadlineMisses)
 	}
 }
 

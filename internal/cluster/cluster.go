@@ -103,6 +103,7 @@ type Cluster struct {
 // Brick is one GlusterFS server: its storage, translator, and daemon.
 type Brick struct {
 	Node    *fabric.Node
+	Array   *disk.Array
 	Posix   *gluster.Posix
 	SMCache *core.SMCache // nil without IMCa
 	Server  *gluster.Server
@@ -136,7 +137,7 @@ func NewOn(env *sim.Env, net *fabric.Network, opts Options) *Cluster {
 		srvNode := net.NewNode(name, 8)
 		arr := disk.NewArray(env, opts.Disks, 1<<20, opts.DiskParams)
 		px := gluster.NewPosix(env, gluster.PosixConfig{Dev: arr, CacheBytes: opts.ServerCacheBytes})
-		brick := &Brick{Node: srvNode, Posix: px}
+		brick := &Brick{Node: srvNode, Array: arr, Posix: px}
 		var serverChild gluster.FS = px
 		if opts.MCDs > 0 {
 			smClient := memcache.NewSimClient(srvNode, c.MCDs)
@@ -209,11 +210,13 @@ func (c *Cluster) BankStats() memcache.Stats {
 	for _, m := range c.Mounts {
 		if m.CMCache != nil {
 			total.DownReplies += m.CMCache.Bank().DownReplies()
+			total.DeadlineMisses += m.CMCache.Bank().DeadlineMisses()
 		}
 	}
 	for _, b := range c.Bricks {
 		if b.SMCache != nil {
 			total.DownReplies += b.SMCache.Bank().DownReplies()
+			total.DeadlineMisses += b.SMCache.Bank().DeadlineMisses()
 		}
 	}
 	return total

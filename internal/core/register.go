@@ -1,0 +1,28 @@
+package core
+
+import "imca/internal/telemetry"
+
+// Register exposes the client translator's cache effectiveness and its bank
+// client's failure counters under prefix (e.g. "client0.cmcache").
+func (c *CMCache) Register(reg *telemetry.Registry, prefix string) {
+	reg.Counter(prefix+".stat_hits", func() uint64 { return c.Stats.StatHits })
+	reg.Counter(prefix+".stat_misses", func() uint64 { return c.Stats.StatMisses })
+	reg.Counter(prefix+".read_hits", func() uint64 { return c.Stats.ReadHits })
+	reg.Counter(prefix+".read_misses", func() uint64 { return c.Stats.ReadMisses })
+	reg.Counter(prefix+".block_lookups", func() uint64 { return c.Stats.BlockLookups })
+	reg.Counter(prefix+".block_hits", func() uint64 { return c.Stats.BlockHits })
+	reg.Rate(prefix+".read_hit_rate",
+		func() uint64 { return c.Stats.ReadHits },
+		func() uint64 { return c.Stats.ReadHits + c.Stats.ReadMisses })
+	c.mcd.Register(reg, prefix+".bank")
+}
+
+// Register exposes the server translator's cache-maintenance work and its
+// bank client's failure counters under prefix (e.g. "brick0.smcache").
+func (s *SMCache) Register(reg *telemetry.Registry, prefix string) {
+	reg.Counter(prefix+".block_pushes", func() uint64 { return s.Stats.BlockPushes })
+	reg.Counter(prefix+".stat_pushes", func() uint64 { return s.Stats.StatPushes })
+	reg.Counter(prefix+".purges", func() uint64 { return s.Stats.Purges })
+	reg.Counter(prefix+".read_backs", func() uint64 { return s.Stats.ReadBacks })
+	s.mcd.Register(reg, prefix+".bank")
+}

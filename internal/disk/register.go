@@ -1,0 +1,33 @@
+package disk
+
+import (
+	"fmt"
+
+	"imca/internal/telemetry"
+)
+
+// Register exposes one spindle's counters and arm utilization under prefix.
+func (d *Disk) Register(reg *telemetry.Registry, prefix string) {
+	reg.Counter(prefix+".reads", func() uint64 { return d.Reads })
+	reg.Counter(prefix+".writes", func() uint64 { return d.Writes })
+	reg.Counter(prefix+".seeks", func() uint64 { return d.Seeks })
+	reg.IntCounter(prefix+".bytes_read", func() int64 { return d.BytesRead })
+	reg.IntCounter(prefix+".bytes_written", func() int64 { return d.BytesWritten })
+	reg.Gauge(prefix+".util", func() float64 { return d.arm.Utilization() })
+}
+
+// Register exposes the array's aggregate queue depth and each member disk
+// (as prefix.disk<i>.*). Queue depth counts requests held or waiting at any
+// arm — the instantaneous backlog the RAID controller sees.
+func (a *Array) Register(reg *telemetry.Registry, prefix string) {
+	reg.Gauge(prefix+".queue_depth", func() float64 {
+		q := 0
+		for _, d := range a.disks {
+			q += d.arm.InUse() + d.arm.QueueLen()
+		}
+		return float64(q)
+	})
+	for i, d := range a.disks {
+		d.Register(reg, fmt.Sprintf("%s.disk%d", prefix, i))
+	}
+}

@@ -33,6 +33,14 @@ type Options struct {
 	// -breakdown). Tracing costs no virtual time: the tables are
 	// identical with it on or off.
 	Breakdown bool
+	// Telemetry instruments selected configurations with the telemetry
+	// registry and attaches their final counter dumps to the result
+	// (imcabench -telemetry). Like tracing, it costs no virtual time.
+	Telemetry bool
+	// TraceOps retains every traced operation of selected configurations
+	// so the run can be exported as a Perfetto trace file (imcabench
+	// -trace-out).
+	TraceOps bool
 }
 
 func (o Options) scale() int {
@@ -64,12 +72,25 @@ type Result struct {
 	// Breakdowns are per-layer latency decompositions, present when
 	// Options.Breakdown was set and the experiment supports tracing.
 	Breakdowns []NamedBreakdown
+	// Telemetry holds final counter dumps of the instrumented
+	// configurations, present when Options.Telemetry was set.
+	Telemetry []NamedDump
+	// Ops lists the retained operations of the instrumented
+	// configurations, present when Options.TraceOps was set; export with
+	// telemetry.WriteChromeTrace.
+	Ops []*optrace.Op
 }
 
 // NamedBreakdown titles one latency decomposition for display.
 type NamedBreakdown struct {
 	Title     string
 	Breakdown *optrace.Breakdown
+}
+
+// NamedDump titles one rendered telemetry dump for display.
+type NamedDump struct {
+	Title string
+	Text  string
 }
 
 // Runner regenerates one figure.
@@ -107,6 +128,7 @@ var Registry = []Experiment{
 	{"ext-mdtest", "Extension (§5.2): mdtest-style create/stat/unlink metadata rates", ExtMDTest},
 	{"ext-bricks", "Extension (§2.1): scaling by storage bricks vs scaling by cache nodes", ExtBricks},
 	{"ext-breakdown", "Extension (§6): per-layer latency decomposition of one warm read at each block size", ExtBreakdown},
+	{"ext-telemetry", "Extension (§6): MCD-bank vs server-pagecache hit rate over virtual time during warm-up", ExtTelemetry},
 }
 
 // Find returns the experiment with the given name.

@@ -17,7 +17,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig7a", "fig7b", "fig8a", "fig8b", "fig8c", "fig8d",
 		"fig9", "fig10",
 		"ext-rdma", "ext-hash", "ext-lustre", "ext-sharing", "ext-smallfile", "ext-mdtest", "ext-bricks",
-		"ext-breakdown",
+		"ext-breakdown", "ext-telemetry",
 	}
 	if len(Registry) != len(wantFigs) {
 		t.Fatalf("registry has %d entries, want %d", len(Registry), len(wantFigs))
@@ -228,5 +228,78 @@ func TestBreakdownOptionKeepsTablesIdentical(t *testing.T) {
 	}
 	if len(plain.Breakdowns) != 0 {
 		t.Error("plain run attached breakdowns")
+	}
+}
+
+func TestExtTelemetryShape(t *testing.T) {
+	res := ExtTelemetry(tiny)
+	rows := res.Table.Rows()
+	if rows < 4 {
+		t.Fatalf("rows = %d, want several sampling intervals", rows)
+	}
+	last := rows - 1
+	// After six passes the bank has served five warm passes; the server's
+	// buffer cache warmed during pass one and stayed idle after.
+	if got := res.Table.Value(last, "bank hit rate"); got < 0.5 {
+		t.Errorf("final bank hit rate = %v, want ≥ 0.5", got)
+	}
+	if got := res.Table.Value(last, "pagecache hit rate"); got < 0.9 {
+		t.Errorf("final pagecache hit rate = %v, want ≥ 0.9", got)
+	}
+	// The bank starts cold: the first interval is all server traffic.
+	if got := res.Table.Value(0, "bank hit rate"); got > 0.1 {
+		t.Errorf("initial bank hit rate = %v, want ≈ 0", got)
+	}
+	joined := strings.Join(res.Notes, "\n")
+	if !strings.Contains(joined, "overtakes") {
+		t.Errorf("notes missing the crossover claim:\n%s", joined)
+	}
+	// Cumulative hit rates never decrease once lookups stop arriving.
+	for i := 1; i < rows; i++ {
+		if res.Table.Value(i, "bank hit rate") < res.Table.Value(i-1, "bank hit rate")-1e-9 {
+			t.Errorf("bank hit rate decreased at row %d", i)
+		}
+	}
+}
+
+func TestTelemetryOptionKeepsTablesIdentical(t *testing.T) {
+	plain := Fig6a(tiny)
+	teled := Fig6a(Options{Scale: tiny.Scale, Telemetry: true, TraceOps: true})
+	for i := 0; i < plain.Table.Rows(); i++ {
+		for _, col := range []string{"NoCache", "IMCa-256", "IMCa-2K", "IMCa-8K"} {
+			if plain.Table.Value(i, col) != teled.Table.Value(i, col) {
+				t.Fatalf("row %d %s: %f (plain) != %f (instrumented) — telemetry must cost zero virtual time",
+					i, col, plain.Table.Value(i, col), teled.Table.Value(i, col))
+			}
+		}
+	}
+	if len(teled.Telemetry) == 0 {
+		t.Error("instrumented run attached no counter dumps")
+	}
+	if len(teled.Ops) == 0 {
+		t.Error("TraceOps run retained no operations")
+	}
+	if len(plain.Telemetry) != 0 || len(plain.Ops) != 0 {
+		t.Error("plain run attached telemetry artifacts")
+	}
+	for _, d := range teled.Telemetry {
+		if d.Title == "" || !strings.Contains(d.Text, "cmcache.read_hits") {
+			t.Errorf("dump %q missing expected instruments", d.Title)
+		}
+	}
+}
+
+func TestExtTelemetryDeterministic(t *testing.T) {
+	a := ExtTelemetry(tiny)
+	b := ExtTelemetry(tiny)
+	if a.Table.Rows() != b.Table.Rows() {
+		t.Fatalf("row counts differ: %d vs %d", a.Table.Rows(), b.Table.Rows())
+	}
+	for i := 0; i < a.Table.Rows(); i++ {
+		for _, col := range []string{"bank hit rate", "pagecache hit rate", "bank hits Δ", "pagecache lookups Δ"} {
+			if a.Table.Value(i, col) != b.Table.Value(i, col) {
+				t.Fatalf("row %d col %s not deterministic", i, col)
+			}
+		}
 	}
 }

@@ -2,11 +2,13 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
 
 	"imca/internal/cluster"
 	"imca/internal/gluster"
 	"imca/internal/metrics"
 	"imca/internal/optrace"
+	"imca/internal/telemetry"
 	"imca/internal/workload"
 )
 
@@ -27,6 +29,34 @@ func latencyRunTrace(o Options, opts cluster.Options, sizes []int64, trace bool)
 		Records:     o.records(),
 		Trace:       trace,
 	})
+}
+
+// latencyRunFull is latencyRunTrace with the full observability kit: when
+// Options.Telemetry is set the deployment is instrumented and its final
+// counters dumped under title, and when Options.TraceOps is set every
+// traced operation is retained for trace export. Neither costs virtual
+// time, so the latencies match latencyRun exactly.
+func latencyRunFull(o Options, opts cluster.Options, sizes []int64, trace bool, title string) (workload.LatencyResult, []NamedDump, []*optrace.Op) {
+	c, mounts := glusterMounts(gOpts(o, opts))
+	var reg *telemetry.Registry
+	if o.Telemetry {
+		reg = telemetry.NewRegistry()
+		c.Instrument(reg)
+	}
+	lr := workload.Latency(c.Env, mounts, workload.LatencyOptions{
+		Dir:         "/lat",
+		RecordSizes: sizes,
+		Records:     o.records(),
+		Trace:       trace,
+		KeepOps:     o.TraceOps,
+	})
+	var dumps []NamedDump
+	if reg != nil {
+		var sb strings.Builder
+		reg.Dump(&sb)
+		dumps = append(dumps, NamedDump{Title: title, Text: sb.String()})
+	}
+	return lr, dumps, lr.Ops
 }
 
 // breakdownSet titles one per-record-size breakdown map for display.
@@ -72,7 +102,7 @@ func fig6Read(o Options, name, title string, sizes []int64) *Result {
 
 	noCache := latencyRunTrace(o, cluster.Options{Clients: 1}, sizes, o.Breakdown)
 	imca256 := latencyRun(o, cluster.Options{Clients: 1, MCDs: 1, MCDMemBytes: mcdMem, BlockSize: 256}, sizes)
-	imca2k := latencyRunTrace(o, cluster.Options{Clients: 1, MCDs: 1, MCDMemBytes: mcdMem, BlockSize: 2048}, sizes, o.Breakdown)
+	imca2k, dumps, ops := latencyRunFull(o, cluster.Options{Clients: 1, MCDs: 1, MCDMemBytes: mcdMem, BlockSize: 2048}, sizes, o.Breakdown, "IMCa-2K final counters ("+name+")")
 	imca8k := latencyRun(o, cluster.Options{Clients: 1, MCDs: 1, MCDMemBytes: mcdMem, BlockSize: 8192}, sizes)
 	lus1Cold := lustreLatencyRun(o, 1, 1, sizes, true)
 	lus4Cold := lustreLatencyRun(o, 1, 4, sizes, true)
@@ -87,7 +117,7 @@ func fig6Read(o Options, name, title string, sizes []int64) *Result {
 			usPerOp(imca2k.Read[r]), usPerOp(imca8k.Read[r]),
 			usPerOp(lus1Cold.Read[r]), usPerOp(lus4Cold.Read[r]), usPerOp(lus4Warm.Read[r]))
 	}
-	res := &Result{Name: name, Table: tb}
+	res := &Result{Name: name, Table: tb, Telemetry: dumps, Ops: ops}
 	if o.Breakdown {
 		res.Breakdowns = append(res.Breakdowns,
 			breakdownSet("IMCa-2K read", sizes, imca2k.ReadBreakdowns)...)

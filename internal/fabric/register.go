@@ -1,0 +1,20 @@
+package fabric
+
+import "imca/internal/telemetry"
+
+// Register exposes the node's NIC traffic counters and port/CPU busy
+// fractions under prefix (e.g. "brick0.nic"). Serialization busy-time is
+// the fraction of virtual time each NIC port has spent transmitting;
+// queued counts messages waiting for a port right now.
+func (nd *Node) Register(reg *telemetry.Registry, prefix string) {
+	reg.IntCounter(prefix+".tx_bytes", func() int64 { return nd.TxBytes })
+	reg.IntCounter(prefix+".rx_bytes", func() int64 { return nd.RxBytes })
+	reg.IntCounter(prefix+".tx_msgs", func() int64 { return nd.TxMsgs })
+	reg.IntCounter(prefix+".rx_msgs", func() int64 { return nd.RxMsgs })
+	reg.Gauge(prefix+".tx_busy", func() float64 { return nd.tx.Utilization() })
+	reg.Gauge(prefix+".rx_busy", func() float64 { return nd.rx.Utilization() })
+	reg.Gauge(prefix+".cpu_busy", func() float64 { return nd.CPU.Utilization() })
+	reg.Gauge(prefix+".queued", func() float64 {
+		return float64(nd.tx.QueueLen() + nd.rx.QueueLen())
+	})
+}

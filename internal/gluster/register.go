@@ -1,0 +1,53 @@
+package gluster
+
+import "imca/internal/telemetry"
+
+// serverOps is the fixed, ordered list of protocol request names, so server
+// instrument registration is deterministic regardless of map iteration.
+var serverOps = []string{
+	"create", "open", "close", "read", "write",
+	"stat", "unlink", "mkdir", "truncate", "readdir",
+}
+
+// Register exposes the storage xlator's disk traffic under prefix; its
+// buffer cache registers separately (see cluster wiring) so the pagecache
+// instruments carry their own prefix.
+func (px *Posix) Register(reg *telemetry.Registry, prefix string) {
+	reg.Counter(prefix+".disk_reads", func() uint64 { return px.DiskReads })
+	reg.Counter(prefix+".disk_writes", func() uint64 { return px.DiskWrites })
+}
+
+// Register exposes the daemon's per-op counters and io-thread pressure
+// under prefix.
+func (s *Server) Register(reg *telemetry.Registry, prefix string) {
+	for _, op := range serverOps {
+		op := op
+		reg.Counter(prefix+".ops."+op, func() uint64 { return s.Ops[op] })
+	}
+	reg.Gauge(prefix+".threads_busy", func() float64 { return float64(s.threads.InUse()) })
+	reg.Gauge(prefix+".threads_queued", func() float64 { return float64(s.threads.QueueLen()) })
+	reg.Gauge(prefix+".threads_util", func() float64 { return s.threads.Utilization() })
+}
+
+// Register exposes io-cache effectiveness under prefix.
+func (io *IOCache) Register(reg *telemetry.Registry, prefix string) {
+	reg.Counter(prefix+".hits", func() uint64 { return io.Hits })
+	reg.Counter(prefix+".misses", func() uint64 { return io.Misses })
+	reg.Counter(prefix+".revalidations", func() uint64 { return io.Revalidations })
+	reg.Counter(prefix+".stale", func() uint64 { return io.Stale })
+	reg.Rate(prefix+".hit_rate",
+		func() uint64 { return io.Hits },
+		func() uint64 { return io.Hits + io.Misses })
+}
+
+// Register exposes read-ahead effectiveness under prefix.
+func (ra *ReadAhead) Register(reg *telemetry.Registry, prefix string) {
+	reg.IntCounter(prefix+".prefetched_bytes", func() int64 { return ra.PrefetchedBytes })
+	reg.IntCounter(prefix+".served_bytes", func() int64 { return ra.ServedFromRA })
+}
+
+// Register exposes write-behind effectiveness under prefix.
+func (wb *WriteBehind) Register(reg *telemetry.Registry, prefix string) {
+	reg.Counter(prefix+".flushes", func() uint64 { return wb.Flushes })
+	reg.IntCounter(prefix+".aggregated_bytes", func() int64 { return wb.AggregatedBytes })
+}

@@ -204,6 +204,10 @@ type SimClient struct {
 	// downReplies counts requests that came back with Down set (connection
 	// refused by a failed daemon). Surfaced through BankStats.
 	downReplies uint64
+	// deadlineMisses counts requests abandoned because the calling
+	// operation's virtual-time deadline expired — the paper's "fall back to
+	// the server" path.
+	deadlineMisses uint64
 }
 
 // NewSimClient returns a client on node addressing the given MCD bank.
@@ -234,6 +238,7 @@ func (c *SimClient) Get(p *sim.Proc, key string) (*Item, bool) {
 	defer sp.End(p)
 	m, err := c.node.Call(p, srv.node, ServiceName, &GetReq{Keys: []string{key}})
 	if err != nil {
+		c.deadlineMisses++
 		sp.SetAttr("result", "deadline")
 		return nil, false
 	}
@@ -316,6 +321,7 @@ func (c *SimClient) GetMulti(p *sim.Proc, keys []string) map[string]*Item {
 	for _, ev := range events {
 		r := ev.Wait(p).(mcdReply)
 		if r.deadline {
+			c.deadlineMisses++
 			continue
 		}
 		if r.resp.Down {
@@ -340,6 +346,7 @@ func (c *SimClient) Set(p *sim.Proc, key string, value blob.Blob) error {
 	defer sp.End(p)
 	m, err := c.node.Call(p, srv.node, ServiceName, &SetReq{Item: &Item{Key: key, Value: value}})
 	if err != nil {
+		c.deadlineMisses++
 		sp.SetAttr("result", "deadline")
 		return err
 	}
@@ -365,6 +372,7 @@ func (c *SimClient) Delete(p *sim.Proc, key string) bool {
 	defer sp.End(p)
 	m, err := c.node.Call(p, srv.node, ServiceName, &DelReq{Key: key})
 	if err != nil {
+		c.deadlineMisses++
 		sp.SetAttr("result", "deadline")
 		return false
 	}
@@ -380,6 +388,10 @@ func (c *SimClient) Delete(p *sim.Proc, key string) bool {
 // DownReplies returns how many of this client's requests were answered by
 // a dead daemon's connection reset.
 func (c *SimClient) DownReplies() uint64 { return c.downReplies }
+
+// DeadlineMisses returns how many of this client's requests were abandoned
+// at an operation deadline and fell back to the server path.
+func (c *SimClient) DeadlineMisses() uint64 { return c.deadlineMisses }
 
 // BankStats sums Stats across the MCD bank.
 func (c *SimClient) BankStats() Stats {
@@ -398,5 +410,6 @@ func (c *SimClient) BankStats() Stats {
 		total.LimitBytes += st.LimitBytes
 	}
 	total.DownReplies = c.downReplies
+	total.DeadlineMisses = c.deadlineMisses
 	return total
 }

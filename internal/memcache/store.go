@@ -86,6 +86,9 @@ type Stats struct {
 	// reset. The store never increments it — it is a client-side
 	// observation, summed into BankStats by SimClient.
 	DownReplies uint64
+	// DeadlineMisses counts requests abandoned at an operation deadline.
+	// Also client-side only, summed into BankStats by SimClient.
+	DeadlineMisses uint64
 }
 
 // slabClass is one chunk-size class: items whose total size fits chunkSize

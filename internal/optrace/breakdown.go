@@ -18,6 +18,10 @@ type Collector struct {
 	// Last is the most recently finished operation (for per-command
 	// reports in interactive tools).
 	Last *Op
+	// Keep retains every finished operation for export (trace files);
+	// off by default since a long run can finish millions of ops.
+	Keep bool
+	ops  []*Op
 }
 
 // NewCollector returns an empty collector.
@@ -48,8 +52,15 @@ func (c *Collector) End(p *sim.Proc) *Op {
 	op.Finish = p.Now()
 	c.breakdown.AddOp(op)
 	c.Last = op
+	if c.Keep {
+		c.ops = append(c.ops, op)
+	}
 	return op
 }
+
+// Ops returns the retained operations in completion order (empty unless
+// Keep was set before the operations ran).
+func (c *Collector) Ops() []*Op { return c.ops }
 
 // Breakdown aggregates operations into per-layer exclusive-time histograms
 // plus an end-to-end total — the Fig-6-style latency decomposition.
@@ -129,16 +140,18 @@ func (b *Breakdown) Merge(other *Breakdown) {
 }
 
 // Report writes an aligned per-layer table: mean exclusive time, its share
-// of the end-to-end mean, and p99. The layer means sum to the end-to-end
-// mean (exclusive times telescope), which the footer makes visible.
+// of the end-to-end mean, and the p50/p95/p99 exclusive times. The layer
+// means sum to the end-to-end mean (exclusive times telescope), which the
+// footer makes visible.
 func (b *Breakdown) Report(w io.Writer) {
 	if b.Count() == 0 {
 		fmt.Fprintln(w, "(no traced operations)")
 		return
 	}
 	totalUs := b.TotalMeanUs()
-	fmt.Fprintf(w, "%-9s  %12s  %7s  %12s\n", "layer", "mean self", "share", "p99 self")
-	fmt.Fprintln(w, strings.Repeat("-", 46))
+	fmt.Fprintf(w, "%-9s  %12s  %7s  %10s  %10s  %10s\n",
+		"layer", "mean self", "share", "p50 self", "p95 self", "p99 self")
+	fmt.Fprintln(w, strings.Repeat("-", 68))
 	var sumUs float64
 	for _, name := range b.Layers() {
 		h := b.layers[name]
@@ -148,9 +161,10 @@ func (b *Breakdown) Report(w io.Writer) {
 		if totalUs > 0 {
 			share = 100 * us / totalUs
 		}
-		fmt.Fprintf(w, "%-9s  %10.1fµs  %6.1f%%  %10v\n", name, us, share, h.Quantile(0.99))
+		fmt.Fprintf(w, "%-9s  %10.1fµs  %6.1f%%  %10v  %10v  %10v\n",
+			name, us, share, h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99))
 	}
-	fmt.Fprintln(w, strings.Repeat("-", 46))
+	fmt.Fprintln(w, strings.Repeat("-", 68))
 	fmt.Fprintf(w, "%-9s  %10.1fµs  (end-to-end %.1fµs over %d op(s))\n",
 		"Σ layers", sumUs, totalUs, b.Count())
 }

@@ -1,6 +1,7 @@
 package optrace
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -186,5 +187,80 @@ func TestBreakdownReport(t *testing.T) {
 	other.Merge(b)
 	if other.Count() != 8 {
 		t.Errorf("merged count = %d, want 8", other.Count())
+	}
+}
+
+// TestBreakdownReportQuantileColumns pins the report layout: the quantile
+// columns are part of the tool's interface (scripts and docs show them), so
+// the header is matched exactly, and the quantiles must be ordered.
+func TestBreakdownReportQuantileColumns(t *testing.T) {
+	env := sim.NewEnv()
+	col := NewCollector()
+	env.Process("ops", func(p *sim.Proc) {
+		// A latency spread so p50 and p99 land in different buckets.
+		for _, us := range []int{10, 10, 10, 10, 10, 10, 10, 10, 10, 300} {
+			col.Begin(p, "read")
+			root := StartSpan(p, LayerFuse, "read")
+			p.Sleep(time.Duration(us) * time.Microsecond)
+			root.End(p)
+			col.End(p)
+		}
+	})
+	env.Run()
+
+	var sb strings.Builder
+	col.Breakdown().Report(&sb)
+	lines := strings.Split(sb.String(), "\n")
+	wantHeader := fmt.Sprintf("%-9s  %12s  %7s  %10s  %10s  %10s",
+		"layer", "mean self", "share", "p50 self", "p95 self", "p99 self")
+	if lines[0] != wantHeader {
+		t.Errorf("header = %q\nwant     %q", lines[0], wantHeader)
+	}
+	if lines[1] != strings.Repeat("-", 68) {
+		t.Errorf("separator = %q", lines[1])
+	}
+
+	b := col.Breakdown()
+	h := b.Layer(LayerFuse)
+	p50, p95, p99 := h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99)
+	if !(p50 <= p95 && p95 <= p99) {
+		t.Errorf("quantiles out of order: p50 %v p95 %v p99 %v", p50, p95, p99)
+	}
+	if p99 <= p50 {
+		t.Errorf("p99 (%v) not above p50 (%v) despite the outlier", p99, p50)
+	}
+	for _, q := range []string{p50.String(), p99.String()} {
+		if !strings.Contains(sb.String(), q) {
+			t.Errorf("report missing quantile %s:\n%s", q, sb.String())
+		}
+	}
+}
+
+// Collector.Keep retains finished operations for export; off by default.
+func TestCollectorKeep(t *testing.T) {
+	env := sim.NewEnv()
+	off, on := NewCollector(), NewCollector()
+	on.Keep = true
+	env.Process("ops", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			off.Begin(p, "a")
+			off.End(p)
+			on.Begin(p, "b")
+			p.Sleep(time.Microsecond)
+			on.End(p)
+		}
+	})
+	env.Run()
+	if n := len(off.Ops()); n != 0 {
+		t.Errorf("default collector retained %d ops", n)
+	}
+	ops := on.Ops()
+	if len(ops) != 3 {
+		t.Fatalf("Keep collector retained %d ops, want 3", len(ops))
+	}
+	for i, op := range ops {
+		if op.Name != "b" || op.Finish <= op.Start {
+			t.Errorf("op %d malformed: %+v", i, op)
+		}
 	}
 }

@@ -211,3 +211,55 @@ func TestPropertyAccounting(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// A cold pass misses every page and a warm re-read hits every page; Clear
+// (an unmount) returns the cache to cold behaviour but keeps the counters,
+// which belong to the measurement, not the contents.
+func TestWarmVsColdPasses(t *testing.T) {
+	const (
+		ino      = uint64(3)
+		fileSize = int64(64 << 10)
+		pageSize = int64(4096)
+	)
+	pages := uint64(fileSize / pageSize)
+	c := New(1<<20, pageSize)
+
+	for off := int64(0); off < fileSize; off += pageSize {
+		if missing := c.Lookup(ino, off, pageSize); len(missing) == 0 {
+			t.Fatalf("cold lookup at %d hit", off)
+		}
+		c.Insert(ino, off, pageSize)
+	}
+	if c.Hits != 0 || c.Misses != pages {
+		t.Fatalf("cold pass: hits/misses = %d/%d, want 0/%d", c.Hits, c.Misses, pages)
+	}
+
+	for off := int64(0); off < fileSize; off += pageSize {
+		if missing := c.Lookup(ino, off, pageSize); len(missing) != 0 {
+			t.Fatalf("warm lookup at %d missed %v", off, missing)
+		}
+	}
+	if c.Hits != pages || c.Misses != pages {
+		t.Fatalf("warm pass: hits/misses = %d/%d, want %d/%d", c.Hits, c.Misses, pages, pages)
+	}
+	if got := c.HitRate(); got != 0.5 {
+		t.Errorf("hit rate = %v, want 0.5 after one cold and one warm pass", got)
+	}
+	if c.Evictions != 0 {
+		t.Errorf("evictions = %d, want 0 (file fits)", c.Evictions)
+	}
+
+	c.Clear()
+	if c.Used() != 0 || c.Len() != 0 {
+		t.Errorf("after Clear: used %d bytes, %d pages", c.Used(), c.Len())
+	}
+	if c.Hits != pages || c.Misses != pages {
+		t.Errorf("Clear reset the counters: hits/misses = %d/%d", c.Hits, c.Misses)
+	}
+	if missing := c.Lookup(ino, 0, pageSize); len(missing) == 0 {
+		t.Error("lookup after Clear hit")
+	}
+	if c.Misses != pages+1 {
+		t.Errorf("misses = %d after post-Clear lookup, want %d", c.Misses, pages+1)
+	}
+}

@@ -1,0 +1,16 @@
+package pagecache
+
+import "imca/internal/telemetry"
+
+// Register exposes the cache's counters as telemetry instruments under
+// prefix (e.g. "brick0.pagecache"). Instruments read the live counters
+// lazily, so registration costs the cache nothing on its hot paths.
+func (c *Cache) Register(reg *telemetry.Registry, prefix string) {
+	reg.Counter(prefix+".hits", func() uint64 { return c.Hits })
+	reg.Counter(prefix+".misses", func() uint64 { return c.Misses })
+	reg.Counter(prefix+".evictions", func() uint64 { return c.Evictions })
+	reg.Gauge(prefix+".resident_bytes", func() float64 { return float64(c.used) })
+	reg.Rate(prefix+".hit_rate",
+		func() uint64 { return c.Hits },
+		func() uint64 { return c.Hits + c.Misses })
+}

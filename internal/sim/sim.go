@@ -89,6 +89,13 @@ type Env struct {
 	// much simulated activity a run performed, useful when comparing the
 	// cost of scenarios or hunting runaway models.
 	EventsProcessed uint64
+
+	// Tick hook: an observer callback fired at fixed virtual intervals
+	// (see SetTick). It lives outside the event heap so installing it
+	// never perturbs event ordering, sequence numbers, or the clock.
+	tickInterval Duration
+	tickNext     Time
+	tickFn       func(at Time)
 }
 
 // NewEnv returns an empty environment with the clock at zero.
@@ -217,6 +224,41 @@ func (e *Env) wake(p *Proc) {
 	<-e.yielded
 }
 
+// SetTick installs fn as the environment's tick observer: it is invoked
+// with each boundary time now, now+interval, now+2·interval, … as the
+// clock reaches or passes it. A nil fn removes the observer.
+//
+// The callback runs in scheduler context between event dispatches, when no
+// process is mid-action, so a read-only observer sees a consistent snapshot
+// of simulation state as of the boundary instant (state only changes when
+// events run, and none ran between the previous event and the boundary).
+// Because the hook schedules nothing, installing it cannot change a
+// simulation's behaviour — results are byte-identical with it on or off.
+// The callback must not call process primitives (Sleep, Acquire, …).
+func (e *Env) SetTick(interval Duration, fn func(at Time)) {
+	if fn == nil {
+		e.tickFn = nil
+		return
+	}
+	if interval <= 0 {
+		panic("sim: non-positive tick interval")
+	}
+	e.tickInterval = interval
+	e.tickNext = e.now.Add(interval)
+	e.tickFn = fn
+}
+
+// fireTicks invokes the tick observer for every boundary at or before the
+// current time. Boundaries coinciding with an event's timestamp fire before
+// that event is dispatched.
+func (e *Env) fireTicks() {
+	for e.tickFn != nil && e.tickNext <= e.now {
+		at := e.tickNext
+		e.tickNext = at.Add(e.tickInterval)
+		e.tickFn(at)
+	}
+}
+
 // Run processes events until none remain. It returns the final virtual
 // time. If processes remain parked with no pending events, the simulation
 // is deadlocked and Run panics with a diagnostic, since that always
@@ -232,10 +274,12 @@ func (e *Env) RunUntil(limit Time) Time {
 		ev := e.heap[0]
 		if ev.at > limit {
 			e.now = limit
+			e.fireTicks()
 			return e.now
 		}
 		heap.Pop(&e.heap)
 		e.now = ev.at
+		e.fireTicks()
 		e.EventsProcessed++
 		switch {
 		case ev.fn != nil:

@@ -1,0 +1,115 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+
+	"imca/internal/sim"
+)
+
+// Sampler snapshots a registry's instruments at fixed virtual intervals,
+// accumulating one time series per instrument. It rides the kernel's tick
+// hook (sim.Env.SetTick), which fires between event dispatches without
+// scheduling anything, so sampling can never advance the virtual clock or
+// change event ordering: a sampled run is byte-identical to an unsampled
+// one.
+//
+// Samples are stamped at exact interval boundaries. The hook fires when the
+// clock first reaches or passes a boundary, and because simulation state
+// only changes when events run, the values read then are exactly the state
+// of the system at the boundary instant.
+type Sampler struct {
+	env      *sim.Env
+	reg      *Registry
+	interval sim.Duration
+	times    []sim.Time
+	series   map[string][]float64
+}
+
+// NewSampler installs a sampler on env reading reg every interval of
+// virtual time. It replaces any previously installed tick observer.
+func NewSampler(env *sim.Env, reg *Registry, interval sim.Duration) *Sampler {
+	s := &Sampler{env: env, reg: reg, interval: interval, series: make(map[string][]float64)}
+	env.SetTick(interval, s.Sample)
+	return s
+}
+
+// Interval returns the sampling interval.
+func (s *Sampler) Interval() sim.Duration { return s.interval }
+
+// Sample records one snapshot stamped at. The kernel calls it at each
+// boundary; callers may also invoke it directly (e.g. once after the final
+// Run, to close the series at the end of the workload). Out-of-order or
+// duplicate stamps are ignored so a manual final sample is always safe.
+func (s *Sampler) Sample(at sim.Time) {
+	if n := len(s.times); n > 0 && at <= s.times[n-1] {
+		return
+	}
+	s.times = append(s.times, at)
+	for _, in := range s.reg.order {
+		col := s.series[in.name]
+		// Instruments registered after sampling began backfill zeros so
+		// every series stays aligned with the time axis.
+		for len(col) < len(s.times)-1 {
+			col = append(col, 0)
+		}
+		s.series[in.name] = append(col, in.Value())
+	}
+}
+
+// Stop uninstalls the sampler from its environment; recorded series remain
+// readable.
+func (s *Sampler) Stop() { s.env.SetTick(0, nil) }
+
+// Len returns the number of samples taken.
+func (s *Sampler) Len() int { return len(s.times) }
+
+// Times returns the sample timestamps.
+func (s *Sampler) Times() []sim.Time {
+	return append([]sim.Time(nil), s.times...)
+}
+
+// Series returns the named instrument's samples, aligned with Times
+// (nil if the instrument was never sampled).
+func (s *Sampler) Series(name string) []float64 {
+	col, ok := s.series[name]
+	if !ok {
+		return nil
+	}
+	out := append([]float64(nil), col...)
+	// A series can be short if its instrument appeared mid-run and no
+	// sample has fired since; pad for alignment.
+	for len(out) < len(s.times) {
+		out = append(out, 0)
+	}
+	return out
+}
+
+// Dump writes the named instruments as an aligned time-series table, one
+// row per sample.
+func (s *Sampler) Dump(w io.Writer, names ...string) {
+	if len(s.times) == 0 {
+		fmt.Fprintln(w, "(no samples)")
+		return
+	}
+	fmt.Fprintf(w, "%12s", "t")
+	for _, n := range names {
+		fmt.Fprintf(w, "  %*s", len(n), n)
+	}
+	fmt.Fprintln(w)
+	cols := make([][]float64, len(names))
+	for i, n := range names {
+		cols[i] = s.Series(n)
+	}
+	for ti, at := range s.times {
+		fmt.Fprintf(w, "%12v", at)
+		for i, n := range names {
+			kind := KindGauge
+			if in := s.reg.Get(n); in != nil {
+				kind = in.Kind()
+			}
+			fmt.Fprintf(w, "  %*s", len(n), formatValue(kind, cols[i][ti]))
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -90,6 +90,9 @@ type LatencyOptions struct {
 	// decompositions by record size. Tracing costs no virtual time, so
 	// the measured latencies are identical with it on or off.
 	Trace bool
+	// KeepOps additionally retains every finished operation (implying
+	// Trace) so the run can be exported as a trace file.
+	KeepOps bool
 }
 
 // LatencyResult reports average per-operation times by record size.
@@ -101,6 +104,10 @@ type LatencyResult struct {
 	// set (nil otherwise).
 	WriteBreakdowns map[int64]*optrace.Breakdown
 	ReadBreakdowns  map[int64]*optrace.Breakdown
+	// Ops lists every finished operation when LatencyOptions.KeepOps is
+	// set: all writes then all reads, record sizes in sweep order,
+	// completion order within a size.
+	Ops []*optrace.Op
 }
 
 // traceStart begins a traced operation on p when tracing is enabled and
@@ -124,15 +131,24 @@ func traceEnd(p *sim.Proc, cols []*optrace.Collector, si int, root *optrace.Span
 }
 
 // newCollectors returns one collector per record size (nil unless traced).
-func newCollectors(on bool, n int) []*optrace.Collector {
-	if !on {
+func newCollectors(on, keep bool, n int) []*optrace.Collector {
+	if !on && !keep {
 		return nil
 	}
 	cols := make([]*optrace.Collector, n)
 	for i := range cols {
 		cols[i] = optrace.NewCollector()
+		cols[i].Keep = keep
 	}
 	return cols
+}
+
+// collectOps appends the collectors' retained operations in sweep order.
+func collectOps(dst []*optrace.Op, cols []*optrace.Collector) []*optrace.Op {
+	for _, c := range cols {
+		dst = append(dst, c.Ops()...)
+	}
+	return dst
 }
 
 // breakdownMap collects the per-size breakdowns keyed by record size.
@@ -195,7 +211,7 @@ func Latency(env *sim.Env, mounts []gluster.FS, opts LatencyOptions) LatencyResu
 
 	// Write stage: one barrier generation per record size.
 	writeTotals := make([]sim.Duration, len(opts.RecordSizes))
-	wcols := newCollectors(opts.Trace, len(opts.RecordSizes))
+	wcols := newCollectors(opts.Trace, opts.KeepOps, len(opts.RecordSizes))
 	bar := sim.NewBarrier(env, writerCount)
 	for ci := 0; ci < writerCount; ci++ {
 		ci := ci
@@ -230,7 +246,7 @@ func Latency(env *sim.Env, mounts []gluster.FS, opts LatencyOptions) LatencyResu
 
 	// Read stage: all clients participate.
 	readTotals := make([]sim.Duration, len(opts.RecordSizes))
-	rcols := newCollectors(opts.Trace, len(opts.RecordSizes))
+	rcols := newCollectors(opts.Trace, opts.KeepOps, len(opts.RecordSizes))
 	rbar := sim.NewBarrier(env, nc)
 	for ci := 0; ci < nc; ci++ {
 		ci := ci
@@ -271,6 +287,9 @@ func Latency(env *sim.Env, mounts []gluster.FS, opts LatencyOptions) LatencyResu
 		res.Read[r] = readTotals[si] / sim.Duration(opts.Records*nc)
 	}
 	res.ReadBreakdowns = breakdownMap(rcols, opts.RecordSizes)
+	if opts.KeepOps {
+		res.Ops = collectOps(collectOps(nil, wcols), rcols)
+	}
 	return res
 }
 

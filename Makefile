@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race verify bench
+.PHONY: all build vet lint test race verify bench
 
 all: verify
 
@@ -10,13 +10,18 @@ build:
 vet:
 	$(GO) vet ./...
 
+# Determinism-invariant static analysis (wallclock, rand, maprange,
+# nogoroutine, tickpurity). See DESIGN.md "Determinism invariants".
+lint:
+	$(GO) run ./cmd/imcalint ./...
+
 test:
 	$(GO) test ./...
 
 race:
 	$(GO) test -race ./...
 
-# Tier-1 check: vet + build + race tests + example link check.
+# Tier-1 check: gofmt + vet + build + lint + race tests + example link check.
 verify:
 	sh scripts/verify.sh
 

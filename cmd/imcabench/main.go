@@ -63,9 +63,10 @@ func main() {
 	opts := experiments.Options{Scale: *scale, Breakdown: *brk, Telemetry: *tele, TraceOps: *trOut != ""}
 	var tracedOps []*optrace.Op
 	run := func(e experiments.Experiment) {
-		start := time.Now()
+		start := time.Now() //imcalint:allow wallclock host-side: reports how long the simulation took to execute
 		res := e.Run(opts)
 		tracedOps = append(tracedOps, res.Ops...)
+		//imcalint:allow wallclock host-side: wall duration of the run, printed next to virtual results
 		fmt.Printf("\n== %s (scale 1/%d, %s wall) ==\n", e.Name, *scale, time.Since(start).Round(time.Millisecond))
 		if *csv {
 			res.Table.CSV(os.Stdout)

@@ -1,0 +1,57 @@
+// Command imcalint runs the repository's determinism-invariant static
+// analyzer (internal/lint) over the given package patterns.
+//
+//	imcalint ./...
+//	imcalint ./internal/... ./cmd/...
+//	imcalint ./internal/lint/testdata/wallclock   # explicit dirs work too
+//
+// Findings print one per line as "file:line: [check] message" and the
+// exit status is 1 when any are found (2 on usage or analysis errors).
+// Intentional exceptions are annotated at the offending line:
+//
+//	//imcalint:allow <check> <reason>
+//
+// See internal/lint's package documentation for the five checks and the
+// invariants behind them.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"imca/internal/lint"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: imcalint [packages...]   (defaults to ./...)")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	findings, err := lint.Run(root, flag.Args(), lint.DefaultConfig("imca"))
+	if err != nil {
+		fatal(err)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "imcalint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "imcalint: %v\n", err)
+	os.Exit(2)
+}

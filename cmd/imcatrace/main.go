@@ -14,11 +14,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
 	"imca/internal/cluster"
 	"imca/internal/gluster"
+	"imca/internal/memcache"
 	"imca/internal/trace"
 	"imca/internal/workload"
 )
@@ -126,8 +128,21 @@ func replay(args []string) {
 	})
 	res := trace.Replay(c.Env, c.FSes(), tr)
 
-	fmt.Printf("replayed %d ops on %d clients, %d MCDs: %v elapsed (virtual), %d errors\n",
-		len(tr.Ops), *clients, *mcds, res.Elapsed, res.Errors)
+	var bank *memcache.Stats
+	if *mcds > 0 {
+		b := c.BankStats()
+		bank = &b
+	}
+	writeReplayReport(os.Stdout, len(tr.Ops), *clients, *mcds, res, bank)
+}
+
+// writeReplayReport formats the replay summary: the headline, per-kind
+// averages in sorted kind order, and the bank's statistics when one
+// exists. It is a pure function of its inputs so the determinism test can
+// hold two replays of the same trace to byte-identical output.
+func writeReplayReport(w io.Writer, opCount, clients, mcds int, res *trace.Result, bank *memcache.Stats) {
+	fmt.Fprintf(w, "replayed %d ops on %d clients, %d MCDs: %v elapsed (virtual), %d errors\n",
+		opCount, clients, mcds, res.Elapsed, res.Errors)
 	kinds := make([]string, 0, len(res.OpCounts))
 	for k := range res.OpCounts {
 		kinds = append(kinds, string(k))
@@ -135,13 +150,12 @@ func replay(args []string) {
 	sort.Strings(kinds)
 	for _, k := range kinds {
 		kind := trace.Kind(k)
-		fmt.Printf("  %-9s %6d ops, avg %v\n", k, res.OpCounts[kind], res.AvgOp(kind))
+		fmt.Fprintf(w, "  %-9s %6d ops, avg %v\n", k, res.OpCounts[kind], res.AvgOp(kind))
 	}
-	if *mcds > 0 {
-		bank := c.BankStats()
-		fmt.Printf("bank: %d gets (%d hits, %d misses), %d sets, %d items, %d evictions\n",
+	if bank != nil {
+		fmt.Fprintf(w, "bank: %d gets (%d hits, %d misses), %d sets, %d items, %d evictions\n",
 			bank.CmdGet, bank.GetHits, bank.GetMisses, bank.CmdSet, bank.CurrItems, bank.Evictions)
-		fmt.Printf("bank: %d down replies, %d deadline misses\n",
+		fmt.Fprintf(w, "bank: %d down replies, %d deadline misses\n",
 			bank.DownReplies, bank.DeadlineMisses)
 	}
 }

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"imca/internal/cluster"
+	"imca/internal/gluster"
+	"imca/internal/sim"
+	"imca/internal/telemetry"
+	"imca/internal/trace"
+	"imca/internal/workload"
+)
+
+// cycle runs one full record→replay pass and returns every byte-level
+// artifact: the encoded trace, the replay report exactly as the command
+// prints it, and the Perfetto export of the recorded operations.
+func cycle(t *testing.T) (enc, report, perfetto string) {
+	t.Helper()
+
+	rc := cluster.New(cluster.Options{Clients: 2})
+	tr := &trace.Trace{}
+	mounts := make([]gluster.FS, 2)
+	for i := range mounts {
+		mounts[i] = trace.NewRecorder(rc.Mounts[i].FS, tr, i)
+	}
+	res := workload.Latency(rc.Env, mounts, workload.LatencyOptions{
+		Dir:         "/det",
+		RecordSizes: []int64{256, 2048},
+		Records:     16,
+		KeepOps:     true,
+	})
+	var encB strings.Builder
+	if err := tr.Encode(&encB); err != nil {
+		t.Fatal(err)
+	}
+	var pf bytes.Buffer
+	if err := telemetry.WriteChromeTrace(&pf, res.Ops); err != nil {
+		t.Fatal(err)
+	}
+
+	pc := cluster.New(cluster.Options{Clients: 2, MCDs: 2, MCDMemBytes: 64 << 20, BlockSize: 2048})
+	rres := trace.Replay(pc.Env, pc.FSes(), tr)
+	bank := pc.BankStats()
+	var rep bytes.Buffer
+	writeReplayReport(&rep, len(tr.Ops), 2, 2, rres, &bank)
+	return encB.String(), rep.String(), pf.String()
+}
+
+// Two full record→replay cycles must agree byte for byte on the encoded
+// trace, the replay report, and the Perfetto export: the simulator's
+// determinism guarantee extends all the way out to what imcatrace prints
+// and what the trace viewer loads.
+func TestReplayReportDeterministic(t *testing.T) {
+	encA, repA, pfA := cycle(t)
+	encB, repB, pfB := cycle(t)
+	if encA != encB {
+		t.Error("encoded traces differ between identical record runs")
+	}
+	if repA != repB {
+		t.Error("replay reports differ between identical replays")
+	}
+	if pfA != pfB {
+		t.Error("Perfetto exports differ between identical runs")
+	}
+	if !strings.Contains(repA, "replayed ") || !strings.Contains(repA, "bank: ") {
+		t.Errorf("replay report missing headline or bank stats:\n%s", repA)
+	}
+	if !strings.Contains(repA, "read") || !strings.Contains(repA, "write") {
+		t.Errorf("replay report missing per-kind lines:\n%s", repA)
+	}
+	if !strings.Contains(pfA, "traceEvents") {
+		t.Error("Perfetto export missing traceEvents array")
+	}
+}
+
+// writeReplayReport with no bank (a NoCache replay) must omit the bank
+// lines rather than print zeros that suggest a cache was present.
+func TestReplayReportNoBank(t *testing.T) {
+	res := &trace.Result{
+		OpCounts: map[trace.Kind]int{trace.OpStat: 1},
+		OpTime:   map[trace.Kind]sim.Duration{},
+	}
+	var rep bytes.Buffer
+	writeReplayReport(&rep, 1, 1, 0, res, nil)
+	if strings.Contains(rep.String(), "bank:") {
+		t.Errorf("NoCache report mentions the bank:\n%s", rep.String())
+	}
+}

@@ -68,7 +68,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	for addr, m := range stats {
+	// Iterate the daemons in listen order, not map order, so the report
+	// prints identically every run.
+	for _, addr := range addrs {
+		m := stats[addr]
 		fmt.Printf("%s: curr_items=%s get_hits=%s get_misses=%s\n",
 			addr, m["curr_items"], m["get_hits"], m["get_misses"])
 	}

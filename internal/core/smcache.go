@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"strconv"
 
 	"imca/internal/blob"
@@ -67,14 +68,19 @@ func (s *SMCache) Bank() *memcache.SimClient { return s.mcd }
 // keys it removed. The stat entry stays valid (open/close do not change
 // file contents' metadata beyond what the fresh stat push provides).
 func (s *SMCache) purgeData(p *sim.Proc, path string) int {
-	n := 0
+	// Delete in sorted block order: each delete is a simulated RPC, so
+	// map-order iteration would reorder bank traffic between runs.
+	blocks := make([]int64, 0, len(s.pushed[path]))
 	for bo := range s.pushed[path] {
+		blocks = append(blocks, bo)
+	}
+	sort.Slice(blocks, func(i, j int) bool { return blocks[i] < blocks[j] })
+	for _, bo := range blocks {
 		s.mcd.Delete(p, blockKey(path, bo))
 		s.Stats.Purges++
-		n++
 	}
 	delete(s.pushed, path)
-	return n
+	return len(blocks)
 }
 
 // purgeAll additionally removes the stat entry — used for deletes and

@@ -1,6 +1,8 @@
 package gluster
 
 import (
+	"sort"
+
 	"imca/internal/blob"
 	"imca/internal/sim"
 )
@@ -54,10 +56,17 @@ func (wb *WriteBehind) flush(p *sim.Proc, fd FD, st *wbState) error {
 }
 
 // FlushAll flushes every descriptor's pending buffer (fsync-on-everything).
+// Descriptors flush in sorted order: each flush is a simulated write, so
+// map-order iteration would reorder I/O between identical runs.
 func (wb *WriteBehind) FlushAll(p *sim.Proc) error {
+	fds := make([]FD, 0, len(wb.files))
+	for fd := range wb.files {
+		fds = append(fds, fd)
+	}
+	sort.Slice(fds, func(i, j int) bool { return fds[i] < fds[j] })
 	var first error
-	for fd, st := range wb.files {
-		if err := wb.flush(p, fd, st); err != nil && first == nil {
+	for _, fd := range fds {
+		if err := wb.flush(p, fd, wb.files[fd]); err != nil && first == nil {
 			first = err
 		}
 	}

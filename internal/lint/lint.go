@@ -1,0 +1,253 @@
+// Package lint implements imcalint, a determinism-invariant static
+// analyzer for the simulator stack. The whole reproduction rests on one
+// property: two identical runs produce byte-identical tables and traces on
+// a virtual clock. That property is easy to break silently — a stray
+// time.Now in a simulated layer, a map iterated into a report, a goroutine
+// spawned inside the single-threaded event loop — so this package makes it
+// machine-checked rather than conventional.
+//
+// Five checks are implemented, each over the parsed and type-checked
+// source of the packages under analysis (stdlib tooling only: go/parser,
+// go/ast, go/types, go/importer):
+//
+//   - wallclock: no time.Now / time.Since / time.Sleep (or timer
+//     construction) anywhere in the tree. Simulated code must use the
+//     virtual clock; genuinely host-side code (the real memcached TCP
+//     daemon, wall-time reporting in cmd/) carries an explicit
+//     suppression.
+//   - rand: no direct math/rand import outside internal/xrand; seeded
+//     xrand generators keep workloads reproducible across runs and Go
+//     versions.
+//   - maprange: no `for range` over a map whose body emits output,
+//     appends to a slice the function returns, registers instruments, or
+//     drives simulated activity — unless the keys are collected and
+//     sorted first.
+//   - nogoroutine: no go statements, channel operations, or sync
+//     primitives in the pure-sim packages; the kernel runs exactly one
+//     goroutine at a time and concurrency belongs to sim.Chan/sim.Event.
+//   - tickpurity: functions reachable from a sim.Env.SetTick observer
+//     must not call scheduling methods; sampling can never advance the
+//     clock.
+//
+// Findings print as "file:line: [check] message". Intentional exceptions
+// are annotated in the source as
+//
+//	//imcalint:allow <check> <reason>
+//
+// on the offending line or the line immediately above it. The reason is
+// mandatory, and a suppression that matches no finding is itself reported,
+// so the set of exceptions stays exact and self-documenting.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Checks is the set of valid check names, in reporting order.
+var Checks = []string{"wallclock", "rand", "maprange", "nogoroutine", "tickpurity"}
+
+// Finding is one rule violation.
+type Finding struct {
+	Pos   token.Position
+	Check string
+	Msg   string
+}
+
+// String formats the finding as "file:line: [check] message".
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Check, f.Msg)
+}
+
+// Config selects which packages each check treats specially. Paths are
+// full import paths. The zero value is not useful; start from
+// DefaultConfig.
+type Config struct {
+	// PureSim lists the packages subject to the nogoroutine check: the
+	// deterministic single-threaded layers of the simulator.
+	PureSim []string
+	// RandAllowed lists the packages that may import math/rand.
+	RandAllowed []string
+	// SimPath is the import path of the simulation kernel, used by the
+	// maprange and tickpurity checks to recognize scheduling calls. Empty
+	// disables those recognitions (the checks still run on syntax).
+	SimPath string
+}
+
+// DefaultConfig returns the repository's own policy for the given module
+// path.
+func DefaultConfig(module string) *Config {
+	sub := func(s string) string { return module + "/internal/" + s }
+	return &Config{
+		PureSim: []string{
+			sub("sim"), sub("fabric"), sub("disk"), sub("pagecache"),
+			sub("gluster"), sub("core"), sub("optrace"), sub("telemetry"),
+			// The analyzer's own fixture is treated as pure-sim so the
+			// golden test and the command agree on its findings.
+			sub("lint/testdata/nogoroutine"),
+		},
+		RandAllowed: []string{sub("xrand")},
+		SimPath:     sub("sim"),
+	}
+}
+
+func (c *Config) pureSim(path string) bool     { return contains(c.PureSim, path) }
+func (c *Config) randAllowed(path string) bool { return contains(c.RandAllowed, path) }
+
+func contains(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// Run analyzes the packages matched by patterns (import-path-relative
+// directory patterns such as "./...", "./internal/...", or a single
+// directory) under the module rooted at root, and returns the surviving
+// findings sorted by position. Suppressed findings are dropped; malformed
+// or unused suppressions are reported as findings themselves.
+func Run(root string, patterns []string, cfg *Config) ([]Finding, error) {
+	ld, err := newLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := expandPatterns(root, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*pkgInfo
+	for _, dir := range dirs {
+		pkg, err := ld.loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+
+	var findings []Finding
+	var sups []*suppression
+	for _, pkg := range pkgs {
+		findings = append(findings, checkWallclock(pkg)...)
+		findings = append(findings, checkRand(pkg, cfg)...)
+		findings = append(findings, checkMapRange(pkg, cfg)...)
+		findings = append(findings, checkNoGoroutine(pkg, cfg)...)
+		s, bad := collectSuppressions(pkg)
+		sups = append(sups, s...)
+		findings = append(findings, bad...)
+	}
+	findings = append(findings, checkTickPurity(ld, pkgs, cfg)...)
+
+	findings = applySuppressions(findings, sups)
+	// Report paths relative to the module root so output is stable no
+	// matter where the analyzer was invoked from.
+	for i := range findings {
+		if rel, err := filepath.Rel(root, findings[i].Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			findings[i].Pos.Filename = filepath.ToSlash(rel)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	return findings, nil
+}
+
+// FindModuleRoot walks upward from dir to the directory containing go.mod
+// and returns it.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// expandPatterns resolves "./..." style patterns to package directories
+// relative to root. The "..." walk skips testdata, hidden, and VCS
+// directories; naming a testdata directory explicitly still works (that is
+// how the self-tests run the analyzer on its fixture packages).
+func expandPatterns(root string, patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		pat = strings.TrimPrefix(pat, "./")
+		switch {
+		case pat == "..." || strings.HasSuffix(pat, "/..."):
+			base := strings.TrimSuffix(strings.TrimSuffix(pat, "..."), "/")
+			start := filepath.Join(root, filepath.FromSlash(base))
+			err := filepath.WalkDir(start, func(path string, d os.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if path != start && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+					return filepath.SkipDir
+				}
+				if ok, err := hasGoFiles(path); err != nil {
+					return err
+				} else if ok {
+					add(path)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+		default:
+			add(filepath.Join(root, filepath.FromSlash(pat)))
+		}
+	}
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) (bool, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true, nil
+		}
+	}
+	return false, nil
+}

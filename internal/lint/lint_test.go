@@ -1,0 +1,100 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := FindModuleRoot(cwd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+// TestGolden runs the analyzer over each fixture package and compares the
+// findings against its expected.txt, byte for byte. Each fixture
+// exercises one check (plus one for the suppression machinery), so a
+// behavior change in any check shows up as a golden diff.
+func TestGolden(t *testing.T) {
+	root := moduleRoot(t)
+	for _, name := range []string{"wallclock", "randpkg", "maprange", "nogoroutine", "tickpurity", "suppress"} {
+		t.Run(name, func(t *testing.T) {
+			rel := "internal/lint/testdata/" + name
+			findings, err := Run(root, []string{"./" + rel}, DefaultConfig("imca"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(findings) == 0 {
+				t.Fatal("fixture produced no findings; each violation package must fail")
+			}
+			var got strings.Builder
+			for _, f := range findings {
+				got.WriteString(strings.TrimPrefix(f.String(), rel+"/"))
+				got.WriteString("\n")
+			}
+			wantBytes, err := os.ReadFile(filepath.Join(root, rel, "expected.txt"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.String() != string(wantBytes) {
+				t.Errorf("findings differ from expected.txt\n--- got ---\n%s--- want ---\n%s", got.String(), wantBytes)
+			}
+		})
+	}
+}
+
+// TestRepoClean is the acceptance invariant: the analyzer comes up clean
+// on its own repository. Any new finding either needs a fix or an
+// explicit //imcalint:allow annotation.
+func TestRepoClean(t *testing.T) {
+	root := moduleRoot(t)
+	findings, err := Run(root, []string{"./..."}, DefaultConfig("imca"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}
+
+// TestSuppressionCovers verifies both placements: trailing on the line and
+// on the line immediately above.
+func TestSuppressionCovers(t *testing.T) {
+	findings := applySuppressions(
+		[]Finding{
+			{Pos: positionAt("a.go", 10), Check: "wallclock", Msg: "x"},
+			{Pos: positionAt("a.go", 21), Check: "rand", Msg: "y"},
+			{Pos: positionAt("a.go", 30), Check: "rand", Msg: "z"}, // wrong check below
+		},
+		[]*suppression{
+			{file: "a.go", line: 10, check: "wallclock", reason: "same line"},
+			{file: "a.go", line: 20, check: "rand", reason: "line above"},
+			{file: "a.go", line: 30, check: "wallclock", reason: "mismatched"},
+		},
+	)
+	var kept []string
+	for _, f := range findings {
+		kept = append(kept, f.Check+":"+f.Msg)
+	}
+	want := []string{
+		"rand:z",
+		"suppress:suppression for wallclock matches no finding — remove it or move it to the offending line",
+	}
+	if len(kept) != len(want) {
+		t.Fatalf("kept %v, want %v", kept, want)
+	}
+	for i := range want {
+		if kept[i] != want[i] {
+			t.Errorf("kept[%d] = %q, want %q", i, kept[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package lint
+
+import (
+	"strconv"
+)
+
+// checkRand flags direct math/rand imports. Its global, version-dependent
+// generators break run-to-run and Go-release-to-release reproducibility;
+// workloads and models must draw from internal/xrand's explicitly seeded
+// streams instead.
+func checkRand(pkg *pkgInfo, cfg *Config) []Finding {
+	if cfg.randAllowed(pkg.path) {
+		return nil
+	}
+	var out []Finding
+	for _, f := range pkg.files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				out = append(out, Finding{
+					Pos:   pkg.pos(imp.Pos()),
+					Check: "rand",
+					Msg:   "import of " + path + " — use internal/xrand's seeded generators for reproducible randomness",
+				})
+			}
+		}
+	}
+	return out
+}

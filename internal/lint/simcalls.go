@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// simSchedMethods names the sim-kernel entry points that schedule events,
+// park processes, or otherwise advance the virtual clock, keyed as
+// "Receiver.Method" (or a bare name for package functions). The unexported
+// primitives are included so reachability analysis inside the kernel
+// itself cannot slip past the exported surface.
+var simSchedMethods = map[string]bool{
+	"Env.Process": true, "Env.Run": true, "Env.RunUntil": true,
+	"Env.schedule": true, "Env.scheduleProc": true, "Env.wake": true,
+	"Proc.Sleep": true, "Proc.Yield": true, "Proc.Spawn": true, "Proc.park": true,
+	"Event.Wait": true, "Event.WaitUntil": true, "Event.Trigger": true,
+	"Chan.Send": true, "Chan.TrySend": true, "Chan.Recv": true, "Chan.TryRecv": true,
+	"Resource.Acquire": true, "Resource.Release": true, "Resource.Use": true,
+	"Barrier.Wait": true,
+	"WaitAll":      true,
+}
+
+// calleeFunc resolves a call expression to the function or method object
+// it statically invokes, or nil for indirect calls and builtins.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// funcKey renders a function object as "Receiver.Name" or "Name",
+// collapsing generic instantiations to their origin.
+func funcKey(f *types.Func) string {
+	f = f.Origin()
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return f.Name()
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return f.Name()
+	}
+	return named.Origin().Obj().Name() + "." + f.Name()
+}
+
+// simSchedCallee reports whether call statically invokes one of the sim
+// kernel's scheduling entry points, returning its display name.
+func simSchedCallee(info *types.Info, call *ast.CallExpr, simPath string) (string, bool) {
+	f := calleeFunc(info, call)
+	if f == nil || simPath == "" || f.Pkg() == nil || f.Pkg().Path() != simPath {
+		return "", false
+	}
+	key := funcKey(f)
+	if simSchedMethods[key] {
+		return "sim." + key, true
+	}
+	return "", false
+}
+
+// isSimProc reports whether t is *sim.Proc.
+func isSimProc(t types.Type, simPath string) bool {
+	if simPath == "" || t == nil {
+		return false
+	}
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := p.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Proc" && obj.Pkg() != nil && obj.Pkg().Path() == simPath
+}
+
+// passesSimProc reports whether any argument of call is a *sim.Proc: in
+// this codebase, a function taking a Proc can block and advance virtual
+// time, so its invocation order is part of the simulation's behaviour.
+func passesSimProc(info *types.Info, call *ast.CallExpr, simPath string) bool {
+	for _, arg := range call.Args {
+		if tv, ok := info.Types[arg]; ok && isSimProc(tv.Type, simPath) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"go/token"
+	"strings"
+)
+
+func positionAt(file string, line int) token.Position {
+	return token.Position{Filename: file, Line: line}
+}
+
+// suppression is one //imcalint:allow comment. A suppression on line L
+// covers findings of its check on L (trailing comment) and L+1 (comment on
+// the preceding line).
+type suppression struct {
+	file   string
+	line   int
+	check  string
+	reason string
+	used   bool
+}
+
+const allowPrefix = "//imcalint:allow"
+
+// collectSuppressions scans a package's comments for allow directives.
+// Malformed directives — unknown check name, missing reason — come back as
+// findings so they cannot silently suppress nothing.
+func collectSuppressions(pkg *pkgInfo) ([]*suppression, []Finding) {
+	var sups []*suppression
+	var bad []Finding
+	for _, f := range pkg.files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, allowPrefix)
+				if !ok {
+					continue
+				}
+				pos := pkg.pos(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) == 0 || !contains(Checks, fields[0]) {
+					bad = append(bad, Finding{Pos: pos, Check: "suppress",
+						Msg: "malformed suppression: want //imcalint:allow <check> <reason> with a known check name"})
+					continue
+				}
+				if len(fields) < 2 {
+					bad = append(bad, Finding{Pos: pos, Check: "suppress",
+						Msg: "suppression for " + fields[0] + " is missing a reason — every exception must say why"})
+					continue
+				}
+				sups = append(sups, &suppression{
+					file:   pos.Filename,
+					line:   pos.Line,
+					check:  fields[0],
+					reason: strings.Join(fields[1:], " "),
+				})
+			}
+		}
+	}
+	return sups, bad
+}
+
+// applySuppressions removes findings covered by a suppression and reports
+// suppressions that covered nothing, so stale exceptions surface instead
+// of rotting.
+func applySuppressions(findings []Finding, sups []*suppression) []Finding {
+	kept := findings[:0]
+	for _, f := range findings {
+		suppressed := false
+		for _, s := range sups {
+			if s.check == f.Check && s.file == f.Pos.Filename &&
+				(s.line == f.Pos.Line || s.line == f.Pos.Line-1) {
+				s.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, f)
+		}
+	}
+	for _, s := range sups {
+		if !s.used {
+			kept = append(kept, Finding{
+				Pos:   positionAt(s.file, s.line),
+				Check: "suppress",
+				Msg:   "suppression for " + s.check + " matches no finding — remove it or move it to the offending line",
+			})
+		}
+	}
+	return kept
+}

@@ -1,0 +1,19 @@
+// Package nogoroutine is an imcalint fixture: native concurrency in a
+// package configured as pure-sim.
+package nogoroutine
+
+import "sync"
+
+// Guard is a lock where no second goroutine should exist.
+var Guard sync.Mutex
+
+// Fire spawns a goroutine and talks to it over a native channel.
+func Fire() int {
+	ch := make(chan int, 1)
+	go send(ch)
+	return <-ch
+}
+
+func send(ch chan int) {
+	ch <- 1
+}

@@ -1,0 +1,8 @@
+// Package randpkg is an imcalint fixture: direct math/rand use, whose
+// global generator is seeded differently every run.
+package randpkg
+
+import "math/rand"
+
+// Roll is nondeterministic across runs.
+func Roll() int { return rand.Intn(6) }

@@ -1,0 +1,18 @@
+// Package suppress is an imcalint fixture: suppression comments that are
+// malformed or cover nothing, which must surface rather than rot.
+package suppress
+
+// Value has an unused suppression: there is no wallclock finding here.
+func Value() int {
+	return 42 //imcalint:allow wallclock nothing to suppress
+}
+
+// Reasonless has a suppression with no reason.
+func Reasonless() int {
+	return 7 //imcalint:allow rand
+}
+
+// Unknown names a check that does not exist.
+func Unknown() int {
+	return 1 //imcalint:allow warpdrive not a real check
+}

@@ -1,0 +1,29 @@
+// Package tickpurity is an imcalint fixture: tick observers that reach
+// scheduling calls, directly and through a helper chain.
+package tickpurity
+
+import "imca/internal/sim"
+
+// Install hooks a literal observer that schedules a process.
+func Install(env *sim.Env) {
+	env.SetTick(1000, func(at sim.Time) {
+		env.Process("sample", func(p *sim.Proc) {})
+	})
+	env.SetTick(1000, observe)
+}
+
+// observe looks pure but reaches a scheduling call through helper.
+func observe(at sim.Time) { helper() }
+
+func helper() {
+	env := sim.NewEnv()
+	done := sim.NewEvent(env)
+	done.Trigger(nil)
+}
+
+// InstallPure hooks a well-behaved read-only observer.
+func InstallPure(env *sim.Env) {
+	var last sim.Time
+	env.SetTick(1000, func(at sim.Time) { last = at })
+	_ = last
+}

@@ -1,0 +1,22 @@
+// Package wallclock is an imcalint fixture: host-clock reads in code that
+// should live on the virtual clock.
+package wallclock
+
+import "time"
+
+// Stamp reads the host clock.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Wait blocks on the host clock.
+func Wait() { time.Sleep(time.Millisecond) }
+
+// Age measures host elapsed time.
+func Age(t0 time.Time) time.Duration { return time.Since(t0) }
+
+// Units is clean: durations are units, not clock reads.
+func Units() time.Duration { return 3 * time.Second }
+
+// Allowed documents an intentional exception.
+func Allowed() int64 {
+	return time.Now().Unix() //imcalint:allow wallclock fixture: demonstrates an annotated exception
+}

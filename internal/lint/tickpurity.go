@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// checkTickPurity verifies that no function reachable from a
+// sim.Env.SetTick observer calls a scheduling method. The tick hook's
+// whole guarantee — instrumented runs are byte-identical to uninstrumented
+// ones — holds only because the observer runs between event dispatches and
+// schedules nothing; one Sleep or Trigger smuggled in through a helper
+// would perturb every subsequent event sequence number.
+//
+// The analysis is a static DFS over calls whose targets resolve to
+// declared functions in the module (calls through stored function values
+// are invisible to it, as with any static analysis); function literals
+// encountered in a reachable body are walked conservatively.
+func checkTickPurity(ld *loader, targets []*pkgInfo, cfg *Config) []Finding {
+	if cfg.SimPath == "" {
+		return nil
+	}
+	idx := buildFuncIndex(ld)
+	var out []Finding
+	reported := make(map[token.Pos]bool)
+	for _, pkg := range targets {
+		for _, f := range pkg.files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				callee := calleeFunc(pkg.info, call)
+				if callee == nil || callee.Pkg() == nil ||
+					callee.Pkg().Path() != cfg.SimPath || funcKey(callee) != "Env.SetTick" {
+					return true
+				}
+				if len(call.Args) < 2 {
+					return true
+				}
+				w := &tickWalker{idx: idx, cfg: cfg, out: &out, reported: reported,
+					visited: make(map[*types.Func]bool)}
+				w.walkObserver(pkg, call.Args[1])
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// funcRef locates a function declaration and the package it lives in.
+type funcRef struct {
+	pkg  *pkgInfo
+	decl *ast.FuncDecl
+}
+
+// buildFuncIndex maps every declared function of every loaded module
+// package to its AST, so reachability can cross package boundaries.
+func buildFuncIndex(ld *loader) map[*types.Func]funcRef {
+	idx := make(map[*types.Func]funcRef)
+	for _, pkg := range ld.pkgs {
+		for _, f := range pkg.files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if obj, ok := pkg.info.Defs[fd.Name].(*types.Func); ok {
+					idx[obj] = funcRef{pkg: pkg, decl: fd}
+				}
+			}
+		}
+	}
+	return idx
+}
+
+type tickWalker struct {
+	idx      map[*types.Func]funcRef
+	cfg      *Config
+	out      *[]Finding
+	reported map[token.Pos]bool
+	visited  map[*types.Func]bool
+}
+
+// walkObserver dispatches on the observer expression passed to SetTick.
+func (w *tickWalker) walkObserver(pkg *pkgInfo, arg ast.Expr) {
+	switch a := ast.Unparen(arg).(type) {
+	case *ast.FuncLit:
+		w.walkBody(pkg, a.Body, []string{"SetTick observer"})
+	case *ast.Ident, *ast.SelectorExpr:
+		var id *ast.Ident
+		if sel, ok := a.(*ast.SelectorExpr); ok {
+			id = sel.Sel
+		} else {
+			id = a.(*ast.Ident)
+		}
+		if f, ok := pkg.info.Uses[id].(*types.Func); ok {
+			w.walkFunc(f, []string{"SetTick observer"})
+		}
+	}
+}
+
+func (w *tickWalker) walkFunc(f *types.Func, chain []string) {
+	f = f.Origin()
+	if w.visited[f] {
+		return
+	}
+	w.visited[f] = true
+	ref, ok := w.idx[f]
+	if !ok {
+		return // outside the module (or body-less): nothing to inspect
+	}
+	w.walkBody(ref.pkg, ref.decl.Body, append(chain, f.Name()))
+}
+
+func (w *tickWalker) walkBody(pkg *pkgInfo, body *ast.BlockStmt, chain []string) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, ok := simSchedCallee(pkg.info, call, w.cfg.SimPath); ok {
+			if !w.reported[call.Pos()] {
+				w.reported[call.Pos()] = true
+				*w.out = append(*w.out, Finding{
+					Pos:   pkg.pos(call.Pos()),
+					Check: "tickpurity",
+					Msg: "call to " + name + " is reachable from a tick observer (" +
+						strings.Join(chain, " → ") + ") — sampling must never schedule or advance the clock",
+				})
+			}
+			return true
+		}
+		if f := calleeFunc(pkg.info, call); f != nil {
+			w.walkFunc(f, chain)
+		}
+		return true
+	})
+}

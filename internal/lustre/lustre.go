@@ -253,15 +253,20 @@ func (c *Cluster) handleLock(p *sim.Proc, from *fabric.Node, req fabric.Msg) fab
 }
 
 // revokeLocked drops every other client's cached pages for path. Each
-// revocation is a callback RPC from the MDS to the holder.
+// revocation is a callback RPC from the MDS to the holder, issued in
+// sorted client order so identical runs revoke identically.
 func (c *Cluster) revokeLocked(p *sim.Proc, path string, m *meta, exceptClient int) {
-	for id, cl := range m.holders {
-		if id == exceptClient {
-			continue
+	ids := make([]int, 0, len(m.holders))
+	for id := range m.holders {
+		if id != exceptClient {
+			ids = append(ids, id)
 		}
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
 		c.Revocations++
 		// Callback RPC to the client; the client drops its pages.
-		c.mdsNode.Call(p, cl.node, "lustre-client", &revokeMsg{Path: path})
+		c.mdsNode.Call(p, m.holders[id].node, "lustre-client", &revokeMsg{Path: path})
 		delete(m.holders, id)
 	}
 }

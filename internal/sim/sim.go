@@ -77,12 +77,13 @@ func (h *eventHeap) Pop() interface{} {
 // Env is a simulation environment: a virtual clock plus the set of
 // processes and pending events that advance it.
 type Env struct {
-	now     Time
-	seq     uint64
-	heap    eventHeap
-	yielded chan struct{} // handshake: running process -> scheduler
-	living  int           // processes started and not yet finished
-	parked  int           // processes blocked on a primitive
+	now  Time
+	seq  uint64
+	heap eventHeap
+	//imcalint:allow nogoroutine kernel handshake: running process signals the scheduler
+	yielded chan struct{}
+	living  int // processes started and not yet finished
+	parked  int // processes blocked on a primitive
 	nextPID int
 
 	// EventsProcessed counts dispatched events — a cheap measure of how
@@ -100,7 +101,7 @@ type Env struct {
 
 // NewEnv returns an empty environment with the clock at zero.
 func NewEnv() *Env {
-	return &Env{yielded: make(chan struct{})}
+	return &Env{yielded: make(chan struct{})} //imcalint:allow nogoroutine kernel handshake channel
 }
 
 // Now returns the current virtual time.
@@ -124,9 +125,10 @@ func (e *Env) scheduleProc(p *Proc, d Duration) {
 // Proc is a simulated process. Its methods must be called only from its own
 // goroutine while it is the running process.
 type Proc struct {
-	env    *Env
-	name   string
-	pid    int
+	env  *Env
+	name string
+	pid  int
+	//imcalint:allow nogoroutine kernel handshake: scheduler wakes the parked process
 	resume chan struct{}
 	done   *Event
 	ended  bool
@@ -168,13 +170,13 @@ func (e *Env) Process(name string, fn func(p *Proc)) *Proc {
 		env:    e,
 		name:   name,
 		pid:    e.nextPID,
-		resume: make(chan struct{}),
+		resume: make(chan struct{}), //imcalint:allow nogoroutine kernel handshake channel
 	}
 	p.done = NewEvent(e)
 	e.living++
 	e.schedule(&event{at: e.now, fn: func() {
-		go p.run(fn)
-		<-e.yielded
+		go p.run(fn) //imcalint:allow nogoroutine the kernel itself multiplexes process goroutines one at a time
+		<-e.yielded  //imcalint:allow nogoroutine kernel handshake: wait for the new process to yield
 	}})
 	return p
 }
@@ -190,7 +192,7 @@ func (p *Proc) run(fn func(p *Proc)) {
 		p.ended = true
 		p.env.living--
 		p.done.Trigger(nil)
-		p.env.yielded <- struct{}{}
+		p.env.yielded <- struct{}{} //imcalint:allow nogoroutine kernel handshake: final yield on process exit
 	}()
 	fn(p)
 }
@@ -199,8 +201,8 @@ func (p *Proc) run(fn func(p *Proc)) {
 // scheduler; the process resumes when a scheduled event wakes it.
 func (p *Proc) park() {
 	p.env.parked++
-	p.env.yielded <- struct{}{}
-	<-p.resume
+	p.env.yielded <- struct{}{} //imcalint:allow nogoroutine kernel handshake: hand control to the scheduler
+	<-p.resume                  //imcalint:allow nogoroutine kernel handshake: block until rescheduled
 	p.env.parked--
 }
 
@@ -220,8 +222,8 @@ func (p *Proc) Yield() { p.Sleep(0) }
 // wake delivers a resume to p and waits for it to yield again. Must be
 // called in scheduler context only.
 func (e *Env) wake(p *Proc) {
-	p.resume <- struct{}{}
-	<-e.yielded
+	p.resume <- struct{}{} //imcalint:allow nogoroutine kernel handshake: resume the woken process
+	<-e.yielded            //imcalint:allow nogoroutine kernel handshake: wait for it to yield again
 }
 
 // SetTick installs fn as the environment's tick observer: it is invoked

@@ -14,6 +14,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -266,12 +267,20 @@ func Replay(env *sim.Env, mounts []gluster.FS, t *Trace) *Result {
 	if len(per) == 0 {
 		return res
 	}
+	// Spawn replay processes in sorted client order: process creation
+	// order feeds event sequence numbers, so iterating the map here would
+	// make two replays of the same trace interleave differently.
+	clients := make([]int, 0, len(per))
+	for client := range per {
+		clients = append(clients, client)
+	}
+	sort.Ints(clients)
 	bar := sim.NewBarrier(env, len(per))
 	var start, end sim.Time
 	started := false
-	for client, ops := range per {
+	for _, client := range clients {
+		ops := per[client]
 		fs := mounts[client%len(mounts)]
-		ops := ops
 		env.Process(fmt.Sprintf("replay-%d", client), func(p *sim.Proc) {
 			fds := make(map[string]gluster.FD)
 			bar.Wait(p)

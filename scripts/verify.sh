@@ -1,14 +1,27 @@
 #!/bin/sh
-# Tier-1 verification: vet, build, race-enabled tests, and a link check of
-# every runnable example. CI and `make verify` run exactly this.
+# Tier-1 verification: formatting, vet, build, the determinism linter,
+# race-enabled tests, and a link check of every runnable example. CI and
+# `make verify` run exactly this. Lint runs before the test suite so a
+# determinism-invariant violation fails fast.
 set -eu
 cd "$(dirname "$0")/.."
+
+echo "== gofmt -l"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt: needs formatting:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
 
 echo "== go vet ./..."
 go vet ./...
 
 echo "== go build ./..."
 go build ./...
+
+echo "== imcalint ./..."
+go run ./cmd/imcalint ./...
 
 echo "== go test -race ./..."
 go test -race ./...

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race verify bench
+.PHONY: all build vet lint test race verify bench benchrec
 
 all: verify
 
@@ -27,3 +27,8 @@ verify:
 
 bench:
 	$(GO) test -bench . -benchtime=1x
+
+# Record the harness performance trajectory: serial vs parallel full
+# sweep into BENCH_baseline.json / BENCH_after.json + kernel benchmarks.
+benchrec:
+	sh scripts/bench.sh

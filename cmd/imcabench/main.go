@@ -7,11 +7,17 @@
 //	imcabench -exp fig5 [-scale 64] [-csv]
 //	imcabench -exp fig6a -breakdown
 //	imcabench -exp fig6a -telemetry -trace-out fig6a.json
-//	imcabench -exp all  [-scale 64]
+//	imcabench -exp all  [-scale 64] [-parallel 4]
+//	imcabench -exp all  -benchjson BENCH.json
 //
 // Scale divides the paper's full workload parameters (262144 files, 1 GB
 // files, 6 GB MCDs); -scale 1 runs the full-size experiment. Results are
 // virtual-time measurements and are deterministic for a given scale.
+//
+// -parallel N runs up to N experiment points (figure cells, each its own
+// isolated simulation) concurrently on the host; 0 means one worker per
+// core. Tables, notes, and traces are byte-identical to a serial run —
+// only the wall clock changes.
 //
 // -breakdown additionally traces selected configurations through the
 // per-operation context (internal/optrace) and prints per-layer latency
@@ -20,32 +26,71 @@
 //
 // -telemetry instruments selected configurations with the telemetry
 // registry (internal/telemetry) and prints their final counters after the
-// table; -trace-out FILE writes the retained operations as a Chrome
+// table, plus a final harness dump (wall-clock events/sec of the run
+// itself); -trace-out FILE writes the retained operations as a Chrome
 // trace-event JSON file, openable in Perfetto. Both share tracing's
 // guarantee: the tables are byte-identical with them on or off.
+//
+// -benchjson FILE records per-figure wall time, dispatched kernel events,
+// events/sec, and heap allocations per event as JSON — the format
+// scripts/bench.sh uses for BENCH_baseline.json / BENCH_after.json.
+// -cpuprofile / -memprofile write pprof profiles of the whole run.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"imca/internal/experiments"
 	"imca/internal/optrace"
+	"imca/internal/parallel"
+	"imca/internal/sim"
 	"imca/internal/telemetry"
 )
 
+// benchRecord is one figure's harness-performance sample in -benchjson
+// output. Virtual results are deterministic; these host-side numbers are
+// what the kernel and sweep-engine optimizations move.
+type benchRecord struct {
+	Name         string  `json:"name"`
+	WallMs       float64 `json:"wall_ms"`
+	Events       uint64  `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	AllocsPerEvt float64 `json:"allocs_per_event"`
+}
+
+type benchFile struct {
+	Scale       int           `json:"scale"`
+	Workers     int           `json:"workers"`
+	TotalWallMs float64       `json:"total_wall_ms"`
+	Figures     []benchRecord `json:"figures"`
+}
+
+func mallocs() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs
+}
+
 func main() {
 	var (
-		list  = flag.Bool("list", false, "list available experiments")
-		exp   = flag.String("exp", "", "experiment to run (figure id, or 'all')")
-		scale = flag.Int("scale", 64, "divide the paper's workload parameters by this factor (1 = full scale)")
-		csv   = flag.Bool("csv", false, "emit CSV instead of an aligned table")
-		plot  = flag.Bool("plot", false, "render an ASCII chart as well")
-		brk   = flag.Bool("breakdown", false, "print per-layer latency decompositions (experiments that support tracing)")
-		tele  = flag.Bool("telemetry", false, "print final telemetry counters of instrumented configurations")
-		trOut = flag.String("trace-out", "", "write retained operations as Chrome trace-event JSON (open in Perfetto)")
+		list    = flag.Bool("list", false, "list available experiments")
+		exp     = flag.String("exp", "", "experiment to run (figure id, or 'all')")
+		scale   = flag.Int("scale", 64, "divide the paper's workload parameters by this factor (1 = full scale)")
+		workers = flag.Int("parallel", 1, "run up to N experiment points concurrently (0 = one per core)")
+		csv     = flag.Bool("csv", false, "emit CSV instead of an aligned table")
+		plot    = flag.Bool("plot", false, "render an ASCII chart as well")
+		brk     = flag.Bool("breakdown", false, "print per-layer latency decompositions (experiments that support tracing)")
+		tele    = flag.Bool("telemetry", false, "print final telemetry counters of instrumented configurations")
+		trOut   = flag.String("trace-out", "", "write retained operations as Chrome trace-event JSON (open in Perfetto)")
+		bjOut   = flag.String("benchjson", "", "record per-figure wall time, events/sec, and allocs/event as JSON")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run (inspect with go tool pprof)")
+		memProf = flag.String("memprofile", "", "write a heap profile at exit (inspect with go tool pprof)")
 	)
 	flag.Parse()
 
@@ -60,14 +105,48 @@ func main() {
 		return
 	}
 
-	opts := experiments.Options{Scale: *scale, Breakdown: *brk, Telemetry: *tele, TraceOps: *trOut != ""}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "imcabench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "imcabench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	harness := telemetry.NewRegistry()
+	telemetry.RegisterHarness(harness)
+
+	nWorkers := parallel.Workers(*workers)
+	opts := experiments.Options{
+		Scale: *scale, Breakdown: *brk, Telemetry: *tele, TraceOps: *trOut != "",
+		Workers: nWorkers,
+	}
+	bench := &benchFile{Scale: *scale, Workers: nWorkers}
 	var tracedOps []*optrace.Op
 	run := func(e experiments.Experiment) {
+		ev0, al0 := sim.TotalEvents(), mallocs()
 		start := time.Now() //imcalint:allow wallclock host-side: reports how long the simulation took to execute
 		res := e.Run(opts)
-		tracedOps = append(tracedOps, res.Ops...)
 		//imcalint:allow wallclock host-side: wall duration of the run, printed next to virtual results
-		fmt.Printf("\n== %s (scale 1/%d, %s wall) ==\n", e.Name, *scale, time.Since(start).Round(time.Millisecond))
+		wall := time.Since(start)
+		ev, al := sim.TotalEvents()-ev0, mallocs()-al0
+		rec := benchRecord{Name: e.Name, WallMs: float64(wall) / 1e6, Events: ev}
+		if s := wall.Seconds(); s > 0 {
+			rec.EventsPerSec = float64(ev) / s
+		}
+		if ev > 0 {
+			rec.AllocsPerEvt = float64(al) / float64(ev)
+		}
+		bench.Figures = append(bench.Figures, rec)
+		bench.TotalWallMs += rec.WallMs
+
+		tracedOps = append(tracedOps, res.Ops...)
+		fmt.Printf("\n== %s (scale 1/%d, %s wall) ==\n", e.Name, *scale, wall.Round(time.Millisecond))
 		if *csv {
 			res.Table.CSV(os.Stdout)
 		} else {
@@ -106,6 +185,25 @@ func main() {
 		run(e)
 	}
 
+	if *tele {
+		// Host-side throughput of the harness itself; lives on its own
+		// registry so experiment dumps stay byte-identical across runs.
+		fmt.Printf("\n-- harness --\n")
+		harness.Dump(os.Stdout)
+	}
+
+	if *bjOut != "" {
+		data, err := json.MarshalIndent(bench, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*bjOut, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "imcabench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote benchmark records for %d figure(s) to %s\n", len(bench.Figures), *bjOut)
+	}
+
 	if *trOut != "" {
 		f, err := os.Create(*trOut)
 		if err != nil {
@@ -121,5 +219,22 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("\nwrote %d traced op(s) to %s\n", len(tracedOps), *trOut)
+	}
+
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "imcabench: %v\n", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		werr := pprof.WriteHeapProfile(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "imcabench: %v\n", werr)
+			os.Exit(1)
+		}
 	}
 }

@@ -3,6 +3,13 @@
 // deployment wires client stacks (FUSE → [CMCache] → protocol-client) to a
 // server stack (protocol-server → [SMCache] → Posix on a RAID array), with
 // an optional MCD bank for IMCa.
+//
+// A deployment is fully self-contained: New builds everything — network,
+// disks, caches, selector state — inside the caller's fresh sim.Env with
+// no mutable package-level state. Independent deployments may therefore
+// run concurrently on the host (the parallel sweep engine relies on
+// this); nothing in this package or below it is shared between two
+// clusters built by separate New calls.
 package cluster
 
 import (

@@ -37,9 +37,14 @@ func ExtBricks(o Options) *Result {
 	tb := metrics.NewTable("Extension: scaling by bricks vs scaling by cache nodes (read throughput)",
 		"threads", "aggregate MB/s",
 		"1 brick", "2 bricks", "4 bricks", "1 brick + 4 MCDs")
-	for _, nt := range threads {
-		tb.AddRow(fmt.Sprint(nt),
-			run(1, 0, nt), run(2, 0, nt), run(4, 0, nt), run(1, 4, nt))
+	// One point per (thread count, column) cell.
+	configs := []struct{ bricks, mcds int }{{1, 0}, {2, 0}, {4, 0}, {1, 4}}
+	cells := points(o, len(threads)*len(configs), func(i int) float64 {
+		cfg := configs[i%len(configs)]
+		return run(cfg.bricks, cfg.mcds, threads[i/len(configs)])
+	})
+	for r, nt := range threads {
+		tb.AddRow(fmt.Sprint(nt), cells[r*len(configs):(r+1)*len(configs)]...)
 	}
 
 	lastIdx := tb.Rows() - 1

@@ -8,6 +8,12 @@
 // in seconds; Scale 1 reproduces the full workload. Results are virtual
 // time, so scaling shrinks the workload without changing who wins or where
 // crossovers fall — only absolute magnitudes.
+//
+// Workers: each experiment declares its figure cells as a list of
+// independent points, every one building its own sim.Env and deployment;
+// Options.Workers > 1 executes them across a host-side worker pool
+// (internal/parallel) with results assembled in declaration order, so the
+// rendered output is byte-identical to a serial run at any worker count.
 package experiments
 
 import (
@@ -20,6 +26,7 @@ import (
 	"imca/internal/lustre"
 	"imca/internal/metrics"
 	"imca/internal/optrace"
+	"imca/internal/parallel"
 	"imca/internal/sim"
 )
 
@@ -41,6 +48,12 @@ type Options struct {
 	// so the run can be exported as a Perfetto trace file (imcabench
 	// -trace-out).
 	TraceOps bool
+	// Workers bounds how many experiment points (figure cells — each an
+	// isolated sim.Env with its own cluster and workload) run
+	// concurrently on the host. 0 or 1 runs serially; results are
+	// byte-identical either way because points share nothing and are
+	// assembled in declaration order (see internal/parallel).
+	Workers int
 }
 
 func (o Options) scale() int {
@@ -50,6 +63,28 @@ func (o Options) scale() int {
 	return o.Scale
 }
 
+func (o Options) workers() int {
+	if o.Workers < 1 {
+		return 1
+	}
+	return o.Workers
+}
+
+// points runs n experiment points across the option's worker pool. Each
+// point is identified by its index; fn must build everything the point
+// needs (environment, cluster, workload) locally so points stay isolated.
+// Results land in declaration order regardless of worker count.
+func points[T any](o Options, n int, fn func(i int) T) []T {
+	return parallel.Map(o.workers(), n, fn)
+}
+
+// runAll executes a declarative list of experiment points — one closure
+// per figure cell — across the worker pool and returns their results in
+// declaration order. The closures must not share mutable state.
+func runAll[T any](o Options, fns []func() T) []T {
+	return parallel.Map(o.workers(), len(fns), func(i int) T { return fns[i]() })
+}
+
 // records returns the per-measurement record count (paper: 1024).
 func (o Options) records() int {
 	switch s := o.scale(); {
@@ -57,8 +92,13 @@ func (o Options) records() int {
 		return 1024
 	case s <= 16:
 		return 256
-	default:
+	case s <= 2048:
 		return 64
+	default:
+		// Scales beyond any paper figure exist purely for cheap
+		// structural tests (e.g. the serial-vs-parallel byte-identity
+		// sweep); keep them fast.
+		return 16
 	}
 }
 

@@ -24,8 +24,9 @@ func ExtBreakdown(o Options) *Result {
 		name string
 		b    *optrace.Breakdown
 	}
-	var runs []run
-	for _, bs := range blockSizes {
+	// One point per block size, each with its own cluster and collector.
+	runs := points(o, len(blockSizes), func(i int) run {
+		bs := blockSizes[i]
 		c := cluster.New(cluster.Options{
 			Clients: 1, MCDs: 1, MCDMemBytes: 256 << 20, BlockSize: bs,
 			ServerCacheBytes: scaled(6<<30, o.scale()),
@@ -50,8 +51,8 @@ func ExtBreakdown(o Options) *Result {
 			}
 		})
 		c.Env.Run()
-		runs = append(runs, run{fmt.Sprintf("IMCa-%s", fmtSize(bs)), col.Breakdown()})
-	}
+		return run{fmt.Sprintf("IMCa-%s", fmtSize(bs)), col.Breakdown()}
+	})
 
 	// Union of observed layers, in canonical stack order.
 	seen := make(map[string]bool)

@@ -41,8 +41,11 @@ func ExtRDMA(o Options) *Result {
 		}))
 		return latencyRunOn(o, c, mounts, sizes)
 	}
-	ipoib := run(fabric.IPoIB)
-	rdma := run(fabric.RDMA)
+	outs := runAll(o, []func() workload.LatencyResult{
+		func() workload.LatencyResult { return run(fabric.IPoIB) },
+		func() workload.LatencyResult { return run(fabric.RDMA) },
+	})
+	ipoib, rdma := outs[0], outs[1]
 
 	tb := metrics.NewTable("Extension: IMCa read latency, IPoIB vs native RDMA transport",
 		"record size", "read latency (µs/op)", "IMCa/IPoIB", "IMCa/RDMA")
@@ -82,20 +85,27 @@ func ExtHash(o Options) *Result {
 	tb := metrics.NewTable("Extension: key distribution across the bank (4 MCDs, 4 readers)",
 		"metric", "value", "CRC32", "Modulo", "Ketama")
 
-	var tput, moved []float64
 	keys := make([]string, 4096)
 	for i := range keys {
 		keys[i] = fmt.Sprintf("/io/f%06d:%d", i%64, int64(i)*2048)
 	}
-	for _, s := range selectors {
+	// One point per selector; each point owns its selector instance for
+	// both the cluster run and the post-hoc resize-stability count.
+	type hashOut struct{ tput, moved float64 }
+	outs := points(o, len(selectors), func(i int) hashOut {
+		s := selectors[i]
 		c, mounts := glusterMounts(gOpts(o, cluster.Options{
 			Clients: 4, MCDs: 4, MCDMemBytes: mcdMem, BlockSize: 2048, Selector: s.sel,
 		}))
 		res := workload.Throughput(c.Env, mounts, workload.ThroughputOptions{
 			Dir: "/io", FileSize: fileSize, RecordSize: record,
 		})
-		tput = append(tput, res.ReadBps/1e6)
-		moved = append(moved, 100*memcache.MovedKeys(s.sel, keys, 4))
+		return hashOut{tput: res.ReadBps / 1e6, moved: 100 * memcache.MovedKeys(s.sel, keys, 4)}
+	})
+	var tput, moved []float64
+	for _, out := range outs {
+		tput = append(tput, out.tput)
+		moved = append(moved, out.moved)
 	}
 	tb.AddRow("read MB/s", tput...)
 	tb.AddRow("% keys moved on bank grow 4->5", moved...)
@@ -124,10 +134,14 @@ func ExtLustre(o Options) *Result {
 		"clients", "read latency (µs/op)",
 		"Lustre-1DS(Cold)", "Lustre+IMCa(2MCD)")
 
-	for _, nc := range clientCounts {
-		// Plain Lustre, cold.
-		cold := lustreLatencyRunShared(o, nc, scale, nil)
-
+	// One point per (client count, column) cell.
+	cells := points(o, len(clientCounts)*2, func(i int) float64 {
+		nc := clientCounts[i/2]
+		if i%2 == 0 {
+			// Plain Lustre, cold.
+			cold := lustreLatencyRunShared(o, nc, scale, nil)
+			return usPerOp(cold.Read[record])
+		}
 		// Lustre with client-populated IMCa.
 		env := sim.NewEnv()
 		net := fabric.NewNetwork(env, fabric.IPoIB)
@@ -150,8 +164,10 @@ func ExtLustre(o Options) *Result {
 			AfterWrite:     dropAllFn(lclients),
 			BeforeReadSize: func(int64) { dropAllFn(lclients)() },
 		})
-
-		tb.AddRow(fmt.Sprint(nc), usPerOp(cold.Read[record]), usPerOp(withIMCa.Read[record]))
+		return usPerOp(withIMCa.Read[record])
+	})
+	for r, nc := range clientCounts {
+		tb.AddRow(fmt.Sprint(nc), cells[r*2], cells[r*2+1])
 	}
 
 	lastIdx := tb.Rows() - 1
@@ -220,22 +236,26 @@ func ExtSharing(o Options) *Result {
 		"clients", "read latency per round (µs)",
 		"Lustre(coherent client cache)", "IMCa(2MCD)")
 
-	for _, nc := range clientCounts {
-		envL := sim.NewEnv()
-		netL := fabric.NewNetwork(envL, fabric.IPoIB)
-		lus := lustre.New(envL, netL, "lus", lustreScaledConfig(1, scale))
-		var lm []gluster.FS
-		for i := 0; i < nc; i++ {
-			lm = append(lm, lus.NewClient(netL.NewNode(fmt.Sprintf("lc%d", i), 8)))
+	// One point per (client count, column) cell.
+	cells := points(o, len(clientCounts)*2, func(i int) float64 {
+		nc := clientCounts[i/2]
+		if i%2 == 0 {
+			envL := sim.NewEnv()
+			netL := fabric.NewNetwork(envL, fabric.IPoIB)
+			lus := lustre.New(envL, netL, "lus", lustreScaledConfig(1, scale))
+			var lm []gluster.FS
+			for i := 0; i < nc; i++ {
+				lm = append(lm, lus.NewClient(netL.NewNode(fmt.Sprintf("lc%d", i), 8)))
+			}
+			return usPerOp(measure(lm, envL))
 		}
-		lusLat := measure(lm, envL)
-
 		c, mounts := glusterMounts(gOpts(o, cluster.Options{
 			Clients: nc, MCDs: 2, MCDMemBytes: o.mcdMemForLatency(),
 		}))
-		imcaLat := measure(mounts, c.Env)
-
-		tb.AddRow(fmt.Sprint(nc), usPerOp(lusLat), usPerOp(imcaLat))
+		return usPerOp(measure(mounts, c.Env))
+	})
+	for r, nc := range clientCounts {
+		tb.AddRow(fmt.Sprint(nc), cells[r*2], cells[r*2+1])
 	}
 
 	lastIdx := tb.Rows() - 1

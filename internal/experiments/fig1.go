@@ -34,27 +34,33 @@ func fig1(o Options, serverMem int64, name string) *Result {
 		fmt.Sprintf("Fig 1 (%s): NFS IOzone read bandwidth, server memory %s", name, fmtSize(serverMem)),
 		"clients", "aggregate MB/s", "RDMA", "IPoIB", "GigE")
 
+	// One point per (client count, transport) cell; each builds its own
+	// env and cluster, so the grid parallelizes freely and assembles
+	// row-major in declaration order.
+	cells := points(o, len(clientCounts)*len(transports), func(i int) float64 {
+		nc := clientCounts[i/len(transports)]
+		tr := transports[i%len(transports)]
+		env := sim.NewEnv()
+		net := fabric.NewNetwork(env, tr)
+		srv := nfssim.NewServer(env, net.NewNode("nfs", 8), nfssim.DefaultConfig(mem))
+		var mounts []gluster.FS
+		for i := 0; i < nc; i++ {
+			mounts = append(mounts, nfssim.NewClient(net.NewNode(fmt.Sprintf("c%d", i), 8), srv))
+		}
+		res := workload.Throughput(env, mounts, workload.ThroughputOptions{
+			Dir: "/io", FileSize: fileSize, RecordSize: record,
+		})
+		return res.ReadBps / 1e6
+	})
 	finals := map[string]float64{}
-	for _, nc := range clientCounts {
-		row := make([]float64, 0, len(transports))
-		for _, tr := range transports {
-			env := sim.NewEnv()
-			net := fabric.NewNetwork(env, tr)
-			srv := nfssim.NewServer(env, net.NewNode("nfs", 8), nfssim.DefaultConfig(mem))
-			var mounts []gluster.FS
-			for i := 0; i < nc; i++ {
-				mounts = append(mounts, nfssim.NewClient(net.NewNode(fmt.Sprintf("c%d", i), 8), srv))
-			}
-			res := workload.Throughput(env, mounts, workload.ThroughputOptions{
-				Dir: "/io", FileSize: fileSize, RecordSize: record,
-			})
-			mbps := res.ReadBps / 1e6
-			row = append(row, mbps)
-			if nc == clientCounts[len(clientCounts)-1] {
-				finals[tr.Name] = mbps
+	for r, nc := range clientCounts {
+		row := cells[r*len(transports) : (r+1)*len(transports)]
+		tb.AddRow(fmt.Sprint(nc), row...)
+		if nc == clientCounts[len(clientCounts)-1] {
+			for c, tr := range transports {
+				finals[tr.Name] = row[c]
 			}
 		}
-		tb.AddRow(fmt.Sprint(nc), row...)
 	}
 
 	notes := []string{

@@ -24,29 +24,35 @@ func Fig10(o Options) *Result {
 		"clients", "read latency (µs/op)",
 		"NoCache", "IMCa(1MCD)", "Lustre-1DS(Cold)")
 
-	for _, nc := range clientCounts {
-		// GlusterFS NoCache.
-		c, mounts := glusterMounts(gOpts(o, cluster.Options{Clients: nc}))
-		noCache := workload.Latency(c.Env, mounts, workload.LatencyOptions{
-			Dir: "/share", RecordSizes: sizes, Records: o.records(), Shared: true,
-		})
-
-		// IMCa with one MCD.
-		ci, mountsI := glusterMounts(gOpts(o, cluster.Options{Clients: nc, MCDs: 1, MCDMemBytes: mcdMem}))
-		imca := workload.Latency(ci.Env, mountsI, workload.LatencyOptions{
-			Dir: "/share", RecordSizes: sizes, Records: o.records(), Shared: true,
-		})
-
-		// Lustre 1 DS, cold.
-		env, _, lm, lclients := lustreMounts(nc, 1, scale)
-		lus := workload.Latency(env, lm, workload.LatencyOptions{
-			Dir: "/share", RecordSizes: sizes, Records: o.records(), Shared: true,
-			AfterWrite:     dropAll(lclients),
-			BeforeReadSize: func(int64) { dropAll(lclients)() },
-		})
-
-		tb.AddRow(fmt.Sprint(nc),
-			usPerOp(noCache.Read[record]), usPerOp(imca.Read[record]), usPerOp(lus.Read[record]))
+	// One point per (client count, column) cell.
+	const nCols = 3
+	cells := points(o, len(clientCounts)*nCols, func(i int) float64 {
+		nc := clientCounts[i/nCols]
+		switch i % nCols {
+		case 0: // GlusterFS NoCache.
+			c, mounts := glusterMounts(gOpts(o, cluster.Options{Clients: nc}))
+			noCache := workload.Latency(c.Env, mounts, workload.LatencyOptions{
+				Dir: "/share", RecordSizes: sizes, Records: o.records(), Shared: true,
+			})
+			return usPerOp(noCache.Read[record])
+		case 1: // IMCa with one MCD.
+			ci, mountsI := glusterMounts(gOpts(o, cluster.Options{Clients: nc, MCDs: 1, MCDMemBytes: mcdMem}))
+			imca := workload.Latency(ci.Env, mountsI, workload.LatencyOptions{
+				Dir: "/share", RecordSizes: sizes, Records: o.records(), Shared: true,
+			})
+			return usPerOp(imca.Read[record])
+		default: // Lustre 1 DS, cold.
+			env, _, lm, lclients := lustreMounts(nc, 1, scale)
+			lus := workload.Latency(env, lm, workload.LatencyOptions{
+				Dir: "/share", RecordSizes: sizes, Records: o.records(), Shared: true,
+				AfterWrite:     dropAll(lclients),
+				BeforeReadSize: func(int64) { dropAll(lclients)() },
+			})
+			return usPerOp(lus.Read[record])
+		}
+	})
+	for r, nc := range clientCounts {
+		tb.AddRow(fmt.Sprint(nc), cells[r*nCols:(r+1)*nCols]...)
 	}
 
 	lastIdx := tb.Rows() - 1

@@ -42,38 +42,53 @@ func Fig5(o Options) *Result {
 	tb := metrics.NewTable("Fig 5: time to stat all files from every client",
 		"clients", "seconds", cols...)
 
-	finals := map[string]float64{}
-	for _, nc := range clientCounts {
-		row := make([]float64, 0, len(cols))
-
-		// GlusterFS NoCache.
-		c, mounts := glusterMounts(gOpts(o, cluster.Options{Clients: nc}))
-		workload.CreateFiles(c.Env, mounts[0], "/stat", nFiles)
-		d := workload.StatBench(c.Env, mounts, "/stat", nFiles)
-		row = append(row, d.Seconds())
-
-		// IMCa with each MCD count.
-		for _, nm := range mcdCounts {
+	// One point per (client count, column) cell: column 0 is NoCache,
+	// columns 1..len(mcdCounts) the MCD configs, the last column Lustre.
+	// Each point builds its own deployment; the MCD points also return the
+	// bank miss rate so the final-row side data needs no shared state.
+	type cell struct {
+		seconds  float64
+		missrate float64
+	}
+	nCols := len(cols)
+	cells := points(o, len(clientCounts)*nCols, func(i int) cell {
+		nc := clientCounts[i/nCols]
+		switch col := i % nCols; {
+		case col == 0: // GlusterFS NoCache.
+			c, mounts := glusterMounts(gOpts(o, cluster.Options{Clients: nc}))
+			workload.CreateFiles(c.Env, mounts[0], "/stat", nFiles)
+			d := workload.StatBench(c.Env, mounts, "/stat", nFiles)
+			return cell{seconds: d.Seconds()}
+		case col <= len(mcdCounts): // IMCa with each MCD count.
 			c, mounts := glusterMounts(gOpts(o, cluster.Options{
-				Clients: nc, MCDs: nm, MCDMemBytes: mcdMem,
+				Clients: nc, MCDs: mcdCounts[col-1], MCDMemBytes: mcdMem,
 			}))
 			workload.CreateFiles(c.Env, mounts[0], "/stat", nFiles)
 			d := workload.StatBench(c.Env, mounts, "/stat", nFiles)
-			row = append(row, d.Seconds())
-			if nc == clientCounts[len(clientCounts)-1] {
-				st := c.BankStats()
-				finals[fmt.Sprintf("missrate%d", nm)] =
-					float64(st.GetMisses) / float64(st.GetHits+st.GetMisses)
+			st := c.BankStats()
+			return cell{
+				seconds:  d.Seconds(),
+				missrate: float64(st.GetMisses) / float64(st.GetHits+st.GetMisses),
+			}
+		default: // Lustre with 4 data servers.
+			env, _, lm, _ := lustreMounts(nc, 4, scale)
+			workload.CreateFiles(env, lm[0], "/stat", nFiles)
+			d := workload.StatBench(env, lm, "/stat", nFiles)
+			return cell{seconds: d.Seconds()}
+		}
+	})
+	finals := map[string]float64{}
+	for r, nc := range clientCounts {
+		row := make([]float64, 0, nCols)
+		for c := 0; c < nCols; c++ {
+			row = append(row, cells[r*nCols+c].seconds)
+		}
+		tb.AddRow(fmt.Sprint(nc), row...)
+		if nc == clientCounts[len(clientCounts)-1] {
+			for m, nm := range mcdCounts {
+				finals[fmt.Sprintf("missrate%d", nm)] = cells[r*nCols+1+m].missrate
 			}
 		}
-
-		// Lustre with 4 data servers.
-		env, _, lm, _ := lustreMounts(nc, 4, scale)
-		workload.CreateFiles(env, lm[0], "/stat", nFiles)
-		d = workload.StatBench(env, lm, "/stat", nFiles)
-		row = append(row, d.Seconds())
-
-		tb.AddRow(fmt.Sprint(nc), row...)
 	}
 
 	last := tb.LastRow()

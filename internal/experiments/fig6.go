@@ -100,13 +100,34 @@ func lustreLatencyRun(o Options, clients, osts int, sizes []int64, cold bool) wo
 func fig6Read(o Options, name, title string, sizes []int64) *Result {
 	mcdMem := o.mcdMemForLatency()
 
-	noCache := latencyRunTrace(o, cluster.Options{Clients: 1}, sizes, o.Breakdown)
-	imca256 := latencyRun(o, cluster.Options{Clients: 1, MCDs: 1, MCDMemBytes: mcdMem, BlockSize: 256}, sizes)
-	imca2k, dumps, ops := latencyRunFull(o, cluster.Options{Clients: 1, MCDs: 1, MCDMemBytes: mcdMem, BlockSize: 2048}, sizes, o.Breakdown, "IMCa-2K final counters ("+name+")")
-	imca8k := latencyRun(o, cluster.Options{Clients: 1, MCDs: 1, MCDMemBytes: mcdMem, BlockSize: 8192}, sizes)
-	lus1Cold := lustreLatencyRun(o, 1, 1, sizes, true)
-	lus4Cold := lustreLatencyRun(o, 1, 4, sizes, true)
-	lus4Warm := lustreLatencyRun(o, 1, 4, sizes, false)
+	// Seven independent deployments, one per table column. The IMCa-2K
+	// point carries the optional telemetry dump and retained ops along in
+	// its result so nothing is written from inside a worker.
+	type runOut struct {
+		lr    workload.LatencyResult
+		dumps []NamedDump
+		ops   []*optrace.Op
+	}
+	plain := func(lr workload.LatencyResult) runOut { return runOut{lr: lr} }
+	outs := runAll(o, []func() runOut{
+		func() runOut { return plain(latencyRunTrace(o, cluster.Options{Clients: 1}, sizes, o.Breakdown)) },
+		func() runOut {
+			return plain(latencyRun(o, cluster.Options{Clients: 1, MCDs: 1, MCDMemBytes: mcdMem, BlockSize: 256}, sizes))
+		},
+		func() runOut {
+			lr, dumps, ops := latencyRunFull(o, cluster.Options{Clients: 1, MCDs: 1, MCDMemBytes: mcdMem, BlockSize: 2048}, sizes, o.Breakdown, "IMCa-2K final counters ("+name+")")
+			return runOut{lr: lr, dumps: dumps, ops: ops}
+		},
+		func() runOut {
+			return plain(latencyRun(o, cluster.Options{Clients: 1, MCDs: 1, MCDMemBytes: mcdMem, BlockSize: 8192}, sizes))
+		},
+		func() runOut { return plain(lustreLatencyRun(o, 1, 1, sizes, true)) },
+		func() runOut { return plain(lustreLatencyRun(o, 1, 4, sizes, true)) },
+		func() runOut { return plain(lustreLatencyRun(o, 1, 4, sizes, false)) },
+	})
+	noCache, imca256, imca8k := outs[0].lr, outs[1].lr, outs[3].lr
+	imca2k, dumps, ops := outs[2].lr, outs[2].dumps, outs[2].ops
+	lus1Cold, lus4Cold, lus4Warm := outs[4].lr, outs[5].lr, outs[6].lr
 
 	tb := metrics.NewTable(title, "record size", "read latency (µs/op)",
 		"NoCache", "IMCa-256", "IMCa-2K", "IMCa-8K",
@@ -168,9 +189,16 @@ func Fig6c(o Options) *Result {
 	mcdMem := o.mcdMemForLatency()
 	sizes := []int64{1, 16, 256, 2048, 8192, 65536}
 
-	noCache := latencyRun(o, cluster.Options{Clients: 1}, sizes)
-	inline := latencyRunTrace(o, cluster.Options{Clients: 1, MCDs: 1, MCDMemBytes: mcdMem, BlockSize: 2048}, sizes, o.Breakdown)
-	threaded := latencyRunTrace(o, cluster.Options{Clients: 1, MCDs: 1, MCDMemBytes: mcdMem, BlockSize: 2048, Threaded: true}, sizes, o.Breakdown)
+	outs := runAll(o, []func() workload.LatencyResult{
+		func() workload.LatencyResult { return latencyRun(o, cluster.Options{Clients: 1}, sizes) },
+		func() workload.LatencyResult {
+			return latencyRunTrace(o, cluster.Options{Clients: 1, MCDs: 1, MCDMemBytes: mcdMem, BlockSize: 2048}, sizes, o.Breakdown)
+		},
+		func() workload.LatencyResult {
+			return latencyRunTrace(o, cluster.Options{Clients: 1, MCDs: 1, MCDMemBytes: mcdMem, BlockSize: 2048, Threaded: true}, sizes, o.Breakdown)
+		},
+	})
+	noCache, inline, threaded := outs[0], outs[1], outs[2]
 
 	tb := metrics.NewTable("Fig 6(c): single-client write latency, IMCa block 2K",
 		"record size", "write latency (µs/op)",

@@ -3,6 +3,7 @@ package experiments
 import (
 	"imca/internal/cluster"
 	"imca/internal/metrics"
+	"imca/internal/workload"
 )
 
 // Fig7a reproduces the 32-client read-latency sweep for small records
@@ -41,12 +42,21 @@ func fig7(o Options, name, title string, sizes []int64) *Result {
 	const clients = 32
 	mcdMem := o.mcdMemForLatency()
 
-	noCache := latencyRun(o, cluster.Options{Clients: clients}, sizes)
-	imca1 := latencyRun(o, cluster.Options{Clients: clients, MCDs: 1, MCDMemBytes: mcdMem}, sizes)
-	imca2 := latencyRun(o, cluster.Options{Clients: clients, MCDs: 2, MCDMemBytes: mcdMem}, sizes)
-	imca4 := latencyRun(o, cluster.Options{Clients: clients, MCDs: 4, MCDMemBytes: mcdMem}, sizes)
-	lusCold := lustreLatencyRun(o, clients, 4, sizes, true)
-	lusWarm := lustreLatencyRun(o, clients, 4, sizes, false)
+	outs := runAll(o, []func() workload.LatencyResult{
+		func() workload.LatencyResult { return latencyRun(o, cluster.Options{Clients: clients}, sizes) },
+		func() workload.LatencyResult {
+			return latencyRun(o, cluster.Options{Clients: clients, MCDs: 1, MCDMemBytes: mcdMem}, sizes)
+		},
+		func() workload.LatencyResult {
+			return latencyRun(o, cluster.Options{Clients: clients, MCDs: 2, MCDMemBytes: mcdMem}, sizes)
+		},
+		func() workload.LatencyResult {
+			return latencyRun(o, cluster.Options{Clients: clients, MCDs: 4, MCDMemBytes: mcdMem}, sizes)
+		},
+		func() workload.LatencyResult { return lustreLatencyRun(o, clients, 4, sizes, true) },
+		func() workload.LatencyResult { return lustreLatencyRun(o, clients, 4, sizes, false) },
+	})
+	noCache, imca1, imca2, imca4, lusCold, lusWarm := outs[0], outs[1], outs[2], outs[3], outs[4], outs[5]
 
 	tb := metrics.NewTable(title, "record size", "read latency (µs/op)",
 		"NoCache", "IMCa(1MCD)", "IMCa(2MCD)", "IMCa(4MCD)",

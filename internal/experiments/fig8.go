@@ -32,23 +32,31 @@ func fig8(o Options, name string, record int64) *Result {
 		"clients", "read latency (µs/op)",
 		"NoCache", "IMCa(1MCD)", "Lustre-4DS(Cold)", "Lustre-4DS(Warm)")
 
-	var misses uint64
-	for _, nc := range clientCounts {
+	// Four columns per client count; the IMCa point also reports its bank
+	// miss count so the last-row side data rides in the point result.
+	type row struct {
+		noCache, imca, lusCold, lusWarm float64
+		misses                          uint64
+	}
+	rows := points(o, len(clientCounts), func(i int) row {
+		nc := clientCounts[i]
 		noCache := latencyRun(o, cluster.Options{Clients: nc}, sizes)
 
 		c, mounts := glusterMounts(gOpts(o, cluster.Options{Clients: nc, MCDs: 1, MCDMemBytes: mcdMem}))
 		imca := latencyRunOn(o, c, mounts, sizes)
-		if nc == clientCounts[len(clientCounts)-1] {
-			misses = c.BankStats().GetMisses
-		}
 
 		lusCold := lustreLatencyRun(o, nc, 4, sizes, true)
 		lusWarm := lustreLatencyRun(o, nc, 4, sizes, false)
-
-		tb.AddRow(fmt.Sprint(nc),
-			usPerOp(noCache.Read[record]), usPerOp(imca.Read[record]),
-			usPerOp(lusCold.Read[record]), usPerOp(lusWarm.Read[record]))
+		return row{
+			noCache: usPerOp(noCache.Read[record]), imca: usPerOp(imca.Read[record]),
+			lusCold: usPerOp(lusCold.Read[record]), lusWarm: usPerOp(lusWarm.Read[record]),
+			misses: c.BankStats().GetMisses,
+		}
+	})
+	for i, nc := range clientCounts {
+		tb.AddRow(fmt.Sprint(nc), rows[i].noCache, rows[i].imca, rows[i].lusCold, rows[i].lusWarm)
 	}
+	misses := rows[len(rows)-1].misses
 
 	lastIdx := tb.Rows() - 1
 	res := &Result{Name: name, Table: tb}

@@ -33,38 +33,40 @@ func Fig9(o Options) *Result {
 		"threads", "aggregate MB/s",
 		"NoCache", "IMCa(1MCD)", "IMCa(2MCD)", "IMCa(4MCD)", "Lustre-1DS(Cold)")
 
-	for _, nt := range threads {
-		row := make([]float64, 0, 5)
-
-		// GlusterFS NoCache.
-		c, mounts := glusterMounts(gOpts(o, cluster.Options{Clients: nt}))
-		res := workload.Throughput(c.Env, mounts, workload.ThroughputOptions{
-			Dir: "/io", FileSize: fileSize, RecordSize: record,
-		})
-		row = append(row, res.ReadBps/1e6)
-
-		// IMCa with 1/2/4 MCDs, modulo distribution.
-		for _, nm := range []int{1, 2, 4} {
+	// One point per (thread count, column) cell: NoCache, then the three
+	// MCD counts under modulo distribution, then cold Lustre.
+	mcdCounts := []int{1, 2, 4}
+	const nCols = 5
+	cells := points(o, len(threads)*nCols, func(i int) float64 {
+		nt := threads[i/nCols]
+		switch col := i % nCols; {
+		case col == 0: // GlusterFS NoCache.
+			c, mounts := glusterMounts(gOpts(o, cluster.Options{Clients: nt}))
+			res := workload.Throughput(c.Env, mounts, workload.ThroughputOptions{
+				Dir: "/io", FileSize: fileSize, RecordSize: record,
+			})
+			return res.ReadBps / 1e6
+		case col <= len(mcdCounts): // IMCa with 1/2/4 MCDs, modulo distribution.
 			c, mounts := glusterMounts(gOpts(o, cluster.Options{
-				Clients: nt, MCDs: nm, MCDMemBytes: mcdMem,
+				Clients: nt, MCDs: mcdCounts[col-1], MCDMemBytes: mcdMem,
 				BlockSize: blockSize,
 				Selector:  memcache.BlockModuloSelector{BlockSize: blockSize},
 			}))
 			res := workload.Throughput(c.Env, mounts, workload.ThroughputOptions{
 				Dir: "/io", FileSize: fileSize, RecordSize: record,
 			})
-			row = append(row, res.ReadBps/1e6)
+			return res.ReadBps / 1e6
+		default: // Lustre 1 DS, cold client cache.
+			env, _, lm, lclients := lustreMounts(nt, 1, scale)
+			lres := workload.Throughput(env, lm, workload.ThroughputOptions{
+				Dir: "/io", FileSize: fileSize, RecordSize: record,
+				AfterWrite: dropAll(lclients),
+			})
+			return lres.ReadBps / 1e6
 		}
-
-		// Lustre 1 DS, cold client cache.
-		env, _, lm, lclients := lustreMounts(nt, 1, scale)
-		lres := workload.Throughput(env, lm, workload.ThroughputOptions{
-			Dir: "/io", FileSize: fileSize, RecordSize: record,
-			AfterWrite: dropAll(lclients),
-		})
-		row = append(row, lres.ReadBps/1e6)
-
-		tb.AddRow(fmt.Sprint(nt), row...)
+	})
+	for r, nt := range threads {
+		tb.AddRow(fmt.Sprint(nt), cells[r*nCols:(r+1)*nCols]...)
 	}
 
 	last := tb.LastRow()

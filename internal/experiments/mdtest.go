@@ -40,9 +40,12 @@ func ExtMDTest(o Options) *Result {
 		})
 	}
 
-	noCache := run(0)
-	imca := run(2)
-	lus := lusRun()
+	outs := runAll(o, []func() workload.MDTestResult{
+		func() workload.MDTestResult { return run(0) },
+		func() workload.MDTestResult { return run(2) },
+		lusRun,
+	})
+	noCache, imca, lus := outs[0], outs[1], outs[2]
 
 	tb := metrics.NewTable(
 		fmt.Sprintf("Extension: mdtest metadata rates, %d clients, %d files", clients, files),

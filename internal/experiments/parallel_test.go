@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"imca/internal/telemetry"
+)
+
+// renderAll runs every experiment in the registry with the given options
+// and renders everything a user can see — tables, notes, breakdowns,
+// telemetry dumps, and the Chrome-trace export of retained operations —
+// into one byte stream.
+func renderAll(t *testing.T, o Options) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, e := range Registry {
+		res := e.Run(o)
+		fmt.Fprintf(&buf, "== %s ==\n", res.Name)
+		res.Table.Render(&buf)
+		for _, n := range res.Notes {
+			fmt.Fprintf(&buf, "note: %s\n", n)
+		}
+		for _, nb := range res.Breakdowns {
+			fmt.Fprintf(&buf, "-- %s --\n", nb.Title)
+			nb.Breakdown.Report(&buf)
+		}
+		for _, d := range res.Telemetry {
+			fmt.Fprintf(&buf, "-- %s --\n%s", d.Title, d.Text)
+		}
+		if len(res.Ops) > 0 {
+			if err := telemetry.WriteChromeTrace(&buf, res.Ops); err != nil {
+				t.Fatalf("%s: trace export: %v", res.Name, err)
+			}
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestParallelByteIdentical is the engine's core guarantee: the full
+// figure registry rendered with four workers is byte-for-byte the output
+// of the serial run — tables, notes, breakdowns, telemetry dumps, and
+// Perfetto trace exports alike. Experiment points share nothing and are
+// assembled in declaration order, so host scheduling must be invisible.
+func TestParallelByteIdentical(t *testing.T) {
+	o := Options{Scale: 4096, Breakdown: true, Telemetry: true, TraceOps: true}
+	serial := renderAll(t, o)
+	o.Workers = 4
+	par := renderAll(t, o)
+	if !bytes.Equal(serial, par) {
+		line := 1
+		n := len(serial)
+		if len(par) < n {
+			n = len(par)
+		}
+		for i := 0; i < n; i++ {
+			if serial[i] != par[i] {
+				t.Fatalf("parallel output diverges from serial at byte %d (line %d):\nserial: %q\nparallel: %q",
+					i, line, excerpt(serial, i), excerpt(par, i))
+			}
+			if serial[i] == '\n' {
+				line++
+			}
+		}
+		t.Fatalf("parallel output is a strict prefix/extension of serial: %d vs %d bytes", len(serial), len(par))
+	}
+}
+
+func excerpt(b []byte, i int) string {
+	lo, hi := i-40, i+40
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(b) {
+		hi = len(b)
+	}
+	return string(b[lo:hi])
+}

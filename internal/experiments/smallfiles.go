@@ -19,8 +19,8 @@ func ExtSmallFiles(o Options) *Result {
 		files = 64
 	}
 	accesses := 131072 / scale
-	if accesses < 2048 {
-		accesses = 2048
+	if accesses < 512 {
+		accesses = 512
 	}
 	const fileSize = 8 << 10 // "small" files: 8 KB
 	const clients = 32
@@ -43,8 +43,14 @@ func ExtSmallFiles(o Options) *Result {
 	tb := metrics.NewTable("Extension: small-file workload (8 KB files, power-law popularity, 32 clients)",
 		"pattern", "avg access latency (µs)",
 		"NoCache", "IMCa(4MCD)")
-	tb.AddRow("handles kept open", run(0, false), run(4, false))
-	tb.AddRow("open/read/close per access", run(0, true), run(4, true))
+	cells := runAll(o, []func() float64{
+		func() float64 { return run(0, false) },
+		func() float64 { return run(4, false) },
+		func() float64 { return run(0, true) },
+		func() float64 { return run(4, true) },
+	})
+	tb.AddRow("handles kept open", cells[0], cells[1])
+	tb.AddRow("open/read/close per access", cells[2], cells[3])
 
 	res := &Result{Name: "ext-smallfile", Table: tb}
 	res.Notes = []string{

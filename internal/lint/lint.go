@@ -23,8 +23,12 @@
 //     drives simulated activity — unless the keys are collected and
 //     sorted first.
 //   - nogoroutine: no go statements, channel operations, or sync
-//     primitives in the pure-sim packages; the kernel runs exactly one
-//     goroutine at a time and concurrency belongs to sim.Chan/sim.Event.
+//     primitives anywhere except an explicit host-side allowlist
+//     (Config.HostSide); the kernel runs exactly one goroutine at a time
+//     and concurrency belongs to sim.Chan/sim.Event. Host-side packages
+//     (the parallel sweep engine, the real memcached daemon) are exempt
+//     as whole packages rather than line by line, so a new go statement
+//     in simulated code can never hide behind a stale suppression.
 //   - tickpurity: functions reachable from a sim.Env.SetTick observer
 //     must not call scheduling methods; sampling can never advance the
 //     clock.
@@ -67,9 +71,14 @@ func (f Finding) String() string {
 // full import paths. The zero value is not useful; start from
 // DefaultConfig.
 type Config struct {
-	// PureSim lists the packages subject to the nogoroutine check: the
-	// deterministic single-threaded layers of the simulator.
-	PureSim []string
+	// HostSide lists the packages exempt from the nogoroutine check:
+	// code that legitimately uses host concurrency — worker pools running
+	// whole simulations side by side, real network daemons — and never
+	// executes inside a simulation. Every other package in the tree is
+	// held to the single-threaded rule, so adding a package here is an
+	// explicit, reviewable claim that nothing in it runs under the
+	// kernel.
+	HostSide []string
 	// RandAllowed lists the packages that may import math/rand.
 	RandAllowed []string
 	// SimPath is the import path of the simulation kernel, used by the
@@ -83,19 +92,21 @@ type Config struct {
 func DefaultConfig(module string) *Config {
 	sub := func(s string) string { return module + "/internal/" + s }
 	return &Config{
-		PureSim: []string{
-			sub("sim"), sub("fabric"), sub("disk"), sub("pagecache"),
-			sub("gluster"), sub("core"), sub("optrace"), sub("telemetry"),
-			// The analyzer's own fixture is treated as pure-sim so the
-			// golden test and the command agree on its findings.
-			sub("lint/testdata/nogoroutine"),
+		HostSide: []string{
+			// The parallel sweep engine: runs isolated sim.Envs across a
+			// worker pool, never inside one.
+			sub("parallel"),
+			// The real memcached protocol implementation and its daemon:
+			// genuine TCP servers with genuine concurrency.
+			sub("memcache"),
+			module + "/cmd/memcached",
 		},
 		RandAllowed: []string{sub("xrand")},
 		SimPath:     sub("sim"),
 	}
 }
 
-func (c *Config) pureSim(path string) bool     { return contains(c.PureSim, path) }
+func (c *Config) hostSide(path string) bool    { return contains(c.HostSide, path) }
 func (c *Config) randAllowed(path string) bool { return contains(c.RandAllowed, path) }
 
 func contains(xs []string, s string) bool {

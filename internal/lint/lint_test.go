@@ -26,7 +26,7 @@ func moduleRoot(t *testing.T) string {
 // behavior change in any check shows up as a golden diff.
 func TestGolden(t *testing.T) {
 	root := moduleRoot(t)
-	for _, name := range []string{"wallclock", "randpkg", "maprange", "nogoroutine", "tickpurity", "suppress"} {
+	for _, name := range []string{"wallclock", "randpkg", "maprange", "nogoroutine", "hostside", "tickpurity", "suppress"} {
 		t.Run(name, func(t *testing.T) {
 			rel := "internal/lint/testdata/" + name
 			findings, err := Run(root, []string{"./" + rel}, DefaultConfig("imca"))
@@ -63,6 +63,24 @@ func TestRepoClean(t *testing.T) {
 	}
 	for _, f := range findings {
 		t.Errorf("%s", f)
+	}
+}
+
+// TestHostSideAllowlist verifies the nogoroutine package allowlist: the
+// hostside fixture is all findings under the default policy (pinned by
+// TestGolden) and exactly zero once its package is allowlisted — the
+// whole-package exemption that lets host-side concurrency (the parallel
+// sweep engine, the memcached daemon) pass without per-line suppressions.
+func TestHostSideAllowlist(t *testing.T) {
+	root := moduleRoot(t)
+	cfg := DefaultConfig("imca")
+	cfg.HostSide = append(cfg.HostSide, "imca/internal/lint/testdata/hostside")
+	findings, err := Run(root, []string{"./internal/lint/testdata/hostside"}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("allowlisted package still flagged: %s", f)
 	}
 }
 

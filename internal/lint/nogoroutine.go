@@ -6,14 +6,17 @@ import (
 	"strconv"
 )
 
-// checkNoGoroutine enforces single-threadedness in the pure-sim packages:
-// the kernel runs exactly one process goroutine at a time, so go
-// statements, native channels, and sync primitives there either deadlock,
-// race, or — worst — silently reorder events between runs. Concurrency in
-// simulated code is expressed with sim.Chan, sim.Event, and sim.Resource.
-// The kernel's own goroutine handshake carries explicit suppressions.
+// checkNoGoroutine enforces single-threadedness everywhere except the
+// host-side allowlist: the kernel runs exactly one process goroutine at a
+// time, so go statements, native channels, and sync primitives in
+// simulated code either deadlock, race, or — worst — silently reorder
+// events between runs. Concurrency in simulated code is expressed with
+// sim.Chan, sim.Event, and sim.Resource. The kernel's own goroutine
+// handshake carries explicit suppressions; packages that are genuinely
+// host-side (worker pools, real daemons) are exempted as whole packages
+// via Config.HostSide.
 func checkNoGoroutine(pkg *pkgInfo, cfg *Config) []Finding {
-	if !cfg.pureSim(pkg.path) {
+	if cfg.hostSide(pkg.path) {
 		return nil
 	}
 	var out []Finding
@@ -27,23 +30,23 @@ func checkNoGoroutine(pkg *pkgInfo, cfg *Config) []Finding {
 				continue
 			}
 			if path == "sync" || path == "sync/atomic" {
-				flag(imp.Pos(), "import of "+path+" in a pure-sim package — the kernel is single-threaded; locks hide ordering bugs")
+				flag(imp.Pos(), "import of "+path+" in a sim-side package — the kernel is single-threaded; locks hide ordering bugs")
 			}
 		}
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.GoStmt:
-				flag(n.Pos(), "go statement in a pure-sim package — spawn sim processes (Env.Process) instead")
+				flag(n.Pos(), "go statement in a sim-side package — spawn sim processes (Env.Process) instead")
 			case *ast.SendStmt:
-				flag(n.Pos(), "native channel send in a pure-sim package — use sim.Chan for virtual-time messaging")
+				flag(n.Pos(), "native channel send in a sim-side package — use sim.Chan for virtual-time messaging")
 			case *ast.UnaryExpr:
 				if n.Op == token.ARROW {
-					flag(n.Pos(), "native channel receive in a pure-sim package — use sim.Chan for virtual-time messaging")
+					flag(n.Pos(), "native channel receive in a sim-side package — use sim.Chan for virtual-time messaging")
 				}
 			case *ast.SelectStmt:
-				flag(n.Pos(), "select statement in a pure-sim package — use sim.Event/sim.Chan for virtual-time choice")
+				flag(n.Pos(), "select statement in a sim-side package — use sim.Event/sim.Chan for virtual-time choice")
 			case *ast.ChanType:
-				flag(n.Pos(), "native channel type in a pure-sim package — use sim.Chan for virtual-time messaging")
+				flag(n.Pos(), "native channel type in a sim-side package — use sim.Chan for virtual-time messaging")
 				return false // make(chan T) holds the ChanType; one finding is enough
 			}
 			return true

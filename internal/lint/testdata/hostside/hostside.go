@@ -1,0 +1,27 @@
+// Package hostside is a lint fixture: a miniature worker pool using host
+// concurrency. Under the default policy (not on the HostSide allowlist)
+// every construct below is a finding; with the package allowlisted the
+// analyzer must come up empty. The golden test pins the former, the
+// allowlist test the latter.
+package hostside
+
+import "sync"
+
+func pool(n int, fn func(int)) {
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+}

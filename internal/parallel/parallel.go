@@ -1,0 +1,87 @@
+// Package parallel executes independent experiment points across a bounded
+// worker pool. It is HOST-SIDE code: it runs whole simulations concurrently
+// but never runs inside one, so the determinism-invariant linter's
+// nogoroutine check allowlists this package rather than policing it (see
+// internal/lint).
+//
+// The safety argument is isolation, not synchronization: every experiment
+// point constructs its own sim.Env, cluster, workload, and telemetry
+// registry, and the simulator stack keeps no mutable package-level state
+// (enforced by imcalint's wallclock/rand checks and the explicit-seed xrand
+// design). Two points therefore share nothing but read-only configuration,
+// and running them on different OS threads cannot perturb either one.
+// Determinism is preserved by assembly order, not execution order: Map
+// writes each result into the slot of its index, so callers see exactly the
+// slice a serial loop would have produced, byte for byte, no matter how the
+// pool interleaved.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a worker-count request: n < 1 selects GOMAXPROCS
+// (use 0 for "all cores"), anything else is returned unchanged.
+func Workers(n int) int {
+	if n < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Do runs fn(0..n-1), at most workers at a time, and returns when all calls
+// have finished. With workers <= 1 (or nothing to gain from a pool) it
+// degenerates to the plain serial loop, so serial remains the zero-cost
+// default. A panic in any call is re-raised on the caller's goroutine after
+// the pool has drained, mirroring the serial loop's failure behavior.
+func Do(workers, n int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		panicked atomic.Value
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicked.CompareAndSwap(nil, r)
+						}
+					}()
+					fn(i)
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	if r := panicked.Load(); r != nil {
+		panic(r)
+	}
+}
+
+// Map runs fn(0..n-1) under Do and assembles the results by index: the
+// returned slice is identical to what a serial append loop would build,
+// regardless of worker count or scheduling.
+func Map[T any](workers, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	Do(workers, n, func(i int) { out[i] = fn(i) })
+	return out
+}

@@ -1,0 +1,37 @@
+package sim
+
+import "testing"
+
+// BenchmarkDispatch measures the bare event loop: one process sleeping
+// repeatedly, so every iteration is a schedule + heap pop + park/wake
+// handshake. This is the price of a real process wake-up.
+func BenchmarkDispatch(b *testing.B) {
+	b.ReportAllocs()
+	env := NewEnv()
+	env.Process("sleeper", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(1)
+		}
+	})
+	b.ResetTimer()
+	env.Run()
+}
+
+// BenchmarkDeferredEvent measures the deferred-function fast path plus the
+// deadline-guarded wait built on it: each iteration runs one Defer and one
+// WaitUntil that times out, the shape fabric.Call pays per deadline-carrying
+// RPC. Before the kernel rewrite each timed-out wait cost two helper
+// goroutines, four handshakes, and their event allocations.
+func BenchmarkDeferredEvent(b *testing.B) {
+	b.ReportAllocs()
+	env := NewEnv()
+	env.Process("waiter", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			env.Defer(1, func() {})
+			never := NewEvent(env)
+			never.WaitUntil(p, p.Now().Add(2))
+		}
+	})
+	b.ResetTimer()
+	env.Run()
+}

@@ -4,10 +4,11 @@ package sim
 // once triggered, all current and future waiters proceed immediately and
 // receive the trigger value.
 type Event struct {
-	env       *Env
-	triggered bool
-	value     interface{}
-	waiters   []*Proc
+	env         *Env
+	triggered   bool
+	triggeredAt Time // instant Trigger ran; meaningful only when triggered
+	value       interface{}
+	waiters     []*Proc
 }
 
 // NewEvent returns an untriggered event.
@@ -29,6 +30,7 @@ func (ev *Event) Trigger(v interface{}) {
 		return
 	}
 	ev.triggered = true
+	ev.triggeredAt = ev.env.now
 	ev.value = v
 	for _, p := range ev.waiters {
 		ev.env.scheduleProc(p, 0)
@@ -59,10 +61,11 @@ func WaitAll(p *Proc, evs ...*Event) {
 // event fired in time and (nil, false) on timeout. If both land on the same
 // instant the timeout wins (it was scheduled first).
 //
-// The race is run through two helper processes so that neither outcome can
-// leave a stale wake-up behind: the loser's trigger is a no-op on the
-// already-fired race event, and the event-side helper simply ends when the
-// original event eventually fires.
+// The timeout side is a deferred function, not a helper process, so a
+// deadline-guarded wait costs no extra goroutines or handshakes: on
+// timeout the deferred function withdraws p from the waiter list before
+// waking it, and if the event fired first the deferred function finds it
+// triggered and does nothing. Either way no stale wake-up is left behind.
 func (ev *Event) WaitUntil(p *Proc, deadline Time) (interface{}, bool) {
 	if ev.triggered {
 		return ev.value, true
@@ -70,19 +73,31 @@ func (ev *Event) WaitUntil(p *Proc, deadline Time) (interface{}, bool) {
 	if deadline <= p.env.now {
 		return nil, false
 	}
-	type outcome struct {
-		v     interface{}
-		fired bool
+	timedOut := false
+	p.env.Defer(deadline.Sub(p.env.now), func() {
+		if ev.triggered {
+			if ev.triggeredAt < deadline {
+				return // fired strictly earlier; p resumed long ago
+			}
+			// Fired at the deadline instant: the tie goes to the timeout.
+			// p already holds a pending wake-up from Trigger, so only the
+			// outcome flag changes here.
+			timedOut = true
+			return
+		}
+		for i, w := range ev.waiters {
+			if w == p {
+				ev.waiters = append(ev.waiters[:i], ev.waiters[i+1:]...)
+				break
+			}
+		}
+		timedOut = true
+		ev.env.scheduleProc(p, 0)
+	})
+	ev.waiters = append(ev.waiters, p)
+	p.park()
+	if timedOut {
+		return nil, false
 	}
-	race := NewEvent(p.env)
-	p.env.Process(p.name+"/timeout", func(tp *Proc) {
-		tp.Sleep(deadline.Sub(tp.env.now))
-		race.Trigger(outcome{nil, false})
-	})
-	p.env.Process(p.name+"/wait", func(wp *Proc) {
-		v := ev.Wait(wp)
-		race.Trigger(outcome{v, true})
-	})
-	r := race.Wait(p).(outcome)
-	return r.v, r.fired
+	return ev.value, true
 }

@@ -18,12 +18,26 @@
 //
 // All kernel methods that take a *Proc must be called from that process's
 // own goroutine while it is the running process.
+//
+// # Dispatch cost
+//
+// Two kinds of events exist, with very different host-side price tags.
+// Waking a parked process costs a goroutine park/wake handshake (two
+// channel operations); running a deferred function (Env.Defer) is a plain
+// call in scheduler context and pays no handshake at all. Timeouts and
+// other bookkeeping that does not need a process of its own should use
+// Defer. The pending-event queue is a 4-ary min-heap of event values in a
+// single backing array: scheduling allocates nothing (vacated slots are
+// recycled in place, serving as the event free list), and the shallow wide
+// heap keeps comparisons inside one cache line per level.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
+
+	//imcalint:allow nogoroutine host-side dispatch total: one atomic add per Run, read only by harness telemetry
+	"sync/atomic"
 )
 
 // Time is a point in virtual time, in nanoseconds since the start of the
@@ -47,6 +61,8 @@ func (t Time) Seconds() float64 { return float64(t) / 1e9 }
 func (t Time) String() string { return Duration(t).String() }
 
 // event is a scheduled wake-up of a process or a deferred function call.
+// Events are stored by value in the heap's backing array, so scheduling
+// one allocates nothing.
 type event struct {
 	at   Time
 	seq  uint64
@@ -54,25 +70,89 @@ type event struct {
 	fn   func() // function to run in scheduler context, or nil
 }
 
-type eventHeap []*event
+// eventHeap is a 4-ary min-heap of events ordered by (at, seq). A wide
+// shallow heap does fewer, cache-friendlier levels than a binary one for
+// the queue sizes simulations reach, and holding values instead of
+// pointers removes both the per-event allocation and the container/heap
+// interface boxing the kernel used to pay on every schedule/dispatch.
+type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before reports whether a sorts before b: earlier time first, creation
+// order breaking ties (seq is unique, so the order is total).
+func before(a, b *event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+
+// push adds ev, restoring the heap property by sifting up.
+func (h *eventHeap) push(ev event) {
+	a := append(*h, ev)
+	i := len(a) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !before(&ev, &a[parent]) {
+			break
+		}
+		a[i] = a[parent]
+		i = parent
+	}
+	a[i] = ev
+	*h = a
 }
+
+// pop removes and returns the minimum event. The vacated tail slot is
+// zeroed so the backing array (the kernel's event free list) does not pin
+// dead Proc or closure references.
+func (h *eventHeap) pop() event {
+	a := *h
+	top := a[0]
+	n := len(a) - 1
+	last := a[n]
+	a[n] = event{}
+	a = a[:n]
+	*h = a
+	if n == 0 {
+		return top
+	}
+	// Sift last down from the root.
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		end := first + 4
+		if end > n {
+			end = n
+		}
+		for c := first + 1; c < end; c++ {
+			if before(&a[c], &a[best]) {
+				best = c
+			}
+		}
+		if !before(&a[best], &last) {
+			break
+		}
+		a[i] = a[best]
+		i = best
+	}
+	a[i] = last
+	return top
+}
+
+// totalEvents accumulates dispatched events across every environment in
+// the process, updated once per Run/RunUntil return. Harness telemetry
+// reads it to report host-side throughput (events per wall second); the
+// hot dispatch loop itself never touches it.
+var totalEvents atomic.Uint64
+
+// TotalEvents returns the number of events dispatched by all environments
+// in this process since it started — the numerator of the harness's
+// events-per-second gauge. It is safe to call from any goroutine.
+func TotalEvents() uint64 { return totalEvents.Load() }
 
 // Env is a simulation environment: a virtual clock plus the set of
 // processes and pending events that advance it.
@@ -108,10 +188,9 @@ func NewEnv() *Env {
 func (e *Env) Now() Time { return e.now }
 
 // schedule enqueues an event at absolute time at.
-func (e *Env) schedule(ev *event) {
+func (e *Env) schedule(at Time, proc *Proc, fn func()) {
 	e.seq++
-	ev.seq = e.seq
-	heap.Push(&e.heap, ev)
+	e.heap.push(event{at: at, seq: e.seq, proc: proc, fn: fn})
 }
 
 // scheduleProc enqueues a wake-up for p after delay d.
@@ -119,7 +198,27 @@ func (e *Env) scheduleProc(p *Proc, d Duration) {
 	if d < 0 {
 		panic("sim: negative delay")
 	}
-	e.schedule(&event{at: e.now.Add(d), proc: p})
+	e.schedule(e.now.Add(d), p, nil)
+}
+
+// Defer schedules fn to run in scheduler context at the current time plus
+// d. Unlike a process wake-up, dispatching a deferred function pays no
+// goroutine park/wake handshake — it is a plain call between events — so
+// it is the cheap way to express timeouts, sensors, and other bookkeeping
+// that does not need a blocking process of its own.
+//
+// fn runs between event dispatches, when no process is mid-action. It may
+// schedule further work (trigger events, call Defer, create processes) but
+// must not call process primitives (Sleep, Acquire, Wait, …): there is no
+// process to block.
+func (e *Env) Defer(d Duration, fn func()) {
+	if d < 0 {
+		panic("sim: negative defer delay")
+	}
+	if fn == nil {
+		panic("sim: nil deferred function")
+	}
+	e.schedule(e.now.Add(d), nil, fn)
 }
 
 // Proc is a simulated process. Its methods must be called only from its own
@@ -174,10 +273,10 @@ func (e *Env) Process(name string, fn func(p *Proc)) *Proc {
 	}
 	p.done = NewEvent(e)
 	e.living++
-	e.schedule(&event{at: e.now, fn: func() {
+	e.schedule(e.now, nil, func() {
 		go p.run(fn) //imcalint:allow nogoroutine the kernel itself multiplexes process goroutines one at a time
 		<-e.yielded  //imcalint:allow nogoroutine kernel handshake: wait for the new process to yield
-	}})
+	})
 	return p
 }
 
@@ -272,19 +371,23 @@ func (e *Env) Run() Time {
 // RunUntil processes events with timestamps <= limit and returns the
 // current virtual time afterwards.
 func (e *Env) RunUntil(limit Time) Time {
+	start := e.EventsProcessed
+	defer func() { totalEvents.Add(e.EventsProcessed - start) }()
 	for len(e.heap) > 0 {
-		ev := e.heap[0]
-		if ev.at > limit {
+		if e.heap[0].at > limit {
 			e.now = limit
 			e.fireTicks()
 			return e.now
 		}
-		heap.Pop(&e.heap)
+		ev := e.heap.pop()
 		e.now = ev.at
-		e.fireTicks()
+		if e.tickFn != nil {
+			e.fireTicks()
+		}
 		e.EventsProcessed++
 		switch {
 		case ev.fn != nil:
+			// Deferred functions dispatch inline: no goroutine handshake.
 			ev.fn()
 		case ev.proc != nil:
 			if !ev.proc.ended {

@@ -1,0 +1,36 @@
+package telemetry
+
+import (
+	"time"
+
+	"imca/internal/sim"
+)
+
+// RegisterHarness registers host-side throughput instruments on reg:
+//
+//	harness.events_total    — kernel events dispatched process-wide since
+//	                          registration (sim.TotalEvents delta)
+//	harness.events_per_sec  — those events divided by elapsed wall time
+//
+// These are the only wall-clock instruments in the tree: they measure the
+// simulator harness itself (how fast the host chews through virtual
+// events), not anything simulated. For that reason they must go on a
+// harness-local registry, never on a registry whose dump is part of an
+// experiment's rendered output — experiment dumps are byte-identical
+// across runs and worker counts, and a wall-clock reading would break
+// that. cmd/imcabench keeps the separation: experiment registries come
+// from the experiments themselves, the harness registry is its own.
+func RegisterHarness(reg *Registry) {
+	baseEvents := sim.TotalEvents()
+	baseTime := time.Now() //imcalint:allow wallclock host-side gauge: measures harness throughput, never simulated time
+	reg.Counter("harness.events_total", func() uint64 {
+		return sim.TotalEvents() - baseEvents
+	})
+	reg.Gauge("harness.events_per_sec", func() float64 {
+		elapsed := time.Since(baseTime).Seconds() //imcalint:allow wallclock host-side gauge: wall seconds since registration
+		if elapsed <= 0 {
+			return 0
+		}
+		return float64(sim.TotalEvents()-baseEvents) / elapsed
+	})
+}

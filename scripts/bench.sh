@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# bench.sh — record the harness performance trajectory.
+#
+# Runs the full figure sweep twice — serially, then with one worker per
+# core — and records per-figure wall time, dispatched kernel events,
+# events/sec, and allocs/event into BENCH_baseline.json (serial) and
+# BENCH_after.json (parallel). Finishes with the kernel microbenchmarks.
+#
+# Usage:
+#   scripts/bench.sh          # full sweep at the default scale (1/64)
+#   scripts/bench.sh -short   # CI-sized sweep at 1/1024
+#
+# The committed BENCH_*.json files are the recorded trajectory; re-run
+# this script after performance work and commit the refreshed numbers.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+scale=64
+if [ "${1:-}" = "-short" ]; then
+    scale=1024
+fi
+
+workers=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 4)
+bin=$(mktemp -d)/imcabench
+trap 'rm -rf "$(dirname "$bin")"' EXIT
+go build -o "$bin" ./cmd/imcabench
+
+total_ms() { awk -F: '/"total_wall_ms"/ {gsub(/[ ,]/,"",$2); print $2; exit}' "$1"; }
+
+echo "== serial sweep (scale 1/$scale) =="
+"$bin" -exp all -scale "$scale" -benchjson BENCH_baseline.json >/dev/null
+echo "   total: $(total_ms BENCH_baseline.json) ms"
+
+echo "== parallel sweep (scale 1/$scale, $workers workers) =="
+"$bin" -exp all -scale "$scale" -parallel "$workers" -benchjson BENCH_after.json >/dev/null
+echo "   total: $(total_ms BENCH_after.json) ms"
+
+awk -v s="$(total_ms BENCH_baseline.json)" -v p="$(total_ms BENCH_after.json)" \
+    'BEGIN { if (p > 0) printf "== speedup: %.2fx ==\n", s / p }'
+
+echo "== kernel microbenchmarks =="
+go test -run=NONE -bench=. -benchmem ./internal/sim/

@@ -18,6 +18,7 @@
 //	rm PATH                  delete
 //	ls PATH                  list a directory
 //	flush                    flush every MCD (cold bank)
+//	fault CMD ...            inject failures (fault help for the list)
 //	stats                    translator and bank counters
 //	telemetry [SUBSTR]       full instrument registry (optionally filtered)
 //	trace [on|off]           toggle per-command latency tracing
@@ -29,6 +30,12 @@
 // latency decomposition (where the operation's virtual time went: FUSE,
 // CMCache, the MCD round trip, the server, the disk). Tracing costs no
 // virtual time, so timings are identical with it on or off.
+//
+// The fault subcommands drive the internal/fault injector: immediate
+// faults ("fault crash mcd0") land before the next command; scheduled ones
+// ("fault at 5ms crash mcd0") arm a virtual-clock timer that fires while a
+// later command's operation is in flight — the way to watch a daemon die
+// mid-read. Start the shell with -eject to give the clients failover.
 package main
 
 import (
@@ -38,9 +45,11 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"imca/internal/blob"
 	"imca/internal/cluster"
+	"imca/internal/fault"
 	"imca/internal/gluster"
 	"imca/internal/optrace"
 	"imca/internal/sim"
@@ -53,6 +62,7 @@ type shell struct {
 	fds   map[string]gluster.FD
 	col   *optrace.Collector
 	reg   *telemetry.Registry
+	inj   *fault.Injector
 	trace bool
 }
 
@@ -61,15 +71,19 @@ func main() {
 		clients = flag.Int("clients", 1, "client nodes")
 		mcds    = flag.Int("mcds", 2, "memcached daemons (0 = plain GlusterFS)")
 		block   = flag.Int64("block", 2048, "IMCa block size")
+		eject   = flag.Int("eject", 0, "eject an MCD after this many consecutive client-side failures (0 = no failover)")
 	)
 	flag.Parse()
 
 	c := cluster.New(cluster.Options{
 		Clients: *clients, MCDs: *mcds, MCDMemBytes: 256 << 20, BlockSize: *block,
+		EjectAfter: *eject,
 	})
 	reg := telemetry.NewRegistry()
 	c.Instrument(reg)
 	sh := &shell{c: c, fs: c.Mounts[0].FS, fds: make(map[string]gluster.FD), col: optrace.NewCollector(), reg: reg}
+	sh.inj = fault.NewInjector(c)
+	sh.inj.Register(reg, "fault")
 
 	fmt.Printf("imcafsh: %d client(s), %d MCD(s), block %d — type 'help'\n", *clients, *mcds, *block)
 	in := bufio.NewScanner(os.Stdin)
@@ -130,7 +144,7 @@ func (sh *shell) dispatch(args []string) {
 	cmd := args[0]
 	switch cmd {
 	case "help":
-		fmt.Println("create|open|close|rm|stat|ls PATH; write|read PATH OFF SIZE; flush; stats; telemetry [SUBSTR]; trace [on|off]; breakdown; time; quit")
+		fmt.Println("create|open|close|rm|stat|ls PATH; write|read PATH OFF SIZE; flush; fault CMD; stats; telemetry [SUBSTR]; trace [on|off]; breakdown; time; quit")
 	case "trace":
 		switch {
 		case len(args) == 1:
@@ -153,6 +167,8 @@ func (sh *shell) dispatch(args []string) {
 			m.Store().FlushAll()
 		}
 		fmt.Println("bank flushed")
+	case "fault":
+		sh.faultCmd(args[1:])
 	case "stats":
 		sh.printStats()
 	case "telemetry":
@@ -291,4 +307,162 @@ func (sh *shell) printStats() {
 	fmt.Printf("bank:    %d items, %d bytes; get %d (%d hit / %d miss); set %d; evictions %d\n",
 		bank.CurrItems, bank.Bytes, bank.CmdGet, bank.GetHits, bank.GetMisses, bank.CmdSet, bank.Evictions)
 	fmt.Printf("server:  ops %v\n", sh.c.Server.Ops)
+}
+
+const faultUsage = `fault subcommands:
+  fault crash MCD               kill a daemon (contents lost) e.g. fault crash mcd0
+  fault recover MCD             restart a crashed daemon (empty)
+  fault cut NODE NODE           partition a node pair            e.g. fault cut client0 mcd0
+  fault heal NODE NODE          restore a cut or degraded pair
+  fault degrade NODE NODE L B   scale a pair: latency xL, bandwidth xB
+  fault slow BRICK FACTOR       stretch the brick's disk accesses (1 = healthy)
+  fault fail BRICK              refuse brick requests (storage intact)
+  fault restore BRICK           bring the brick daemon back
+  fault at DUR CMD ...          schedule any of the above DUR of virtual time
+                                from now (fires inside later commands' ops)
+  fault status                  current fault state and injector counters`
+
+// parseFaultEvent turns "crash mcd0"-style argument lists into a plan
+// event with offset zero.
+func parseFaultEvent(args []string) (fault.Event, error) {
+	bad := func(format string, a ...interface{}) (fault.Event, error) {
+		return fault.Event{}, fmt.Errorf(format, a...)
+	}
+	if len(args) == 0 {
+		return bad("missing fault kind")
+	}
+	switch cmd := args[0]; cmd {
+	case "crash", "recover":
+		if len(args) != 2 {
+			return bad("usage: fault %s MCD", cmd)
+		}
+		k := fault.MCDCrash
+		if cmd == "recover" {
+			k = fault.MCDRecover
+		}
+		return fault.Event{Kind: k, Target: args[1]}, nil
+	case "cut", "heal":
+		if len(args) != 3 {
+			return bad("usage: fault %s NODE NODE", cmd)
+		}
+		k := fault.LinkCut
+		if cmd == "heal" {
+			k = fault.LinkHeal
+		}
+		return fault.Event{Kind: k, Target: args[1], Peer: args[2]}, nil
+	case "degrade":
+		if len(args) != 5 {
+			return bad("usage: fault degrade NODE NODE LATENCY BANDWIDTH")
+		}
+		lat, err1 := strconv.ParseFloat(args[3], 64)
+		bw, err2 := strconv.ParseFloat(args[4], 64)
+		if err1 != nil || err2 != nil {
+			return bad("bad degrade factors %q %q", args[3], args[4])
+		}
+		return fault.Event{Kind: fault.LinkDegrade, Target: args[1], Peer: args[2], Latency: lat, Bandwidth: bw}, nil
+	case "slow":
+		if len(args) != 3 {
+			return bad("usage: fault slow BRICK FACTOR")
+		}
+		f, err := strconv.ParseFloat(args[2], 64)
+		if err != nil {
+			return bad("bad slowdown factor %q", args[2])
+		}
+		return fault.Event{Kind: fault.DiskSlow, Target: args[1], Factor: f}, nil
+	case "fail", "restore":
+		if len(args) != 2 {
+			return bad("usage: fault %s BRICK", cmd)
+		}
+		k := fault.BrickFail
+		if cmd == "restore" {
+			k = fault.BrickRecover
+		}
+		return fault.Event{Kind: k, Target: args[1]}, nil
+	default:
+		return bad("unknown fault %q", cmd)
+	}
+}
+
+func (sh *shell) faultCmd(args []string) {
+	if len(args) == 0 || args[0] == "help" {
+		fmt.Println(faultUsage)
+		return
+	}
+	if args[0] == "status" {
+		sh.faultStatus()
+		return
+	}
+	immediate := true
+	var at sim.Duration
+	if args[0] == "at" {
+		if len(args) < 3 {
+			fmt.Println("usage: fault at DUR CMD ...")
+			return
+		}
+		d, err := time.ParseDuration(args[1])
+		if err != nil || d < 0 {
+			fmt.Printf("bad duration %q\n", args[1])
+			return
+		}
+		at, immediate, args = d, false, args[2:]
+	}
+	ev, err := parseFaultEvent(args)
+	if err != nil {
+		fmt.Printf("error: %v\n", err)
+		return
+	}
+	ev.At = at
+	if err := sh.inj.Arm(&fault.Plan{Name: "imcafsh", Events: []fault.Event{ev}}); err != nil {
+		fmt.Printf("error: %v\n", err)
+		return
+	}
+	if immediate {
+		sh.c.Env.Run() // fire the zero-offset timer now
+		fmt.Printf("fault applied: %s\n", ev)
+	} else {
+		fmt.Printf("fault armed: %s (fires during later commands)\n", ev)
+	}
+}
+
+func (sh *shell) faultStatus() {
+	fmt.Printf("injector: %d armed, %d fired\n", sh.inj.Armed(), sh.inj.Fired())
+	for _, m := range sh.c.MCDs {
+		state := "up"
+		if m.Down() {
+			state = "DOWN"
+		}
+		fmt.Printf("  %-12s %s\n", m.Node().Name(), state)
+	}
+	for _, b := range sh.c.Bricks {
+		state := "up"
+		if b.Server.Down() {
+			state = "DOWN"
+		}
+		slow := b.Array.Disks()[0].Slowdown()
+		extra := ""
+		if slow > 1 {
+			extra = fmt.Sprintf(", disk %gx slow", slow)
+		}
+		fmt.Printf("  %-12s %s%s\n", b.Node.Name(), state, extra)
+	}
+	for i, m := range sh.c.Mounts {
+		if m.CMCache == nil {
+			continue
+		}
+		cl := m.CMCache.Bank()
+		var ejected []string
+		for j := range sh.c.MCDs {
+			if cl.Ejected(j) {
+				ejected = append(ejected, sh.c.MCDs[j].Node().Name())
+			}
+		}
+		if len(ejected) > 0 {
+			fmt.Printf("  client%d has ejected: %s\n", i, strings.Join(ejected, ", "))
+		}
+	}
+	bank := sh.c.BankStats()
+	if bank.Ejects+bank.FastFails+bank.Unreachables+bank.DownReplies > 0 {
+		fmt.Printf("  failover: %d ejects, %d fast-fails, %d probes, %d readmits, %d unreachable, %d down replies\n",
+			bank.Ejects, bank.FastFails, bank.Probes, bank.Readmits, bank.Unreachables, bank.DownReplies)
+	}
 }

@@ -51,6 +51,15 @@ type Options struct {
 	Threaded  bool
 	// Selector overrides the MCD key distribution (default CRC32).
 	Selector memcache.Selector
+	// EjectAfter enables client-side MCD failover on every bank client
+	// (CMCaches and SMCaches): after this many consecutive failures a
+	// daemon is ejected and requests to it fast-fail until a backoff
+	// probe readmits it. Zero (the default) keeps the paper's
+	// no-failover client. See memcache.SimClient.SetEjection.
+	EjectAfter int
+	// ProbeBackoff is the initial readmission-probe delay for ejected
+	// daemons (default memcache.DefaultProbeBackoff).
+	ProbeBackoff sim.Duration
 	// ServerConfig tunes the glusterfsd cost model.
 	ServerConfig gluster.ServerConfig
 	// FuseConfig tunes the client FUSE cost model.
@@ -151,6 +160,9 @@ func NewOn(env *sim.Env, net *fabric.Network, opts Options) *Cluster {
 			if opts.Selector != nil {
 				smClient.SetSelector(opts.Selector)
 			}
+			if opts.EjectAfter > 0 {
+				smClient.SetEjection(opts.EjectAfter, opts.ProbeBackoff)
+			}
 			brick.SMCache = core.NewSMCache(env, px, smClient, imcaCfg)
 			serverChild = brick.SMCache
 		}
@@ -178,6 +190,9 @@ func NewOn(env *sim.Env, net *fabric.Network, opts Options) *Cluster {
 			mc := memcache.NewSimClient(node, c.MCDs)
 			if opts.Selector != nil {
 				mc.SetSelector(opts.Selector)
+			}
+			if opts.EjectAfter > 0 {
+				mc.SetEjection(opts.EjectAfter, opts.ProbeBackoff)
 			}
 			cm = core.NewCMCache(stack, mc, imcaCfg)
 			stack = cm
@@ -214,16 +229,23 @@ func (c *Cluster) BankStats() memcache.Stats {
 		total.TotalItems += st.TotalItems
 		total.Bytes += st.Bytes
 	}
+	addClient := func(cl *memcache.SimClient) {
+		total.DownReplies += cl.DownReplies()
+		total.DeadlineMisses += cl.DeadlineMisses()
+		total.Unreachables += cl.Unreachables()
+		total.Ejects += cl.Ejects()
+		total.Probes += cl.Probes()
+		total.Readmits += cl.Readmits()
+		total.FastFails += cl.FastFails()
+	}
 	for _, m := range c.Mounts {
 		if m.CMCache != nil {
-			total.DownReplies += m.CMCache.Bank().DownReplies()
-			total.DeadlineMisses += m.CMCache.Bank().DeadlineMisses()
+			addClient(m.CMCache.Bank())
 		}
 	}
 	for _, b := range c.Bricks {
 		if b.SMCache != nil {
-			total.DownReplies += b.SMCache.Bank().DownReplies()
-			total.DeadlineMisses += b.SMCache.Bank().DeadlineMisses()
+			addClient(b.SMCache.Bank())
 		}
 	}
 	return total

@@ -41,6 +41,10 @@ type Disk struct {
 	params  Params
 	arm     *sim.Resource
 	lastEnd int64
+	// slow stretches every access by this factor when > 1 (a degrading
+	// spindle; see SetSlowdown). Zero or one means healthy, and the cost
+	// computation is untouched.
+	slow float64
 
 	// Stats
 	Reads, Writes uint64
@@ -69,6 +73,9 @@ func (d *Disk) Access(p *sim.Proc, addr, size int64, write bool) {
 		d.Seeks++
 	}
 	cost += sim.Duration(float64(size) / d.params.TransferRate * 1e9)
+	if d.slow > 1 {
+		cost = sim.Duration(float64(cost) * d.slow)
+	}
 	d.lastEnd = addr + size
 	p.Sleep(cost)
 	d.arm.Release(1)
@@ -83,6 +90,24 @@ func (d *Disk) Access(p *sim.Proc, addr, size int64, write bool) {
 
 // Utilization returns the fraction of virtual time the arm has been busy.
 func (d *Disk) Utilization() float64 { return d.arm.Utilization() }
+
+// SetSlowdown stretches every access by factor (a failing or rebuilding
+// spindle serving at reduced speed). Factor 1 restores full health;
+// factors below 1 are rejected — this models degradation, not upgrades.
+func (d *Disk) SetSlowdown(factor float64) {
+	if factor < 1 {
+		panic("disk: slowdown factor below 1")
+	}
+	d.slow = factor
+}
+
+// Slowdown returns the current slowdown factor (1 when healthy).
+func (d *Disk) Slowdown() float64 {
+	if d.slow > 1 {
+		return d.slow
+	}
+	return 1
+}
 
 // Array is a RAID-0 stripe set over identical member disks. A request is
 // split at stripe boundaries and the chunks proceed on their member disks
@@ -107,6 +132,15 @@ func NewArray(env *sim.Env, n int, stripeSize int64, params Params) *Array {
 
 // Disks exposes the member disks (for stats).
 func (a *Array) Disks() []*Disk { return a.disks }
+
+// SetSlowdown stretches every member disk's accesses by factor (1
+// restores full speed) — RAID-0 has no redundancy, so one slow member
+// slows the whole array; the fault injector degrades all of them.
+func (a *Array) SetSlowdown(factor float64) {
+	for _, d := range a.disks {
+		d.SetSlowdown(factor)
+	}
+}
 
 // chunk is one stripe-aligned piece of a request mapped to a member disk.
 type chunk struct {

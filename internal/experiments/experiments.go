@@ -169,6 +169,7 @@ var Registry = []Experiment{
 	{"ext-bricks", "Extension (§2.1): scaling by storage bricks vs scaling by cache nodes", ExtBricks},
 	{"ext-breakdown", "Extension (§6): per-layer latency decomposition of one warm read at each block size", ExtBreakdown},
 	{"ext-telemetry", "Extension (§6): MCD-bank vs server-pagecache hit rate over virtual time during warm-up", ExtTelemetry},
+	{"ext-fault", "Extension (§4.4): graceful degradation through a cache-node crash, with and without client failover", ExtFault},
 }
 
 // Find returns the experiment with the given name.

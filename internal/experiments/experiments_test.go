@@ -17,7 +17,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig7a", "fig7b", "fig8a", "fig8b", "fig8c", "fig8d",
 		"fig9", "fig10",
 		"ext-rdma", "ext-hash", "ext-lustre", "ext-sharing", "ext-smallfile", "ext-mdtest", "ext-bricks",
-		"ext-breakdown", "ext-telemetry",
+		"ext-breakdown", "ext-telemetry", "ext-fault",
 	}
 	if len(Registry) != len(wantFigs) {
 		t.Fatalf("registry has %d entries, want %d", len(Registry), len(wantFigs))
@@ -300,6 +300,54 @@ func TestExtTelemetryDeterministic(t *testing.T) {
 			if a.Table.Value(i, col) != b.Table.Value(i, col) {
 				t.Fatalf("row %d col %s not deterministic", i, col)
 			}
+		}
+	}
+}
+
+func TestExtFaultShape(t *testing.T) {
+	res := ExtFault(Options{Scale: tiny.Scale, Telemetry: true})
+	rows := res.Table.Rows()
+	if rows < 8 {
+		t.Fatalf("rows = %d, want several sampling intervals", rows)
+	}
+	peak := func(col string) float64 {
+		max := 0.0
+		for i := 0; i < rows; i++ {
+			if v := res.Table.Value(i, col); v > max {
+				max = v
+			}
+		}
+		return max
+	}
+	// The outage must hurt the plain client far more than the failover
+	// client: the plain one pays the connect timeout per lookup for the
+	// whole window, the failover one only until it ejects the daemon.
+	pp, pf := peak("latency µs (plain)"), peak("latency µs (failover)")
+	if pp <= pf {
+		t.Errorf("plain peak latency %v µs not above failover peak %v µs", pp, pf)
+	}
+	// Before the crash both clients behave identically.
+	if a, b := res.Table.Value(0, "latency µs (plain)"), res.Table.Value(0, "latency µs (failover)"); a != b {
+		t.Errorf("pre-fault latencies differ: %v vs %v", a, b)
+	}
+	joined := strings.Join(res.Notes, "\n")
+	for _, want := range []string{"ejects", "fast-fails", "readmits", "unreachable"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("notes missing %q:\n%s", want, joined)
+		}
+	}
+	// The failover client's ejection machinery must actually have engaged.
+	if !strings.Contains(joined, "2 ejects") && !strings.Contains(joined, "1 ejects") {
+		t.Errorf("notes report no ejects:\n%s", joined)
+	}
+	if len(res.Telemetry) != 2 {
+		t.Fatalf("telemetry dumps = %d, want 2", len(res.Telemetry))
+	}
+	// The instrumented dumps carry the failover counters (bank.*) and the
+	// injector's own armed/fired pair.
+	for _, want := range []string{"bank.ejects", "bank.probes", "bank.fast_fails", "fault.armed", "fault.fired"} {
+		if !strings.Contains(res.Telemetry[1].Text, want) {
+			t.Errorf("failover dump missing %s", want)
 		}
 	}
 }

@@ -82,6 +82,9 @@ type Network struct {
 	env       *sim.Env
 	transport Transport
 	nodes     map[string]*Node
+	// faults is nil until a fault API (CutLink, DegradeLink, ...) is first
+	// used; see fault.go. Call's hot path pays one nil check for it.
+	faults *netFaults
 }
 
 // NewNetwork returns an empty network using the given transport.
@@ -110,6 +113,9 @@ type Node struct {
 	// Traffic accounting.
 	TxBytes, RxBytes int64
 	TxMsgs, RxMsgs   int64
+	// UnreachableCalls counts calls this node gave up on because the link
+	// to the destination was cut.
+	UnreachableCalls int64
 }
 
 // NewNode adds a host with the given number of CPU cores.
@@ -155,24 +161,29 @@ func (t Transport) hostCost(wire int64) sim.Duration {
 
 // transfer moves size payload bytes from src to dst in p's context,
 // charging serialization at both NICs, wire latency, and host CPU overhead
-// at both ends.
-func transfer(p *sim.Proc, src, dst *Node, size int64) {
+// at both ends. A degraded link (ls non-nil) stretches the wire legs; a
+// healthy link passes ls == nil and costs exactly what it always has.
+func transfer(p *sim.Proc, src, dst *Node, size int64, ls *linkState) {
 	t := src.net.transport
 	wire := size + headerBytes
+	lat, xmit := t.Latency, t.xmitTime(wire)
+	if ls != nil {
+		lat, xmit = ls.scaled(lat, xmit)
+	}
 
 	// Sender-side protocol processing, then TX serialization.
 	src.CPU.Use(p, t.hostCost(wire))
 	src.tx.Acquire(p, 1)
-	p.Sleep(t.xmitTime(wire))
+	p.Sleep(xmit)
 	src.tx.Release(1)
 	src.TxBytes += wire
 	src.TxMsgs++
 
-	p.Sleep(t.Latency)
+	p.Sleep(lat)
 
 	// RX serialization, then receiver-side protocol processing.
 	dst.rx.Acquire(p, 1)
-	p.Sleep(t.xmitTime(wire))
+	p.Sleep(xmit)
 	dst.rx.Release(1)
 	dst.RxBytes += wire
 	dst.RxMsgs++
@@ -191,6 +202,12 @@ func transfer(p *sim.Proc, src, dst *Node, size int64) {
 // completion and its response still crosses the wire, exactly as a real
 // timed-out RPC leaves work behind. Tracing and deadline checks cost no
 // virtual time.
+//
+// When the network carries fault state (see fault.go), a call on a cut
+// link fails with ErrUnreachable — after the connect timeout if the link
+// was already down, or at the cut instant if the cut lands mid-flight —
+// and degraded links stretch each wire leg. A deadline expiring at or
+// before the failure instant wins and turns the result into ErrDeadline.
 func (nd *Node) Call(p *sim.Proc, dst *Node, service string, req Msg) (Msg, error) {
 	if nd.net != dst.net {
 		panic("fabric: cross-network call")
@@ -204,10 +221,38 @@ func (nd *Node) Call(p *sim.Proc, dst *Node, service string, req Msg) (Msg, erro
 		return nil, ErrDeadline
 	}
 
+	// Fault-aware path: once any fault API has been used on this network,
+	// every call tracks its link so cuts can refuse, degrade, or abort it.
+	// ls stays nil on an unfaulted network and the call costs exactly what
+	// it always has.
+	var ls *linkState
+	if fa := nd.net.faults; fa != nil {
+		ls = fa.link(nd.name, dst.name)
+		if ls.cut {
+			// Connect against a partitioned peer: hang for the connect
+			// timeout, unless the operation deadline expires first — on an
+			// exact tie the deadline wins, as in Event.WaitUntil.
+			sp := optrace.StartSpan(p, optrace.LayerNet, service)
+			sp.SetAttr("to", dst.name)
+			timeoutAt := p.Now().Add(fa.connectTimeout)
+			if hasDeadline && deadline <= timeoutAt {
+				p.Sleep(deadline.Sub(p.Now()))
+				sp.SetAttr("deadline", "expired")
+				sp.End(p)
+				return nil, ErrDeadline
+			}
+			p.Sleep(fa.connectTimeout)
+			sp.SetAttr("result", "unreachable")
+			sp.End(p)
+			nd.UnreachableCalls++
+			return nil, ErrUnreachable
+		}
+	}
+
 	sp := optrace.StartSpan(p, optrace.LayerNet, service)
 	sp.SetAttr("to", dst.name)
 	rq := optrace.StartSpan(p, optrace.LayerNet, "request")
-	transfer(p, nd, dst, req.WireSize())
+	transfer(p, nd, dst, req.WireSize(), ls)
 	rq.End(p)
 	if hasDeadline && p.Now() >= deadline {
 		// Expired during serialization: the request is on the wire but the
@@ -216,10 +261,30 @@ func (nd *Node) Call(p *sim.Proc, dst *Node, service string, req Msg) (Msg, erro
 		sp.End(p)
 		return nil, ErrDeadline
 	}
+	if ls != nil && ls.cut {
+		// The link was cut while the request serialized; the connection
+		// dies under the caller before the far side can answer.
+		sp.SetAttr("result", "unreachable")
+		sp.End(p)
+		nd.UnreachableCalls++
+		return nil, ErrUnreachable
+	}
 
 	done := sim.NewEvent(p.Env())
+	if ls != nil {
+		// Track the call so a cut landing mid-service aborts it instead of
+		// leaving the caller parked forever on a dropped response.
+		ls.inflight = append(ls.inflight, done)
+		defer ls.drop(done)
+	}
 	hp := dst.net.env.Process(dst.name+"/"+service, func(hp *sim.Proc) {
 		resp := h(hp, nd, req)
+		if ls != nil && ls.cut {
+			// The link died while the request was in service: the response
+			// is dropped on the floor. The caller has already been aborted
+			// by CutLink's in-flight sweep.
+			return
+		}
 		// Response travels in the handler's context so the server pays
 		// its own send-side costs before the caller proceeds.
 		var respSize int64
@@ -228,15 +293,19 @@ func (nd *Node) Call(p *sim.Proc, dst *Node, service string, req Msg) (Msg, erro
 		}
 		t := dst.net.transport
 		wire := respSize + headerBytes
+		lat, xmit := t.Latency, t.xmitTime(wire)
+		if ls != nil {
+			lat, xmit = ls.scaled(lat, xmit)
+		}
 		dst.CPU.Use(hp, t.hostCost(wire))
 		dst.tx.Acquire(hp, 1)
-		hp.Sleep(t.xmitTime(wire))
+		hp.Sleep(xmit)
 		dst.tx.Release(1)
 		dst.TxBytes += wire
 		dst.TxMsgs++
-		hp.Sleep(t.Latency)
+		hp.Sleep(lat)
 		nd.rx.Acquire(hp, 1)
-		hp.Sleep(t.xmitTime(wire))
+		hp.Sleep(xmit)
 		nd.rx.Release(1)
 		nd.RxBytes += wire
 		nd.RxMsgs++
@@ -257,6 +326,14 @@ func (nd *Node) Call(p *sim.Proc, dst *Node, service string, req Msg) (Msg, erro
 		resp = v
 	} else {
 		resp = done.Wait(p)
+	}
+	if _, aborted := resp.(unreachableMark); aborted {
+		// CutLink aborted the call mid-flight; no response arrived, so no
+		// receive-side processing is charged.
+		sp.SetAttr("result", "unreachable")
+		sp.End(p)
+		nd.UnreachableCalls++
+		return nil, ErrUnreachable
 	}
 	// Caller-side protocol processing for the response.
 	var respSize int64

@@ -11,6 +11,7 @@ func (nd *Node) Register(reg *telemetry.Registry, prefix string) {
 	reg.IntCounter(prefix+".rx_bytes", func() int64 { return nd.RxBytes })
 	reg.IntCounter(prefix+".tx_msgs", func() int64 { return nd.TxMsgs })
 	reg.IntCounter(prefix+".rx_msgs", func() int64 { return nd.RxMsgs })
+	reg.IntCounter(prefix+".unreachable_calls", func() int64 { return nd.UnreachableCalls })
 	reg.Gauge(prefix+".tx_busy", func() float64 { return nd.tx.Utilization() })
 	reg.Gauge(prefix+".rx_busy", func() float64 { return nd.rx.Utilization() })
 	reg.Gauge(prefix+".cpu_busy", func() float64 { return nd.CPU.Utilization() })

@@ -1,0 +1,145 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"imca/internal/cluster"
+	"imca/internal/memcache"
+	"imca/internal/telemetry"
+)
+
+// Injector arms fault plans against one deployed cluster.
+type Injector struct {
+	c *cluster.Cluster
+
+	// armed and fired count scheduled and executed fault events, for
+	// telemetry and experiment sanity checks.
+	armed, fired uint64
+}
+
+// NewInjector returns an injector for the cluster.
+func NewInjector(c *cluster.Cluster) *Injector {
+	return &Injector{c: c}
+}
+
+// Armed returns how many fault events have been scheduled.
+func (in *Injector) Armed() uint64 { return in.armed }
+
+// Fired returns how many fault events have executed.
+func (in *Injector) Fired() uint64 { return in.fired }
+
+// Register exposes the injector's counters under prefix.
+func (in *Injector) Register(reg *telemetry.Registry, prefix string) {
+	reg.Counter(prefix+".armed", func() uint64 { return in.armed })
+	reg.Counter(prefix+".fired", func() uint64 { return in.fired })
+}
+
+// Arm validates the plan, resolves every target against the deployment,
+// and schedules each event on the cluster's virtual clock at its offset
+// from now. Arm must run from host context between Env.Run calls (or from
+// scheduler context), and before the traffic the plan should affect —
+// fabric calls that begin before a plan with link events is armed are
+// untracked and immune to its cuts.
+func (in *Injector) Arm(pl *Plan) error {
+	if err := pl.validate(); err != nil {
+		return err
+	}
+	// Resolve everything up front so a bad target fails Arm, not a timer
+	// firing mid-run.
+	fns := make([]func(), len(pl.Events))
+	for i, e := range pl.Events {
+		fn, err := in.resolve(e)
+		if err != nil {
+			return fmt.Errorf("%s in %s", err, pl.Name)
+		}
+		fns[i] = fn
+	}
+	for i := range pl.Events {
+		fn := fns[i]
+		in.c.Env.Defer(pl.Events[i].At, func() {
+			in.fired++
+			fn()
+		})
+		in.armed++
+	}
+	return nil
+}
+
+// resolve turns one event into the closure its timer will run.
+func (in *Injector) resolve(e Event) (func(), error) {
+	switch e.Kind {
+	case MCDCrash, MCDRecover:
+		s, err := in.mcd(e.Target)
+		if err != nil {
+			return nil, err
+		}
+		if e.Kind == MCDCrash {
+			return s.Fail, nil
+		}
+		return s.Recover, nil
+	case LinkCut, LinkHeal, LinkDegrade:
+		for _, name := range []string{e.Target, e.Peer} {
+			if in.c.Net.Node(name) == nil {
+				return nil, fmt.Errorf("fault: unknown node %q", name)
+			}
+		}
+		// Enable tracking now: a cut must abort calls in flight at its
+		// instant, which requires the fault table to predate them.
+		in.c.Net.EnableFaults()
+		net, a, b := in.c.Net, e.Target, e.Peer
+		switch e.Kind {
+		case LinkCut:
+			return func() { net.CutLink(a, b) }, nil
+		case LinkHeal:
+			return func() { net.HealLink(a, b) }, nil
+		default:
+			lat, bw := e.Latency, e.Bandwidth
+			return func() { net.DegradeLink(a, b, lat, bw) }, nil
+		}
+	case DiskSlow:
+		br, err := in.brick(e.Target)
+		if err != nil {
+			return nil, err
+		}
+		f := e.Factor
+		return func() { br.Array.SetSlowdown(f) }, nil
+	case BrickFail, BrickRecover:
+		br, err := in.brick(e.Target)
+		if err != nil {
+			return nil, err
+		}
+		if e.Kind == BrickFail {
+			return br.Server.Fail, nil
+		}
+		return br.Server.Recover, nil
+	}
+	return nil, fmt.Errorf("fault: unknown kind %d", int(e.Kind))
+}
+
+// mcd resolves a daemon by its node name ("mcd0").
+func (in *Injector) mcd(target string) (*memcache.SimServer, error) {
+	for _, s := range in.c.MCDs {
+		if s.Node().Name() == target {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("fault: unknown MCD %q (bank has %d)", target, len(in.c.MCDs))
+}
+
+// brick resolves a brick by its node name ("gfs-server", "gfs-brick1") or
+// by the positional alias "brickN".
+func (in *Injector) brick(target string) (*cluster.Brick, error) {
+	for _, b := range in.c.Bricks {
+		if b.Node.Name() == target {
+			return b, nil
+		}
+	}
+	if idx, ok := strings.CutPrefix(target, "brick"); ok {
+		if i, err := strconv.Atoi(idx); err == nil && i >= 0 && i < len(in.c.Bricks) {
+			return in.c.Bricks[i], nil
+		}
+	}
+	return nil, fmt.Errorf("fault: unknown brick %q (cluster has %d)", target, len(in.c.Bricks))
+}

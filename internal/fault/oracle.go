@@ -1,0 +1,224 @@
+package fault
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"imca/internal/blob"
+	"imca/internal/gluster"
+	"imca/internal/sim"
+)
+
+// Oracle wraps a mount and checks the paper's §4.4 correctness argument at
+// runtime: because writes are persistent at the server before they are
+// acknowledged, losing any part of the cache bank may cost performance but
+// never data. The oracle shadows every acknowledged mutation in host
+// memory (outside the simulation, costing no virtual time) and flags two
+// invariant violations:
+//
+//   - lost write: an acknowledged write, truncate, create, or unlink whose
+//     effect later disappears;
+//   - stale read: a read or stat that returns data differing from the
+//     shadow at the instant of the call.
+//
+// The oracle assumes a failed operation did not apply, which holds for the
+// fault kinds the fuzz harness injects (MCD crashes, client↔MCD link
+// faults, disk slowdowns, and brick outages — brick refusals happen before
+// storage is touched). Faults that drop a server's acknowledgement after
+// the write applied would need a weaker shadow and are out of scope, as
+// are concurrent writers to one file (the shadow is a single sequential
+// history, matching the paper's per-client benchmarks).
+type Oracle struct {
+	child      gluster.FS
+	shadow     map[string][]byte
+	fds        map[gluster.FD]string
+	violations []string
+}
+
+var _ gluster.FS = (*Oracle)(nil)
+
+// NewOracle wraps child. Attach it above the FUSE layer of one mount and
+// route that client's whole workload through it; files that bypass the
+// oracle are not tracked.
+func NewOracle(child gluster.FS) *Oracle {
+	return &Oracle{
+		child:  child,
+		shadow: make(map[string][]byte),
+		fds:    make(map[gluster.FD]string),
+	}
+}
+
+// Violations returns every invariant violation observed so far.
+func (o *Oracle) Violations() []string { return o.violations }
+
+func (o *Oracle) violate(p *sim.Proc, format string, args ...interface{}) {
+	msg := fmt.Sprintf("t=%v: ", p.Now()) + fmt.Sprintf(format, args...)
+	o.violations = append(o.violations, msg)
+}
+
+// expected returns the shadow contents for a read of [off, off+size) with
+// the FS's short-read-at-EOF semantics.
+func expected(content []byte, off, size int64) []byte {
+	if off >= int64(len(content)) {
+		return nil
+	}
+	end := off + size
+	if end > int64(len(content)) {
+		end = int64(len(content))
+	}
+	return content[off:end]
+}
+
+// Create implements gluster.FS.
+func (o *Oracle) Create(p *sim.Proc, path string) (gluster.FD, error) {
+	fd, err := o.child.Create(p, path)
+	if err == nil {
+		o.fds[fd] = path
+		o.shadow[path] = nil
+	}
+	return fd, err
+}
+
+// Open implements gluster.FS.
+func (o *Oracle) Open(p *sim.Proc, path string) (gluster.FD, error) {
+	fd, err := o.child.Open(p, path)
+	if err == nil {
+		o.fds[fd] = path
+		if _, tracked := o.shadow[path]; !tracked {
+			o.violate(p, "open %q succeeded but the shadow has no such file (lost unlink?)", path)
+		}
+	} else if _, tracked := o.shadow[path]; tracked && err == gluster.ErrNotExist {
+		o.violate(p, "open %q: file lost (shadow has %d bytes)", path, len(o.shadow[path]))
+	}
+	return fd, err
+}
+
+// Close implements gluster.FS.
+func (o *Oracle) Close(p *sim.Proc, fd gluster.FD) error {
+	err := o.child.Close(p, fd)
+	if err == nil {
+		delete(o.fds, fd)
+	}
+	return err
+}
+
+// Read implements gluster.FS: a successful read must match the shadow.
+func (o *Oracle) Read(p *sim.Proc, fd gluster.FD, off, size int64) (blob.Blob, error) {
+	data, err := o.child.Read(p, fd, off, size)
+	if err != nil {
+		return data, err
+	}
+	path, tracked := o.fds[fd]
+	if !tracked {
+		return data, nil
+	}
+	want := expected(o.shadow[path], off, size)
+	if got := data.Bytes(); !bytes.Equal(got, want) {
+		o.violate(p, "stale read %q [%d,+%d): got %d bytes (sum %x), shadow %d bytes (sum %x)",
+			path, off, size, len(got), blob.FromBytes(got).Checksum(),
+			len(want), blob.FromBytes(want).Checksum())
+	}
+	return data, nil
+}
+
+// Write implements gluster.FS: an acknowledged write is spliced into the
+// shadow (zero-filling any hole, as the storage xlator does).
+func (o *Oracle) Write(p *sim.Proc, fd gluster.FD, off int64, data blob.Blob) (int64, error) {
+	n, err := o.child.Write(p, fd, off, data)
+	if err != nil {
+		return n, err
+	}
+	path, tracked := o.fds[fd]
+	if !tracked || n == 0 {
+		return n, nil
+	}
+	content := o.shadow[path]
+	if need := off + n; int64(len(content)) < need {
+		grown := make([]byte, need)
+		copy(grown, content)
+		content = grown
+	}
+	copy(content[off:off+n], data.Slice(0, n).Bytes())
+	o.shadow[path] = content
+	return n, nil
+}
+
+// Stat implements gluster.FS: a successful stat of a tracked file must
+// report the shadow's size.
+func (o *Oracle) Stat(p *sim.Proc, path string) (*gluster.Stat, error) {
+	st, err := o.child.Stat(p, path)
+	if err == nil && !st.IsDir {
+		if content, tracked := o.shadow[path]; tracked && st.Size != int64(len(content)) {
+			o.violate(p, "stale stat %q: size %d, shadow %d", path, st.Size, len(content))
+		}
+	}
+	return st, err
+}
+
+// Unlink implements gluster.FS.
+func (o *Oracle) Unlink(p *sim.Proc, path string) error {
+	err := o.child.Unlink(p, path)
+	if err == nil {
+		delete(o.shadow, path)
+	}
+	return err
+}
+
+// Mkdir implements gluster.FS (directories are not shadowed).
+func (o *Oracle) Mkdir(p *sim.Proc, path string) error { return o.child.Mkdir(p, path) }
+
+// Readdir implements gluster.FS (directories are not shadowed).
+func (o *Oracle) Readdir(p *sim.Proc, path string) ([]string, error) {
+	return o.child.Readdir(p, path)
+}
+
+// Truncate implements gluster.FS: an acknowledged truncate resizes the
+// shadow, zero-extending growth.
+func (o *Oracle) Truncate(p *sim.Proc, path string, size int64) error {
+	err := o.child.Truncate(p, path, size)
+	if err != nil {
+		return err
+	}
+	if content, tracked := o.shadow[path]; tracked {
+		if size <= int64(len(content)) {
+			o.shadow[path] = content[:size]
+		} else {
+			grown := make([]byte, size)
+			copy(grown, content)
+			o.shadow[path] = grown
+		}
+	}
+	return err
+}
+
+// VerifyAll reads every shadowed file back through the oracle (open, full
+// read, close) and returns the accumulated violations. Call it after the
+// workload — and after the plan's faults have healed — for an end-of-run
+// audit that catches corruption the workload's own reads never touched.
+// Iteration is in sorted path order so the audit's simulated traffic is
+// deterministic.
+func (o *Oracle) VerifyAll(p *sim.Proc) []string {
+	paths := make([]string, 0, len(o.shadow))
+	for path := range o.shadow {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		fd, err := o.Open(p, path)
+		if err != nil {
+			// Open already recorded the violation if the file is lost;
+			// other errors (a still-failed brick) mean the audit cannot
+			// run, which is itself worth flagging.
+			if err != gluster.ErrNotExist {
+				o.violate(p, "audit open %q: %v", path, err)
+			}
+			continue
+		}
+		if _, err := o.Read(p, fd, 0, int64(len(o.shadow[path]))); err != nil {
+			o.violate(p, "audit read %q: %v", path, err)
+		}
+		o.Close(p, fd)
+	}
+	return o.violations
+}

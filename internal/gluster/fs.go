@@ -46,6 +46,9 @@ var (
 	ErrBadFD    = errors.New("gluster: bad file descriptor")
 	ErrIsDir    = errors.New("gluster: is a directory")
 	ErrNotDir   = errors.New("gluster: not a directory")
+	// ErrServerDown reports a brick whose daemon is failed (see
+	// Server.Fail); the request was refused before touching storage.
+	ErrServerDown = errors.New("gluster: server is down")
 )
 
 // FS is the xlator interface: the operation set every translator
@@ -92,6 +95,8 @@ func errCode(err error) string {
 		return "EISDIR"
 	case errors.Is(err, ErrNotDir):
 		return "ENOTDIR"
+	case errors.Is(err, ErrServerDown):
+		return "EHOSTDOWN"
 	default:
 		return "EIO:" + err.Error()
 	}
@@ -111,6 +116,8 @@ func codeErr(code string) error {
 		return ErrIsDir
 	case "ENOTDIR":
 		return ErrNotDir
+	case "EHOSTDOWN":
+		return ErrServerDown
 	default:
 		return fmt.Errorf("gluster: remote error %s", code)
 	}

@@ -39,6 +39,7 @@ type Server struct {
 	child   FS
 	cfg     ServerConfig
 	threads *sim.Resource
+	down    bool
 
 	// Ops counts completed requests by type for experiment reporting.
 	Ops map[string]uint64
@@ -72,6 +73,39 @@ func (s *Server) Node() *fabric.Node { return s.node }
 // Child returns the served xlator stack.
 func (s *Server) Child() FS { return s.child }
 
+// Fail takes the brick daemon down: every request is refused with
+// ErrServerDown before reaching the translator stack, so neither the disk
+// nor the cache bank sees it. Unlike an MCD crash nothing is lost — the
+// brick's storage is intact when Recover brings the daemon back.
+func (s *Server) Fail() { s.down = true }
+
+// Recover restarts the brick daemon over its intact storage.
+func (s *Server) Recover() { s.down = false }
+
+// Down reports whether the daemon is failed.
+func (s *Server) Down() bool { return s.down }
+
+// downResp builds the refused-request response for req's type.
+func downResp(req fabric.Msg) fabric.Msg {
+	code := errCode(ErrServerDown)
+	switch req.(type) {
+	case *openReq:
+		return &openResp{Code: code}
+	case *closeReq, *pathReq:
+		return &simpleResp{Code: code}
+	case *readReq:
+		return &readResp{Code: code}
+	case *writeReq:
+		return &writeResp{Code: code}
+	case *statReq:
+		return &statResp{Code: code}
+	case *readdirReq:
+		return &readdirResp{Code: code}
+	default:
+		panic("gluster: unknown request type")
+	}
+}
+
 func (s *Server) charge(p *sim.Proc, payload int64) {
 	cpu := s.cfg.OpCPU + sim.Duration(float64(payload)*s.cfg.PerByteCPUNanos)
 	s.node.CPU.Use(p, cpu)
@@ -104,6 +138,12 @@ func reqName(req fabric.Msg) string {
 func (s *Server) handle(p *sim.Proc, from *fabric.Node, req fabric.Msg) fabric.Msg {
 	sp := optrace.StartSpan(p, optrace.LayerServer, reqName(req))
 	defer sp.End(p)
+	if s.down {
+		// Refused at the listener: no io-thread is taken and no daemon
+		// time is spent, like a connection reset from a dead glusterfsd.
+		sp.SetAttr("down", "true")
+		return downResp(req)
+	}
 	s.threads.Acquire(p, 1)
 	defer s.threads.Release(1)
 	switch r := req.(type) {

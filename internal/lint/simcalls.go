@@ -10,8 +10,14 @@ import (
 // "Receiver.Method" (or a bare name for package functions). The unexported
 // primitives are included so reachability analysis inside the kernel
 // itself cannot slip past the exported surface.
+// Env.Defer is in the set because *calling* it inserts a timer into the
+// event heap — from a tick observer that is exactly the perturbation the
+// check exists to catch. The callback it arms is a different matter: it
+// runs later, in scheduler context, where scheduling is legal (the fault
+// injector's whole mechanism), so a Defer callback is ordinary sim-side
+// code and is never treated as an observer.
 var simSchedMethods = map[string]bool{
-	"Env.Process": true, "Env.Run": true, "Env.RunUntil": true,
+	"Env.Process": true, "Env.Run": true, "Env.RunUntil": true, "Env.Defer": true,
 	"Env.schedule": true, "Env.scheduleProc": true, "Env.wake": true,
 	"Proc.Sleep": true, "Proc.Yield": true, "Proc.Spawn": true, "Proc.park": true,
 	"Event.Wait": true, "Event.WaitUntil": true, "Event.Trigger": true,

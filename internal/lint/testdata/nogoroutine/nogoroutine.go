@@ -2,7 +2,11 @@
 // package configured as pure-sim.
 package nogoroutine
 
-import "sync"
+import (
+	"sync"
+
+	"imca/internal/sim"
+)
 
 // Guard is a lock where no second goroutine should exist.
 var Guard sync.Mutex
@@ -16,4 +20,13 @@ func Fire() int {
 
 func send(ch chan int) {
 	ch <- 1
+}
+
+// ArmFault mimics the fault injector: the deferred callback runs later in
+// scheduler context — sim-side code, not a host-side exemption — so native
+// concurrency inside it is flagged exactly as it would be anywhere else.
+func ArmFault(env *sim.Env) {
+	env.Defer(5, func() {
+		go send(make(chan int, 1))
+	})
 }

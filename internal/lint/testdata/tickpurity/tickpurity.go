@@ -27,3 +27,24 @@ func InstallPure(env *sim.Env) {
 	env.SetTick(1000, func(at sim.Time) { last = at })
 	_ = last
 }
+
+// InstallArmed hooks an observer that arms a deferred fault mid-sample.
+// Defer inserts a timer into the event heap, so reaching it from a tick
+// observer is flagged like any other scheduling call.
+func InstallArmed(env *sim.Env) {
+	env.SetTick(1000, func(at sim.Time) {
+		env.Defer(5, func() {})
+	})
+}
+
+// ArmFault mimics the fault injector: Defer called from host context
+// between runs is fine, and the callback it arms runs in scheduler
+// context, where triggering events and spawning processes is legal.
+// Nothing here is reachable from a tick observer, so nothing is flagged.
+func ArmFault(env *sim.Env) {
+	ev := sim.NewEvent(env)
+	env.Defer(5, func() {
+		ev.Trigger(nil)
+		env.Process("recover", func(p *sim.Proc) {})
+	})
+}

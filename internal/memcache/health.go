@@ -1,0 +1,128 @@
+package memcache
+
+import (
+	"time"
+
+	"imca/internal/sim"
+)
+
+// DefaultProbeBackoff is the initial readmission-probe delay for an
+// ejected server when SetEjection is given a non-positive backoff.
+const DefaultProbeBackoff = 5 * time.Millisecond
+
+// maxBackoffMult caps the exponential probe backoff at this multiple of
+// the initial delay, so a long outage still gets probed at a steady rate.
+const maxBackoffMult = 64
+
+// serverHealth is one server's standing with this client. Ejection is a
+// per-client view (as in real memcache clients): each translator's client
+// discovers and forgives failures on its own.
+type serverHealth struct {
+	// fails counts consecutive failed requests (Down reply, deadline
+	// expiry, or unreachable link); any success resets it.
+	fails int
+	// ejected marks the server out of rotation: requests to it fast-fail
+	// without touching the NIC until a probe readmits it.
+	ejected bool
+	// probeAt is the virtual instant the next readmission probe may go
+	// out; backoff is the current probe interval, doubling per failed
+	// probe up to maxBackoffMult times the initial delay.
+	probeAt sim.Time
+	backoff sim.Duration
+}
+
+// SetEjection enables client-side server health tracking: after k
+// consecutive failures (Down replies, deadline expiries, unreachable
+// links) a server is ejected and requests to it fail fast — no request
+// serializes onto the NIC — until a probe readmits it. While ejected, one
+// real request is let through each time the backoff expires; a success
+// readmits the server immediately, a failure doubles the backoff (capped).
+// k <= 0 disables tracking (the default): every request goes to the wire
+// exactly as before, preserving the paper's no-failover client.
+func (c *SimClient) SetEjection(k int, backoff sim.Duration) {
+	if k <= 0 {
+		c.ejectAfter = 0
+		c.health = nil
+		return
+	}
+	if backoff <= 0 {
+		backoff = DefaultProbeBackoff
+	}
+	c.ejectAfter = k
+	c.probeBackoff = backoff
+	c.health = make([]serverHealth, len(c.servers))
+}
+
+// Ejected reports whether server i is currently out of rotation.
+func (c *SimClient) Ejected(i int) bool {
+	return c.ejectAfter > 0 && c.health[i].ejected
+}
+
+// admit decides whether a request to server i may go to the wire: yes for
+// a healthy server, yes for an ejected one whose probe is due (counted as
+// a probe), no otherwise (counted as a fast-fail; the caller reads it as
+// an instant miss).
+func (c *SimClient) admit(p *sim.Proc, i int) bool {
+	if c.ejectAfter == 0 {
+		return true
+	}
+	h := &c.health[i]
+	if !h.ejected {
+		return true
+	}
+	if p.Now() >= h.probeAt {
+		c.probes++
+		return true
+	}
+	c.fastFails++
+	return false
+}
+
+// observe records the outcome of a wire request to server i, ejecting,
+// backing off, or readmitting as the state machine dictates.
+func (c *SimClient) observe(p *sim.Proc, i int, ok bool) {
+	if c.ejectAfter == 0 {
+		return
+	}
+	h := &c.health[i]
+	if ok {
+		if h.ejected {
+			c.readmits++
+		}
+		*h = serverHealth{}
+		return
+	}
+	h.fails++
+	if h.ejected {
+		// Failed probe: wait longer before the next one.
+		h.backoff *= 2
+		if max := maxBackoffMult * c.probeBackoff; h.backoff > max {
+			h.backoff = max
+		}
+		h.probeAt = p.Now().Add(h.backoff)
+		return
+	}
+	if h.fails >= c.ejectAfter {
+		h.ejected = true
+		h.backoff = c.probeBackoff
+		h.probeAt = p.Now().Add(h.backoff)
+		c.ejects++
+	}
+}
+
+// Ejects returns how many times this client has ejected a server.
+func (c *SimClient) Ejects() uint64 { return c.ejects }
+
+// Probes returns how many readmission probes this client has sent.
+func (c *SimClient) Probes() uint64 { return c.probes }
+
+// Readmits returns how many times a probe readmitted a server.
+func (c *SimClient) Readmits() uint64 { return c.readmits }
+
+// FastFails returns how many requests were answered instantly from the
+// ejection state instead of going to the wire.
+func (c *SimClient) FastFails() uint64 { return c.fastFails }
+
+// Unreachables returns how many requests failed because the link to the
+// server was cut.
+func (c *SimClient) Unreachables() uint64 { return c.unreachables }

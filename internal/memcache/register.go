@@ -20,9 +20,16 @@ func (s *SimServer) Register(reg *telemetry.Registry, prefix string) {
 		stat(func(st Stats) uint64 { return st.CmdGet }))
 }
 
-// Register exposes the client's failure counters under prefix — the two
-// ways a bank request degrades to the server path instead of answering.
+// Register exposes the client's failure counters under prefix — the ways
+// a bank request degrades to the server path instead of answering — and
+// the ejection state machine's transitions (zero unless SetEjection is
+// enabled).
 func (c *SimClient) Register(reg *telemetry.Registry, prefix string) {
 	reg.Counter(prefix+".down_replies", func() uint64 { return c.downReplies })
 	reg.Counter(prefix+".deadline_misses", func() uint64 { return c.deadlineMisses })
+	reg.Counter(prefix+".unreachables", func() uint64 { return c.unreachables })
+	reg.Counter(prefix+".ejects", func() uint64 { return c.ejects })
+	reg.Counter(prefix+".probes", func() uint64 { return c.probes })
+	reg.Counter(prefix+".readmits", func() uint64 { return c.readmits })
+	reg.Counter(prefix+".fast_fails", func() uint64 { return c.fastFails })
 }

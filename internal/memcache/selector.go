@@ -1,6 +1,7 @@
 package memcache
 
 import (
+	"errors"
 	"hash/crc32"
 	"strconv"
 	"strings"
@@ -44,10 +45,21 @@ func (s BlockModuloSelector) Pick(key string, n int) int {
 		return 0
 	}
 	i := strings.LastIndexByte(key, ':')
-	if i >= 0 {
-		if off, err := strconv.ParseInt(key[i+1:], 10, 64); err == nil && s.BlockSize > 0 {
+	if i >= 0 && s.BlockSize > 0 {
+		off, err := strconv.ParseInt(key[i+1:], 10, 64)
+		switch {
+		case err == nil || errors.Is(err, strconv.ErrRange):
+			// An overflowing offset still parses to the saturated boundary
+			// value, so it maps like a huge offset instead of silently
+			// rehashing the block to a CRC32-chosen server. A negative
+			// offset (corrupt key) clamps to block zero rather than
+			// producing a negative server index.
+			if off < 0 {
+				off = 0
+			}
 			return int((off / s.BlockSize) % int64(n))
 		}
 	}
+	// Non-numeric suffixes (":stat" keys) hash like libmemcache would.
 	return CRC32Selector{}.Pick(key, n)
 }

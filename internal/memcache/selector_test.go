@@ -76,3 +76,30 @@ func TestBlockModuloSelectorSingleServer(t *testing.T) {
 		t.Errorf("Pick n=1 = %d", got)
 	}
 }
+
+func TestBlockModuloSelectorNegativeOffsetClamps(t *testing.T) {
+	// A corrupt key with a negative offset must not produce a negative
+	// server index (which would panic downstream) or silently rehash.
+	s := BlockModuloSelector{BlockSize: 2048}
+	for _, key := range []string{"/f:-5", "/f:-65536", "/f:-9223372036854775808"} {
+		if got := s.Pick(key, 4); got != 0 {
+			t.Errorf("Pick(%q) = %d, want clamp to server 0", key, got)
+		}
+	}
+}
+
+func TestBlockModuloSelectorOverflowingOffsetSaturates(t *testing.T) {
+	// An offset past int64 parses to the saturated boundary and maps like
+	// a huge offset — previously it fell back to CRC32, so one block of a
+	// fuzzed schedule would silently live on a different server.
+	s := BlockModuloSelector{BlockSize: 2048}
+	const overflow = "/f:92233720368547758080" // 10x MaxInt64
+	want := int((int64(9223372036854775807) / 2048) % 4)
+	if got := s.Pick(overflow, 4); got != want {
+		t.Errorf("Pick(%q) = %d, want saturated mapping %d", overflow, got, want)
+	}
+	crc := CRC32Selector{}.Pick(overflow, 4)
+	if got := s.Pick(overflow, 4); got == crc && want != crc {
+		t.Errorf("overflowing offset fell back to CRC32")
+	}
+}

@@ -1,6 +1,7 @@
 package memcache
 
 import (
+	"errors"
 	"strconv"
 	"time"
 
@@ -208,6 +209,15 @@ type SimClient struct {
 	// operation's virtual-time deadline expired — the paper's "fall back to
 	// the server" path.
 	deadlineMisses uint64
+	// unreachables counts requests that failed because the link to the
+	// server was cut (fabric.ErrUnreachable).
+	unreachables uint64
+
+	// Ejection state, active only after SetEjection (see health.go).
+	ejectAfter                          int
+	probeBackoff                        sim.Duration
+	health                              []serverHealth
+	ejects, probes, readmits, fastFails uint64
 }
 
 // NewSimClient returns a client on node addressing the given MCD bank.
@@ -224,30 +234,53 @@ func (c *SimClient) SetSelector(s Selector) { c.selector = s }
 // Servers returns the MCD bank.
 func (c *SimClient) Servers() []*SimServer { return c.servers }
 
-func (c *SimClient) pick(key string) *SimServer {
-	return c.servers[c.selector.Pick(key, len(c.servers))]
+func (c *SimClient) pick(key string) (int, *SimServer) {
+	i := c.selector.Pick(key, len(c.servers))
+	return i, c.servers[i]
 }
 
-// Get fetches one key; ok is false on a miss. A dead daemon or an expired
-// operation deadline also reads as a miss — the bank degrades, it never
-// stalls or fails an operation.
+// fail classifies a request error or Down reply into the right counter and
+// feeds the health state machine.
+func (c *SimClient) fail(p *sim.Proc, idx int, err error, down bool) string {
+	result := "deadline"
+	switch {
+	case down:
+		c.downReplies++
+		result = "down"
+	case errors.Is(err, fabric.ErrUnreachable):
+		c.unreachables++
+		result = "unreachable"
+	default:
+		c.deadlineMisses++
+	}
+	c.observe(p, idx, false)
+	return result
+}
+
+// Get fetches one key; ok is false on a miss. A dead daemon, a cut link,
+// or an expired operation deadline also reads as a miss — the bank
+// degrades, it never stalls or fails an operation. An ejected server
+// misses instantly without a wire request (see SetEjection).
 func (c *SimClient) Get(p *sim.Proc, key string) (*Item, bool) {
-	srv := c.pick(key)
+	idx, srv := c.pick(key)
 	sp := optrace.StartSpan(p, optrace.LayerMCD, "get")
 	sp.SetAttr("server", srv.node.Name())
 	defer sp.End(p)
+	if !c.admit(p, idx) {
+		sp.SetAttr("result", "ejected")
+		return nil, false
+	}
 	m, err := c.node.Call(p, srv.node, ServiceName, &GetReq{Keys: []string{key}})
 	if err != nil {
-		c.deadlineMisses++
-		sp.SetAttr("result", "deadline")
+		sp.SetAttr("result", c.fail(p, idx, err, false))
 		return nil, false
 	}
 	resp := m.(*GetResp)
 	if resp.Down {
-		c.downReplies++
-		sp.SetAttr("result", "down")
+		sp.SetAttr("result", c.fail(p, idx, nil, true))
 		return nil, false
 	}
+	c.observe(p, idx, true)
 	if len(resp.Items) == 0 {
 		sp.SetAttr("result", "miss")
 		return nil, false
@@ -259,15 +292,16 @@ func (c *SimClient) Get(p *sim.Proc, key string) (*Item, bool) {
 
 // mcdReply carries one MCD's scatter-gather outcome back to GetMulti.
 type mcdReply struct {
-	resp     *GetResp
-	deadline bool
+	resp *GetResp
+	err  error
 }
 
 // GetMulti fetches many keys with one batched request per MCD; requests to
 // distinct MCDs proceed in parallel. The result maps found keys to items.
-// Keys served by a dead daemon, or abandoned because the operation's
-// deadline expired, are simply absent — misses the caller satisfies from
-// the server.
+// Keys served by a dead daemon, over a cut link, or abandoned because the
+// operation's deadline expired, are simply absent — misses the caller
+// satisfies from the server. Keys on an ejected server are absent without
+// a worker being spawned or a request serializing onto the NIC.
 func (c *SimClient) GetMulti(p *sim.Proc, keys []string) map[string]*Item {
 	if len(keys) == 1 {
 		it, ok := c.Get(p, keys[0])
@@ -276,19 +310,23 @@ func (c *SimClient) GetMulti(p *sim.Proc, keys []string) map[string]*Item {
 		}
 		return map[string]*Item{keys[0]: it}
 	}
-	byServer := make(map[*SimServer][]string)
+	byServer := make(map[int][]string)
 	for _, k := range keys {
-		s := c.pick(k)
-		byServer[s] = append(byServer[s], k)
+		i, _ := c.pick(k)
+		byServer[i] = append(byServer[i], k)
 	}
 	out := make(map[string]*Item, len(keys))
 	var events []*sim.Event
-	for _, s := range c.servers { // deterministic order
-		ks, ok := byServer[s]
+	var idxs []int
+	for i := range c.servers { // deterministic order
+		ks, ok := byServer[i]
 		if !ok {
 			continue
 		}
-		s := s
+		if !c.admit(p, i) {
+			continue // ejected: every key an instant miss
+		}
+		i, s := i, c.servers[i]
 		ev := sim.NewEvent(p.Env())
 		worker := p.Spawn("mcd-get", func(q *sim.Proc) {
 			sp := optrace.StartSpan(q, optrace.LayerMCD, "getmulti")
@@ -296,9 +334,13 @@ func (c *SimClient) GetMulti(p *sim.Proc, keys []string) map[string]*Item {
 			sp.SetAttr("keys", strconv.Itoa(len(ks)))
 			m, err := c.node.Call(q, s.node, ServiceName, &GetReq{Keys: ks})
 			if err != nil {
-				sp.SetAttr("result", "deadline")
+				if errors.Is(err, fabric.ErrUnreachable) {
+					sp.SetAttr("result", "unreachable")
+				} else {
+					sp.SetAttr("result", "deadline")
+				}
 				sp.End(q)
-				ev.Trigger(mcdReply{deadline: true})
+				ev.Trigger(mcdReply{err: err})
 				return
 			}
 			resp := m.(*GetResp)
@@ -317,17 +359,19 @@ func (c *SimClient) GetMulti(p *sim.Proc, keys []string) map[string]*Item {
 		// nest under the caller's current span.
 		optrace.Fork(p, worker)
 		events = append(events, ev)
+		idxs = append(idxs, i)
 	}
-	for _, ev := range events {
+	for n, ev := range events {
 		r := ev.Wait(p).(mcdReply)
-		if r.deadline {
-			c.deadlineMisses++
+		if r.err != nil {
+			c.fail(p, idxs[n], r.err, false)
 			continue
 		}
 		if r.resp.Down {
-			c.downReplies++
+			c.fail(p, idxs[n], nil, true)
 			continue
 		}
+		c.observe(p, idxs[n], true)
 		for _, it := range r.resp.Items {
 			out[it.Key] = it
 		}
@@ -337,51 +381,63 @@ func (c *SimClient) GetMulti(p *sim.Proc, keys []string) map[string]*Item {
 
 // Set stores an item on its MCD and waits for the acknowledgement. A dead
 // daemon drops the update (the bank is best-effort; correctness lives at
-// the file server), and so does an expired operation deadline.
+// the file server), and so do an expired operation deadline, a cut link,
+// and an ejected server.
 func (c *SimClient) Set(p *sim.Proc, key string, value blob.Blob) error {
-	srv := c.pick(key)
+	idx, srv := c.pick(key)
 	sp := optrace.StartSpan(p, optrace.LayerMCD, "set")
 	sp.SetAttr("server", srv.node.Name())
 	sp.SetAttr("bytes", strconv.FormatInt(value.Len(), 10))
 	defer sp.End(p)
+	if !c.admit(p, idx) {
+		sp.SetAttr("result", "ejected")
+		return ErrServerDown
+	}
 	m, err := c.node.Call(p, srv.node, ServiceName, &SetReq{Item: &Item{Key: key, Value: value}})
 	if err != nil {
-		c.deadlineMisses++
-		sp.SetAttr("result", "deadline")
+		sp.SetAttr("result", c.fail(p, idx, err, false))
 		return err
 	}
 	resp := m.(*SetResp)
 	switch {
 	case resp.Down:
-		c.downReplies++
-		sp.SetAttr("result", "down")
+		sp.SetAttr("result", c.fail(p, idx, nil, true))
 		return ErrServerDown
 	case resp.Err != "":
+		c.observe(p, idx, true)
 		sp.SetAttr("result", "error")
 		return ErrNotStored
 	}
+	c.observe(p, idx, true)
 	sp.SetAttr("result", "stored")
 	return nil
 }
 
-// Delete removes a key from its MCD.
+// Delete removes a key from its MCD. An ejected server drops the delete
+// without a wire request — sound for crash-ejections (the cache died with
+// its contents), and the documented model boundary for partitions that
+// separate a writer from a cache its readers can still reach (see
+// DESIGN.md, "Fault model").
 func (c *SimClient) Delete(p *sim.Proc, key string) bool {
-	srv := c.pick(key)
+	idx, srv := c.pick(key)
 	sp := optrace.StartSpan(p, optrace.LayerMCD, "delete")
 	sp.SetAttr("server", srv.node.Name())
 	defer sp.End(p)
+	if !c.admit(p, idx) {
+		sp.SetAttr("result", "ejected")
+		return false
+	}
 	m, err := c.node.Call(p, srv.node, ServiceName, &DelReq{Key: key})
 	if err != nil {
-		c.deadlineMisses++
-		sp.SetAttr("result", "deadline")
+		sp.SetAttr("result", c.fail(p, idx, err, false))
 		return false
 	}
 	resp := m.(*DelResp)
 	if resp.Down {
-		c.downReplies++
-		sp.SetAttr("result", "down")
+		sp.SetAttr("result", c.fail(p, idx, nil, true))
 		return false
 	}
+	c.observe(p, idx, true)
 	return resp.Found
 }
 
@@ -411,5 +467,10 @@ func (c *SimClient) BankStats() Stats {
 	}
 	total.DownReplies = c.downReplies
 	total.DeadlineMisses = c.deadlineMisses
+	total.Unreachables = c.unreachables
+	total.Ejects = c.ejects
+	total.Probes = c.probes
+	total.Readmits = c.readmits
+	total.FastFails = c.fastFails
 	return total
 }

@@ -89,6 +89,14 @@ type Stats struct {
 	// DeadlineMisses counts requests abandoned at an operation deadline.
 	// Also client-side only, summed into BankStats by SimClient.
 	DeadlineMisses uint64
+	// Unreachables counts requests dropped on a cut link, and Ejects,
+	// Probes, Readmits, and FastFails trace the client-side ejection state
+	// machine (see SimClient.SetEjection). All client-side only.
+	Unreachables uint64
+	Ejects       uint64
+	Probes       uint64
+	Readmits     uint64
+	FastFails    uint64
 }
 
 // slabClass is one chunk-size class: items whose total size fits chunkSize

@@ -26,6 +26,15 @@ go run ./cmd/imcalint ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+# The packages with real host-side concurrency (the parallel worker pool,
+# the memcache TCP client, the memcached daemon) get an extra dedicated
+# pass: -count=2 defeats the test cache and reshuffles goroutine
+# interleavings, which is where their races actually live. The sim-side
+# packages are single-threaded by construction (imcalint enforces it), so
+# one race pass above is enough for them.
+echo "== go test -race -count=2 (host-side concurrency)"
+go test -race -count=2 ./internal/parallel ./internal/memcache ./cmd/memcached
+
 echo "== build examples"
 for d in examples/*/; do
 	echo "   go build ./${d%/}"

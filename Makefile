@@ -19,7 +19,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 # Tier-1 check: gofmt + vet + build + lint + race tests + example link check.
 verify:

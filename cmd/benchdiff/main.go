@@ -1,0 +1,187 @@
+// Command benchdiff compares two -benchjson files written by imcabench
+// (via scripts/bench.sh) and fails when harness throughput regresses.
+//
+// Usage:
+//
+//	benchdiff [-max-regress 0.20] [-per-figure] baseline.json after.json
+//
+// The comparison is over host-side events/sec — the virtual results are
+// deterministic and covered by tests, so what benchdiff guards is the
+// kernel's execution speed. Two checks run:
+//
+//   - Determinism: a figure present in both files must have dispatched
+//     exactly the same number of kernel events. A mismatch means the two
+//     runs simulated different work, which makes any throughput
+//     comparison meaningless — and, when the files come from the serial
+//     and parallel sweeps of the same tree, signals a determinism bug.
+//
+//   - Throughput: aggregate events/sec (total events over total wall
+//     time) must not drop by more than -max-regress. With -per-figure,
+//     the same bound applies to every figure individually; the default
+//     aggregate-only mode tolerates per-figure noise from CPU contention
+//     when the "after" file comes from a parallel sweep.
+//
+// Exit status: 0 when every check passes, 1 on a regression or event
+// count mismatch, 2 on usage or parse errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// benchRecord and benchFile mirror the -benchjson schema written by
+// cmd/imcabench. Kept as a copy rather than a shared package: the JSON
+// file on disk is the interface, and the two sides should fail loudly if
+// they drift.
+type benchRecord struct {
+	Name         string  `json:"name"`
+	WallMs       float64 `json:"wall_ms"`
+	Events       uint64  `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	AllocsPerEvt float64 `json:"allocs_per_event"`
+}
+
+type benchFile struct {
+	Scale       int           `json:"scale"`
+	Workers     int           `json:"workers"`
+	TotalWallMs float64       `json:"total_wall_ms"`
+	Figures     []benchRecord `json:"figures"`
+}
+
+func load(path string) (*benchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bf benchFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(bf.Figures) == 0 {
+		return nil, fmt.Errorf("%s: no figures recorded", path)
+	}
+	return &bf, nil
+}
+
+func (bf *benchFile) byName() map[string]benchRecord {
+	m := make(map[string]benchRecord, len(bf.Figures))
+	for _, f := range bf.Figures {
+		m[f.Name] = f
+	}
+	return m
+}
+
+// aggregate returns total events over total wall seconds — the sweep's
+// overall throughput, robust to how work was sliced across figures.
+func (bf *benchFile) aggregate() (events uint64, perSec float64) {
+	for _, f := range bf.Figures {
+		events += f.Events
+	}
+	if s := bf.TotalWallMs / 1e3; s > 0 {
+		perSec = float64(events) / s
+	}
+	return events, perSec
+}
+
+// regression returns the fractional throughput drop from base to after
+// (0.25 = 25% slower); improvements come back negative.
+func regression(base, after float64) float64 {
+	if base <= 0 {
+		return 0
+	}
+	return (base - after) / base
+}
+
+func main() {
+	maxRegress := flag.Float64("max-regress", 0.20,
+		"fail when events/sec drops by more than this fraction")
+	perFigure := flag.Bool("per-figure", false,
+		"apply the bound to every figure, not just the aggregate")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [flags] baseline.json after.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	base, err := load(flag.Arg(0))
+	if err == nil {
+		var after *benchFile
+		after, err = load(flag.Arg(1))
+		if err == nil {
+			os.Exit(diff(base, after, *maxRegress, *perFigure))
+		}
+	}
+	fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+	os.Exit(2)
+}
+
+func diff(base, after *benchFile, maxRegress float64, perFigure bool) int {
+	baseBy, afterBy := base.byName(), after.byName()
+
+	names := make([]string, 0, len(baseBy))
+	for n := range baseBy {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	fmt.Printf("%-12s %14s %14s %8s\n", "figure", "base ev/s", "after ev/s", "delta")
+	failed := false
+	for _, n := range names {
+		b := baseBy[n]
+		a, ok := afterBy[n]
+		if !ok {
+			fmt.Printf("%-12s %14.0f %14s %8s\n", n, b.EventsPerSec, "-", "gone")
+			continue
+		}
+		drop := regression(b.EventsPerSec, a.EventsPerSec)
+		mark := ""
+		if a.Events != b.Events {
+			mark = "  EVENT COUNT MISMATCH"
+			failed = true
+			fmt.Fprintf(os.Stderr,
+				"benchdiff: %s dispatched %d events vs %d in baseline — runs simulated different work\n",
+				n, a.Events, b.Events)
+		}
+		if perFigure && drop > maxRegress {
+			mark += "  REGRESSION"
+			failed = true
+		}
+		fmt.Printf("%-12s %14.0f %14.0f %+7.1f%%%s\n",
+			n, b.EventsPerSec, a.EventsPerSec, -drop*100, mark)
+	}
+	var added []string
+	for n := range afterBy {
+		if _, ok := baseBy[n]; !ok {
+			added = append(added, n)
+		}
+	}
+	sort.Strings(added)
+	for _, n := range added {
+		fmt.Printf("%-12s %14s %14.0f %8s\n", n, "-", afterBy[n].EventsPerSec, "new")
+	}
+
+	_, basePS := base.aggregate()
+	_, afterPS := after.aggregate()
+	drop := regression(basePS, afterPS)
+	fmt.Printf("%-12s %14.0f %14.0f %+7.1f%%\n", "aggregate", basePS, afterPS, -drop*100)
+	if drop > maxRegress {
+		fmt.Fprintf(os.Stderr,
+			"benchdiff: aggregate events/sec regressed %.1f%% (limit %.0f%%)\n",
+			drop*100, maxRegress*100)
+		failed = true
+	}
+
+	if failed {
+		return 1
+	}
+	fmt.Printf("ok: throughput within %.0f%% of baseline\n", maxRegress*100)
+	return 0
+}

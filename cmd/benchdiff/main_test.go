@@ -1,0 +1,74 @@
+package main
+
+import "testing"
+
+func file(total float64, figs ...benchRecord) *benchFile {
+	return &benchFile{Scale: 1024, TotalWallMs: total, Figures: figs}
+}
+
+func rec(name string, events uint64, wallMs float64) benchRecord {
+	r := benchRecord{Name: name, Events: events, WallMs: wallMs}
+	if s := wallMs / 1e3; s > 0 {
+		r.EventsPerSec = float64(events) / s
+	}
+	return r
+}
+
+func TestDiffWithinBound(t *testing.T) {
+	base := file(300, rec("fig4", 1000, 100), rec("fig5", 2000, 200))
+	after := file(330, rec("fig4", 1000, 110), rec("fig5", 2000, 220))
+	if code := diff(base, after, 0.20, false); code != 0 {
+		t.Errorf("10%% slowdown under a 20%% bound exited %d, want 0", code)
+	}
+}
+
+func TestDiffAggregateRegression(t *testing.T) {
+	base := file(300, rec("fig4", 1000, 100), rec("fig5", 2000, 200))
+	after := file(450, rec("fig4", 1000, 150), rec("fig5", 2000, 300))
+	if code := diff(base, after, 0.20, false); code != 1 {
+		t.Errorf("33%% aggregate slowdown exited %d, want 1", code)
+	}
+}
+
+func TestDiffPerFigureRegression(t *testing.T) {
+	// One figure craters but the other improves enough that the
+	// aggregate stays inside the bound: only -per-figure catches it.
+	base := file(200, rec("fig4", 1000, 100), rec("fig5", 1000, 100))
+	after := file(210, rec("fig4", 1000, 170), rec("fig5", 1000, 40))
+	if code := diff(base, after, 0.20, false); code != 0 {
+		t.Errorf("aggregate-only mode exited %d, want 0", code)
+	}
+	if code := diff(base, after, 0.20, true); code != 1 {
+		t.Errorf("per-figure mode exited %d, want 1", code)
+	}
+}
+
+func TestDiffEventCountMismatch(t *testing.T) {
+	base := file(100, rec("fig4", 1000, 100))
+	after := file(100, rec("fig4", 1001, 100))
+	if code := diff(base, after, 0.20, false); code != 1 {
+		t.Errorf("event count mismatch exited %d, want 1 (determinism breach)", code)
+	}
+}
+
+func TestDiffUnmatchedFigures(t *testing.T) {
+	// Figures present in only one file are reported but never fatal:
+	// registries grow across PRs and the committed baseline lags.
+	base := file(100, rec("fig4", 1000, 100), rec("gone", 500, 50))
+	after := file(100, rec("fig4", 1000, 100), rec("new", 500, 50))
+	if code := diff(base, after, 0.20, false); code != 0 {
+		t.Errorf("unmatched figures exited %d, want 0", code)
+	}
+}
+
+func TestRegression(t *testing.T) {
+	if r := regression(100, 80); r != 0.20 {
+		t.Errorf("regression(100, 80) = %v, want 0.20", r)
+	}
+	if r := regression(100, 120); r != -0.20 {
+		t.Errorf("regression(100, 120) = %v, want -0.20 (improvement)", r)
+	}
+	if r := regression(0, 50); r != 0 {
+		t.Errorf("regression with zero baseline = %v, want 0", r)
+	}
+}

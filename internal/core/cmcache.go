@@ -131,12 +131,25 @@ func (c *CMCache) Read(p *sim.Proc, fd gluster.FD, off, size int64) (blob.Blob, 
 		return c.forwardRead(p, fd, path, off, size)
 	}
 
-	// Assemble the requested range from the blocks. A block shorter than
-	// the block size claims end of file — trustworthy only in the final
-	// covering block. A short block with more covering blocks behind it is
-	// an inconsistency (e.g. a stale tail block of a file that has since
-	// grown): returning the assembly would be a silent short read, so the
-	// whole read falls back to the server instead.
+	data, ok := assembleBlocks(items, keys, offsets, off, size, bs)
+	if !ok {
+		// Mid-range EOF claim contradicted by the blocks after it.
+		sp.SetAttr("result", "short-miss")
+		return c.forwardRead(p, fd, path, off, size)
+	}
+	c.Stats.ReadHits++
+	sp.SetAttr("result", "hit")
+	return data, nil
+}
+
+// assembleBlocks stitches the requested [off, off+size) range together from
+// the covering cache blocks. A block shorter than the block size claims end
+// of file — trustworthy only in the final covering block. A short block
+// with more covering blocks behind it is an inconsistency (e.g. a stale
+// tail block of a file that has since grown): returning the assembly would
+// be a silent short read, so ok is false and the caller falls back to the
+// server. Pure block arithmetic — shared by both client engines.
+func assembleBlocks(items map[string]*memcache.Item, keys []string, offsets []int64, off, size, bs int64) (blob.Blob, bool) {
 	var parts []blob.Blob
 	want := size
 	for i, bo := range offsets {
@@ -158,16 +171,12 @@ func (c *CMCache) Read(p *sim.Proc, fd gluster.FD, off, size int64) (blob.Blob, 
 		}
 		if b.Len() < bs {
 			if i < len(offsets)-1 {
-				// Mid-range EOF claim contradicted by the blocks after it.
-				sp.SetAttr("result", "short-miss")
-				return c.forwardRead(p, fd, path, off, size)
+				return blob.Blob{}, false
 			}
 			break // EOF in the final block: a legitimate short read
 		}
 	}
-	c.Stats.ReadHits++
-	sp.SetAttr("result", "hit")
-	return blob.Concat(parts...), nil
+	return blob.Concat(parts...), true
 }
 
 // forwardRead satisfies a read from the server after the MCD bank could

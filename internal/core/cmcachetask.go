@@ -1,0 +1,256 @@
+package core
+
+import (
+	"strconv"
+
+	"imca/internal/blob"
+	"imca/internal/gluster"
+	"imca/internal/memcache"
+	"imca/internal/optrace"
+	"imca/internal/sim"
+)
+
+// Continuation-engine (gluster.TaskFS) implementation of CMCache. Each *T
+// operation mirrors its blocking sibling — same bank traffic, same server
+// fallbacks, same stats and span annotations, same schedule consumption —
+// with results delivered through callbacks; see sim.Task.
+
+var _ gluster.TaskFS = (*CMCache)(nil)
+
+// TaskReady implements gluster.TaskFS: the translator is task-capable when
+// the wrapped protocol stack is.
+func (c *CMCache) TaskReady() bool {
+	return gluster.AsTaskFS(c.child) != nil
+}
+
+// childT returns the child as a TaskFS; callers only reach here when
+// TaskReady reported true.
+func (c *CMCache) childT() gluster.TaskFS { return c.child.(gluster.TaskFS) }
+
+// CreateT implements gluster.TaskFS.
+func (c *CMCache) CreateT(t *sim.Task, path string, k func(gluster.FD, error)) {
+	c.childT().CreateT(t, path, func(fd gluster.FD, err error) {
+		if err == nil {
+			c.fdPaths[fd] = path
+		}
+		k(fd, err)
+	})
+}
+
+// OpenT implements gluster.TaskFS.
+func (c *CMCache) OpenT(t *sim.Task, path string, k func(gluster.FD, error)) {
+	c.childT().OpenT(t, path, func(fd gluster.FD, err error) {
+		if err == nil {
+			c.fdPaths[fd] = path
+		}
+		k(fd, err)
+	})
+}
+
+// CloseT implements gluster.TaskFS.
+func (c *CMCache) CloseT(t *sim.Task, fd gluster.FD, k func(error)) {
+	delete(c.fdPaths, fd)
+	c.childT().CloseT(t, fd, k)
+}
+
+// StatT implements gluster.TaskFS; see Stat.
+func (c *CMCache) StatT(t *sim.Task, path string, k func(*gluster.Stat, error)) {
+	sp := optrace.StartSpan(t, optrace.LayerCMCache, "stat")
+	c.mcd.GetT(t, statKey(path), func(it *memcache.Item, ok bool) {
+		if ok {
+			if st, err := decodeStat(it.Value); err == nil {
+				c.Stats.StatHits++
+				sp.SetAttr("result", "hit")
+				sp.End(t)
+				k(st, nil)
+				return
+			}
+		}
+		c.Stats.StatMisses++
+		sp.SetAttr("result", "miss")
+		optrace.ClearDeadline(t)
+		c.childT().StatT(t, path, func(st *gluster.Stat, err error) {
+			sp.End(t)
+			k(st, err)
+		})
+	})
+}
+
+// ReadT implements gluster.TaskFS; see Read.
+func (c *CMCache) ReadT(t *sim.Task, fd gluster.FD, off, size int64, k func(blob.Blob, error)) {
+	if size <= 0 {
+		k(blob.Blob{}, nil)
+		return
+	}
+	path, ok := c.fdPaths[fd]
+	if !ok {
+		// Descriptor not opened through this translator; pass through.
+		c.childT().ReadT(t, fd, off, size, k)
+		return
+	}
+	sp := optrace.StartSpan(t, optrace.LayerCMCache, "read")
+	sp.SetAttr("bytes", strconv.FormatInt(size, 10))
+	bs := c.cfg.blockSize()
+	offsets := blockOffsets(off, size, bs)
+	keys := make([]string, len(offsets))
+	for i, bo := range offsets {
+		keys[i] = blockKey(path, bo)
+	}
+	c.Stats.BlockLookups += uint64(len(keys))
+	c.mcd.GetMultiT(t, keys, func(items map[string]*memcache.Item) {
+		c.Stats.BlockHits += uint64(len(items))
+		if len(items) < len(keys) {
+			sp.SetAttr("result", "miss")
+			c.forwardReadT(t, fd, path, off, size, func(data blob.Blob, err error) {
+				sp.End(t)
+				k(data, err)
+			})
+			return
+		}
+		data, ok := assembleBlocks(items, keys, offsets, off, size, bs)
+		if !ok {
+			sp.SetAttr("result", "short-miss")
+			c.forwardReadT(t, fd, path, off, size, func(data blob.Blob, err error) {
+				sp.End(t)
+				k(data, err)
+			})
+			return
+		}
+		c.Stats.ReadHits++
+		sp.SetAttr("result", "hit")
+		sp.End(t)
+		k(data, nil)
+	})
+}
+
+// forwardReadT is forwardRead for the task engine.
+func (c *CMCache) forwardReadT(t *sim.Task, fd gluster.FD, path string, off, size int64, k func(blob.Blob, error)) {
+	c.Stats.ReadMisses++
+	optrace.ClearDeadline(t)
+	if !c.cfg.ClientPopulate {
+		c.childT().ReadT(t, fd, off, size, k)
+		return
+	}
+	bs := c.cfg.blockSize()
+	alignedOff, alignedSize := alignSpan(off, size, bs)
+	c.childT().ReadT(t, fd, alignedOff, alignedSize, func(data blob.Blob, err error) {
+		if err != nil {
+			k(blob.Blob{}, err)
+			return
+		}
+		c.pushBlocksT(t, path, alignedOff, data, func() {
+			lo := off - alignedOff
+			if lo >= data.Len() {
+				k(blob.Blob{}, nil)
+				return
+			}
+			hi := lo + size
+			if hi > data.Len() {
+				hi = data.Len()
+			}
+			k(data.Slice(lo, hi), nil)
+		})
+	})
+}
+
+// WriteT implements gluster.TaskFS; see Write.
+func (c *CMCache) WriteT(t *sim.Task, fd gluster.FD, off int64, data blob.Blob, k func(int64, error)) {
+	sp := optrace.StartSpan(t, optrace.LayerCMCache, "write")
+	sp.SetAttr("bytes", strconv.FormatInt(data.Len(), 10))
+	if !c.cfg.ClientPopulate {
+		c.childT().WriteT(t, fd, off, data, func(n int64, err error) {
+			sp.End(t)
+			k(n, err)
+		})
+		return
+	}
+	path, tracked := c.fdPaths[fd]
+	statBefore := func(k2 func(oldSize int64)) {
+		if !tracked {
+			k2(-1)
+			return
+		}
+		c.childT().StatT(t, path, func(st *gluster.Stat, serr error) {
+			if serr == nil {
+				k2(st.Size)
+				return
+			}
+			k2(-1)
+		})
+	}
+	statBefore(func(oldSize int64) {
+		c.childT().WriteT(t, fd, off, data, func(n int64, err error) {
+			if err != nil || n == 0 || !tracked {
+				sp.End(t)
+				k(n, err)
+				return
+			}
+			bs := c.cfg.blockSize()
+			alignedOff, alignedSize := alignSpan(off, n, bs)
+			c.childT().ReadT(t, fd, alignedOff, alignedSize, func(back blob.Blob, rerr error) {
+				if rerr != nil {
+					sp.End(t)
+					k(n, nil)
+					return
+				}
+				c.pushBlocksT(t, path, alignedOff, back, func() {
+					refreshTail := func(k2 func()) {
+						// Refresh the old tail block when the file grows
+						// past it (see SMCache.Write).
+						oldTail := oldSize - oldSize%bs
+						if !(oldSize > 0 && oldSize%bs != 0 && off+n > oldSize && alignedOff > oldTail) {
+							k2()
+							return
+						}
+						c.childT().ReadT(t, fd, oldTail, bs, func(tb blob.Blob, terr error) {
+							if terr != nil {
+								k2()
+								return
+							}
+							c.pushBlocksT(t, path, oldTail, tb, k2)
+						})
+					}
+					refreshTail(func() {
+						c.childT().StatT(t, path, func(st *gluster.Stat, serr error) {
+							if serr != nil {
+								sp.End(t)
+								k(n, nil)
+								return
+							}
+							c.mcd.SetT(t, statKey(path), encodeStat(st), func(error) {
+								sp.End(t)
+								k(n, nil)
+							})
+						})
+					})
+				})
+			})
+		})
+	})
+}
+
+// pushBlocksT is pushBlocks for the task engine: the blocks store
+// sequentially, as the blocking loop does.
+func (c *CMCache) pushBlocksT(t *sim.Task, path string, alignedOff int64, data blob.Blob, k func()) {
+	bs := c.cfg.blockSize()
+	var step func(pos int64)
+	step = func(pos int64) {
+		if pos >= data.Len() {
+			k()
+			return
+		}
+		end := pos + bs
+		if end > data.Len() {
+			end = data.Len()
+		}
+		c.mcd.SetT(t, blockKey(path, alignedOff+pos), data.Slice(pos, end), func(error) {
+			step(pos + bs)
+		})
+	}
+	step(0)
+}
+
+// UnlinkT implements gluster.TaskFS.
+func (c *CMCache) UnlinkT(t *sim.Task, path string, k func(error)) {
+	c.childT().UnlinkT(t, path, k)
+}

@@ -170,6 +170,7 @@ var Registry = []Experiment{
 	{"ext-breakdown", "Extension (§6): per-layer latency decomposition of one warm read at each block size", ExtBreakdown},
 	{"ext-telemetry", "Extension (§6): MCD-bank vs server-pagecache hit rate over virtual time during warm-up", ExtTelemetry},
 	{"ext-fault", "Extension (§4.4): graceful degradation through a cache-node crash, with and without client failover", ExtFault},
+	{"ext-scale", "Extension: 10k open-loop tenants on the task engine — tail latency, bank hit rate, hot-key skew", ExtScale},
 }
 
 // Find returns the experiment with the given name.

@@ -17,7 +17,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig7a", "fig7b", "fig8a", "fig8b", "fig8c", "fig8d",
 		"fig9", "fig10",
 		"ext-rdma", "ext-hash", "ext-lustre", "ext-sharing", "ext-smallfile", "ext-mdtest", "ext-bricks",
-		"ext-breakdown", "ext-telemetry", "ext-fault",
+		"ext-breakdown", "ext-telemetry", "ext-fault", "ext-scale",
 	}
 	if len(Registry) != len(wantFigs) {
 		t.Fatalf("registry has %d entries, want %d", len(Registry), len(wantFigs))
@@ -300,6 +300,45 @@ func TestExtTelemetryDeterministic(t *testing.T) {
 			if a.Table.Value(i, col) != b.Table.Value(i, col) {
 				t.Fatalf("row %d col %s not deterministic", i, col)
 			}
+		}
+	}
+}
+
+func TestExtScaleShape(t *testing.T) {
+	// Scale 4096 keeps this to two arrivals per tenant — the 10,000-tenant
+	// population is the point, not the per-tenant stream length.
+	// Serial-vs-parallel identity for this figure is covered by
+	// TestParallelByteIdentical, which renders the whole registry (this
+	// experiment included) both ways and byte-compares.
+	res := ExtScale(Options{Scale: 4096})
+	if res.Table.Rows() != 3 {
+		t.Fatalf("rows = %d, want 3 offered rates", res.Table.Rows())
+	}
+	joined := strings.Join(res.Notes, "\n")
+	// The run is only meaningful at its headline cardinality, and every
+	// open-loop arrival must have completed.
+	if !strings.Contains(joined, "10000 tenants") {
+		t.Fatalf("notes missing the 10000-tenant claim:\n%s", joined)
+	}
+	if !strings.Contains(joined, "every arrival completed") {
+		t.Fatalf("notes missing the completion claim:\n%s", joined)
+	}
+	for i := 0; i < res.Table.Rows(); i++ {
+		p50 := res.Table.Value(i, "p50 µs")
+		p95 := res.Table.Value(i, "p95 µs")
+		p99 := res.Table.Value(i, "p99 µs")
+		if p50 <= 0 {
+			t.Errorf("row %s: p50 = %v, want > 0", res.Table.X(i), p50)
+		}
+		if !(p50 <= p95 && p95 <= p99) {
+			t.Errorf("row %s: quantiles not monotone: p50 %v p95 %v p99 %v",
+				res.Table.X(i), p50, p95, p99)
+		}
+		if hr := res.Table.Value(i, "bank hit rate"); hr <= 0 || hr > 1 {
+			t.Errorf("row %s: bank hit rate = %v, want in (0, 1]", res.Table.X(i), hr)
+		}
+		if sk := res.Table.Value(i, "bank skew"); sk < 1 {
+			t.Errorf("row %s: bank skew = %v, want ≥ 1 (max over mean)", res.Table.X(i), sk)
 		}
 	}
 }

@@ -109,6 +109,9 @@ type Node struct {
 
 	tx, rx   *sim.Resource
 	services map[string]Handler
+	// handlerNames interns the "node/service" process names so the RPC hot
+	// path does not concatenate a fresh string per call.
+	handlerNames map[string]string
 
 	// Traffic accounting.
 	TxBytes, RxBytes int64
@@ -152,6 +155,19 @@ func (nd *Node) Handle(service string, h Handler) {
 		panic(fmt.Sprintf("fabric: duplicate service %q on %s", service, nd.name))
 	}
 	nd.services[service] = h
+}
+
+// handlerName returns the interned "node/service" handler process name.
+func (nd *Node) handlerName(service string) string {
+	if name, ok := nd.handlerNames[service]; ok {
+		return name
+	}
+	if nd.handlerNames == nil {
+		nd.handlerNames = make(map[string]string)
+	}
+	name := nd.name + "/" + service
+	nd.handlerNames[service] = name
+	return name
 }
 
 // hostCost is the per-message CPU charge at one end.
@@ -277,40 +293,7 @@ func (nd *Node) Call(p *sim.Proc, dst *Node, service string, req Msg) (Msg, erro
 		ls.inflight = append(ls.inflight, done)
 		defer ls.drop(done)
 	}
-	hp := dst.net.env.Process(dst.name+"/"+service, func(hp *sim.Proc) {
-		resp := h(hp, nd, req)
-		if ls != nil && ls.cut {
-			// The link died while the request was in service: the response
-			// is dropped on the floor. The caller has already been aborted
-			// by CutLink's in-flight sweep.
-			return
-		}
-		// Response travels in the handler's context so the server pays
-		// its own send-side costs before the caller proceeds.
-		var respSize int64
-		if resp != nil {
-			respSize = resp.WireSize()
-		}
-		t := dst.net.transport
-		wire := respSize + headerBytes
-		lat, xmit := t.Latency, t.xmitTime(wire)
-		if ls != nil {
-			lat, xmit = ls.scaled(lat, xmit)
-		}
-		dst.CPU.Use(hp, t.hostCost(wire))
-		dst.tx.Acquire(hp, 1)
-		hp.Sleep(xmit)
-		dst.tx.Release(1)
-		dst.TxBytes += wire
-		dst.TxMsgs++
-		hp.Sleep(lat)
-		nd.rx.Acquire(hp, 1)
-		hp.Sleep(xmit)
-		nd.rx.Release(1)
-		nd.RxBytes += wire
-		nd.RxMsgs++
-		done.Trigger(resp)
-	})
+	hp := serveAndRespond(nd, dst, service, h, req, ls, done)
 	// The handler inherits the caller's operation context, so spans it
 	// opens (server daemon, storage, disk) nest under this call's span.
 	optrace.Fork(p, hp)
@@ -346,6 +329,198 @@ func (nd *Node) Call(p *sim.Proc, dst *Node, service string, req Msg) (Msg, erro
 		return nil, nil
 	}
 	return resp.(Msg), nil
+}
+
+// serveAndRespond spawns the handler process for one RPC on dst: it runs
+// the registered handler in caller's service context, sends the response
+// back across the wire in the handler's own context (so the server pays
+// its send-side costs before the caller proceeds), and triggers done with
+// the response. Handlers are deliberately Procs under both client engines —
+// they are low-cardinality (bounded by service concurrency, not client
+// count) and their bodies use the blocking primitives naturally.
+func serveAndRespond(caller, dst *Node, service string, h Handler, req Msg, ls *linkState, done *sim.Event) *sim.Proc {
+	return dst.net.env.Process(dst.handlerName(service), func(hp *sim.Proc) {
+		resp := h(hp, caller, req)
+		if ls != nil && ls.cut {
+			// The link died while the request was in service: the response
+			// is dropped on the floor. The caller has already been aborted
+			// by CutLink's in-flight sweep.
+			return
+		}
+		var respSize int64
+		if resp != nil {
+			respSize = resp.WireSize()
+		}
+		t := dst.net.transport
+		wire := respSize + headerBytes
+		lat, xmit := t.Latency, t.xmitTime(wire)
+		if ls != nil {
+			lat, xmit = ls.scaled(lat, xmit)
+		}
+		dst.CPU.Use(hp, t.hostCost(wire))
+		dst.tx.Acquire(hp, 1)
+		hp.Sleep(xmit)
+		dst.tx.Release(1)
+		dst.TxBytes += wire
+		dst.TxMsgs++
+		hp.Sleep(lat)
+		caller.rx.Acquire(hp, 1)
+		hp.Sleep(xmit)
+		caller.rx.Release(1)
+		caller.RxBytes += wire
+		caller.RxMsgs++
+		done.Trigger(resp)
+	})
+}
+
+// transferT is transfer for the task engine: the same NIC serialization,
+// wire latency, and host CPU charges, threaded through continuations. The
+// schedule consumption matches transfer's leg for leg.
+func transferT(t *sim.Task, src, dst *Node, size int64, ls *linkState, k func()) {
+	tr := src.net.transport
+	wire := size + headerBytes
+	lat, xmit := tr.Latency, tr.xmitTime(wire)
+	if ls != nil {
+		lat, xmit = ls.scaled(lat, xmit)
+	}
+
+	// Sender-side protocol processing, then TX serialization.
+	src.CPU.UseT(t, tr.hostCost(wire), func() {
+		src.tx.AcquireT(t, 1, func() {
+			t.Sleep(xmit, func() {
+				src.tx.Release(1)
+				src.TxBytes += wire
+				src.TxMsgs++
+				t.Sleep(lat, func() {
+					// RX serialization, then receiver-side processing.
+					dst.rx.AcquireT(t, 1, func() {
+						t.Sleep(xmit, func() {
+							dst.rx.Release(1)
+							dst.RxBytes += wire
+							dst.RxMsgs++
+							dst.CPU.UseT(t, tr.hostCost(wire), k)
+						})
+					})
+				})
+			})
+		})
+	})
+}
+
+// CallT is Call for the task engine: the same RPC — request transfer,
+// handler process on dst, response transfer — with the result delivered to
+// k instead of returned. Deadline, cut-link, and degradation semantics
+// match Call exactly, as does the schedule consumption of every path, so a
+// client ported from Call to CallT replays an identical event stream. The
+// handler itself still runs as a Proc (see serveAndRespond).
+func (nd *Node) CallT(t *sim.Task, dst *Node, service string, req Msg, k func(Msg, error)) {
+	if nd.net != dst.net {
+		panic("fabric: cross-network call")
+	}
+	h, ok := dst.services[service]
+	if !ok {
+		panic(fmt.Sprintf("fabric: no service %q on %s", service, dst.name))
+	}
+	deadline, hasDeadline := optrace.Deadline(t)
+	if hasDeadline && t.Now() >= deadline {
+		k(nil, ErrDeadline)
+		return
+	}
+
+	var ls *linkState
+	if fa := nd.net.faults; fa != nil {
+		ls = fa.link(nd.name, dst.name)
+		if ls.cut {
+			sp := optrace.StartSpan(t, optrace.LayerNet, service)
+			sp.SetAttr("to", dst.name)
+			timeoutAt := t.Now().Add(fa.connectTimeout)
+			if hasDeadline && deadline <= timeoutAt {
+				t.Sleep(deadline.Sub(t.Now()), func() {
+					sp.SetAttr("deadline", "expired")
+					sp.End(t)
+					k(nil, ErrDeadline)
+				})
+				return
+			}
+			t.Sleep(fa.connectTimeout, func() {
+				sp.SetAttr("result", "unreachable")
+				sp.End(t)
+				nd.UnreachableCalls++
+				k(nil, ErrUnreachable)
+			})
+			return
+		}
+	}
+
+	sp := optrace.StartSpan(t, optrace.LayerNet, service)
+	sp.SetAttr("to", dst.name)
+	rq := optrace.StartSpan(t, optrace.LayerNet, "request")
+	transferT(t, nd, dst, req.WireSize(), ls, func() {
+		rq.End(t)
+		if hasDeadline && t.Now() >= deadline {
+			sp.SetAttr("deadline", "expired")
+			sp.End(t)
+			k(nil, ErrDeadline)
+			return
+		}
+		if ls != nil && ls.cut {
+			sp.SetAttr("result", "unreachable")
+			sp.End(t)
+			nd.UnreachableCalls++
+			k(nil, ErrUnreachable)
+			return
+		}
+
+		done := sim.NewEvent(t.Env())
+		if ls != nil {
+			ls.inflight = append(ls.inflight, done)
+		}
+		// finish stands in for Call's deferred ls.drop: every exit past
+		// this point untracks the call first.
+		finish := func(m Msg, err error) {
+			if ls != nil {
+				ls.drop(done)
+			}
+			k(m, err)
+		}
+		hp := serveAndRespond(nd, dst, service, h, req, ls, done)
+		optrace.Fork(t, hp)
+
+		handleResp := func(resp interface{}) {
+			if _, aborted := resp.(unreachableMark); aborted {
+				sp.SetAttr("result", "unreachable")
+				sp.End(t)
+				nd.UnreachableCalls++
+				finish(nil, ErrUnreachable)
+				return
+			}
+			var respSize int64
+			if m, ok := resp.(Msg); ok && m != nil {
+				respSize = m.WireSize()
+			}
+			nd.CPU.UseT(t, nd.net.transport.hostCost(respSize+headerBytes), func() {
+				sp.End(t)
+				if resp == nil {
+					finish(nil, nil)
+					return
+				}
+				finish(resp.(Msg), nil)
+			})
+		}
+		if hasDeadline {
+			done.WaitUntilT(t, deadline, func(v interface{}, ok bool) {
+				if !ok {
+					sp.SetAttr("deadline", "expired")
+					sp.End(t)
+					finish(nil, ErrDeadline)
+					return
+				}
+				handleResp(v)
+			})
+		} else {
+			done.WaitT(t, handleResp)
+		}
+	})
 }
 
 // Bytes is a convenience Msg for raw payloads of a given size.

@@ -80,6 +80,40 @@ type FS interface {
 	Truncate(p *sim.Proc, path string, size int64) error
 }
 
+// TaskFS is the continuation-engine face of an xlator: the subset of
+// operations client workload bodies issue, each taking a sim.Task and a
+// completion callback instead of blocking a process. An xlator implements
+// TaskFS when its whole downward stack does; TaskReady reports whether
+// that is actually the case for this instance (a type may implement the
+// interface while wrapping a child that does not — a CMCache over a
+// foreign file system, say — in which case workloads fall back to the
+// process engine).
+//
+// Every *T operation mirrors its blocking sibling's virtual-time charges
+// and kernel schedule consumption exactly; see sim.Task.
+type TaskFS interface {
+	FS
+	CreateT(t *sim.Task, path string, k func(FD, error))
+	OpenT(t *sim.Task, path string, k func(FD, error))
+	CloseT(t *sim.Task, fd FD, k func(error))
+	ReadT(t *sim.Task, fd FD, off, size int64, k func(blob.Blob, error))
+	WriteT(t *sim.Task, fd FD, off int64, data blob.Blob, k func(int64, error))
+	StatT(t *sim.Task, path string, k func(*Stat, error))
+	UnlinkT(t *sim.Task, path string, k func(error))
+	// TaskReady reports whether this instance's full stack can serve the
+	// *T operations.
+	TaskReady() bool
+}
+
+// AsTaskFS returns fs as a usable TaskFS, or nil when fs (or anything
+// below it) cannot serve the continuation engine.
+func AsTaskFS(fs FS) TaskFS {
+	if tfs, ok := fs.(TaskFS); ok && tfs.TaskReady() {
+		return tfs
+	}
+	return nil
+}
+
 // errCode converts an FS error to a compact wire code and back.
 func errCode(err error) string {
 	switch {

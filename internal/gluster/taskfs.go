@@ -1,0 +1,294 @@
+package gluster
+
+import (
+	"imca/internal/blob"
+	"imca/internal/fabric"
+	"imca/internal/optrace"
+	"imca/internal/sim"
+)
+
+// Continuation-engine (TaskFS) implementations for the client-side
+// xlators: Fuse, the protocol Client, and Distribute. The server daemon
+// keeps its process representation — handlers are low-cardinality and run
+// on the far side of an RPC either way. Each *T operation mirrors its
+// blocking sibling's charge order and schedule consumption exactly, which
+// is what keeps a workload byte-identical across the two engines.
+
+var (
+	_ TaskFS = (*Fuse)(nil)
+	_ TaskFS = (*Client)(nil)
+	_ TaskFS = (*Distribute)(nil)
+)
+
+// ---- Fuse ----
+
+// TaskReady implements TaskFS: the FUSE layer is task-capable when its
+// child stack is.
+func (f *Fuse) TaskReady() bool {
+	return AsTaskFS(f.child) != nil
+}
+
+func (f *Fuse) chargeT(t *sim.Task, payload int64, k func()) {
+	f.node.CPU.UseT(t, f.cfg.OpCPU+sim.Duration(float64(payload)*f.cfg.PerByteCPUNanos), k)
+}
+
+// childT returns the child as a TaskFS; callers only reach here when
+// TaskReady reported true.
+func (f *Fuse) childT() TaskFS { return f.child.(TaskFS) }
+
+// CreateT implements TaskFS.
+func (f *Fuse) CreateT(t *sim.Task, path string, k func(FD, error)) {
+	sp := optrace.StartSpan(t, optrace.LayerFuse, "create")
+	f.chargeT(t, 0, func() {
+		f.childT().CreateT(t, path, func(fd FD, err error) {
+			sp.End(t)
+			k(fd, err)
+		})
+	})
+}
+
+// OpenT implements TaskFS.
+func (f *Fuse) OpenT(t *sim.Task, path string, k func(FD, error)) {
+	sp := optrace.StartSpan(t, optrace.LayerFuse, "open")
+	f.chargeT(t, 0, func() {
+		f.childT().OpenT(t, path, func(fd FD, err error) {
+			sp.End(t)
+			k(fd, err)
+		})
+	})
+}
+
+// CloseT implements TaskFS.
+func (f *Fuse) CloseT(t *sim.Task, fd FD, k func(error)) {
+	sp := optrace.StartSpan(t, optrace.LayerFuse, "close")
+	f.chargeT(t, 0, func() {
+		f.childT().CloseT(t, fd, func(err error) {
+			sp.End(t)
+			k(err)
+		})
+	})
+}
+
+// ReadT implements TaskFS. As in Read, the user/kernel copy is charged
+// after the child returns, on the bytes actually read.
+func (f *Fuse) ReadT(t *sim.Task, fd FD, off, size int64, k func(blob.Blob, error)) {
+	sp := optrace.StartSpan(t, optrace.LayerFuse, "read")
+	f.childT().ReadT(t, fd, off, size, func(data blob.Blob, err error) {
+		f.chargeT(t, data.Len(), func() {
+			sp.End(t)
+			k(data, err)
+		})
+	})
+}
+
+// WriteT implements TaskFS. As in Write, the copy is charged before the
+// child sees the data.
+func (f *Fuse) WriteT(t *sim.Task, fd FD, off int64, data blob.Blob, k func(int64, error)) {
+	sp := optrace.StartSpan(t, optrace.LayerFuse, "write")
+	f.chargeT(t, data.Len(), func() {
+		f.childT().WriteT(t, fd, off, data, func(n int64, err error) {
+			sp.End(t)
+			k(n, err)
+		})
+	})
+}
+
+// StatT implements TaskFS.
+func (f *Fuse) StatT(t *sim.Task, path string, k func(*Stat, error)) {
+	sp := optrace.StartSpan(t, optrace.LayerFuse, "stat")
+	f.chargeT(t, 0, func() {
+		f.childT().StatT(t, path, func(st *Stat, err error) {
+			sp.End(t)
+			k(st, err)
+		})
+	})
+}
+
+// UnlinkT implements TaskFS.
+func (f *Fuse) UnlinkT(t *sim.Task, path string, k func(error)) {
+	sp := optrace.StartSpan(t, optrace.LayerFuse, "unlink")
+	f.chargeT(t, 0, func() {
+		f.childT().UnlinkT(t, path, func(err error) {
+			sp.End(t)
+			k(err)
+		})
+	})
+}
+
+// ---- protocol Client ----
+
+// TaskReady implements TaskFS: the protocol client talks to the server
+// over the fabric, which serves both engines.
+func (c *Client) TaskReady() bool { return true }
+
+// callT performs one protocol RPC under a protocol-layer span; see call.
+func (c *Client) callT(t *sim.Task, name string, req fabric.Msg, k func(fabric.Msg, error)) {
+	sp := optrace.StartSpan(t, optrace.LayerProtocol, name)
+	c.node.CallT(t, c.server, ServiceName, req, func(m fabric.Msg, err error) {
+		if err != nil {
+			sp.SetAttr("deadline", "expired")
+		}
+		sp.End(t)
+		k(m, err)
+	})
+}
+
+// CreateT implements TaskFS.
+func (c *Client) CreateT(t *sim.Task, path string, k func(FD, error)) {
+	c.callT(t, "create", &openReq{Path: path, Create: true}, func(m fabric.Msg, err error) {
+		if err != nil {
+			k(0, err)
+			return
+		}
+		r := m.(*openResp)
+		k(r.FD, codeErr(r.Code))
+	})
+}
+
+// OpenT implements TaskFS.
+func (c *Client) OpenT(t *sim.Task, path string, k func(FD, error)) {
+	c.callT(t, "open", &openReq{Path: path}, func(m fabric.Msg, err error) {
+		if err != nil {
+			k(0, err)
+			return
+		}
+		r := m.(*openResp)
+		k(r.FD, codeErr(r.Code))
+	})
+}
+
+// CloseT implements TaskFS.
+func (c *Client) CloseT(t *sim.Task, fd FD, k func(error)) {
+	c.callT(t, "close", &closeReq{FD: fd}, func(m fabric.Msg, err error) {
+		if err != nil {
+			k(err)
+			return
+		}
+		k(codeErr(m.(*simpleResp).Code))
+	})
+}
+
+// ReadT implements TaskFS.
+func (c *Client) ReadT(t *sim.Task, fd FD, off, size int64, k func(blob.Blob, error)) {
+	c.callT(t, "read", &readReq{FD: fd, Off: off, Size: size}, func(m fabric.Msg, err error) {
+		if err != nil {
+			k(blob.Blob{}, err)
+			return
+		}
+		r := m.(*readResp)
+		k(r.Data, codeErr(r.Code))
+	})
+}
+
+// WriteT implements TaskFS.
+func (c *Client) WriteT(t *sim.Task, fd FD, off int64, data blob.Blob, k func(int64, error)) {
+	c.callT(t, "write", &writeReq{FD: fd, Off: off, Data: data}, func(m fabric.Msg, err error) {
+		if err != nil {
+			k(0, err)
+			return
+		}
+		r := m.(*writeResp)
+		k(r.N, codeErr(r.Code))
+	})
+}
+
+// StatT implements TaskFS.
+func (c *Client) StatT(t *sim.Task, path string, k func(*Stat, error)) {
+	c.callT(t, "stat", &statReq{Path: path}, func(m fabric.Msg, err error) {
+		if err != nil {
+			k(nil, err)
+			return
+		}
+		r := m.(*statResp)
+		k(r.St, codeErr(r.Code))
+	})
+}
+
+// UnlinkT implements TaskFS.
+func (c *Client) UnlinkT(t *sim.Task, path string, k func(error)) {
+	c.callT(t, "unlink", &pathReq{Op: "unlink", Path: path}, func(m fabric.Msg, err error) {
+		if err != nil {
+			k(err)
+			return
+		}
+		k(codeErr(m.(*simpleResp).Code))
+	})
+}
+
+// ---- Distribute ----
+
+// TaskReady implements TaskFS: distribution is task-capable when every
+// subvolume is.
+func (d *Distribute) TaskReady() bool {
+	for _, sub := range d.subvols {
+		if AsTaskFS(sub) == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// CreateT implements TaskFS.
+func (d *Distribute) CreateT(t *sim.Task, path string, k func(FD, error)) {
+	sub := d.subFor(path)
+	sub.(TaskFS).CreateT(t, path, func(fd FD, err error) {
+		if err != nil {
+			k(0, err)
+			return
+		}
+		k(d.issue(sub, fd), nil)
+	})
+}
+
+// OpenT implements TaskFS.
+func (d *Distribute) OpenT(t *sim.Task, path string, k func(FD, error)) {
+	sub := d.subFor(path)
+	sub.(TaskFS).OpenT(t, path, func(fd FD, err error) {
+		if err != nil {
+			k(0, err)
+			return
+		}
+		k(d.issue(sub, fd), nil)
+	})
+}
+
+// CloseT implements TaskFS.
+func (d *Distribute) CloseT(t *sim.Task, fd FD, k func(error)) {
+	m, ok := d.fdRoute[fd]
+	if !ok {
+		k(ErrBadFD)
+		return
+	}
+	delete(d.fdRoute, fd)
+	m.sub.(TaskFS).CloseT(t, m.fd, k)
+}
+
+// ReadT implements TaskFS.
+func (d *Distribute) ReadT(t *sim.Task, fd FD, off, size int64, k func(blob.Blob, error)) {
+	m, ok := d.fdRoute[fd]
+	if !ok {
+		k(blob.Blob{}, ErrBadFD)
+		return
+	}
+	m.sub.(TaskFS).ReadT(t, m.fd, off, size, k)
+}
+
+// WriteT implements TaskFS.
+func (d *Distribute) WriteT(t *sim.Task, fd FD, off int64, data blob.Blob, k func(int64, error)) {
+	m, ok := d.fdRoute[fd]
+	if !ok {
+		k(0, ErrBadFD)
+		return
+	}
+	m.sub.(TaskFS).WriteT(t, m.fd, off, data, k)
+}
+
+// StatT implements TaskFS.
+func (d *Distribute) StatT(t *sim.Task, path string, k func(*Stat, error)) {
+	d.subFor(path).(TaskFS).StatT(t, path, k)
+}
+
+// UnlinkT implements TaskFS.
+func (d *Distribute) UnlinkT(t *sim.Task, path string, k func(error)) {
+	d.subFor(path).(TaskFS).UnlinkT(t, path, k)
+}

@@ -64,7 +64,7 @@ func (v *mrVisitor) checkRange(rng *ast.RangeStmt) {
 			if name, ok := simSchedCallee(info, n, v.cfg.SimPath); ok {
 				sinkMsg = "schedules simulated activity (" + name + ") in map iteration order"
 			} else if passesSimProc(info, n, v.cfg.SimPath) {
-				sinkMsg = "drives simulated activity (a *sim.Proc call) in map iteration order"
+				sinkMsg = "drives simulated activity (a *sim.Proc or *sim.Task call) in map iteration order"
 			} else if name, ok := outputCallee(info, n); ok {
 				sinkMsg = "writes output (" + name + ") in map iteration order"
 			} else if name, ok := registerCallee(info, n); ok {

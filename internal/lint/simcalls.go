@@ -18,13 +18,17 @@ import (
 // code and is never treated as an observer.
 var simSchedMethods = map[string]bool{
 	"Env.Process": true, "Env.Run": true, "Env.RunUntil": true, "Env.Defer": true,
-	"Env.schedule": true, "Env.scheduleProc": true, "Env.wake": true,
+	"Env.StartTask": true,
+	"Env.schedule":  true, "Env.scheduleProc": true, "Env.wake": true,
 	"Proc.Sleep": true, "Proc.Yield": true, "Proc.Spawn": true, "Proc.park": true,
+	"Task.Sleep": true, "Task.End": true,
 	"Event.Wait": true, "Event.WaitUntil": true, "Event.Trigger": true,
+	"Event.WaitT": true, "Event.WaitUntilT": true,
 	"Chan.Send": true, "Chan.TrySend": true, "Chan.Recv": true, "Chan.TryRecv": true,
 	"Resource.Acquire": true, "Resource.Release": true, "Resource.Use": true,
-	"Barrier.Wait": true,
-	"WaitAll":      true,
+	"Resource.AcquireT": true, "Resource.UseT": true,
+	"Barrier.Wait": true, "Barrier.WaitT": true,
+	"WaitAll": true,
 }
 
 // calleeFunc resolves a call expression to the function or method object
@@ -74,8 +78,9 @@ func simSchedCallee(info *types.Info, call *ast.CallExpr, simPath string) (strin
 	return "", false
 }
 
-// isSimProc reports whether t is *sim.Proc.
-func isSimProc(t types.Type, simPath string) bool {
+// isSimActor reports whether t is *sim.Proc or *sim.Task — the two client
+// engines' execution contexts.
+func isSimActor(t types.Type, simPath string) bool {
 	if simPath == "" || t == nil {
 		return false
 	}
@@ -88,15 +93,17 @@ func isSimProc(t types.Type, simPath string) bool {
 		return false
 	}
 	obj := named.Obj()
-	return obj.Name() == "Proc" && obj.Pkg() != nil && obj.Pkg().Path() == simPath
+	return (obj.Name() == "Proc" || obj.Name() == "Task") &&
+		obj.Pkg() != nil && obj.Pkg().Path() == simPath
 }
 
-// passesSimProc reports whether any argument of call is a *sim.Proc: in
-// this codebase, a function taking a Proc can block and advance virtual
-// time, so its invocation order is part of the simulation's behaviour.
+// passesSimProc reports whether any argument of call is a *sim.Proc or
+// *sim.Task: in this codebase, a function taking one can block or schedule
+// continuations and so advance virtual time, which makes its invocation
+// order part of the simulation's behaviour.
 func passesSimProc(info *types.Info, call *ast.CallExpr, simPath string) bool {
 	for _, arg := range call.Args {
-		if tv, ok := info.Types[arg]; ok && isSimProc(tv.Type, simPath) {
+		if tv, ok := info.Types[arg]; ok && isSimActor(tv.Type, simPath) {
 			return true
 		}
 	}

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"imca/internal/sim"
 )
 
 // Registry stands in for an instrument registry.
@@ -60,5 +62,22 @@ func RegisterAll(r *Registry, m map[string]int) {
 func DumpAll(w io.Writer, m map[string]int) {
 	for k := range m {
 		io.WriteString(w, k)
+	}
+}
+
+// SleepAll schedules continuations in map order via the task engine.
+func SleepAll(t *sim.Task, m map[string]int) {
+	for range m {
+		t.Sleep(1, func() {})
+	}
+}
+
+// touch stands in for any helper that advances virtual time for a task.
+func touch(t *sim.Task) {}
+
+// TouchAll drives task-engine activity in map order through a helper.
+func TouchAll(t *sim.Task, m map[string]int) {
+	for range m {
+		touch(t)
 	}
 }

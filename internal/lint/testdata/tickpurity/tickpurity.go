@@ -37,6 +37,17 @@ func InstallArmed(env *sim.Env) {
 	})
 }
 
+// InstallTask hooks an observer that starts a continuation task. The task
+// engine's entry points schedule heap events exactly like process ones, so
+// a tick observer may not touch them either.
+func InstallTask(env *sim.Env) {
+	env.SetTick(1000, func(at sim.Time) {
+		env.StartTask("sample", func(t *sim.Task) {
+			t.End()
+		})
+	})
+}
+
 // ArmFault mimics the fault injector: Defer called from host context
 // between runs is fine, and the callback it arms runs in scheduler
 // context, where triggering events and spawning processes is legal.

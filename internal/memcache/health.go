@@ -62,7 +62,7 @@ func (c *SimClient) Ejected(i int) bool {
 // a healthy server, yes for an ejected one whose probe is due (counted as
 // a probe), no otherwise (counted as a fast-fail; the caller reads it as
 // an instant miss).
-func (c *SimClient) admit(p *sim.Proc, i int) bool {
+func (c *SimClient) admit(a sim.Actor, i int) bool {
 	if c.ejectAfter == 0 {
 		return true
 	}
@@ -70,7 +70,7 @@ func (c *SimClient) admit(p *sim.Proc, i int) bool {
 	if !h.ejected {
 		return true
 	}
-	if p.Now() >= h.probeAt {
+	if a.Now() >= h.probeAt {
 		c.probes++
 		return true
 	}
@@ -80,7 +80,7 @@ func (c *SimClient) admit(p *sim.Proc, i int) bool {
 
 // observe records the outcome of a wire request to server i, ejecting,
 // backing off, or readmitting as the state machine dictates.
-func (c *SimClient) observe(p *sim.Proc, i int, ok bool) {
+func (c *SimClient) observe(a sim.Actor, i int, ok bool) {
 	if c.ejectAfter == 0 {
 		return
 	}
@@ -99,13 +99,13 @@ func (c *SimClient) observe(p *sim.Proc, i int, ok bool) {
 		if max := maxBackoffMult * c.probeBackoff; h.backoff > max {
 			h.backoff = max
 		}
-		h.probeAt = p.Now().Add(h.backoff)
+		h.probeAt = a.Now().Add(h.backoff)
 		return
 	}
 	if h.fails >= c.ejectAfter {
 		h.ejected = true
 		h.backoff = c.probeBackoff
-		h.probeAt = p.Now().Add(h.backoff)
+		h.probeAt = a.Now().Add(h.backoff)
 		c.ejects++
 	}
 }

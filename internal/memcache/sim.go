@@ -241,7 +241,7 @@ func (c *SimClient) pick(key string) (int, *SimServer) {
 
 // fail classifies a request error or Down reply into the right counter and
 // feeds the health state machine.
-func (c *SimClient) fail(p *sim.Proc, idx int, err error, down bool) string {
+func (c *SimClient) fail(a sim.Actor, idx int, err error, down bool) string {
 	result := "deadline"
 	switch {
 	case down:
@@ -253,7 +253,7 @@ func (c *SimClient) fail(p *sim.Proc, idx int, err error, down bool) string {
 	default:
 		c.deadlineMisses++
 	}
-	c.observe(p, idx, false)
+	c.observe(a, idx, false)
 	return result
 }
 

@@ -1,0 +1,186 @@
+package memcache
+
+import (
+	"errors"
+	"strconv"
+
+	"imca/internal/blob"
+	"imca/internal/fabric"
+	"imca/internal/optrace"
+	"imca/internal/sim"
+)
+
+// Task-engine variants of the SimClient operations. Each mirrors its
+// blocking sibling's wire traffic, health accounting, and schedule
+// consumption exactly, delivering the result to a continuation instead of
+// returning it; see sim.Task for the determinism contract.
+
+// GetT is Get for the task engine: k receives (item, true) on a hit and
+// (nil, false) on any flavour of miss.
+func (c *SimClient) GetT(t *sim.Task, key string, k func(*Item, bool)) {
+	idx, srv := c.pick(key)
+	sp := optrace.StartSpan(t, optrace.LayerMCD, "get")
+	sp.SetAttr("server", srv.node.Name())
+	if !c.admit(t, idx) {
+		sp.SetAttr("result", "ejected")
+		sp.End(t)
+		k(nil, false)
+		return
+	}
+	c.node.CallT(t, srv.node, ServiceName, &GetReq{Keys: []string{key}}, func(m fabric.Msg, err error) {
+		if err != nil {
+			sp.SetAttr("result", c.fail(t, idx, err, false))
+			sp.End(t)
+			k(nil, false)
+			return
+		}
+		resp := m.(*GetResp)
+		if resp.Down {
+			sp.SetAttr("result", c.fail(t, idx, nil, true))
+			sp.End(t)
+			k(nil, false)
+			return
+		}
+		c.observe(t, idx, true)
+		if len(resp.Items) == 0 {
+			sp.SetAttr("result", "miss")
+			sp.End(t)
+			k(nil, false)
+			return
+		}
+		sp.SetAttr("result", "hit")
+		sp.SetAttr("bytes", strconv.FormatInt(resp.Items[0].Value.Len(), 10))
+		sp.End(t)
+		k(resp.Items[0], true)
+	})
+}
+
+// GetMultiT is GetMulti for the task engine. The scatter-gather workers
+// remain Procs — they are bounded by the MCD bank size, not the client
+// count, and spawning them costs the same one schedule as Proc.Spawn — so
+// only the caller side changes representation.
+func (c *SimClient) GetMultiT(t *sim.Task, keys []string, k func(map[string]*Item)) {
+	if len(keys) == 1 {
+		c.GetT(t, keys[0], func(it *Item, ok bool) {
+			if !ok {
+				k(map[string]*Item{})
+				return
+			}
+			k(map[string]*Item{keys[0]: it})
+		})
+		return
+	}
+	byServer := make(map[int][]string)
+	for _, key := range keys {
+		i, _ := c.pick(key)
+		byServer[i] = append(byServer[i], key)
+	}
+	out := make(map[string]*Item, len(keys))
+	var events []*sim.Event
+	var idxs []int
+	for i := range c.servers { // deterministic order
+		ks, ok := byServer[i]
+		if !ok {
+			continue
+		}
+		if !c.admit(t, i) {
+			continue // ejected: every key an instant miss
+		}
+		i, s := i, c.servers[i]
+		ev := sim.NewEvent(t.Env())
+		worker := t.Env().Process("mcd-get", func(q *sim.Proc) {
+			sp := optrace.StartSpan(q, optrace.LayerMCD, "getmulti")
+			sp.SetAttr("server", s.node.Name())
+			sp.SetAttr("keys", strconv.Itoa(len(ks)))
+			m, err := c.node.Call(q, s.node, ServiceName, &GetReq{Keys: ks})
+			if err != nil {
+				if errors.Is(err, fabric.ErrUnreachable) {
+					sp.SetAttr("result", "unreachable")
+				} else {
+					sp.SetAttr("result", "deadline")
+				}
+				sp.End(q)
+				ev.Trigger(mcdReply{err: err})
+				return
+			}
+			resp := m.(*GetResp)
+			switch {
+			case resp.Down:
+				sp.SetAttr("result", "down")
+			case len(resp.Items) == len(ks):
+				sp.SetAttr("result", "hit")
+			default:
+				sp.SetAttr("result", "partial")
+			}
+			sp.End(q)
+			ev.Trigger(mcdReply{resp: resp})
+		})
+		optrace.Fork(t, worker)
+		events = append(events, ev)
+		idxs = append(idxs, i)
+	}
+	// Collect replies in spawn order, as GetMulti's Wait loop does. The
+	// recursion depth is bounded by the bank size.
+	var collect func(n int)
+	collect = func(n int) {
+		if n == len(events) {
+			k(out)
+			return
+		}
+		events[n].WaitT(t, func(v interface{}) {
+			r := v.(mcdReply)
+			switch {
+			case r.err != nil:
+				c.fail(t, idxs[n], r.err, false)
+			case r.resp.Down:
+				c.fail(t, idxs[n], nil, true)
+			default:
+				c.observe(t, idxs[n], true)
+				for _, it := range r.resp.Items {
+					out[it.Key] = it
+				}
+			}
+			collect(n + 1)
+		})
+	}
+	collect(0)
+}
+
+// SetT is Set for the task engine; k receives Set's error result.
+func (c *SimClient) SetT(t *sim.Task, key string, value blob.Blob, k func(error)) {
+	idx, srv := c.pick(key)
+	sp := optrace.StartSpan(t, optrace.LayerMCD, "set")
+	sp.SetAttr("server", srv.node.Name())
+	sp.SetAttr("bytes", strconv.FormatInt(value.Len(), 10))
+	if !c.admit(t, idx) {
+		sp.SetAttr("result", "ejected")
+		sp.End(t)
+		k(ErrServerDown)
+		return
+	}
+	c.node.CallT(t, srv.node, ServiceName, &SetReq{Item: &Item{Key: key, Value: value}}, func(m fabric.Msg, err error) {
+		if err != nil {
+			sp.SetAttr("result", c.fail(t, idx, err, false))
+			sp.End(t)
+			k(err)
+			return
+		}
+		resp := m.(*SetResp)
+		switch {
+		case resp.Down:
+			sp.SetAttr("result", c.fail(t, idx, nil, true))
+			sp.End(t)
+			k(ErrServerDown)
+		case resp.Err != "":
+			c.observe(t, idx, true)
+			sp.SetAttr("result", "error")
+			sp.End(t)
+			k(ErrNotStored)
+		default:
+			c.observe(t, idx, true)
+			sp.SetAttr("result", "stored")
+			sp.End(t)
+			k(nil)
+		}
+	})
+}

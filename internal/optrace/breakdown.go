@@ -32,24 +32,24 @@ func NewCollector() *Collector {
 // Breakdown returns the accumulated per-layer aggregation.
 func (c *Collector) Breakdown() *Breakdown { return c.breakdown }
 
-// Begin creates a new operation, attaches it to p, and returns it. Pair
-// with End around exactly the operation being measured.
-func (c *Collector) Begin(p *sim.Proc, name string) *Op {
+// Begin creates a new operation, attaches it to the actor, and returns it.
+// Pair with End around exactly the operation being measured.
+func (c *Collector) Begin(a sim.Actor, name string) *Op {
 	c.nextID++
-	op := &Op{ID: c.nextID, Name: name, Start: p.Now()}
-	Attach(p, op)
+	op := &Op{ID: c.nextID, Name: name, Start: a.Now()}
+	Attach(a, op)
 	return op
 }
 
-// End detaches p's operation, stamps its finish time, folds its spans into
-// the breakdown, and returns it (nil if nothing was attached). Spans ended
-// by background helpers after End are not aggregated.
-func (c *Collector) End(p *sim.Proc) *Op {
-	op := Detach(p)
+// End detaches the actor's operation, stamps its finish time, folds its
+// spans into the breakdown, and returns it (nil if nothing was attached).
+// Spans ended by background helpers after End are not aggregated.
+func (c *Collector) End(a sim.Actor) *Op {
+	op := Detach(a)
 	if op == nil {
 		return nil
 	}
-	op.Finish = p.Now()
+	op.Finish = a.Now()
 	c.breakdown.AddOp(op)
 	c.Last = op
 	if c.Keep {

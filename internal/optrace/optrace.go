@@ -4,8 +4,9 @@
 // cache-bank RPC, server daemon, disk, …) — the latency-breakdown evidence
 // the paper's §5–6 analysis argues from.
 //
-// The context rides in sim.Proc's opaque context slot, so xlator
-// signatures stay (p *sim.Proc, ...). Layers open spans with StartSpan and
+// The context rides in the actor's (sim.Proc or sim.Task) opaque context
+// slot, so xlator signatures need no extra parameter. Layers open spans
+// with StartSpan and
 // close them with End; both are nil-safe no-ops when no operation is
 // attached, and neither advances virtual time, so tracing never perturbs a
 // simulation's results.
@@ -146,20 +147,20 @@ func (s *Span) Attr(key string) string {
 	return ""
 }
 
-// End closes the span at p's current virtual time, folds its duration
+// End closes the span at a's current virtual time, folds its duration
 // into its parent's child accounting, and records it on the operation. It
 // is a nil-safe no-op, and closing twice is ignored.
-func (s *Span) End(p *sim.Proc) {
+func (s *Span) End(a sim.Actor) {
 	if s == nil || s.ended {
 		return
 	}
 	s.ended = true
-	s.Finish = p.Now()
+	s.Finish = a.Now()
 	if s.parent != nil {
 		s.parent.childDur += s.Dur()
 	}
 	s.op.Spans = append(s.op.Spans, s)
-	if st, ok := p.Ctx().(*state); ok && st.cur == s {
+	if st, ok := a.Ctx().(*state); ok && st.cur == s {
 		st.cur = s.parent
 	}
 }
@@ -265,44 +266,45 @@ func deeper(a, b *Span) bool {
 	return a.Start > b.Start
 }
 
-// state is what lives in a proc's context slot: the operation plus this
-// process's current (innermost open) span. Each process has its own span
-// cursor, so concurrent helpers nest correctly under the span that spawned
-// them without sharing a stack.
+// state is what lives in an actor's context slot: the operation plus this
+// process's or task's current (innermost open) span. Each actor has its own
+// span cursor, so concurrent helpers nest correctly under the span that
+// spawned them without sharing a stack.
 type state struct {
 	op  *Op
 	cur *Span
 }
 
-// Attach associates op with p; subsequent StartSpan calls on p record into
+// Attach associates op with a; subsequent StartSpan calls on a record into
 // it. It replaces any previously attached operation.
-func Attach(p *sim.Proc, op *Op) { p.SetCtx(&state{op: op}) }
+func Attach(a sim.Actor, op *Op) { a.SetCtx(&state{op: op}) }
 
-// Detach removes and returns p's operation (nil if none).
-func Detach(p *sim.Proc) *Op {
-	st, ok := p.Ctx().(*state)
+// Detach removes and returns a's operation (nil if none).
+func Detach(a sim.Actor) *Op {
+	st, ok := a.Ctx().(*state)
 	if !ok {
 		return nil
 	}
-	p.SetCtx(nil)
+	a.SetCtx(nil)
 	return st.op
 }
 
-// FromProc returns the operation attached to p, or nil.
-func FromProc(p *sim.Proc) *Op {
-	if st, ok := p.Ctx().(*state); ok {
+// FromProc returns the operation attached to the actor, or nil. (The name
+// predates the task engine; it accepts either execution style.)
+func FromProc(a sim.Actor) *Op {
+	if st, ok := a.Ctx().(*state); ok {
 		return st.op
 	}
 	return nil
 }
 
-// Fork copies the parent's operation context onto a child process, so
-// spans the child opens nest under the parent's current span. Layers that
-// spawn helper processes on the operation's critical path (RPC handlers,
-// scatter-gather workers) call this right after creating the child; it
-// must run before the child first executes, which is guaranteed when the
-// parent is the running process. No-op when the parent has no context.
-func Fork(parent, child *sim.Proc) {
+// Fork copies the parent's operation context onto a child actor, so spans
+// the child opens nest under the parent's current span. Layers that spawn
+// helpers on the operation's critical path (RPC handlers, scatter-gather
+// workers) call this right after creating the child; it must run before
+// the child first executes, which is guaranteed when the parent is the
+// running actor. No-op when the parent has no context.
+func Fork(parent, child sim.Actor) {
 	st, ok := parent.Ctx().(*state)
 	if !ok {
 		return
@@ -310,18 +312,18 @@ func Fork(parent, child *sim.Proc) {
 	child.SetCtx(&state{op: st.op, cur: st.cur})
 }
 
-// StartSpan opens a span on p's operation and makes it the process's
+// StartSpan opens a span on a's operation and makes it the actor's
 // current span. It returns nil — still safe to annotate and end — when no
 // operation is attached, and costs no virtual time either way.
-func StartSpan(p *sim.Proc, layer, name string) *Span {
-	st, ok := p.Ctx().(*state)
+func StartSpan(a sim.Actor, layer, name string) *Span {
+	st, ok := a.Ctx().(*state)
 	if !ok {
 		return nil
 	}
 	s := &Span{
 		Layer:  layer,
 		Name:   name,
-		Start:  p.Now(),
+		Start:  a.Now(),
 		parent: st.cur,
 		op:     st.op,
 	}
@@ -332,25 +334,25 @@ func StartSpan(p *sim.Proc, layer, name string) *Span {
 	return s
 }
 
-// Deadline returns the deadline of p's operation, if one is armed.
-func Deadline(p *sim.Proc) (sim.Time, bool) {
-	if op := FromProc(p); op != nil {
+// Deadline returns the deadline of a's operation, if one is armed.
+func Deadline(a sim.Actor) (sim.Time, bool) {
+	if op := FromProc(a); op != nil {
 		return op.DeadlineTime()
 	}
 	return 0, false
 }
 
-// Expired reports whether p's operation has an armed deadline at or before
+// Expired reports whether a's operation has an armed deadline at or before
 // the current virtual time.
-func Expired(p *sim.Proc) bool {
-	dl, ok := Deadline(p)
-	return ok && p.Now() >= dl
+func Expired(a sim.Actor) bool {
+	dl, ok := Deadline(a)
+	return ok && a.Now() >= dl
 }
 
-// ClearDeadline disarms the deadline on p's operation, if any. Cache
+// ClearDeadline disarms the deadline on a's operation, if any. Cache
 // layers call it when falling back to the authoritative server path.
-func ClearDeadline(p *sim.Proc) {
-	if op := FromProc(p); op != nil {
+func ClearDeadline(a sim.Actor) {
+	if op := FromProc(a); op != nil {
 		op.ClearDeadline()
 	}
 }

@@ -17,6 +17,28 @@ func BenchmarkDispatch(b *testing.B) {
 	env.Run()
 }
 
+// BenchmarkTaskDispatch is BenchmarkDispatch on the continuation engine:
+// one task sleeping repeatedly, so every iteration is a schedule + heap
+// pop + closure invocation with no goroutine handshake. Comparing the two
+// gives the per-client-operation saving of the task engine.
+func BenchmarkTaskDispatch(b *testing.B) {
+	b.ReportAllocs()
+	env := NewEnv()
+	env.StartTask("sleeper", func(t *Task) {
+		var step func(i int)
+		step = func(i int) {
+			if i == b.N {
+				t.End()
+				return
+			}
+			t.Sleep(1, func() { step(i + 1) })
+		}
+		step(0)
+	})
+	b.ResetTimer()
+	env.Run()
+}
+
 // BenchmarkDeferredEvent measures the deferred-function fast path plus the
 // deadline-guarded wait built on it: each iteration runs one Defer and one
 // WaitUntil that times out, the shape fabric.Call pays per deadline-carrying

@@ -1,0 +1,182 @@
+package sim
+
+import "testing"
+
+// TestChanRendezvousSenderFirst covers the capacity-0 handoff when the
+// sender arrives before the receiver: the sender must park, the receiver
+// must take the value from the send queue, and both must resume.
+func TestChanRendezvousSenderFirst(t *testing.T) {
+	env := NewEnv()
+	ch := NewChan[int](env, 0)
+	var sentAt, gotAt Time
+	var got int
+	env.Process("sender", func(p *Proc) {
+		ch.Send(p, 42)
+		sentAt = p.Now()
+	})
+	env.Process("receiver", func(p *Proc) {
+		p.Sleep(10) // guarantee the sender parks first
+		got = ch.Recv(p)
+		gotAt = p.Now()
+	})
+	env.Run()
+	if got != 42 {
+		t.Fatalf("received %d, want 42", got)
+	}
+	if gotAt != 10 {
+		t.Errorf("receive completed at %v, want 10", gotAt)
+	}
+	if sentAt != 10 {
+		t.Errorf("sender resumed at %v, want 10 (when the receiver arrived)", sentAt)
+	}
+}
+
+// TestChanRendezvousReceiverFirst covers the opposite order: the receiver
+// parks on the empty channel and the sender hands the value over directly
+// without blocking.
+func TestChanRendezvousReceiverFirst(t *testing.T) {
+	env := NewEnv()
+	ch := NewChan[string](env, 0)
+	var got string
+	var gotAt, sentAt Time
+	env.Process("receiver", func(p *Proc) {
+		got = ch.Recv(p)
+		gotAt = p.Now()
+	})
+	env.Process("sender", func(p *Proc) {
+		p.Sleep(7)
+		ch.Send(p, "hello")
+		sentAt = p.Now()
+	})
+	env.Run()
+	if got != "hello" {
+		t.Fatalf("received %q, want hello", got)
+	}
+	if gotAt != 7 {
+		t.Errorf("receive completed at %v, want 7", gotAt)
+	}
+	if sentAt != 7 {
+		t.Errorf("direct handoff should not block the sender: resumed at %v", sentAt)
+	}
+}
+
+// TestChanMultipleWaitingReceivers parks several receivers, then delivers:
+// values must hand off in FIFO arrival order, one per send.
+func TestChanMultipleWaitingReceivers(t *testing.T) {
+	env := NewEnv()
+	ch := NewChan[int](env, 0)
+	const n = 4
+	got := make([]int, n)
+	for i := 0; i < n; i++ {
+		i := i
+		env.Process("receiver", func(p *Proc) {
+			p.Sleep(Duration(i + 1)) // receivers park in order 0..n-1
+			got[i] = ch.Recv(p)
+		})
+	}
+	env.Process("sender", func(p *Proc) {
+		p.Sleep(100)
+		for v := 0; v < n; v++ {
+			ch.Send(p, v)
+		}
+	})
+	env.Run()
+	for i, v := range got {
+		if v != i {
+			t.Errorf("receiver %d got %d, want %d (FIFO handoff order)", i, v, i)
+		}
+	}
+}
+
+// TestChanMultipleWaitingSenders parks several senders on a full
+// rendezvous channel; receives must drain them in arrival order.
+func TestChanMultipleWaitingSenders(t *testing.T) {
+	env := NewEnv()
+	ch := NewChan[int](env, 0)
+	const n = 4
+	for i := 0; i < n; i++ {
+		i := i
+		env.Process("sender", func(p *Proc) {
+			p.Sleep(Duration(i + 1)) // senders park in order 0..n-1
+			ch.Send(p, i)
+		})
+	}
+	var got []int
+	env.Process("receiver", func(p *Proc) {
+		p.Sleep(100)
+		for j := 0; j < n; j++ {
+			got = append(got, ch.Recv(p))
+		}
+	})
+	env.Run()
+	for i, v := range got {
+		if v != i {
+			t.Errorf("receive %d got %d, want %d (FIFO sender order)", i, v, i)
+		}
+	}
+}
+
+// TestChanBufferedSenderUnblocksOnRecv fills a 1-slot buffer, parks a
+// second sender, and checks that a receive both returns the buffered value
+// and promotes the parked sender's value into the freed slot.
+func TestChanBufferedSenderUnblocksOnRecv(t *testing.T) {
+	env := NewEnv()
+	ch := NewChan[int](env, 1)
+	var secondSent Time
+	env.Process("sender", func(p *Proc) {
+		ch.Send(p, 1) // buffers without blocking
+		ch.Send(p, 2) // parks: buffer full, no receiver
+		secondSent = p.Now()
+	})
+	var first, second int
+	env.Process("receiver", func(p *Proc) {
+		p.Sleep(5)
+		first = ch.Recv(p)
+		second = ch.Recv(p)
+	})
+	env.Run()
+	if first != 1 || second != 2 {
+		t.Fatalf("received %d,%d; want 1,2", first, second)
+	}
+	if secondSent != 5 {
+		t.Errorf("parked sender resumed at %v, want 5", secondSent)
+	}
+	if ch.Len() != 0 {
+		t.Errorf("buffer holds %d values after drain", ch.Len())
+	}
+}
+
+// TestChanTryOps covers the non-blocking variants against every queue
+// state: empty, buffered, and with a parked counterpart.
+func TestChanTryOps(t *testing.T) {
+	env := NewEnv()
+	ch := NewChan[int](env, 1)
+	if _, ok := ch.TryRecv(); ok {
+		t.Fatal("TryRecv succeeded on an empty channel")
+	}
+	if !ch.TrySend(9) {
+		t.Fatal("TrySend failed with a free buffer slot")
+	}
+	if ch.TrySend(10) {
+		t.Fatal("TrySend succeeded on a full buffer with no receiver")
+	}
+	if v, ok := ch.TryRecv(); !ok || v != 9 {
+		t.Fatalf("TryRecv = %d,%v; want 9,true", v, ok)
+	}
+
+	// A parked receiver takes a TrySend value directly.
+	var got int
+	env.Process("receiver", func(p *Proc) {
+		got = ch.Recv(p)
+	})
+	env.Process("sender", func(p *Proc) {
+		p.Sleep(1)
+		if !ch.TrySend(77) {
+			t.Error("TrySend failed with a parked receiver")
+		}
+	})
+	env.Run()
+	if got != 77 {
+		t.Fatalf("parked receiver got %d, want 77", got)
+	}
+}

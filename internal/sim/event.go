@@ -2,13 +2,25 @@ package sim
 
 // Event is a one-shot notification in virtual time. Processes wait on it;
 // once triggered, all current and future waiters proceed immediately and
-// receive the trigger value.
+// receive the trigger value. Tasks wait with WaitT/WaitUntilT, receiving
+// the value through a continuation instead of a resumed goroutine.
 type Event struct {
 	env         *Env
 	triggered   bool
 	triggeredAt Time // instant Trigger ran; meaningful only when triggered
 	value       interface{}
-	waiters     []*Proc
+	waiters     []eventWaiter
+	nextWID     uint64
+}
+
+// eventWaiter is one parked process or one pending task continuation.
+// Exactly one of p and fn is set. id identifies a continuation for
+// withdrawal by WaitUntilT's timeout (closures are not comparable, so the
+// token stands in for the pointer identity a *Proc provides).
+type eventWaiter struct {
+	p  *Proc
+	fn func(v interface{})
+	id uint64
 }
 
 // NewEvent returns an untriggered event.
@@ -24,7 +36,9 @@ func (ev *Event) Value() interface{} { return ev.value }
 
 // Trigger fires the event, waking all waiters at the current instant.
 // Triggering an already-triggered event is a no-op (the first value wins).
-// It may be called from any process or from scheduler context.
+// It may be called from any process or from scheduler context. Each waiter
+// costs one scheduled event, whether it is a process wake-up or a task
+// continuation.
 func (ev *Event) Trigger(v interface{}) {
 	if ev.triggered {
 		return
@@ -32,8 +46,13 @@ func (ev *Event) Trigger(v interface{}) {
 	ev.triggered = true
 	ev.triggeredAt = ev.env.now
 	ev.value = v
-	for _, p := range ev.waiters {
-		ev.env.scheduleProc(p, 0)
+	for _, w := range ev.waiters {
+		if w.p != nil {
+			ev.env.scheduleProc(w.p, 0)
+			continue
+		}
+		fn := w.fn
+		ev.env.schedule(ev.env.now, nil, func() { fn(ev.value) })
 	}
 	ev.waiters = nil
 }
@@ -44,9 +63,20 @@ func (ev *Event) Wait(p *Proc) interface{} {
 	if ev.triggered {
 		return ev.value
 	}
-	ev.waiters = append(ev.waiters, p)
+	ev.waiters = append(ev.waiters, eventWaiter{p: p})
 	p.park()
 	return ev.value
+}
+
+// WaitT arranges for k to receive the trigger value: immediately (inline,
+// consuming no sequence number — mirroring Wait's already-triggered fast
+// path) if the event has fired, otherwise when Trigger runs.
+func (ev *Event) WaitT(t *Task, k func(v interface{})) {
+	if ev.triggered {
+		k(ev.value)
+		return
+	}
+	ev.waiters = append(ev.waiters, eventWaiter{fn: k})
 }
 
 // WaitAll parks p until every event in evs has triggered.
@@ -85,8 +115,8 @@ func (ev *Event) WaitUntil(p *Proc, deadline Time) (interface{}, bool) {
 			timedOut = true
 			return
 		}
-		for i, w := range ev.waiters {
-			if w == p {
+		for i := range ev.waiters {
+			if ev.waiters[i].p == p {
 				ev.waiters = append(ev.waiters[:i], ev.waiters[i+1:]...)
 				break
 			}
@@ -94,10 +124,54 @@ func (ev *Event) WaitUntil(p *Proc, deadline Time) (interface{}, bool) {
 		timedOut = true
 		ev.env.scheduleProc(p, 0)
 	})
-	ev.waiters = append(ev.waiters, p)
+	ev.waiters = append(ev.waiters, eventWaiter{p: p})
 	p.park()
 	if timedOut {
 		return nil, false
 	}
 	return ev.value, true
+}
+
+// WaitUntilT is WaitUntil for tasks: k receives (value, true) when the
+// event fires before deadline and (nil, false) on timeout. The schedule
+// consumption and the tie rule (timeout wins at the deadline instant)
+// mirror WaitUntil exactly.
+func (ev *Event) WaitUntilT(t *Task, deadline Time, k func(v interface{}, ok bool)) {
+	if ev.triggered {
+		k(ev.value, true)
+		return
+	}
+	if deadline <= t.env.now {
+		k(nil, false)
+		return
+	}
+	ev.nextWID++
+	id := ev.nextWID
+	timedOut := false
+	t.env.Defer(deadline.Sub(t.env.now), func() {
+		if ev.triggered {
+			if ev.triggeredAt < deadline {
+				return // fired strictly earlier; k already ran
+			}
+			// Fired at the deadline instant: Trigger has already scheduled
+			// the continuation wrapper, which reads this flag.
+			timedOut = true
+			return
+		}
+		for i := range ev.waiters {
+			if ev.waiters[i].id == id {
+				ev.waiters = append(ev.waiters[:i], ev.waiters[i+1:]...)
+				break
+			}
+		}
+		timedOut = true
+		t.env.schedule(t.env.now, nil, func() { k(nil, false) })
+	})
+	ev.waiters = append(ev.waiters, eventWaiter{id: id, fn: func(v interface{}) {
+		if timedOut {
+			k(nil, false)
+			return
+		}
+		k(v, true)
+	}})
 }

@@ -3,7 +3,8 @@ package sim
 // Resource is a counted server with a FIFO queue: up to Capacity units may
 // be held concurrently; further acquirers wait in arrival order. It models
 // contended hardware such as a NIC, a disk arm, or a pool of server
-// threads.
+// threads. Both engines share one queue: a waiter is a parked process or a
+// pending task continuation, admitted in strict arrival order either way.
 type Resource struct {
 	env      *Env
 	capacity int
@@ -18,10 +19,13 @@ type Resource struct {
 	maxQueue int
 }
 
+// resWaiter is one queued acquirer: a parked process (p) or a task
+// continuation (fn); exactly one is set.
 type resWaiter struct {
-	p *Proc
-	n int
-	t Time
+	p  *Proc
+	fn func()
+	n  int
+	t  Time
 }
 
 // NewResource returns a resource with the given concurrent capacity.
@@ -67,7 +71,31 @@ func (r *Resource) Acquire(p *Proc, n int) {
 	p.park()
 }
 
-// Release returns n units and wakes as many FIFO waiters as now fit.
+// AcquireT takes n units and runs k. When the units are free the grant is
+// immediate: k runs inline and no event is scheduled, mirroring Acquire's
+// uncontended fast path. Otherwise the continuation queues FIFO behind
+// earlier acquirers and is dispatched by Release.
+func (r *Resource) AcquireT(t *Task, n int, k func()) {
+	if n <= 0 || n > r.capacity {
+		panic("sim: bad acquire count")
+	}
+	r.acquires++
+	if len(r.waiters) == 0 && r.inUse+n <= r.capacity {
+		r.accountBusy()
+		r.inUse += n
+		k()
+		return
+	}
+	w := &resWaiter{fn: k, n: n, t: r.env.now}
+	r.waiters = append(r.waiters, w)
+	if len(r.waiters) > r.maxQueue {
+		r.maxQueue = len(r.waiters)
+	}
+}
+
+// Release returns n units and wakes as many FIFO waiters as now fit. Each
+// admitted waiter costs one scheduled event — a process wake-up or a task
+// continuation dispatch.
 func (r *Resource) Release(n int) {
 	if n <= 0 || n > r.inUse {
 		panic("sim: bad release count")
@@ -80,7 +108,11 @@ func (r *Resource) Release(n int) {
 		r.accountBusy()
 		r.inUse += w.n
 		r.waitTime += r.env.now.Sub(w.t)
-		r.env.scheduleProc(w.p, 0)
+		if w.p != nil {
+			r.env.scheduleProc(w.p, 0)
+		} else {
+			r.env.schedule(r.env.now, nil, w.fn)
+		}
 	}
 }
 
@@ -90,6 +122,17 @@ func (r *Resource) Use(p *Proc, d Duration) {
 	r.Acquire(p, 1)
 	p.Sleep(d)
 	r.Release(1)
+}
+
+// UseT is Use for tasks: acquire one unit, hold it for d, release, then
+// run k. Schedule consumption matches Use exactly.
+func (r *Resource) UseT(t *Task, d Duration, k func()) {
+	r.AcquireT(t, 1, func() {
+		t.Sleep(d, func() {
+			r.Release(1)
+			k()
+		})
+	})
 }
 
 // Utilization returns the fraction of elapsed virtual time the resource has
@@ -113,11 +156,19 @@ func (r *Resource) Stats() (acquires uint64, avgWait Duration, maxQueue int) {
 
 // Barrier blocks processes until a fixed number have arrived, then releases
 // them all at the same instant. It is reusable: after releasing a
-// generation it resets for the next.
+// generation it resets for the next. Processes and tasks may share one
+// barrier: the last arriver — either kind — releases the generation.
 type Barrier struct {
 	env     *Env
 	parties int
-	waiting []*Proc
+	waiting []barrierWaiter
+}
+
+// barrierWaiter is one arrived party: a parked process or a task
+// continuation; exactly one is set.
+type barrierWaiter struct {
+	p  *Proc
+	fn func()
 }
 
 // NewBarrier returns a barrier for the given number of parties.
@@ -131,12 +182,34 @@ func NewBarrier(env *Env, parties int) *Barrier {
 // Wait blocks p until all parties have arrived.
 func (b *Barrier) Wait(p *Proc) {
 	if len(b.waiting)+1 == b.parties {
-		for _, q := range b.waiting {
-			b.env.scheduleProc(q, 0)
-		}
-		b.waiting = b.waiting[:0]
+		b.release()
 		return
 	}
-	b.waiting = append(b.waiting, p)
+	b.waiting = append(b.waiting, barrierWaiter{p: p})
 	p.park()
+}
+
+// WaitT runs k when all parties have arrived. The last arriver's k runs
+// inline — consuming no sequence number, exactly as the last Wait caller
+// continues without parking — after the earlier arrivals are scheduled.
+func (b *Barrier) WaitT(t *Task, k func()) {
+	if len(b.waiting)+1 == b.parties {
+		b.release()
+		k()
+		return
+	}
+	b.waiting = append(b.waiting, barrierWaiter{fn: k})
+}
+
+// release schedules every waiting party at the current instant and resets
+// the barrier for the next generation.
+func (b *Barrier) release() {
+	for _, w := range b.waiting {
+		if w.p != nil {
+			b.env.scheduleProc(w.p, 0)
+		} else {
+			b.env.schedule(b.env.now, nil, w.fn)
+		}
+	}
+	b.waiting = b.waiting[:0]
 }

@@ -166,6 +166,9 @@ type Env struct {
 	parked  int // processes blocked on a primitive
 	nextPID int
 
+	tasksLive int // tasks started and not yet ended
+	nextTID   int
+
 	// EventsProcessed counts dispatched events — a cheap measure of how
 	// much simulated activity a run performed, useful when comparing the
 	// cost of scenarios or hunting runaway models.
@@ -397,6 +400,9 @@ func (e *Env) RunUntil(limit Time) Time {
 	}
 	if e.living > 0 && e.parked == e.living {
 		panic(fmt.Sprintf("sim: deadlock at %v: %d process(es) parked with no pending events", e.now, e.parked))
+	}
+	if e.tasksLive > 0 {
+		panic(fmt.Sprintf("sim: deadlock at %v: %d task(s) un-ended with no pending events", e.now, e.tasksLive))
 	}
 	return e.now
 }

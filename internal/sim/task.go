@@ -1,0 +1,107 @@
+package sim
+
+import "fmt"
+
+// Actor is the common face of the kernel's two execution styles: a *Proc
+// (goroutine-backed, blocking primitives) and a *Task (continuation-style,
+// advanced by heap events). Layers that only need the clock and the
+// per-operation context slot — tracing, health accounting, span
+// bookkeeping — accept an Actor so one implementation serves both engines.
+type Actor interface {
+	Env() *Env
+	Now() Time
+	Ctx() interface{}
+	SetCtx(v interface{})
+	Name() string
+	String() string
+}
+
+var (
+	_ Actor = (*Proc)(nil)
+	_ Actor = (*Task)(nil)
+)
+
+// Task is a simulated activity written in continuation-passing style: a
+// state machine advanced by plain heap events instead of a parked
+// goroutine. Where a Proc pays a goroutine park/wake handshake (two channel
+// operations) per blocking primitive, a Task's continuation is dispatched
+// inline in scheduler context like any deferred function, so ten thousand
+// concurrent clients cost ten thousand pending closures, not ten thousand
+// goroutines.
+//
+// A Task never blocks. Each kernel primitive has a *T variant
+// (Event.WaitT, Resource.AcquireT/UseT, Barrier.WaitT, Task.Sleep) that
+// takes the rest of the computation as a callback and returns immediately.
+// The continuation runs in scheduler context when the awaited instant or
+// condition arrives. A Task's body must call End exactly once, after its
+// last continuation has run; a drained event heap with un-ended Tasks is a
+// deadlock, diagnosed by Run exactly as for parked processes.
+//
+// Determinism: the *T primitives consume sequence numbers identically to
+// their blocking siblings (one schedule per wake-up, zero when the fast
+// path returns inline), so a workload ported from Procs to Tasks replays
+// the exact same (time, seq) event stream and produces byte-identical
+// results.
+type Task struct {
+	env   *Env
+	name  string
+	tid   int
+	done  *Event
+	ended bool
+	ctx   interface{}
+}
+
+// StartTask creates a task and schedules its body to run at the current
+// virtual time, exactly as Env.Process schedules a new process's first
+// slice. The body receives the task and typically arms its first
+// continuation before returning.
+func (e *Env) StartTask(name string, fn func(t *Task)) *Task {
+	e.nextTID++
+	t := &Task{env: e, name: name, tid: e.nextTID}
+	t.done = NewEvent(e)
+	e.tasksLive++
+	e.schedule(e.now, nil, func() { fn(t) })
+	return t
+}
+
+// Name returns the name given at creation.
+func (t *Task) Name() string { return t.name }
+
+// Env returns the environment the task belongs to.
+func (t *Task) Env() *Env { return t.env }
+
+// Now returns the current virtual time.
+func (t *Task) Now() Time { return t.env.now }
+
+// Done returns an event triggered when the task calls End.
+func (t *Task) Done() *Event { return t.done }
+
+// Ctx returns the task's context slot, or nil; see Proc.Ctx.
+func (t *Task) Ctx() interface{} { return t.ctx }
+
+// SetCtx stores v in the task's context slot; see Proc.SetCtx.
+func (t *Task) SetCtx(v interface{}) { t.ctx = v }
+
+// String identifies the task for diagnostics.
+func (t *Task) String() string { return fmt.Sprintf("task %d (%s)", t.tid, t.name) }
+
+// Sleep schedules k to run after d of virtual time. It consumes one
+// sequence number, exactly like Proc.Sleep.
+func (t *Task) Sleep(d Duration, k func()) {
+	if d < 0 {
+		panic("sim: negative sleep")
+	}
+	t.env.schedule(t.env.now.Add(d), nil, k)
+}
+
+// End marks the task finished and triggers its Done event. Every task must
+// end exactly once; ending is what lets Run distinguish a completed
+// simulation from one whose continuation chain was dropped.
+func (t *Task) End() {
+	if t.ended {
+		panic(fmt.Sprintf("sim: %v ended twice", t))
+	}
+	t.ended = true
+	t.env.tasksLive--
+	t.done.Trigger(nil)
+}

@@ -35,14 +35,98 @@ func MDTest(env *sim.Env, mounts []gluster.FS, opts MDTestOptions) MDTestResult 
 	}
 	nc := len(mounts)
 	n := opts.FilesPerClient
+	tms := taskMounts(mounts)
 
 	clientDir := func(ci int) string { return fmt.Sprintf("%s/c%03d", opts.Dir, ci) }
 
 	var createMax, statMax, unlinkMax sim.Duration
 	bar := sim.NewBarrier(env, nc)
-	for ci, fs := range mounts {
-		ci, fs := ci, fs
-		env.Process(fmt.Sprintf("mdtest-%d", ci), func(p *sim.Proc) {
+	for ci := 0; ci < nc; ci++ {
+		ci := ci
+		if tms != nil {
+			tfs := tms[ci]
+			env.StartTask("mdtest", func(t *sim.Task) {
+				var t0 sim.Time
+
+				// Phase 3: unlink own files.
+				phase3 := func() {
+					bar.WaitT(t, func() {
+						t0 = t.Now()
+						var unlink func(i int)
+						unlink = func(i int) {
+							if i == n {
+								if d := t.Now().Sub(t0); d > unlinkMax {
+									unlinkMax = d
+								}
+								t.End()
+								return
+							}
+							tfs.UnlinkT(t, FilePath(clientDir(ci), i), func(err error) {
+								if err != nil {
+									panic(fmt.Sprintf("workload: mdtest unlink: %v", err))
+								}
+								unlink(i + 1)
+							})
+						}
+						unlink(0)
+					})
+				}
+
+				// Phase 2: stat every file of every client.
+				phase2 := func() {
+					bar.WaitT(t, func() {
+						t0 = t.Now()
+						var stat func(j int)
+						stat = func(j int) {
+							if j == nc*n {
+								if d := t.Now().Sub(t0); d > statMax {
+									statMax = d
+								}
+								bar.WaitT(t, phase3)
+								return
+							}
+							tfs.StatT(t, FilePath(clientDir(j/n), j%n), func(_ *gluster.Stat, err error) {
+								if err != nil {
+									panic(fmt.Sprintf("workload: mdtest stat: %v", err))
+								}
+								stat(j + 1)
+							})
+						}
+						stat(0)
+					})
+				}
+
+				// Phase 1: create.
+				bar.WaitT(t, func() {
+					t0 = t.Now()
+					var create func(i int)
+					create = func(i int) {
+						if i == n {
+							if d := t.Now().Sub(t0); d > createMax {
+								createMax = d
+							}
+							bar.WaitT(t, phase2)
+							return
+						}
+						tfs.CreateT(t, FilePath(clientDir(ci), i), func(fd gluster.FD, err error) {
+							if err != nil {
+								panic(fmt.Sprintf("workload: mdtest create: %v", err))
+							}
+							tfs.CloseT(t, fd, func(err error) {
+								if err != nil {
+									panic(err)
+								}
+								create(i + 1)
+							})
+						})
+					}
+					create(0)
+				})
+			})
+			continue
+		}
+		fs := mounts[ci]
+		env.Process("mdtest", func(p *sim.Proc) {
 			// Phase 1: create.
 			bar.Wait(p)
 			t0 := p.Now()

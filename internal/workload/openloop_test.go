@@ -1,0 +1,164 @@
+package workload
+
+import (
+	"testing"
+
+	"imca/internal/cluster"
+	"imca/internal/gluster"
+)
+
+func openLoopOpts() OpenLoopOptions {
+	return OpenLoopOptions{
+		Dir:               "/ol",
+		Files:             64,
+		FileSize:          2048,
+		Tenants:           200,
+		ArrivalsPerTenant: 4,
+		MeanInterarrival:  2e6, // 2ms
+		Seed:              7,
+	}
+}
+
+func openLoopCluster() *cluster.Cluster {
+	return cluster.New(cluster.Options{Clients: 4, MCDs: 2, MCDMemBytes: 64 << 20, BlockSize: 2048})
+}
+
+func TestOpenLoopCompletes(t *testing.T) {
+	c := openLoopCluster()
+	opts := openLoopOpts()
+	run := OpenLoop(c.Env, c.FSes(), opts)
+	want := uint64(opts.Tenants * opts.ArrivalsPerTenant)
+	if run.Issued != want || run.Completed != want {
+		t.Fatalf("issued %d completed %d, want %d each", run.Issued, run.Completed, want)
+	}
+	if run.Latency.Count() != want {
+		t.Fatalf("latency observations = %d, want %d", run.Latency.Count(), want)
+	}
+	if run.Elapsed <= 0 {
+		t.Error("non-positive elapsed virtual time")
+	}
+	var sum uint64
+	for _, n := range run.KeyReads {
+		sum += n
+	}
+	if sum != want {
+		t.Fatalf("key reads sum to %d, want %d", sum, want)
+	}
+}
+
+// TestOpenLoopDeterministic re-runs the same geometry on a fresh cluster:
+// every arrival stream, and therefore every latency and counter, must
+// repeat exactly.
+func TestOpenLoopDeterministic(t *testing.T) {
+	runOnce := func() *OpenLoopRun {
+		c := openLoopCluster()
+		return OpenLoop(c.Env, c.FSes(), openLoopOpts())
+	}
+	a, b := runOnce(), runOnce()
+	if a.Issued != b.Issued || a.Completed != b.Completed {
+		t.Fatalf("counters differ: %d/%d vs %d/%d", a.Issued, a.Completed, b.Issued, b.Completed)
+	}
+	if a.Elapsed != b.Elapsed {
+		t.Fatalf("elapsed differs: %v vs %v", a.Elapsed, b.Elapsed)
+	}
+	if a.Latency.Sum() != b.Latency.Sum() || a.Latency.Max() != b.Latency.Max() {
+		t.Fatalf("latency distributions differ: sum %v/%v max %v/%v",
+			a.Latency.Sum(), b.Latency.Sum(), a.Latency.Max(), b.Latency.Max())
+	}
+	for i := range a.KeyReads {
+		if a.KeyReads[i] != b.KeyReads[i] {
+			t.Fatalf("key %d drew %d then %d times", i, a.KeyReads[i], b.KeyReads[i])
+		}
+	}
+}
+
+// TestOpenLoopZipfSkew checks the popularity profile actually offered:
+// under Zipf(1), the hottest file must far exceed the uniform share and
+// the frequency ranking must roughly follow the key order.
+func TestOpenLoopZipfSkew(t *testing.T) {
+	c := openLoopCluster()
+	opts := openLoopOpts()
+	opts.Tenants = 500
+	opts.ArrivalsPerTenant = 8
+	run := OpenLoop(c.Env, c.FSes(), opts)
+	uniform := float64(run.Issued) / float64(opts.Files)
+	if head := float64(run.KeyReads[0]); head < 3*uniform {
+		t.Errorf("hottest file drew %v reads, want ≥ 3× the uniform share %v", head, uniform)
+	}
+	// The head of the curve must dominate the tail end.
+	var tail uint64
+	for _, n := range run.KeyReads[opts.Files/2:] {
+		tail += n
+	}
+	if run.KeyReads[0] < tail/8 {
+		t.Errorf("head %d reads vs whole second half %d: skew too weak", run.KeyReads[0], tail)
+	}
+}
+
+// procOnly hides any TaskFS implementation, forcing the process engine:
+// only the embedded interface's blocking methods are promoted.
+type procOnly struct{ gluster.FS }
+
+func TestOpenLoopRequiresTaskEngine(t *testing.T) {
+	c := openLoopCluster()
+	wrapped := make([]gluster.FS, 0, len(c.Mounts))
+	for _, fs := range c.FSes() {
+		wrapped = append(wrapped, procOnly{fs})
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("open-loop generator accepted proc-only mounts")
+		}
+	}()
+	OpenLoop(c.Env, wrapped, openLoopOpts())
+}
+
+// TestEngineEquivalence is the refactor's core guarantee at workload
+// level: the same closed-loop benchmark on identical deployments produces
+// identical virtual-time results whether the clients run as tasks or as
+// parked processes.
+func TestEngineEquivalence(t *testing.T) {
+	newOpts := func() cluster.Options {
+		return cluster.Options{Clients: 4, MCDs: 2, MCDMemBytes: 64 << 20, BlockSize: 2048}
+	}
+	latOpts := LatencyOptions{Dir: "/eq", RecordSizes: []int64{256, 2048}, Records: 32}
+
+	taskC := cluster.New(newOpts())
+	if taskMounts(taskC.FSes()) == nil {
+		t.Fatal("IMCa mounts should be task-capable")
+	}
+	taskRes := Latency(taskC.Env, taskC.FSes(), latOpts)
+
+	procC := cluster.New(newOpts())
+	wrapped := make([]gluster.FS, 0, 4)
+	for _, fs := range procC.FSes() {
+		wrapped = append(wrapped, procOnly{fs})
+	}
+	if taskMounts(wrapped) != nil {
+		t.Fatal("wrapped mounts should not be task-capable")
+	}
+	procRes := Latency(procC.Env, wrapped, latOpts)
+
+	for _, r := range latOpts.RecordSizes {
+		if taskRes.Write[r] != procRes.Write[r] {
+			t.Errorf("write latency at %d differs: task %v, proc %v", r, taskRes.Write[r], procRes.Write[r])
+		}
+		if taskRes.Read[r] != procRes.Read[r] {
+			t.Errorf("read latency at %d differs: task %v, proc %v", r, taskRes.Read[r], procRes.Read[r])
+		}
+	}
+
+	// And the metadata benchmark, which exercises create/stat/unlink and
+	// consecutive barrier generations.
+	mdT := cluster.New(newOpts())
+	mdTRes := MDTest(mdT.Env, mdT.FSes(), MDTestOptions{Dir: "/md", FilesPerClient: 16})
+	mdP := cluster.New(newOpts())
+	wrapped = wrapped[:0]
+	for _, fs := range mdP.FSes() {
+		wrapped = append(wrapped, procOnly{fs})
+	}
+	mdPRes := MDTest(mdP.Env, wrapped, MDTestOptions{Dir: "/md", FilesPerClient: 16})
+	if mdTRes != mdPRes {
+		t.Errorf("mdtest differs across engines: task %+v, proc %+v", mdTRes, mdPRes)
+	}
+}

@@ -61,11 +61,68 @@ func SmallFiles(env *sim.Env, mounts []gluster.FS, opts SmallFilesOptions) Small
 	})
 	env.Run()
 
+	tms := taskMounts(mounts)
 	bar := sim.NewBarrier(env, len(mounts))
 	var total sim.Duration
-	for ci, fs := range mounts {
-		ci, fs := ci, fs
-		env.Process(fmt.Sprintf("smallfiles-%d", ci), func(p *sim.Proc) {
+	for ci := 0; ci < len(mounts); ci++ {
+		ci := ci
+		if tms != nil {
+			tfs := tms[ci]
+			env.StartTask("smallfiles", func(t *sim.Task) {
+				rng := xrand.New(opts.Seed + uint64(ci)*0x9e3779b97f4a7c15 + 1)
+				zipf := xrand.NewZipf(rng, 1.0, opts.Files)
+				open := make(map[int]gluster.FD)
+				bar.WaitT(t, func() {
+					t0 := t.Now()
+					var access func(a int)
+					access = func(a int) {
+						if a == opts.Accesses {
+							total += t.Now().Sub(t0)
+							t.End()
+							return
+						}
+						idx := zipf.Draw()
+						path := FilePath(opts.Dir, idx)
+						withFD := func(fd gluster.FD) {
+							tfs.ReadT(t, fd, 0, opts.FileSize, func(data blob.Blob, err error) {
+								if err != nil || data.Len() != opts.FileSize {
+									panic(fmt.Sprintf("workload: small read %d bytes, %v", data.Len(), err))
+								}
+								if opts.Reopen {
+									tfs.CloseT(t, fd, func(error) { access(a + 1) })
+									return
+								}
+								access(a + 1)
+							})
+						}
+						if opts.Reopen {
+							tfs.OpenT(t, path, func(fd gluster.FD, err error) {
+								if err != nil {
+									panic(err)
+								}
+								withFD(fd)
+							})
+							return
+						}
+						if fd, ok := open[idx]; ok {
+							withFD(fd)
+							return
+						}
+						tfs.OpenT(t, path, func(fd gluster.FD, err error) {
+							if err != nil {
+								panic(err)
+							}
+							open[idx] = fd
+							withFD(fd)
+						})
+					}
+					access(0)
+				})
+			})
+			continue
+		}
+		fs := mounts[ci]
+		env.Process("smallfiles", func(p *sim.Proc) {
 			rng := xrand.New(opts.Seed + uint64(ci)*0x9e3779b97f4a7c15 + 1)
 			zipf := xrand.NewZipf(rng, 1.0, opts.Files)
 			open := make(map[int]gluster.FD)

@@ -3,6 +3,17 @@
 // the shared-file read/write-sharing benchmark (§5.6), and an IOzone-like
 // streaming throughput benchmark (§5.5). Drivers operate on gluster.FS
 // mounts, so the same code measures GlusterFS, IMCa, NFS, and Lustre.
+//
+// # Client engines
+//
+// Each driver has two client representations. When every mount supports
+// the continuation engine (gluster.TaskFS all the way down), client bodies
+// run as sim.Tasks — heap-scheduled state machines with no goroutine per
+// client. Otherwise (Lustre, NFS, or any stack with a non-task xlator)
+// they fall back to sim.Procs. The two bodies of each driver mirror each
+// other operation for operation and consume kernel schedules identically,
+// so results are byte-identical across engines; low-cardinality control
+// processes (setup, file creation) stay Procs under both.
 package workload
 
 import (
@@ -18,6 +29,20 @@ import (
 // (Lustre's unmount/remount "cold cache" configuration).
 type CacheDropper interface {
 	DropCaches()
+}
+
+// taskMounts returns the mounts as TaskFS instances when every one can
+// serve the continuation engine, or nil to select the process engine.
+func taskMounts(mounts []gluster.FS) []gluster.TaskFS {
+	out := make([]gluster.TaskFS, len(mounts))
+	for i, fs := range mounts {
+		tfs := gluster.AsTaskFS(fs)
+		if tfs == nil {
+			return nil
+		}
+		out[i] = tfs
+	}
+	return out
 }
 
 // CreateFiles makes n empty files "<dir>/f<k>" through fs (the stat
@@ -48,20 +73,49 @@ func FilePath(dir string, i int) string {
 func StatBench(env *sim.Env, mounts []gluster.FS, dir string, n int) sim.Duration {
 	start := sim.NewBarrier(env, len(mounts))
 	var maxElapsed sim.Duration
-	for ci, fs := range mounts {
-		fs := fs
-		env.Process(fmt.Sprintf("statbench-%d", ci), func(p *sim.Proc) {
-			start.Wait(p)
-			t0 := p.Now()
-			for i := 0; i < n; i++ {
-				if _, err := fs.Stat(p, FilePath(dir, i)); err != nil {
-					panic(fmt.Sprintf("workload: stat %d: %v", i, err))
+	record := func(t0, now sim.Time) {
+		if d := now.Sub(t0); d > maxElapsed {
+			maxElapsed = d
+		}
+	}
+	if tms := taskMounts(mounts); tms != nil {
+		for _, tfs := range tms {
+			tfs := tfs
+			env.StartTask("statbench", func(t *sim.Task) {
+				start.WaitT(t, func() {
+					t0 := t.Now()
+					var stat func(i int)
+					stat = func(i int) {
+						if i == n {
+							record(t0, t.Now())
+							t.End()
+							return
+						}
+						tfs.StatT(t, FilePath(dir, i), func(_ *gluster.Stat, err error) {
+							if err != nil {
+								panic(fmt.Sprintf("workload: stat %d: %v", i, err))
+							}
+							stat(i + 1)
+						})
+					}
+					stat(0)
+				})
+			})
+		}
+	} else {
+		for _, fs := range mounts {
+			fs := fs
+			env.Process("statbench", func(p *sim.Proc) {
+				start.Wait(p)
+				t0 := p.Now()
+				for i := 0; i < n; i++ {
+					if _, err := fs.Stat(p, FilePath(dir, i)); err != nil {
+						panic(fmt.Sprintf("workload: stat %d: %v", i, err))
+					}
 				}
-			}
-			if d := p.Now().Sub(t0); d > maxElapsed {
-				maxElapsed = d
-			}
-		})
+				record(t0, p.Now())
+			})
+		}
 	}
 	env.Run()
 	return maxElapsed
@@ -110,24 +164,25 @@ type LatencyResult struct {
 	Ops []*optrace.Op
 }
 
-// traceStart begins a traced operation on p when tracing is enabled and
-// opens its root span; both helpers are no-ops with a nil collector slice.
-func traceStart(p *sim.Proc, cols []*optrace.Collector, si int, name string) *optrace.Span {
+// traceStart begins a traced operation on the client actor when tracing is
+// enabled and opens its root span; both helpers are no-ops with a nil
+// collector slice.
+func traceStart(a sim.Actor, cols []*optrace.Collector, si int, name string) *optrace.Span {
 	if cols == nil {
 		return nil
 	}
-	cols[si].Begin(p, name)
-	return optrace.StartSpan(p, optrace.LayerOp, name)
+	cols[si].Begin(a, name)
+	return optrace.StartSpan(a, optrace.LayerOp, name)
 }
 
 // traceEnd closes the root span and folds the finished operation into its
 // record size's breakdown.
-func traceEnd(p *sim.Proc, cols []*optrace.Collector, si int, root *optrace.Span) {
+func traceEnd(a sim.Actor, cols []*optrace.Collector, si int, root *optrace.Span) {
 	if cols == nil {
 		return
 	}
-	root.End(p)
-	cols[si].End(p)
+	root.End(a)
+	cols[si].End(a)
 }
 
 // newCollectors returns one collector per record size (nil unless traced).
@@ -176,6 +231,7 @@ func Latency(env *sim.Env, mounts []gluster.FS, opts LatencyOptions) LatencyResu
 		panic("workload: no record sizes")
 	}
 	nc := len(mounts)
+	tms := taskMounts(mounts)
 	res := LatencyResult{
 		Write: make(map[int64]sim.Duration, len(opts.RecordSizes)),
 		Read:  make(map[int64]sim.Duration, len(opts.RecordSizes)),
@@ -183,7 +239,7 @@ func Latency(env *sim.Env, mounts []gluster.FS, opts LatencyOptions) LatencyResu
 
 	// Open files on every client up front (the fd↔path database is
 	// populated here; for IMCa this is also where open-purges land,
-	// before any data is written).
+	// before any data is written). A control process under both engines.
 	fds := make([]gluster.FD, nc)
 	env.Process("latency-open", func(p *sim.Proc) {
 		for ci, fs := range mounts {
@@ -215,8 +271,44 @@ func Latency(env *sim.Env, mounts []gluster.FS, opts LatencyOptions) LatencyResu
 	bar := sim.NewBarrier(env, writerCount)
 	for ci := 0; ci < writerCount; ci++ {
 		ci := ci
+		if tms != nil {
+			tfs := tms[ci]
+			env.StartTask("lat-write", func(t *sim.Task) {
+				var bySize func(si int)
+				bySize = func(si int) {
+					if si == len(opts.RecordSizes) {
+						t.End()
+						return
+					}
+					r := opts.RecordSizes[si]
+					bar.WaitT(t, func() {
+						t0 := t.Now()
+						var rec func(n int)
+						rec = func(n int) {
+							if n == opts.Records {
+								writeTotals[si] += t.Now().Sub(t0)
+								bar.WaitT(t, func() { bySize(si + 1) })
+								return
+							}
+							off := int64(n) * r
+							root := traceStart(t, wcols, si, "write")
+							tfs.WriteT(t, fds[ci], off, blob.Synthetic(uint64(ci)+1, off, r), func(_ int64, err error) {
+								traceEnd(t, wcols, si, root)
+								if err != nil {
+									panic(fmt.Sprintf("workload: write: %v", err))
+								}
+								rec(n + 1)
+							})
+						}
+						rec(0)
+					})
+				}
+				bySize(0)
+			})
+			continue
+		}
 		fs := mounts[ci]
-		env.Process(fmt.Sprintf("lat-write-%d", ci), func(p *sim.Proc) {
+		env.Process("lat-write", func(p *sim.Proc) {
 			for si, r := range opts.RecordSizes {
 				bar.Wait(p)
 				t0 := p.Now()
@@ -250,8 +342,61 @@ func Latency(env *sim.Env, mounts []gluster.FS, opts LatencyOptions) LatencyResu
 	rbar := sim.NewBarrier(env, nc)
 	for ci := 0; ci < nc; ci++ {
 		ci := ci
+		seed := uint64(ci) + 1
+		if opts.Shared {
+			seed = 1
+		}
+		if tms != nil {
+			tfs := tms[ci]
+			env.StartTask("lat-read", func(t *sim.Task) {
+				var bySize func(si int)
+				bySize = func(si int) {
+					if si == len(opts.RecordSizes) {
+						t.End()
+						return
+					}
+					r := opts.RecordSizes[si]
+					measure := func() {
+						t0 := t.Now()
+						var rec func(n int)
+						rec = func(n int) {
+							if n == opts.Records {
+								readTotals[si] += t.Now().Sub(t0)
+								rbar.WaitT(t, func() { bySize(si + 1) })
+								return
+							}
+							off := int64(n) * r
+							root := traceStart(t, rcols, si, "read")
+							tfs.ReadT(t, fds[ci], off, r, func(data blob.Blob, err error) {
+								traceEnd(t, rcols, si, root)
+								if err != nil {
+									panic(fmt.Sprintf("workload: read: %v", err))
+								}
+								if data.Len() > 0 && data.At(0) != blob.Synthetic(seed, off, 1).At(0) {
+									panic("workload: read returned wrong data")
+								}
+								rec(n + 1)
+							})
+						}
+						rec(0)
+					}
+					rbar.WaitT(t, func() {
+						if opts.BeforeReadSize != nil {
+							if ci == 0 {
+								opts.BeforeReadSize(r)
+							}
+							rbar.WaitT(t, measure)
+							return
+						}
+						measure()
+					})
+				}
+				bySize(0)
+			})
+			continue
+		}
 		fs := mounts[ci]
-		env.Process(fmt.Sprintf("lat-read-%d", ci), func(p *sim.Proc) {
+		env.Process("lat-read", func(p *sim.Proc) {
 			for si, r := range opts.RecordSizes {
 				rbar.Wait(p)
 				if opts.BeforeReadSize != nil {
@@ -261,10 +406,6 @@ func Latency(env *sim.Env, mounts []gluster.FS, opts LatencyOptions) LatencyResu
 					rbar.Wait(p)
 				}
 				t0 := p.Now()
-				seed := uint64(ci) + 1
-				if opts.Shared {
-					seed = 1
-				}
 				for k := 0; k < opts.Records; k++ {
 					off := int64(k) * r
 					root := traceStart(p, rcols, si, "read")
@@ -322,6 +463,7 @@ func Throughput(env *sim.Env, mounts []gluster.FS, opts ThroughputOptions) Throu
 		panic("workload: bad throughput geometry")
 	}
 	nc := len(mounts)
+	tms := taskMounts(mounts)
 	fds := make([]gluster.FD, nc)
 
 	var res ThroughputResult
@@ -329,9 +471,45 @@ func Throughput(env *sim.Env, mounts []gluster.FS, opts ThroughputOptions) Throu
 	// Write pass.
 	bar := sim.NewBarrier(env, nc)
 	var wStart, wEnd sim.Time
-	for ci, fs := range mounts {
-		ci, fs := ci, fs
-		env.Process(fmt.Sprintf("tput-write-%d", ci), func(p *sim.Proc) {
+	for ci := 0; ci < nc; ci++ {
+		ci := ci
+		seed := uint64(ci) + 1
+		if tms != nil {
+			tfs := tms[ci]
+			env.StartTask("tput-write", func(t *sim.Task) {
+				tfs.CreateT(t, FilePath(opts.Dir, ci), func(fd gluster.FD, err error) {
+					if err != nil {
+						panic(fmt.Sprintf("workload: create: %v", err))
+					}
+					fds[ci] = fd
+					bar.WaitT(t, func() {
+						if wStart == 0 {
+							wStart = t.Now()
+						}
+						var rec func(off int64)
+						rec = func(off int64) {
+							if off >= opts.FileSize {
+								if t.Now() > wEnd {
+									wEnd = t.Now()
+								}
+								t.End()
+								return
+							}
+							tfs.WriteT(t, fds[ci], off, blob.Synthetic(seed, off, opts.RecordSize), func(_ int64, err error) {
+								if err != nil {
+									panic(fmt.Sprintf("workload: write: %v", err))
+								}
+								rec(off + opts.RecordSize)
+							})
+						}
+						rec(0)
+					})
+				})
+			})
+			continue
+		}
+		fs := mounts[ci]
+		env.Process("tput-write", func(p *sim.Proc) {
 			var err error
 			fds[ci], err = fs.Create(p, FilePath(opts.Dir, ci))
 			if err != nil {
@@ -341,7 +519,6 @@ func Throughput(env *sim.Env, mounts []gluster.FS, opts ThroughputOptions) Throu
 			if wStart == 0 {
 				wStart = p.Now()
 			}
-			seed := uint64(ci) + 1
 			for off := int64(0); off < opts.FileSize; off += opts.RecordSize {
 				if _, err := fs.Write(p, fds[ci], off, blob.Synthetic(seed, off, opts.RecordSize)); err != nil {
 					panic(fmt.Sprintf("workload: write: %v", err))
@@ -359,52 +536,63 @@ func Throughput(env *sim.Env, mounts []gluster.FS, opts ThroughputOptions) Throu
 		opts.AfterWrite()
 	}
 
-	// Read pass.
-	rbar := sim.NewBarrier(env, nc)
-	var rStart, rEnd sim.Time
-	for ci, fs := range mounts {
-		ci, fs := ci, fs
-		env.Process(fmt.Sprintf("tput-read-%d", ci), func(p *sim.Proc) {
-			rbar.Wait(p)
-			if rStart == 0 {
-				rStart = p.Now()
+	// Read pass (and optionally a re-read pass over the warm caches).
+	readPass := func(name string) float64 {
+		rbar := sim.NewBarrier(env, nc)
+		var rStart, rEnd sim.Time
+		for ci := 0; ci < nc; ci++ {
+			ci := ci
+			if tms != nil {
+				tfs := tms[ci]
+				env.StartTask(name, func(t *sim.Task) {
+					rbar.WaitT(t, func() {
+						if rStart == 0 {
+							rStart = t.Now()
+						}
+						var rec func(off int64)
+						rec = func(off int64) {
+							if off >= opts.FileSize {
+								if t.Now() > rEnd {
+									rEnd = t.Now()
+								}
+								t.End()
+								return
+							}
+							tfs.ReadT(t, fds[ci], off, opts.RecordSize, func(data blob.Blob, err error) {
+								if err != nil || data.Len() != opts.RecordSize {
+									panic(fmt.Sprintf("workload: read %d bytes at %d: %v", data.Len(), off, err))
+								}
+								rec(off + opts.RecordSize)
+							})
+						}
+						rec(0)
+					})
+				})
+				continue
 			}
-			for off := int64(0); off < opts.FileSize; off += opts.RecordSize {
-				data, err := fs.Read(p, fds[ci], off, opts.RecordSize)
-				if err != nil || data.Len() != opts.RecordSize {
-					panic(fmt.Sprintf("workload: read %d bytes at %d: %v", data.Len(), off, err))
-				}
-			}
-			if p.Now() > rEnd {
-				rEnd = p.Now()
-			}
-		})
-	}
-	env.Run()
-	res.ReadBps = float64(opts.FileSize*int64(nc)) / rEnd.Sub(rStart).Seconds()
-
-	if opts.ReRead {
-		rrbar := sim.NewBarrier(env, nc)
-		var rrStart, rrEnd sim.Time
-		for ci, fs := range mounts {
-			ci, fs := ci, fs
-			env.Process(fmt.Sprintf("tput-reread-%d", ci), func(p *sim.Proc) {
-				rrbar.Wait(p)
-				if rrStart == 0 {
-					rrStart = p.Now()
+			fs := mounts[ci]
+			env.Process(name, func(p *sim.Proc) {
+				rbar.Wait(p)
+				if rStart == 0 {
+					rStart = p.Now()
 				}
 				for off := int64(0); off < opts.FileSize; off += opts.RecordSize {
-					if _, err := fs.Read(p, fds[ci], off, opts.RecordSize); err != nil {
-						panic(fmt.Sprintf("workload: reread: %v", err))
+					data, err := fs.Read(p, fds[ci], off, opts.RecordSize)
+					if err != nil || data.Len() != opts.RecordSize {
+						panic(fmt.Sprintf("workload: read %d bytes at %d: %v", data.Len(), off, err))
 					}
 				}
-				if p.Now() > rrEnd {
-					rrEnd = p.Now()
+				if p.Now() > rEnd {
+					rEnd = p.Now()
 				}
 			})
 		}
 		env.Run()
-		res.ReReadBps = float64(opts.FileSize*int64(nc)) / rrEnd.Sub(rrStart).Seconds()
+		return float64(opts.FileSize*int64(nc)) / rEnd.Sub(rStart).Seconds()
+	}
+	res.ReadBps = readPass("tput-read")
+	if opts.ReRead {
+		res.ReReadBps = readPass("tput-reread")
 	}
 	return res
 }

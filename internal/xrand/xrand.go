@@ -84,9 +84,15 @@ func NewZipf(r *Rand, s float64, n int) *Zipf {
 	return &Zipf{r: r, cdf: cdf}
 }
 
-// Draw returns the next index.
-func (z *Zipf) Draw() int {
-	u := z.r.Float64()
+// Draw returns the next index using the sampler's own generator.
+func (z *Zipf) Draw() int { return z.DrawFrom(z.r) }
+
+// DrawFrom returns the next index using randomness from r, leaving the
+// sampler's own generator untouched. Many independent streams can share
+// one CDF table this way — at ten thousand clients over a large working
+// set, per-client tables would dominate the benchmark's memory.
+func (z *Zipf) DrawFrom(r *Rand) int {
+	u := r.Float64()
 	lo, hi := 0, len(z.cdf)-1
 	for lo < hi {
 		mid := (lo + hi) / 2

@@ -38,5 +38,20 @@ echo "   total: $(total_ms BENCH_after.json) ms"
 awk -v s="$(total_ms BENCH_baseline.json)" -v p="$(total_ms BENCH_after.json)" \
     'BEGIN { if (p > 0) printf "== speedup: %.2fx ==\n", s / p }'
 
+# The open-loop scale experiment is the task engine's showcase; surface
+# its cell from the parallel sweep so the 10k-tenant cost is visible in
+# every bench log without opening the json.
+echo "== ext-scale (10k open-loop tenants) =="
+awk '/"name": "ext-scale"/ {f=1}
+     f && /"wall_ms"/        {gsub(/[ ,]/,"",$2); w=$2}
+     f && /"events_per_sec"/ {gsub(/[ ,]/,"",$2); printf "   %.0f ms wall, %s events/sec\n", w, $2; exit}' \
+    FS=: BENCH_after.json
+
+# Guard the performance trajectory: the parallel sweep must simulate the
+# exact same work as the serial one (event counts match) and must not
+# process events more than 20% slower in aggregate.
+echo "== benchdiff (serial vs parallel) =="
+go run ./cmd/benchdiff BENCH_baseline.json BENCH_after.json
+
 echo "== kernel microbenchmarks =="
 go test -run=NONE -bench=. -benchmem ./internal/sim/

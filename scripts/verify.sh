@@ -24,7 +24,10 @@ echo "== imcalint ./..."
 go run ./cmd/imcalint ./...
 
 echo "== go test -race ./..."
-go test -race ./...
+# The experiments package re-runs whole figures (including the 10k-tenant
+# open-loop run) and outgrows go test's default 10m per-package budget
+# under the race detector; give it room rather than trimming coverage.
+go test -race -timeout 30m ./...
 
 # The packages with real host-side concurrency (the parallel worker pool,
 # the memcache TCP client, the memcached daemon) get an extra dedicated

@@ -21,6 +21,12 @@
 //     aggregate-only mode tolerates per-figure noise from CPU contention
 //     when the "after" file comes from a parallel sweep.
 //
+// The table also shows each figure's heap allocations per dispatched
+// event and the delta against baseline. The allocation column is
+// informational — it never fails the run on its own — but a jump there
+// usually explains a throughput drop, and the aggregate row makes
+// alloc-per-event creep visible across PRs.
+//
 // Exit status: 0 when every check passes, 1 on a regression or event
 // count mismatch, 2 on usage or parse errors.
 package main
@@ -76,15 +82,21 @@ func (bf *benchFile) byName() map[string]benchRecord {
 }
 
 // aggregate returns total events over total wall seconds — the sweep's
-// overall throughput, robust to how work was sliced across figures.
-func (bf *benchFile) aggregate() (events uint64, perSec float64) {
+// overall throughput, robust to how work was sliced across figures — and
+// the event-weighted mean allocations per event.
+func (bf *benchFile) aggregate() (events uint64, perSec, allocsPerEvt float64) {
+	var allocs float64
 	for _, f := range bf.Figures {
 		events += f.Events
+		allocs += f.AllocsPerEvt * float64(f.Events)
 	}
 	if s := bf.TotalWallMs / 1e3; s > 0 {
 		perSec = float64(events) / s
 	}
-	return events, perSec
+	if events > 0 {
+		allocsPerEvt = allocs / float64(events)
+	}
+	return events, perSec, allocsPerEvt
 }
 
 // regression returns the fractional throughput drop from base to after
@@ -132,13 +144,15 @@ func diff(base, after *benchFile, maxRegress float64, perFigure bool) int {
 	}
 	sort.Strings(names)
 
-	fmt.Printf("%-12s %14s %14s %8s\n", "figure", "base ev/s", "after ev/s", "delta")
+	fmt.Printf("%-12s %14s %14s %8s %12s %12s %8s\n",
+		"figure", "base ev/s", "after ev/s", "delta", "base al/ev", "after al/ev", "Δal/ev")
 	failed := false
 	for _, n := range names {
 		b := baseBy[n]
 		a, ok := afterBy[n]
 		if !ok {
-			fmt.Printf("%-12s %14.0f %14s %8s\n", n, b.EventsPerSec, "-", "gone")
+			fmt.Printf("%-12s %14.0f %14s %8s %12.2f %12s %8s\n",
+				n, b.EventsPerSec, "-", "gone", b.AllocsPerEvt, "-", "-")
 			continue
 		}
 		drop := regression(b.EventsPerSec, a.EventsPerSec)
@@ -154,8 +168,9 @@ func diff(base, after *benchFile, maxRegress float64, perFigure bool) int {
 			mark += "  REGRESSION"
 			failed = true
 		}
-		fmt.Printf("%-12s %14.0f %14.0f %+7.1f%%%s\n",
-			n, b.EventsPerSec, a.EventsPerSec, -drop*100, mark)
+		fmt.Printf("%-12s %14.0f %14.0f %+7.1f%% %12.2f %12.2f %+8.2f%s\n",
+			n, b.EventsPerSec, a.EventsPerSec, -drop*100,
+			b.AllocsPerEvt, a.AllocsPerEvt, a.AllocsPerEvt-b.AllocsPerEvt, mark)
 	}
 	var added []string
 	for n := range afterBy {
@@ -165,13 +180,15 @@ func diff(base, after *benchFile, maxRegress float64, perFigure bool) int {
 	}
 	sort.Strings(added)
 	for _, n := range added {
-		fmt.Printf("%-12s %14s %14.0f %8s\n", n, "-", afterBy[n].EventsPerSec, "new")
+		fmt.Printf("%-12s %14s %14.0f %8s %12s %12.2f %8s\n",
+			n, "-", afterBy[n].EventsPerSec, "new", "-", afterBy[n].AllocsPerEvt, "-")
 	}
 
-	_, basePS := base.aggregate()
-	_, afterPS := after.aggregate()
+	_, basePS, baseAl := base.aggregate()
+	_, afterPS, afterAl := after.aggregate()
 	drop := regression(basePS, afterPS)
-	fmt.Printf("%-12s %14.0f %14.0f %+7.1f%%\n", "aggregate", basePS, afterPS, -drop*100)
+	fmt.Printf("%-12s %14.0f %14.0f %+7.1f%% %12.2f %12.2f %+8.2f\n",
+		"aggregate", basePS, afterPS, -drop*100, baseAl, afterAl, afterAl-baseAl)
 	if drop > maxRegress {
 		fmt.Fprintf(os.Stderr,
 			"benchdiff: aggregate events/sec regressed %.1f%% (limit %.0f%%)\n",

@@ -72,3 +72,13 @@ func TestRegression(t *testing.T) {
 		t.Errorf("regression with zero baseline = %v, want 0", r)
 	}
 }
+
+func TestAggregateAllocsPerEvent(t *testing.T) {
+	// Event-weighted mean: (100×2 + 300×6) / 400 = 5.
+	bf := file(100,
+		benchRecord{Name: "a", Events: 100, AllocsPerEvt: 2},
+		benchRecord{Name: "b", Events: 300, AllocsPerEvt: 6})
+	if _, _, al := bf.aggregate(); al != 5 {
+		t.Errorf("aggregate allocs/event = %v, want 5", al)
+	}
+}

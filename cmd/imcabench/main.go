@@ -28,8 +28,17 @@
 // registry (internal/telemetry) and prints their final counters after the
 // table, plus a final harness dump (wall-clock events/sec of the run
 // itself); -trace-out FILE writes the retained operations as a Chrome
-// trace-event JSON file, openable in Perfetto. Both share tracing's
-// guarantee: the tables are byte-identical with them on or off.
+// trace-event JSON file, openable in Perfetto, with the sampler's counter
+// tracks (hit rates, percentile traces) merged in as Perfetto counter
+// tracks. Both share tracing's guarantee: the tables are byte-identical
+// with them on or off.
+//
+// -hists registers streaming latency histograms on selected
+// configurations and prints their per-interval p50/p95/p99 timelines
+// after the table; -flight attaches a bounded flight recorder and prints
+// its post-mortem dump. Both are constant-memory (no retained ops) and
+// never change the tables — cmd/imcareport renders the same surfaces as
+// HTML.
 //
 // -benchjson FILE records per-figure wall time, dispatched kernel events,
 // events/sec, and heap allocations per event as JSON — the format
@@ -86,6 +95,8 @@ func main() {
 		csv     = flag.Bool("csv", false, "emit CSV instead of an aligned table")
 		plot    = flag.Bool("plot", false, "render an ASCII chart as well")
 		brk     = flag.Bool("breakdown", false, "print per-layer latency decompositions (experiments that support tracing)")
+		hists   = flag.Bool("hists", false, "print per-interval latency percentile timelines (streaming histograms)")
+		flight  = flag.Bool("flight", false, "print flight-recorder dumps of instrumented configurations")
 		tele    = flag.Bool("telemetry", false, "print final telemetry counters of instrumented configurations")
 		trOut   = flag.String("trace-out", "", "write retained operations as Chrome trace-event JSON (open in Perfetto)")
 		bjOut   = flag.String("benchjson", "", "record per-figure wall time, events/sec, and allocs/event as JSON")
@@ -124,10 +135,12 @@ func main() {
 	nWorkers := parallel.Workers(*workers)
 	opts := experiments.Options{
 		Scale: *scale, Breakdown: *brk, Telemetry: *tele, TraceOps: *trOut != "",
+		Hists: *hists, Flight: *flight,
 		Workers: nWorkers,
 	}
 	bench := &benchFile{Scale: *scale, Workers: nWorkers}
 	var tracedOps []*optrace.Op
+	var tracks []telemetry.CounterTrack
 	run := func(e experiments.Experiment) {
 		ev0, al0 := sim.TotalEvents(), mallocs()
 		start := time.Now() //imcalint:allow wallclock host-side: reports how long the simulation took to execute
@@ -146,6 +159,7 @@ func main() {
 		bench.TotalWallMs += rec.WallMs
 
 		tracedOps = append(tracedOps, res.Ops...)
+		tracks = append(tracks, res.Tracks...)
 		fmt.Printf("\n== %s (scale 1/%d, %s wall) ==\n", e.Name, *scale, wall.Round(time.Millisecond))
 		if *csv {
 			res.Table.CSV(os.Stdout)
@@ -167,6 +181,16 @@ func main() {
 		}
 		if *tele {
 			for _, d := range res.Telemetry {
+				fmt.Printf("\n-- %s --\n%s", d.Title, d.Text)
+			}
+		}
+		if *hists {
+			for _, tl := range res.Timelines {
+				printTimeline(tl)
+			}
+		}
+		if *flight {
+			for _, d := range res.Flight {
 				fmt.Printf("\n-- %s --\n%s", d.Title, d.Text)
 			}
 		}
@@ -210,7 +234,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "imcabench: %v\n", err)
 			os.Exit(1)
 		}
-		werr := telemetry.WriteChromeTrace(f, tracedOps)
+		werr := telemetry.WriteChromeTraceTracks(f, tracedOps, tracks)
 		if cerr := f.Close(); werr == nil {
 			werr = cerr
 		}
@@ -218,7 +242,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "imcabench: %v\n", werr)
 			os.Exit(1)
 		}
-		fmt.Printf("\nwrote %d traced op(s) to %s\n", len(tracedOps), *trOut)
+		fmt.Printf("\nwrote %d traced op(s) and %d counter track(s) to %s\n", len(tracedOps), len(tracks), *trOut)
 	}
 
 	if *memProf != "" {
@@ -236,5 +260,27 @@ func main() {
 			fmt.Fprintf(os.Stderr, "imcabench: %v\n", werr)
 			os.Exit(1)
 		}
+	}
+}
+
+// printTimeline renders one percentile timeline as aligned text, one row
+// per sampler interval.
+func printTimeline(tl experiments.Timeline) {
+	fmt.Printf("\n-- %s --\n", tl.Title)
+	fmt.Printf("%14s", "t")
+	for _, s := range tl.Series {
+		fmt.Printf("  %10s", s.Label)
+	}
+	fmt.Println()
+	for i, tNs := range tl.TimesNs {
+		fmt.Printf("%14v", sim.Duration(tNs))
+		for _, s := range tl.Series {
+			v := 0.0
+			if i < len(s.Values) {
+				v = s.Values[i]
+			}
+			fmt.Printf("  %10.1f", v)
+		}
+		fmt.Println()
 	}
 }

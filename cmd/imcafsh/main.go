@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	imcafsh [-clients 1] [-mcds 2] [-block 2048]
+//	imcafsh [-clients 1] [-mcds 2] [-block 2048] [-flight 1024]
 //
 // Commands:
 //
@@ -21,6 +21,9 @@
 //	fault CMD ...            inject failures (fault help for the list)
 //	stats                    translator and bank counters
 //	telemetry [SUBSTR]       full instrument registry (optionally filtered)
+//	openmetrics              registry snapshot in OpenMetrics text format
+//	hists                    latency histogram summaries (p50/p95/p99)
+//	flight                   dump the flight recorder (newest -flight records)
 //	trace [on|off]           toggle per-command latency tracing
 //	breakdown                per-layer aggregate over traced commands
 //	time                     current virtual time
@@ -36,6 +39,12 @@
 // ("fault at 5ms crash mcd0") arm a virtual-clock timer that fires while a
 // later command's operation is in flight — the way to watch a daemon die
 // mid-read. Start the shell with -eject to give the clients failover.
+//
+// The flight recorder (-flight N, default 1024 records) keeps a bounded
+// ring of structured events — layer forwards, ejections, probes,
+// readmissions, deadline expiries, fault arm/fire — and "flight" dumps it
+// oldest-first, so after an experiment goes sideways you can read back
+// what the cluster actually did.
 package main
 
 import (
@@ -50,6 +59,7 @@ import (
 	"imca/internal/blob"
 	"imca/internal/cluster"
 	"imca/internal/fault"
+	"imca/internal/flight"
 	"imca/internal/gluster"
 	"imca/internal/optrace"
 	"imca/internal/sim"
@@ -63,6 +73,7 @@ type shell struct {
 	col   *optrace.Collector
 	reg   *telemetry.Registry
 	inj   *fault.Injector
+	fr    *flight.Recorder
 	trace bool
 }
 
@@ -72,6 +83,7 @@ func main() {
 		mcds    = flag.Int("mcds", 2, "memcached daemons (0 = plain GlusterFS)")
 		block   = flag.Int64("block", 2048, "IMCa block size")
 		eject   = flag.Int("eject", 0, "eject an MCD after this many consecutive client-side failures (0 = no failover)")
+		flightN = flag.Int("flight", 1024, "flight-recorder capacity in records (0 = off)")
 	)
 	flag.Parse()
 
@@ -84,6 +96,11 @@ func main() {
 	sh := &shell{c: c, fs: c.Mounts[0].FS, fds: make(map[string]gluster.FD), col: optrace.NewCollector(), reg: reg}
 	sh.inj = fault.NewInjector(c)
 	sh.inj.Register(reg, "fault")
+	if *flightN > 0 {
+		sh.fr = flight.New(*flightN)
+		c.SetFlight(sh.fr)
+		sh.inj.SetFlight(sh.fr)
+	}
 
 	fmt.Printf("imcafsh: %d client(s), %d MCD(s), block %d — type 'help'\n", *clients, *mcds, *block)
 	in := bufio.NewScanner(os.Stdin)
@@ -177,6 +194,16 @@ func (sh *shell) dispatch(args []string) {
 			substr = args[1]
 		}
 		sh.reg.DumpFilter(os.Stdout, substr)
+	case "openmetrics":
+		telemetry.WriteOpenMetrics(os.Stdout, sh.reg)
+	case "hists":
+		sh.reg.DumpHists(os.Stdout)
+	case "flight":
+		if sh.fr == nil {
+			fmt.Println("flight recorder off (restart with -flight N)")
+			return
+		}
+		sh.fr.Dump(os.Stdout)
 	case "create", "open", "close", "rm", "stat", "ls":
 		if len(args) != 2 {
 			fmt.Printf("usage: %s PATH\n", cmd)

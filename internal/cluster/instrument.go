@@ -3,6 +3,8 @@ package cluster
 import (
 	"fmt"
 
+	"imca/internal/flight"
+	"imca/internal/gluster"
 	"imca/internal/memcache"
 	"imca/internal/telemetry"
 )
@@ -17,6 +19,9 @@ func (c *Cluster) Instrument(reg *telemetry.Registry) {
 	for i, m := range c.Mounts {
 		p := fmt.Sprintf("client%d", i)
 		m.Node.Register(reg, p+".nic")
+		if f, ok := m.FS.(*gluster.Fuse); ok {
+			f.Register(reg, p+".fuse")
+		}
 		if m.CMCache != nil {
 			m.CMCache.Register(reg, p+".cmcache")
 		}
@@ -56,5 +61,23 @@ func (c *Cluster) Instrument(reg *telemetry.Registry) {
 		reg.Rate("bank.hit_rate",
 			bank(func(st memcache.Stats) uint64 { return st.GetHits }),
 			bank(func(st memcache.Stats) uint64 { return st.CmdGet }))
+	}
+}
+
+// SetFlight attaches one flight recorder to every cache layer that emits
+// post-mortem records: each mount's CMCache (layer forwards plus its bank
+// client's ejection state machine) and each brick's SMCache bank client.
+// Call it before the workload runs; a nil recorder detaches. Flight
+// recording is pure memory writes and never perturbs the simulation.
+func (c *Cluster) SetFlight(rec *flight.Recorder) {
+	for i, m := range c.Mounts {
+		if m.CMCache != nil {
+			m.CMCache.SetFlight(rec, fmt.Sprintf("client%d.cmcache", i))
+		}
+	}
+	for _, b := range c.Bricks {
+		if b.SMCache != nil {
+			b.SMCache.Bank().SetFlight(rec)
+		}
 	}
 }

@@ -4,10 +4,12 @@ import (
 	"strconv"
 
 	"imca/internal/blob"
+	"imca/internal/flight"
 	"imca/internal/gluster"
 	"imca/internal/memcache"
 	"imca/internal/optrace"
 	"imca/internal/sim"
+	"imca/internal/telemetry"
 )
 
 // CMCacheStats counts cache interactions at the client translator.
@@ -37,6 +39,14 @@ type CMCache struct {
 	fdPaths map[gluster.FD]string
 
 	Stats CMCacheStats
+
+	// Stat/Read latency distributions, registered by Register; nil no-ops
+	// otherwise.
+	statHist, readHist *telemetry.Hist
+	// fr records layer transitions (stat and read misses forwarded to the
+	// server) under frName when attached via SetFlight.
+	fr     *flight.Recorder
+	frName string
 }
 
 var _ gluster.FS = (*CMCache)(nil)
@@ -54,6 +64,16 @@ func NewCMCache(child gluster.FS, mcd *memcache.SimClient, cfg Config) *CMCache 
 
 // Bank returns the MCD bank client (for stats inspection).
 func (c *CMCache) Bank() *memcache.SimClient { return c.mcd }
+
+// SetFlight attaches a flight recorder under the given actor name: every
+// miss this translator forwards down to the server appends one record.
+// The bank client records its own deadline/ejection transitions, so it is
+// wired here too.
+func (c *CMCache) SetFlight(rec *flight.Recorder, name string) {
+	c.fr = rec
+	c.frName = name
+	c.mcd.SetFlight(rec)
+}
 
 // Create implements gluster.FS; create operations offer no caching
 // opportunity and are forwarded directly (paper §4.2).
@@ -87,6 +107,7 @@ func (c *CMCache) Close(p *sim.Proc, fd gluster.FD) error {
 func (c *CMCache) Stat(p *sim.Proc, path string) (*gluster.Stat, error) {
 	sp := optrace.StartSpan(p, optrace.LayerCMCache, "stat")
 	defer sp.End(p)
+	defer c.statHist.ObserveSince(p, p.Now())
 	if it, ok := c.mcd.Get(p, statKey(path)); ok {
 		if st, err := decodeStat(it.Value); err == nil {
 			c.Stats.StatHits++
@@ -96,6 +117,7 @@ func (c *CMCache) Stat(p *sim.Proc, path string) (*gluster.Stat, error) {
 	}
 	c.Stats.StatMisses++
 	sp.SetAttr("result", "miss")
+	c.fr.Append(p.Now(), flight.KindForward, c.frName, "stat", 0)
 	optrace.ClearDeadline(p)
 	return c.child.Stat(p, path)
 }
@@ -117,6 +139,7 @@ func (c *CMCache) Read(p *sim.Proc, fd gluster.FD, off, size int64) (blob.Blob, 
 	sp := optrace.StartSpan(p, optrace.LayerCMCache, "read")
 	sp.SetAttr("bytes", strconv.FormatInt(size, 10))
 	defer sp.End(p)
+	defer c.readHist.ObserveSince(p, p.Now())
 	bs := c.cfg.blockSize()
 	offsets := blockOffsets(off, size, bs)
 	keys := make([]string, len(offsets))
@@ -184,6 +207,7 @@ func assembleBlocks(items map[string]*memcache.Item, keys []string, offsets []in
 // authoritative and must complete.
 func (c *CMCache) forwardRead(p *sim.Proc, fd gluster.FD, path string, off, size int64) (blob.Blob, error) {
 	c.Stats.ReadMisses++
+	c.fr.Append(p.Now(), flight.KindForward, c.frName, "read", size)
 	optrace.ClearDeadline(p)
 	if !c.cfg.ClientPopulate {
 		return c.child.Read(p, fd, off, size)

@@ -4,6 +4,7 @@ import (
 	"strconv"
 
 	"imca/internal/blob"
+	"imca/internal/flight"
 	"imca/internal/gluster"
 	"imca/internal/memcache"
 	"imca/internal/optrace"
@@ -56,21 +57,25 @@ func (c *CMCache) CloseT(t *sim.Task, fd gluster.FD, k func(error)) {
 // StatT implements gluster.TaskFS; see Stat.
 func (c *CMCache) StatT(t *sim.Task, path string, k func(*gluster.Stat, error)) {
 	sp := optrace.StartSpan(t, optrace.LayerCMCache, "stat")
+	t0 := t.Now()
 	c.mcd.GetT(t, statKey(path), func(it *memcache.Item, ok bool) {
 		if ok {
 			if st, err := decodeStat(it.Value); err == nil {
 				c.Stats.StatHits++
 				sp.SetAttr("result", "hit")
 				sp.End(t)
+				c.statHist.ObserveSince(t, t0)
 				k(st, nil)
 				return
 			}
 		}
 		c.Stats.StatMisses++
 		sp.SetAttr("result", "miss")
+		c.fr.Append(t.Now(), flight.KindForward, c.frName, "stat", 0)
 		optrace.ClearDeadline(t)
 		c.childT().StatT(t, path, func(st *gluster.Stat, err error) {
 			sp.End(t)
+			c.statHist.ObserveSince(t, t0)
 			k(st, err)
 		})
 	})
@@ -90,6 +95,7 @@ func (c *CMCache) ReadT(t *sim.Task, fd gluster.FD, off, size int64, k func(blob
 	}
 	sp := optrace.StartSpan(t, optrace.LayerCMCache, "read")
 	sp.SetAttr("bytes", strconv.FormatInt(size, 10))
+	t0 := t.Now()
 	bs := c.cfg.blockSize()
 	offsets := blockOffsets(off, size, bs)
 	keys := make([]string, len(offsets))
@@ -103,6 +109,7 @@ func (c *CMCache) ReadT(t *sim.Task, fd gluster.FD, off, size int64, k func(blob
 			sp.SetAttr("result", "miss")
 			c.forwardReadT(t, fd, path, off, size, func(data blob.Blob, err error) {
 				sp.End(t)
+				c.readHist.ObserveSince(t, t0)
 				k(data, err)
 			})
 			return
@@ -112,6 +119,7 @@ func (c *CMCache) ReadT(t *sim.Task, fd gluster.FD, off, size int64, k func(blob
 			sp.SetAttr("result", "short-miss")
 			c.forwardReadT(t, fd, path, off, size, func(data blob.Blob, err error) {
 				sp.End(t)
+				c.readHist.ObserveSince(t, t0)
 				k(data, err)
 			})
 			return
@@ -119,6 +127,7 @@ func (c *CMCache) ReadT(t *sim.Task, fd gluster.FD, off, size int64, k func(blob
 		c.Stats.ReadHits++
 		sp.SetAttr("result", "hit")
 		sp.End(t)
+		c.readHist.ObserveSince(t, t0)
 		k(data, nil)
 	})
 }
@@ -126,6 +135,7 @@ func (c *CMCache) ReadT(t *sim.Task, fd gluster.FD, off, size int64, k func(blob
 // forwardReadT is forwardRead for the task engine.
 func (c *CMCache) forwardReadT(t *sim.Task, fd gluster.FD, path string, off, size int64, k func(blob.Blob, error)) {
 	c.Stats.ReadMisses++
+	c.fr.Append(t.Now(), flight.KindForward, c.frName, "read", size)
 	optrace.ClearDeadline(t)
 	if !c.cfg.ClientPopulate {
 		c.childT().ReadT(t, fd, off, size, k)

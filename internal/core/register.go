@@ -14,6 +14,8 @@ func (c *CMCache) Register(reg *telemetry.Registry, prefix string) {
 	reg.Rate(prefix+".read_hit_rate",
 		func() uint64 { return c.Stats.ReadHits },
 		func() uint64 { return c.Stats.ReadHits + c.Stats.ReadMisses })
+	c.statHist = reg.Hist(prefix + ".stat_lat")
+	c.readHist = reg.Hist(prefix + ".read_lat")
 	c.mcd.Register(reg, prefix+".bank")
 }
 

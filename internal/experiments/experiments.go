@@ -19,15 +19,18 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"imca/internal/cluster"
 	"imca/internal/fabric"
+	"imca/internal/flight"
 	"imca/internal/gluster"
 	"imca/internal/lustre"
 	"imca/internal/metrics"
 	"imca/internal/optrace"
 	"imca/internal/parallel"
 	"imca/internal/sim"
+	"imca/internal/telemetry"
 )
 
 // Options controls experiment size.
@@ -48,6 +51,16 @@ type Options struct {
 	// so the run can be exported as a Perfetto trace file (imcabench
 	// -trace-out).
 	TraceOps bool
+	// Hists additionally registers streaming latency histograms on
+	// selected configurations and attaches per-interval percentile
+	// timelines to the result (imcabench -hists, imcareport). Histogram
+	// observation is a pure memory write: tables and notes are
+	// byte-identical with it on or off.
+	Hists bool
+	// Flight attaches a bounded flight recorder to selected
+	// configurations and includes its post-mortem dump in the result
+	// (imcabench -flight). Like Hists, it never perturbs the simulation.
+	Flight bool
 	// Workers bounds how many experiment points (figure cells — each an
 	// isolated sim.Env with its own cluster and workload) run
 	// concurrently on the host. 0 or 1 runs serially; results are
@@ -119,6 +132,36 @@ type Result struct {
 	// configurations, present when Options.TraceOps was set; export with
 	// telemetry.WriteChromeTrace.
 	Ops []*optrace.Op
+	// Timelines are per-interval percentile series from the streaming
+	// histograms, present when Options.Hists was set. They are extra
+	// result surfaces: the legacy table/notes output never includes them,
+	// preserving byte-identity of instrumented runs.
+	Timelines []Timeline
+	// Flight holds post-mortem flight-recorder dumps, present when
+	// Options.Flight was set.
+	Flight []NamedDump
+	// Tracks are sampler counter tracks (per-interval hit rates and
+	// percentile traces), present when Options.TraceOps was set on an
+	// experiment that samples; imcabench merges them into the Chrome
+	// trace next to the spans.
+	Tracks []telemetry.CounterTrack
+}
+
+// Timeline is one histogram instrument's per-interval percentile series
+// over a run, sampled on the telemetry tick.
+type Timeline struct {
+	// Title names the run and instrument (e.g. "failover: client0.fuse.read_lat").
+	Title string
+	// TimesNs are interval-end timestamps in virtual nanoseconds.
+	TimesNs []int64
+	// Series are percentile traces aligned with TimesNs, in microseconds.
+	Series []TimelineSeries
+}
+
+// TimelineSeries is one percentile trace of a Timeline.
+type TimelineSeries struct {
+	Label  string // e.g. "p95_us"
+	Values []float64
 }
 
 // NamedBreakdown titles one latency decomposition for display.
@@ -279,3 +322,30 @@ func fmtSize(n int64) string {
 }
 
 func note(format string, args ...interface{}) string { return fmt.Sprintf(format, args...) }
+
+// timelineQuantiles are the percentile traces every experiment timeline
+// carries, matching the paper's tail-latency presentation.
+var timelineQuantiles = []struct {
+	Label string
+	Q     float64
+}{{"p50_us", 0.50}, {"p95_us", 0.95}, {"p99_us", 0.99}}
+
+// timelineFrom builds the percentile timeline of one histogram instrument
+// from a finished sampler run; sample times are reported relative to start.
+func timelineFrom(smp *telemetry.Sampler, start sim.Time, title, name string) Timeline {
+	tl := Timeline{Title: title}
+	for _, at := range smp.Times() {
+		tl.TimesNs = append(tl.TimesNs, int64(at.Sub(start)))
+	}
+	for _, q := range timelineQuantiles {
+		tl.Series = append(tl.Series, TimelineSeries{Label: q.Label, Values: smp.QuantileSeries(name, q.Q)})
+	}
+	return tl
+}
+
+// flightText renders a recorder's dump for attachment to a Result.
+func flightText(fr *flight.Recorder) string {
+	var sb strings.Builder
+	fr.Dump(&sb)
+	return sb.String()
+}

@@ -8,6 +8,7 @@ import (
 	"imca/internal/blob"
 	"imca/internal/cluster"
 	"imca/internal/fault"
+	"imca/internal/flight"
 	"imca/internal/gluster"
 	"imca/internal/memcache"
 	"imca/internal/metrics"
@@ -41,14 +42,24 @@ func ExtFault(o Options) *Result {
 	)
 
 	type point struct {
-		times   []sim.Duration // sample instants, relative to measurement start
-		latUs   []float64      // per-interval mean read latency (µs)
-		hitRate []float64      // per-interval bank hit rate
-		bank    memcache.Stats
-		reads   uint64
-		armed   uint64
-		fired   uint64
-		dump    string
+		times    []sim.Duration // sample instants, relative to measurement start
+		latUs    []float64      // per-interval mean read latency (µs)
+		hitRate  []float64      // per-interval bank hit rate
+		bank     memcache.Stats
+		reads    uint64
+		armed    uint64
+		fired    uint64
+		dump     string
+		timeline Timeline
+		flight   string
+		tracks   []telemetry.CounterTrack
+	}
+
+	runName := func(ejectAfter int) string {
+		if ejectAfter > 0 {
+			return "failover"
+		}
+		return "plain"
 	}
 
 	run := func(ejectAfter int) point {
@@ -94,6 +105,12 @@ func ExtFault(o Options) *Result {
 		start := env.Now()
 		in := fault.NewInjector(c)
 		in.Register(reg, "fault")
+		var fr *flight.Recorder
+		if o.Flight {
+			fr = flight.New(4096)
+			c.SetFlight(fr)
+			in.SetFlight(fr)
+		}
 		plan := &fault.Plan{Name: "mcd0 node crash and reboot", Events: []fault.Event{
 			{At: crashAt, Kind: fault.LinkCut, Target: "client0", Peer: "mcd0"},
 			{At: crashAt, Kind: fault.MCDCrash, Target: "mcd0"},
@@ -146,6 +163,17 @@ func ExtFault(o Options) *Result {
 			reg.Dump(&sb)
 			pt.dump = sb.String()
 		}
+		if o.Hists {
+			pt.timeline = timelineFrom(smp, start,
+				"ext-fault "+runName(ejectAfter)+": client0.fuse.read_lat",
+				"client0.fuse.read_lat")
+		}
+		if o.Flight {
+			pt.flight = flightText(fr)
+		}
+		if o.TraceOps {
+			pt.tracks = smp.CounterTracks("bank.hit_rate", "client0.fuse.read_lat")
+		}
 		return pt
 	}
 
@@ -193,6 +221,19 @@ func ExtFault(o Options) *Result {
 		res.Telemetry = append(res.Telemetry,
 			NamedDump{Title: "ext-fault plain client final counters", Text: plain.dump},
 			NamedDump{Title: "ext-fault failover client final counters", Text: failover.dump})
+	}
+	if o.Hists {
+		res.Timelines = append(res.Timelines, plain.timeline, failover.timeline)
+	}
+	if o.Flight {
+		res.Flight = append(res.Flight,
+			NamedDump{Title: "ext-fault plain client flight recorder", Text: plain.flight},
+			NamedDump{Title: "ext-fault failover client flight recorder", Text: failover.flight})
+	}
+	if o.TraceOps {
+		// Only the failover run's tracks: two runs share instrument names,
+		// and one set of counter tracks per export keeps Perfetto readable.
+		res.Tracks = append(res.Tracks, failover.tracks...)
 	}
 	return res
 }

@@ -42,6 +42,7 @@ func ExtScale(o Options) *Result {
 		hitRate, skew, top float64
 		issued, completed  uint64
 		samples            int
+		timeline           Timeline
 	}
 	rates := []struct {
 		label string
@@ -68,20 +69,16 @@ func ExtScale(o Options) *Result {
 			MeanInterarrival:  baseMean * 2 / time.Duration(rates[i].mul),
 			Seed:              42,
 		})
-		// Latency quantiles ride the telemetry tick: the sampler reads
-		// these gauges every interval while the run executes, and the row
-		// reports the final sample.
-		reg.Gauge("openloop.p50_us", func() float64 { return usPerOp(run.Latency.Quantile(0.50)) })
-		reg.Gauge("openloop.p95_us", func() float64 { return usPerOp(run.Latency.Quantile(0.95)) })
-		reg.Gauge("openloop.p99_us", func() float64 { return usPerOp(run.Latency.Quantile(0.99)) })
+		// The workload's completion histogram rides the telemetry tick as
+		// a streaming instrument: the sampler snapshots its buckets every
+		// interval (giving the per-interval percentile timeline), and the
+		// row reports the run-total quantiles.
+		start := c.Env.Now()
+		reg.HistFrom("openloop.lat", run.Latency)
 		smp := telemetry.NewSampler(c.Env, reg, interval)
 		run.Run()
 		smp.Sample(c.Env.Now())
 		smp.Stop()
-
-		p50s := smp.Series("openloop.p50_us")
-		p95s := smp.Series("openloop.p95_us")
-		p99s := smp.Series("openloop.p99_us")
 
 		bank := c.BankStats()
 		hitRate := 0.0
@@ -110,11 +107,11 @@ func ExtScale(o Options) *Result {
 				topKey = n
 			}
 		}
-		return cell{
+		cl := cell{
 			label:     rates[i].label,
-			p50:       p50s[len(p50s)-1],
-			p95:       p95s[len(p95s)-1],
-			p99:       p99s[len(p99s)-1],
+			p50:       usPerOp(run.Latency.Quantile(0.50)),
+			p95:       usPerOp(run.Latency.Quantile(0.95)),
+			p99:       usPerOp(run.Latency.Quantile(0.99)),
 			hitRate:   hitRate,
 			skew:      skew,
 			top:       float64(topKey) / float64(run.Issued),
@@ -122,6 +119,11 @@ func ExtScale(o Options) *Result {
 			completed: run.Completed,
 			samples:   len(smp.Times()),
 		}
+		if o.Hists {
+			cl.timeline = timelineFrom(smp, start,
+				"ext-scale "+rates[i].label+": openloop.lat", "openloop.lat")
+		}
+		return cl
 	})
 
 	tb := metrics.NewTable(
@@ -149,6 +151,11 @@ func ExtScale(o Options) *Result {
 		fmt.Fprintf(&sb, "bank.get_hits_skew %.3f\nopenloop.issued %d\nopenloop.completed %d\n",
 			last.skew, last.issued, last.completed)
 		res.Telemetry = append(res.Telemetry, NamedDump{Title: "ext-scale summary", Text: sb.String()})
+	}
+	if o.Hists {
+		for _, c := range cells {
+			res.Timelines = append(res.Timelines, c.timeline)
+		}
 	}
 	return res
 }

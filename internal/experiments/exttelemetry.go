@@ -68,6 +68,7 @@ func ExtTelemetry(o Options) *Result {
 	pc.Clear()
 	pc.Hits, pc.Misses, pc.Evictions = 0, 0, 0
 
+	start := env.Now()
 	smp := telemetry.NewSampler(env, reg, interval)
 	env.Process("ext-telemetry-read", func(p *sim.Proc) {
 		for pass := 0; pass < passes; pass++ {
@@ -120,6 +121,14 @@ func ExtTelemetry(o Options) *Result {
 		var sb strings.Builder
 		reg.Dump(&sb)
 		res.Telemetry = append(res.Telemetry, NamedDump{Title: "ext-telemetry final counters", Text: sb.String()})
+	}
+	if o.Hists {
+		res.Timelines = append(res.Timelines, timelineFrom(smp, start,
+			"ext-telemetry: client0.fuse.read_lat", "client0.fuse.read_lat"))
+	}
+	if o.TraceOps {
+		res.Tracks = append(res.Tracks,
+			smp.CounterTracks("bank.hit_rate", "brick0.pagecache.hit_rate", "client0.fuse.read_lat")...)
 	}
 	return res
 }

@@ -67,6 +67,47 @@ func TestParallelByteIdentical(t *testing.T) {
 	}
 }
 
+// TestHistFlightByteIdentical is the observability counterpart: turning on
+// latency histograms and the flight recorder must not move a single byte of
+// the legacy surfaces — tables, notes, breakdowns, telemetry dumps, trace
+// exports — whether the registry runs serially or with four workers. Hists
+// and flight appends are pure memory writes that schedule nothing, so the
+// virtual-time history of every run is unchanged.
+func TestHistFlightByteIdentical(t *testing.T) {
+	base := Options{Scale: 4096, Breakdown: true, Telemetry: true, TraceOps: true}
+	plain := renderAll(t, base)
+
+	inst := base
+	inst.Hists, inst.Flight = true, true
+	diffBytes(t, plain, renderAll(t, inst), "hists+flight serial")
+
+	inst.Workers = 4
+	diffBytes(t, plain, renderAll(t, inst), "hists+flight parallel")
+}
+
+// diffBytes fails with a located excerpt when two renderings diverge.
+func diffBytes(t *testing.T, want, got []byte, label string) {
+	t.Helper()
+	if bytes.Equal(want, got) {
+		return
+	}
+	line := 1
+	n := len(want)
+	if len(got) < n {
+		n = len(got)
+	}
+	for i := 0; i < n; i++ {
+		if want[i] != got[i] {
+			t.Fatalf("%s output diverges at byte %d (line %d):\nwant: %q\ngot:  %q",
+				label, i, line, excerpt(want, i), excerpt(got, i))
+		}
+		if want[i] == '\n' {
+			line++
+		}
+	}
+	t.Fatalf("%s output is a strict prefix/extension: %d vs %d bytes", label, len(want), len(got))
+}
+
 func excerpt(b []byte, i int) string {
 	lo, hi := i-40, i+40
 	if lo < 0 {

@@ -18,6 +18,7 @@ import (
 
 	"imca/internal/optrace"
 	"imca/internal/sim"
+	"imca/internal/telemetry"
 )
 
 // ErrDeadline is returned by Call when the calling process's operation
@@ -119,6 +120,12 @@ type Node struct {
 	// UnreachableCalls counts calls this node gave up on because the link
 	// to the destination was cut.
 	UnreachableCalls int64
+
+	// rtt, when registered, records the full round-trip of every
+	// successful Call/CallT from this node — request serialization,
+	// service, response — as a latency distribution. Nil (a no-op) until
+	// Register runs.
+	rtt *telemetry.Hist
 }
 
 // NewNode adds a host with the given number of CPU cores.
@@ -236,6 +243,7 @@ func (nd *Node) Call(p *sim.Proc, dst *Node, service string, req Msg) (Msg, erro
 	if hasDeadline && p.Now() >= deadline {
 		return nil, ErrDeadline
 	}
+	callStart := p.Now()
 
 	// Fault-aware path: once any fault API has been used on this network,
 	// every call tracks its link so cuts can refuse, degrade, or abort it.
@@ -325,6 +333,9 @@ func (nd *Node) Call(p *sim.Proc, dst *Node, service string, req Msg) (Msg, erro
 	}
 	nd.CPU.Use(p, nd.net.transport.hostCost(respSize+headerBytes))
 	sp.End(p)
+	// Only completed round-trips enter the RTT distribution; failed and
+	// abandoned calls are counted by their own instruments.
+	nd.rtt.Observe(p.Now().Sub(callStart))
 	if resp == nil {
 		return nil, nil
 	}
@@ -426,6 +437,7 @@ func (nd *Node) CallT(t *sim.Task, dst *Node, service string, req Msg, k func(Ms
 		k(nil, ErrDeadline)
 		return
 	}
+	callStart := t.Now()
 
 	var ls *linkState
 	if fa := nd.net.faults; fa != nil {
@@ -500,6 +512,8 @@ func (nd *Node) CallT(t *sim.Task, dst *Node, service string, req Msg, k func(Ms
 			}
 			nd.CPU.UseT(t, nd.net.transport.hostCost(respSize+headerBytes), func() {
 				sp.End(t)
+				// Mirrors Call: only completed round-trips are observed.
+				nd.rtt.Observe(t.Now().Sub(callStart))
 				if resp == nil {
 					finish(nil, nil)
 					return

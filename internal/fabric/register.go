@@ -18,4 +18,5 @@ func (nd *Node) Register(reg *telemetry.Registry, prefix string) {
 	reg.Gauge(prefix+".queued", func() float64 {
 		return float64(nd.tx.QueueLen() + nd.rx.QueueLen())
 	})
+	nd.rtt = reg.Hist(prefix + ".rtt")
 }

@@ -8,6 +8,7 @@ import (
 
 	"imca/internal/blob"
 	"imca/internal/cluster"
+	"imca/internal/flight"
 	"imca/internal/gluster"
 	"imca/internal/sim"
 	"imca/internal/xrand"
@@ -188,23 +189,28 @@ func TestFuzzPlansUpholdSection44(t *testing.T) {
 			EjectAfter:  2,     // exercise the failover path under the faults
 		})
 		in := NewInjector(c)
+		fr := flight.New(512)
+		in.SetFlight(fr)
+		c.SetFlight(fr)
 		pl := genPlan(r, fmt.Sprintf("fuzz-%d", i), len(c.MCDs), 40*time.Millisecond)
 		if err := in.Arm(pl); err != nil {
 			t.Fatalf("seed %#x: Arm: %v\n%s", seed, err, pl)
 		}
 		o := NewOracle(c.Mounts[0].FS)
+		o.SetFlight(fr)
 		c.Env.Process("workload", func(p *sim.Proc) {
 			fuzzWorkload(t, p, o, r, 120)
 		})
 		c.Env.Run() // workload + every fault timer, including the closing heals
 		if got, want := in.Fired(), in.Armed(); got != want {
-			t.Fatalf("seed %#x: fired %d of %d armed events\n%s", seed, got, want, pl)
+			t.Fatalf("seed %#x: fired %d of %d armed events\n%s\nflight recorder:\n%s",
+				seed, got, want, pl, flightDump(fr))
 		}
 		c.Env.Process("audit", func(p *sim.Proc) { o.VerifyAll(p) })
 		c.Env.Run()
 		if v := o.Violations(); len(v) != 0 {
-			t.Fatalf("seed %#x: %d invariant violations:\n%s\nreplay with:\n%s",
-				seed, len(v), strings.Join(v, "\n"), pl)
+			t.Fatalf("seed %#x: %d invariant violations:\n%s\nreplay with:\n%s\nflight recorder:\n%s",
+				seed, len(v), strings.Join(v, "\n"), pl, flightDump(fr))
 		}
 		st := c.BankStats()
 		disturbed += st.DownReplies + st.DeadlineMisses + st.Unreachables + st.Ejects
@@ -214,4 +220,11 @@ func TestFuzzPlansUpholdSection44(t *testing.T) {
 	if disturbed == 0 {
 		t.Fatal("no plan disturbed the bank traffic; the fuzz exercised nothing")
 	}
+}
+
+// flightDump renders the recorder for a failure message.
+func flightDump(fr *flight.Recorder) string {
+	var b strings.Builder
+	fr.Dump(&b)
+	return b.String()
 }

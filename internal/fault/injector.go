@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"imca/internal/cluster"
+	"imca/internal/flight"
 	"imca/internal/memcache"
 	"imca/internal/telemetry"
 )
@@ -17,12 +18,22 @@ type Injector struct {
 	// armed and fired count scheduled and executed fault events, for
 	// telemetry and experiment sanity checks.
 	armed, fired uint64
+
+	// fr, when attached, records every armed and fired event; nil (the
+	// default) is a no-op.
+	fr *flight.Recorder
 }
 
 // NewInjector returns an injector for the cluster.
 func NewInjector(c *cluster.Cluster) *Injector {
 	return &Injector{c: c}
 }
+
+// SetFlight attaches a flight recorder: arming a plan appends one record
+// per event and each event appends another when it fires, so a
+// post-mortem dump shows the fault schedule interleaved with the
+// transitions it caused.
+func (in *Injector) SetFlight(rec *flight.Recorder) { in.fr = rec }
 
 // Armed returns how many fault events have been scheduled.
 func (in *Injector) Armed() uint64 { return in.armed }
@@ -56,10 +67,14 @@ func (in *Injector) Arm(pl *Plan) error {
 		}
 		fns[i] = fn
 	}
+	now := in.c.Env.Now()
 	for i := range pl.Events {
 		fn := fns[i]
-		in.c.Env.Defer(pl.Events[i].At, func() {
+		ev := pl.Events[i]
+		in.fr.Append(now, flight.KindFaultArmed, ev.Kind.String(), ev.Target, int64(ev.At))
+		in.c.Env.Defer(ev.At, func() {
 			in.fired++
+			in.fr.Append(in.c.Env.Now(), flight.KindFaultFired, ev.Kind.String(), ev.Target, 0)
 			fn()
 		})
 		in.armed++

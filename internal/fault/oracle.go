@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"imca/internal/blob"
+	"imca/internal/flight"
 	"imca/internal/gluster"
 	"imca/internal/sim"
 )
@@ -34,6 +35,10 @@ type Oracle struct {
 	shadow     map[string][]byte
 	fds        map[gluster.FD]string
 	violations []string
+
+	// fr, when attached, records a flight entry per violation so a dump
+	// shows what the cluster was doing when the invariant broke.
+	fr *flight.Recorder
 }
 
 var _ gluster.FS = (*Oracle)(nil)
@@ -52,9 +57,13 @@ func NewOracle(child gluster.FS) *Oracle {
 // Violations returns every invariant violation observed so far.
 func (o *Oracle) Violations() []string { return o.violations }
 
+// SetFlight attaches a flight recorder; each violation appends one record.
+func (o *Oracle) SetFlight(rec *flight.Recorder) { o.fr = rec }
+
 func (o *Oracle) violate(p *sim.Proc, format string, args ...interface{}) {
 	msg := fmt.Sprintf("t=%v: ", p.Now()) + fmt.Sprintf(format, args...)
 	o.violations = append(o.violations, msg)
+	o.fr.Append(p.Now(), flight.KindViolation, "oracle", msg, int64(len(o.violations)))
 }
 
 // expected returns the shadow contents for a read of [off, off+size) with

@@ -7,6 +7,7 @@ import (
 	"imca/internal/fabric"
 	"imca/internal/optrace"
 	"imca/internal/sim"
+	"imca/internal/telemetry"
 )
 
 // FuseConfig models the kernel VFS → FUSE → userspace crossing that every
@@ -34,6 +35,11 @@ type Fuse struct {
 	node  *fabric.Node
 	child FS
 	cfg   FuseConfig
+
+	// End-to-end client-visible latency distributions (the whole stack
+	// below the VFS boundary), registered by Register; nil no-ops
+	// otherwise.
+	readHist, writeHist, statHist *telemetry.Hist
 }
 
 var _ FS = (*Fuse)(nil)
@@ -81,6 +87,7 @@ func (f *Fuse) Close(p *sim.Proc, fd FD) error {
 func (f *Fuse) Read(p *sim.Proc, fd FD, off, size int64) (blob.Blob, error) {
 	sp := optrace.StartSpan(p, optrace.LayerFuse, "read")
 	defer sp.End(p)
+	defer f.readHist.ObserveSince(p, p.Now())
 	data, err := f.child.Read(p, fd, off, size)
 	f.charge(p, data.Len())
 	return data, err
@@ -90,6 +97,7 @@ func (f *Fuse) Read(p *sim.Proc, fd FD, off, size int64) (blob.Blob, error) {
 func (f *Fuse) Write(p *sim.Proc, fd FD, off int64, data blob.Blob) (int64, error) {
 	sp := optrace.StartSpan(p, optrace.LayerFuse, "write")
 	defer sp.End(p)
+	defer f.writeHist.ObserveSince(p, p.Now())
 	f.charge(p, data.Len())
 	return f.child.Write(p, fd, off, data)
 }
@@ -98,6 +106,7 @@ func (f *Fuse) Write(p *sim.Proc, fd FD, off int64, data blob.Blob) (int64, erro
 func (f *Fuse) Stat(p *sim.Proc, path string) (*Stat, error) {
 	sp := optrace.StartSpan(p, optrace.LayerFuse, "stat")
 	defer sp.End(p)
+	defer f.statHist.ObserveSince(p, p.Now())
 	f.charge(p, 0)
 	return f.child.Stat(p, path)
 }

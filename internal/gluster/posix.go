@@ -256,6 +256,7 @@ func (px *Posix) Read(p *sim.Proc, fd FD, off, size int64) (blob.Blob, error) {
 	}
 	dataBase := in.base + metaRegion
 	missing := px.cache.Lookup(in.ino, off, size)
+	fillStart := px.env.Now()
 	for i, r := range missing {
 		n := r.Len
 		if i == len(missing)-1 && r.End() >= off+size {
@@ -273,6 +274,10 @@ func (px *Posix) Read(p *sim.Proc, fd FD, off, size int64) (blob.Blob, error) {
 		px.dev.Access(p, dataBase+r.Off, n, false)
 		px.DiskReads++
 		px.cache.Insert(in.ino, r.Off, n)
+	}
+	if len(missing) > 0 {
+		// Time spent repairing the page-cache misses from disk.
+		px.cache.FillHist.Observe(px.env.Now().Sub(fillStart))
 	}
 	in.atime = px.env.Now()
 	return in.data.read(off, size), nil

@@ -51,3 +51,13 @@ func (wb *WriteBehind) Register(reg *telemetry.Registry, prefix string) {
 	reg.Counter(prefix+".flushes", func() uint64 { return wb.Flushes })
 	reg.IntCounter(prefix+".aggregated_bytes", func() int64 { return wb.AggregatedBytes })
 }
+
+// Register exposes the FUSE boundary's client-visible latency
+// distributions under prefix (e.g. "client0.fuse") — the end-to-end
+// read/write/stat times the paper's figures plot, measured where the
+// application would measure them.
+func (f *Fuse) Register(reg *telemetry.Registry, prefix string) {
+	f.readHist = reg.Hist(prefix + ".read_lat")
+	f.writeHist = reg.Hist(prefix + ".write_lat")
+	f.statHist = reg.Hist(prefix + ".stat_lat")
+}

@@ -73,9 +73,11 @@ func (f *Fuse) CloseT(t *sim.Task, fd FD, k func(error)) {
 // after the child returns, on the bytes actually read.
 func (f *Fuse) ReadT(t *sim.Task, fd FD, off, size int64, k func(blob.Blob, error)) {
 	sp := optrace.StartSpan(t, optrace.LayerFuse, "read")
+	t0 := t.Now()
 	f.childT().ReadT(t, fd, off, size, func(data blob.Blob, err error) {
 		f.chargeT(t, data.Len(), func() {
 			sp.End(t)
+			f.readHist.ObserveSince(t, t0)
 			k(data, err)
 		})
 	})
@@ -85,9 +87,11 @@ func (f *Fuse) ReadT(t *sim.Task, fd FD, off, size int64, k func(blob.Blob, erro
 // child sees the data.
 func (f *Fuse) WriteT(t *sim.Task, fd FD, off int64, data blob.Blob, k func(int64, error)) {
 	sp := optrace.StartSpan(t, optrace.LayerFuse, "write")
+	t0 := t.Now()
 	f.chargeT(t, data.Len(), func() {
 		f.childT().WriteT(t, fd, off, data, func(n int64, err error) {
 			sp.End(t)
+			f.writeHist.ObserveSince(t, t0)
 			k(n, err)
 		})
 	})
@@ -96,9 +100,11 @@ func (f *Fuse) WriteT(t *sim.Task, fd FD, off int64, data blob.Blob, k func(int6
 // StatT implements TaskFS.
 func (f *Fuse) StatT(t *sim.Task, path string, k func(*Stat, error)) {
 	sp := optrace.StartSpan(t, optrace.LayerFuse, "stat")
+	t0 := t.Now()
 	f.chargeT(t, 0, func() {
 		f.childT().StatT(t, path, func(st *Stat, err error) {
 			sp.End(t)
+			f.statHist.ObserveSince(t, t0)
 			k(st, err)
 		})
 	})

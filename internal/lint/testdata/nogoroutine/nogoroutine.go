@@ -5,6 +5,7 @@ package nogoroutine
 import (
 	"sync"
 
+	"imca/internal/flight"
 	"imca/internal/sim"
 )
 
@@ -29,4 +30,12 @@ func ArmFault(env *sim.Env) {
 	env.Defer(5, func() {
 		go send(make(chan int, 1))
 	})
+}
+
+// RecordAsync mimics an instrumented layer gone wrong: flight appends are
+// inline ring writes on the sim thread, never offloaded to a goroutine —
+// the recorder is unsynchronized and the append order is the determinism
+// contract.
+func RecordAsync(rec *flight.Recorder, at sim.Time) {
+	go rec.Append(at, flight.KindProbe, "async", "bad", 0)
 }

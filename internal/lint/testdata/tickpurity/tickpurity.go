@@ -2,7 +2,11 @@
 // scheduling calls, directly and through a helper chain.
 package tickpurity
 
-import "imca/internal/sim"
+import (
+	"imca/internal/flight"
+	"imca/internal/sim"
+	"imca/internal/telemetry"
+)
 
 // Install hooks a literal observer that schedules a process.
 func Install(env *sim.Env) {
@@ -58,4 +62,29 @@ func ArmFault(env *sim.Env) {
 		ev.Trigger(nil)
 		env.Process("recover", func(p *sim.Proc) {})
 	})
+}
+
+// InstallInstrumented hooks the shape every instrumented layer uses: a
+// tick observer that observes into a hist and appends a flight record.
+// Both are pure memory writes that schedule nothing, so the walk reaches
+// into telemetry and flight and flags nothing.
+func InstallInstrumented(env *sim.Env, h *telemetry.Hist, rec *flight.Recorder) {
+	env.SetTick(1000, func(at sim.Time) {
+		h.Observe(0)
+		rec.Append(at, flight.KindProbe, "sampler", "tick", 0)
+	})
+}
+
+// InstallMixed hooks an observer whose helper observes and then schedules:
+// the observe is legal, but the Process call two hops down the chain is
+// flagged like a direct one.
+func InstallMixed(env *sim.Env, h *telemetry.Hist) {
+	env.SetTick(1000, func(at sim.Time) {
+		observeAndSchedule(env, h)
+	})
+}
+
+func observeAndSchedule(env *sim.Env, h *telemetry.Hist) {
+	h.Observe(0)
+	env.Process("drain", func(p *sim.Proc) {})
 }

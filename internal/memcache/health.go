@@ -3,6 +3,7 @@ package memcache
 import (
 	"time"
 
+	"imca/internal/flight"
 	"imca/internal/sim"
 )
 
@@ -72,6 +73,7 @@ func (c *SimClient) admit(a sim.Actor, i int) bool {
 	}
 	if a.Now() >= h.probeAt {
 		c.probes++
+		c.fr.Append(a.Now(), flight.KindProbe, c.node.Name(), c.servers[i].node.Name(), int64(h.backoff))
 		return true
 	}
 	c.fastFails++
@@ -88,6 +90,7 @@ func (c *SimClient) observe(a sim.Actor, i int, ok bool) {
 	if ok {
 		if h.ejected {
 			c.readmits++
+			c.fr.Append(a.Now(), flight.KindReadmit, c.node.Name(), c.servers[i].node.Name(), int64(h.fails))
 		}
 		*h = serverHealth{}
 		return
@@ -107,6 +110,7 @@ func (c *SimClient) observe(a sim.Actor, i int, ok bool) {
 		h.backoff = c.probeBackoff
 		h.probeAt = a.Now().Add(h.backoff)
 		c.ejects++
+		c.fr.Append(a.Now(), flight.KindEject, c.node.Name(), c.servers[i].node.Name(), int64(h.fails))
 	}
 }
 

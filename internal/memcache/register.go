@@ -32,4 +32,10 @@ func (c *SimClient) Register(reg *telemetry.Registry, prefix string) {
 	reg.Counter(prefix+".probes", func() uint64 { return c.probes })
 	reg.Counter(prefix+".readmits", func() uint64 { return c.readmits })
 	reg.Counter(prefix+".fast_fails", func() uint64 { return c.fastFails })
+	// Per-bank latency distributions (entry to exit, fast-fails included).
+	// Hists are excluded from scalar dumps, so these change no existing
+	// output bytes.
+	c.getHist = reg.Hist(prefix + ".get_lat")
+	c.setHist = reg.Hist(prefix + ".set_lat")
+	c.multiHist = reg.Hist(prefix + ".getmulti_lat")
 }

@@ -7,8 +7,10 @@ import (
 
 	"imca/internal/blob"
 	"imca/internal/fabric"
+	"imca/internal/flight"
 	"imca/internal/optrace"
 	"imca/internal/sim"
+	"imca/internal/telemetry"
 )
 
 // ServiceName is the fabric service the simulated MCD registers.
@@ -218,6 +220,13 @@ type SimClient struct {
 	probeBackoff                        sim.Duration
 	health                              []serverHealth
 	ejects, probes, readmits, fastFails uint64
+
+	// Per-bank latency distributions (get/set/getmulti entry to exit,
+	// fast-fails included), registered by Register; nil no-ops otherwise.
+	getHist, setHist, multiHist *telemetry.Hist
+	// fr, when attached, records deadline expiries and ejection
+	// transitions for post-mortems; nil (the default) is a no-op.
+	fr *flight.Recorder
 }
 
 // NewSimClient returns a client on node addressing the given MCD bank.
@@ -230,6 +239,11 @@ func NewSimClient(node *fabric.Node, servers []*SimServer) *SimClient {
 
 // SetSelector replaces the key distribution function.
 func (c *SimClient) SetSelector(s Selector) { c.selector = s }
+
+// SetFlight attaches a flight recorder: deadline expiries and ejection
+// state transitions append fixed-size records to it. Appending costs no
+// virtual time, so an attached recorder never changes results.
+func (c *SimClient) SetFlight(rec *flight.Recorder) { c.fr = rec }
 
 // Servers returns the MCD bank.
 func (c *SimClient) Servers() []*SimServer { return c.servers }
@@ -252,6 +266,7 @@ func (c *SimClient) fail(a sim.Actor, idx int, err error, down bool) string {
 		result = "unreachable"
 	default:
 		c.deadlineMisses++
+		c.fr.Append(a.Now(), flight.KindDeadline, c.node.Name(), c.servers[idx].node.Name(), 0)
 	}
 	c.observe(a, idx, false)
 	return result
@@ -266,6 +281,7 @@ func (c *SimClient) Get(p *sim.Proc, key string) (*Item, bool) {
 	sp := optrace.StartSpan(p, optrace.LayerMCD, "get")
 	sp.SetAttr("server", srv.node.Name())
 	defer sp.End(p)
+	defer c.getHist.ObserveSince(p, p.Now())
 	if !c.admit(p, idx) {
 		sp.SetAttr("result", "ejected")
 		return nil, false
@@ -310,6 +326,7 @@ func (c *SimClient) GetMulti(p *sim.Proc, keys []string) map[string]*Item {
 		}
 		return map[string]*Item{keys[0]: it}
 	}
+	defer c.multiHist.ObserveSince(p, p.Now())
 	byServer := make(map[int][]string)
 	for _, k := range keys {
 		i, _ := c.pick(k)
@@ -389,6 +406,7 @@ func (c *SimClient) Set(p *sim.Proc, key string, value blob.Blob) error {
 	sp.SetAttr("server", srv.node.Name())
 	sp.SetAttr("bytes", strconv.FormatInt(value.Len(), 10))
 	defer sp.End(p)
+	defer c.setHist.ObserveSince(p, p.Now())
 	if !c.admit(p, idx) {
 		sp.SetAttr("result", "ejected")
 		return ErrServerDown

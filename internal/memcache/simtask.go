@@ -21,9 +21,11 @@ func (c *SimClient) GetT(t *sim.Task, key string, k func(*Item, bool)) {
 	idx, srv := c.pick(key)
 	sp := optrace.StartSpan(t, optrace.LayerMCD, "get")
 	sp.SetAttr("server", srv.node.Name())
+	t0 := t.Now()
 	if !c.admit(t, idx) {
 		sp.SetAttr("result", "ejected")
 		sp.End(t)
+		c.getHist.ObserveSince(t, t0)
 		k(nil, false)
 		return
 	}
@@ -31,6 +33,7 @@ func (c *SimClient) GetT(t *sim.Task, key string, k func(*Item, bool)) {
 		if err != nil {
 			sp.SetAttr("result", c.fail(t, idx, err, false))
 			sp.End(t)
+			c.getHist.ObserveSince(t, t0)
 			k(nil, false)
 			return
 		}
@@ -38,6 +41,7 @@ func (c *SimClient) GetT(t *sim.Task, key string, k func(*Item, bool)) {
 		if resp.Down {
 			sp.SetAttr("result", c.fail(t, idx, nil, true))
 			sp.End(t)
+			c.getHist.ObserveSince(t, t0)
 			k(nil, false)
 			return
 		}
@@ -45,12 +49,14 @@ func (c *SimClient) GetT(t *sim.Task, key string, k func(*Item, bool)) {
 		if len(resp.Items) == 0 {
 			sp.SetAttr("result", "miss")
 			sp.End(t)
+			c.getHist.ObserveSince(t, t0)
 			k(nil, false)
 			return
 		}
 		sp.SetAttr("result", "hit")
 		sp.SetAttr("bytes", strconv.FormatInt(resp.Items[0].Value.Len(), 10))
 		sp.End(t)
+		c.getHist.ObserveSince(t, t0)
 		k(resp.Items[0], true)
 	})
 }
@@ -70,6 +76,7 @@ func (c *SimClient) GetMultiT(t *sim.Task, keys []string, k func(map[string]*Ite
 		})
 		return
 	}
+	t0 := t.Now()
 	byServer := make(map[int][]string)
 	for _, key := range keys {
 		i, _ := c.pick(key)
@@ -124,6 +131,7 @@ func (c *SimClient) GetMultiT(t *sim.Task, keys []string, k func(map[string]*Ite
 	var collect func(n int)
 	collect = func(n int) {
 		if n == len(events) {
+			c.multiHist.ObserveSince(t, t0)
 			k(out)
 			return
 		}
@@ -152,9 +160,11 @@ func (c *SimClient) SetT(t *sim.Task, key string, value blob.Blob, k func(error)
 	sp := optrace.StartSpan(t, optrace.LayerMCD, "set")
 	sp.SetAttr("server", srv.node.Name())
 	sp.SetAttr("bytes", strconv.FormatInt(value.Len(), 10))
+	t0 := t.Now()
 	if !c.admit(t, idx) {
 		sp.SetAttr("result", "ejected")
 		sp.End(t)
+		c.setHist.ObserveSince(t, t0)
 		k(ErrServerDown)
 		return
 	}
@@ -162,6 +172,7 @@ func (c *SimClient) SetT(t *sim.Task, key string, value blob.Blob, k func(error)
 		if err != nil {
 			sp.SetAttr("result", c.fail(t, idx, err, false))
 			sp.End(t)
+			c.setHist.ObserveSince(t, t0)
 			k(err)
 			return
 		}
@@ -170,16 +181,19 @@ func (c *SimClient) SetT(t *sim.Task, key string, value blob.Blob, k func(error)
 		case resp.Down:
 			sp.SetAttr("result", c.fail(t, idx, nil, true))
 			sp.End(t)
+			c.setHist.ObserveSince(t, t0)
 			k(ErrServerDown)
 		case resp.Err != "":
 			c.observe(t, idx, true)
 			sp.SetAttr("result", "error")
 			sp.End(t)
+			c.setHist.ObserveSince(t, t0)
 			k(ErrNotStored)
 		default:
 			c.observe(t, idx, true)
 			sp.SetAttr("result", "stored")
 			sp.End(t)
+			c.setHist.ObserveSince(t, t0)
 			k(nil)
 		}
 	})

@@ -130,6 +130,54 @@ func stringsRepeat(c byte, n int) string {
 	return string(b)
 }
 
+// Snapshot returns a copy of the histogram's current state. Snapshots
+// are plain values: the tick sampler stores one per hist instrument per
+// interval, and Delta subtracts two of them into a per-interval
+// distribution.
+func (h *Histogram) Snapshot() Histogram { return *h }
+
+// NumBuckets returns the number of power-of-two buckets.
+func (h *Histogram) NumBuckets() int { return len(h.buckets) }
+
+// BucketCount returns the number of observations in bucket i.
+func (h *Histogram) BucketCount(i int) uint64 { return h.buckets[i] }
+
+// BucketUpper returns the exclusive upper edge of bucket i.
+func BucketUpper(i int) time.Duration {
+	return time.Duration(uint64(1)<<(uint(i)+1)) * time.Microsecond
+}
+
+// Delta returns the observations recorded between the prev and cur
+// snapshots of the same histogram (cur minus prev, bucket by bucket).
+// Buckets, count and sum are exact; min/max cannot be recovered from
+// cumulative snapshots, so they are re-derived from the bucket edges of
+// the delta — good enough for per-interval percentile timelines.
+func Delta(cur, prev Histogram) Histogram {
+	var d Histogram
+	for i := range cur.buckets {
+		d.buckets[i] = cur.buckets[i] - prev.buckets[i]
+	}
+	d.count = cur.count - prev.count
+	d.sum = cur.sum - prev.sum
+	if d.count == 0 {
+		return d
+	}
+	minSet := false
+	for i, c := range d.buckets {
+		if c == 0 {
+			continue
+		}
+		if !minSet {
+			minSet = true
+			if i > 0 {
+				d.min = time.Duration(uint64(1)<<uint(i)) * time.Microsecond
+			}
+		}
+		d.max = BucketUpper(i)
+	}
+	return d
+}
+
 // Merge adds other's observations into h.
 func (h *Histogram) Merge(other *Histogram) {
 	if other.count == 0 {

@@ -10,6 +10,8 @@ package pagecache
 
 import (
 	"container/list"
+
+	"imca/internal/telemetry"
 )
 
 // Range is a byte extent within a file.
@@ -37,6 +39,11 @@ type Cache struct {
 	perFile  map[uint64]map[int64]struct{}
 
 	Hits, Misses, Evictions uint64
+
+	// FillHist, when registered, receives the disk-fill latency of each
+	// miss repaired by the cache's owner (the posix xlator observes into
+	// it — the cache itself has no clock). Nil is a no-op.
+	FillHist *telemetry.Hist
 }
 
 // New returns a cache bounded to capacity bytes of pageSize pages.

@@ -13,4 +13,5 @@ func (c *Cache) Register(reg *telemetry.Registry, prefix string) {
 	reg.Rate(prefix+".hit_rate",
 		func() uint64 { return c.Hits },
 		func() uint64 { return c.Hits + c.Misses })
+	c.FillHist = reg.Hist(prefix + ".fill_lat")
 }

@@ -6,20 +6,33 @@ import (
 	"sort"
 
 	"imca/internal/optrace"
+	"imca/internal/sim"
 )
 
 // traceEvent is one entry in the Chrome trace-event JSON format that
 // Perfetto (and chrome://tracing) open directly. Timestamps and durations
-// are microseconds; ours carry virtual time.
+// are microseconds; ours carry virtual time. Args is an interface so span
+// events can carry string attributes and counter events numeric values; a
+// map[string]string marshals through it byte-identically to the typed
+// field it replaced.
 type traceEvent struct {
-	Name string            `json:"name"`
-	Cat  string            `json:"cat,omitempty"`
-	Ph   string            `json:"ph"`
-	Ts   float64           `json:"ts"`
-	Dur  float64           `json:"dur,omitempty"`
-	Pid  int               `json:"pid"`
-	Tid  int               `json:"tid"`
-	Args map[string]string `json:"args,omitempty"`
+	Name string      `json:"name"`
+	Cat  string      `json:"cat,omitempty"`
+	Ph   string      `json:"ph"`
+	Ts   float64     `json:"ts"`
+	Dur  float64     `json:"dur,omitempty"`
+	Pid  int         `json:"pid"`
+	Tid  int         `json:"tid"`
+	Args interface{} `json:"args,omitempty"`
+}
+
+// CounterTrack is one Perfetto counter timeline: a named value sampled at
+// virtual instants, rendered by the trace viewer as a stepped graph above
+// the span tracks. Sampler.CounterTracks builds them from recorded series.
+type CounterTrack struct {
+	Name   string
+	Times  []sim.Time
+	Values []float64
 }
 
 // traceFile is the JSON-object form of the format: {"traceEvents": [...]}.
@@ -42,6 +55,15 @@ func usOf(ns int64) float64 { return float64(ns) / 1e3 }
 // encoding/json sorts args keys, and span order is a total order on
 // (start, depth, -finish, layer, name).
 func WriteChromeTrace(w io.Writer, ops []*optrace.Op) error {
+	return WriteChromeTraceTracks(w, ops, nil)
+}
+
+// WriteChromeTraceTracks is WriteChromeTrace with counter tracks merged
+// into the same file: each track becomes a sequence of "C" (counter)
+// events under pid 2, one per sample, emitted after all span events in
+// the given track order. With no tracks the output is byte-identical to
+// WriteChromeTrace.
+func WriteChromeTraceTracks(w io.Writer, ops []*optrace.Op, tracks []CounterTrack) error {
 	var events []traceEvent
 	for i, op := range ops {
 		tid := i + 1
@@ -93,12 +115,24 @@ func WriteChromeTrace(w io.Writer, ops []*optrace.Op) error {
 				Tid:  tid,
 			}
 			if len(sp.Attrs) > 0 {
-				ev.Args = make(map[string]string, len(sp.Attrs))
+				args := make(map[string]string, len(sp.Attrs))
 				for _, a := range sp.Attrs {
-					ev.Args[a.Key] = a.Value
+					args[a.Key] = a.Value
 				}
+				ev.Args = args
 			}
 			events = append(events, ev)
+		}
+	}
+	for _, tr := range tracks {
+		for i, at := range tr.Times {
+			events = append(events, traceEvent{
+				Name: tr.Name,
+				Ph:   "C",
+				Ts:   usOf(int64(at)),
+				Pid:  2,
+				Args: map[string]float64{"value": tr.Values[i]},
+			})
 		}
 	}
 	enc := json.NewEncoder(w)

@@ -1,0 +1,66 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"imca/internal/metrics"
+)
+
+// WriteOpenMetrics writes a point-in-time snapshot of every registered
+// instrument in the OpenMetrics text exposition format, so a run's final
+// state can be diffed, scraped, or loaded into any Prometheus-compatible
+// tool. Names have their dots and dashes mapped to underscores; counters
+// get the _total suffix the format requires; hist instruments become
+// native histogram families with cumulative power-of-two "le" buckets in
+// seconds. Output order is registration order and all formatting is
+// fixed-precision, so two identical runs produce identical bytes.
+func WriteOpenMetrics(w io.Writer, r *Registry) {
+	for _, in := range r.order {
+		name := openMetricsName(in.name)
+		switch in.kind {
+		case KindCounter:
+			fmt.Fprintf(w, "# TYPE %s counter\n", name)
+			fmt.Fprintf(w, "%s_total %s\n", name, strconv.FormatFloat(in.Value(), 'f', 0, 64))
+		case KindHist:
+			writeOpenMetricsHist(w, name, in.hist)
+		default: // gauges and rates both expose as gauges
+			fmt.Fprintf(w, "# TYPE %s gauge\n", name)
+			fmt.Fprintf(w, "%s %s\n", name, strconv.FormatFloat(in.Value(), 'g', -1, 64))
+		}
+	}
+	fmt.Fprintln(w, "# EOF")
+}
+
+func writeOpenMetricsHist(w io.Writer, name string, h *metrics.Histogram) {
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	var cum uint64
+	last := 0
+	for i := h.NumBuckets() - 1; i >= 0; i-- {
+		if h.BucketCount(i) > 0 {
+			last = i
+			break
+		}
+	}
+	for i := 0; i <= last; i++ {
+		cum += h.BucketCount(i)
+		le := strconv.FormatFloat(metrics.BucketUpper(i).Seconds(), 'g', -1, 64)
+		fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", name, le, cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count())
+	fmt.Fprintf(w, "%s_sum %s\n", name, strconv.FormatFloat(h.Sum().Seconds(), 'g', -1, 64))
+	fmt.Fprintf(w, "%s_count %d\n", name, h.Count())
+}
+
+func openMetricsName(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+}

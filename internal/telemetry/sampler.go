@@ -3,7 +3,9 @@ package telemetry
 import (
 	"fmt"
 	"io"
+	"strconv"
 
+	"imca/internal/metrics"
 	"imca/internal/sim"
 )
 
@@ -18,18 +20,28 @@ import (
 // clock first reaches or passes a boundary, and because simulation state
 // only changes when events run, the values read then are exactly the state
 // of the system at the boundary instant.
+// Hist instruments additionally get a cumulative histogram snapshot per
+// sample (a fixed-size value copy, no per-observation retention), from
+// which HistIntervals and QuantileSeries derive per-interval bucket
+// deltas — the constant-memory replacement for retaining whole ops via
+// optrace KeepOps when all an experiment wants is a percentile timeline.
 type Sampler struct {
 	env      *sim.Env
 	reg      *Registry
 	interval sim.Duration
 	times    []sim.Time
 	series   map[string][]float64
+	hists    map[string][]metrics.Histogram
 }
 
 // NewSampler installs a sampler on env reading reg every interval of
 // virtual time. It replaces any previously installed tick observer.
 func NewSampler(env *sim.Env, reg *Registry, interval sim.Duration) *Sampler {
-	s := &Sampler{env: env, reg: reg, interval: interval, series: make(map[string][]float64)}
+	s := &Sampler{
+		env: env, reg: reg, interval: interval,
+		series: make(map[string][]float64),
+		hists:  make(map[string][]metrics.Histogram),
+	}
 	env.SetTick(interval, s.Sample)
 	return s
 }
@@ -54,6 +66,14 @@ func (s *Sampler) Sample(at sim.Time) {
 			col = append(col, 0)
 		}
 		s.series[in.name] = append(col, in.Value())
+		if in.kind != KindHist {
+			continue
+		}
+		snaps := s.hists[in.name]
+		for len(snaps) < len(s.times)-1 {
+			snaps = append(snaps, metrics.Histogram{})
+		}
+		s.hists[in.name] = append(snaps, in.hist.Snapshot())
 	}
 }
 
@@ -85,6 +105,104 @@ func (s *Sampler) Series(name string) []float64 {
 	return out
 }
 
+// HistSeries returns the named hist instrument's cumulative snapshots,
+// aligned with Times (nil if the instrument was never sampled or is not
+// a hist).
+func (s *Sampler) HistSeries(name string) []metrics.Histogram {
+	snaps, ok := s.hists[name]
+	if !ok {
+		// A hist registered after the last sample has no snapshots yet;
+		// align it with zeros like Series does for scalars.
+		if in := s.reg.Get(name); in == nil || in.kind != KindHist {
+			return nil
+		}
+	}
+	out := append([]metrics.Histogram(nil), snaps...)
+	for len(out) < len(s.times) {
+		out = append(out, metrics.Histogram{})
+	}
+	return out
+}
+
+// HistIntervals returns the per-interval bucket deltas of the named hist
+// instrument: element i holds exactly the observations recorded between
+// sample i-1 and sample i (element 0 counts from the start of the run).
+func (s *Sampler) HistIntervals(name string) []metrics.Histogram {
+	snaps := s.HistSeries(name)
+	if snaps == nil {
+		return nil
+	}
+	out := make([]metrics.Histogram, len(snaps))
+	prev := metrics.Histogram{}
+	for i, cur := range snaps {
+		out[i] = metrics.Delta(cur, prev)
+		prev = cur
+	}
+	return out
+}
+
+// QuantileSeries returns the q-quantile of each sampling interval of the
+// named hist instrument, in microseconds, aligned with Times. Intervals
+// with no observations report 0.
+func (s *Sampler) QuantileSeries(name string, q float64) []float64 {
+	ivs := s.HistIntervals(name)
+	if ivs == nil {
+		return nil
+	}
+	out := make([]float64, len(ivs))
+	for i := range ivs {
+		if ivs[i].Count() == 0 {
+			continue
+		}
+		out[i] = usPerDuration(ivs[i].Quantile(q))
+	}
+	return out
+}
+
+// kindsFor resolves each name's kind once (unregistered names render as
+// gauges), hoisted out of the per-sample loops of Dump and WriteCSV.
+func (s *Sampler) kindsFor(names []string) []Kind {
+	kinds := make([]Kind, len(names))
+	for i, n := range names {
+		kinds[i] = KindGauge
+		if in := s.reg.Get(n); in != nil {
+			kinds[i] = in.Kind()
+		}
+	}
+	return kinds
+}
+
+// CounterTracks converts the recorded series of the named instruments
+// (every registered instrument when names is empty) into Perfetto counter
+// tracks for WriteChromeTraceTracks. Scalar instruments contribute one
+// track of their sampled values; hist instruments expand into p50/p95/p99
+// per-interval microsecond tracks.
+func (s *Sampler) CounterTracks(names ...string) []CounterTrack {
+	if len(names) == 0 {
+		names = s.reg.Names()
+	}
+	kinds := s.kindsFor(names)
+	times := s.Times()
+	var out []CounterTrack
+	for i, n := range names {
+		if kinds[i] == KindHist {
+			for _, q := range []struct {
+				suffix string
+				q      float64
+			}{{".p50_us", 0.50}, {".p95_us", 0.95}, {".p99_us", 0.99}} {
+				out = append(out, CounterTrack{
+					Name:   n + q.suffix,
+					Times:  times,
+					Values: s.QuantileSeries(n, q.q),
+				})
+			}
+			continue
+		}
+		out = append(out, CounterTrack{Name: n, Times: times, Values: s.Series(n)})
+	}
+	return out
+}
+
 // Dump writes the named instruments as an aligned time-series table, one
 // row per sample.
 func (s *Sampler) Dump(w io.Writer, names ...string) {
@@ -98,17 +216,69 @@ func (s *Sampler) Dump(w io.Writer, names ...string) {
 	}
 	fmt.Fprintln(w)
 	cols := make([][]float64, len(names))
+	kinds := s.kindsFor(names)
 	for i, n := range names {
 		cols[i] = s.Series(n)
 	}
 	for ti, at := range s.times {
 		fmt.Fprintf(w, "%12v", at)
 		for i, n := range names {
-			kind := KindGauge
-			if in := s.reg.Get(n); in != nil {
-				kind = in.Kind()
+			fmt.Fprintf(w, "  %*s", len(n), formatValue(kinds[i], cols[i][ti]))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// WriteCSV writes the named instruments (every registered instrument when
+// names is empty) as a timeline CSV: a t_ns column, one column per scalar
+// instrument, and count/p50_us/p95_us/p99_us per-interval columns per
+// hist instrument. The output is deterministic: column order is the given
+// (or registration) order and values use fixed formatting.
+func (s *Sampler) WriteCSV(w io.Writer, names ...string) {
+	if len(names) == 0 {
+		names = s.reg.Names()
+	}
+	kinds := s.kindsFor(names)
+	fmt.Fprint(w, "t_ns")
+	for i, n := range names {
+		if kinds[i] == KindHist {
+			fmt.Fprintf(w, ",%s.count,%s.p50_us,%s.p95_us,%s.p99_us", n, n, n, n)
+			continue
+		}
+		fmt.Fprintf(w, ",%s", n)
+	}
+	fmt.Fprintln(w)
+
+	cols := make([][]float64, len(names))
+	quants := make([][3][]float64, len(names))
+	for i, n := range names {
+		if kinds[i] == KindHist {
+			ivs := s.HistIntervals(n)
+			cols[i] = make([]float64, len(ivs))
+			for j := range ivs {
+				cols[i][j] = float64(ivs[j].Count())
 			}
-			fmt.Fprintf(w, "  %*s", len(n), formatValue(kind, cols[i][ti]))
+			quants[i] = [3][]float64{
+				s.QuantileSeries(n, 0.50),
+				s.QuantileSeries(n, 0.95),
+				s.QuantileSeries(n, 0.99),
+			}
+			continue
+		}
+		cols[i] = s.Series(n)
+	}
+	for ti, at := range s.times {
+		fmt.Fprintf(w, "%d", int64(at))
+		for i := range names {
+			if kinds[i] == KindHist {
+				fmt.Fprintf(w, ",%s,%s,%s,%s",
+					strconv.FormatFloat(cols[i][ti], 'f', 0, 64),
+					strconv.FormatFloat(quants[i][0][ti], 'f', 1, 64),
+					strconv.FormatFloat(quants[i][1][ti], 'f', 1, 64),
+					strconv.FormatFloat(quants[i][2][ti], 'f', 1, 64))
+				continue
+			}
+			fmt.Fprintf(w, ",%s", formatValue(kinds[i], cols[i][ti]))
 		}
 		fmt.Fprintln(w)
 	}

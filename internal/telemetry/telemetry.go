@@ -1,7 +1,8 @@
 // Package telemetry is the stack-wide observability layer: a registry of
-// named instruments (counters, gauges, rates) read lazily from the layers'
-// existing statistics, a virtual-clock sampler that turns them into time
-// series, and a Chrome-trace-event exporter for optrace spans.
+// named instruments (counters, gauges, rates, latency histograms) read
+// lazily from the layers' existing statistics, a virtual-clock sampler
+// that turns them into time series, and Chrome-trace-event / OpenMetrics
+// / CSV exporters.
 //
 // Instruments are pull-based: registering one stores a closure over the
 // owning layer's counters, and nothing is read until a dump or a sample.
@@ -20,6 +21,8 @@ import (
 	"math"
 	"strconv"
 	"strings"
+
+	"imca/internal/metrics"
 )
 
 // Kind classifies an instrument for formatting and downstream analysis.
@@ -34,6 +37,11 @@ const (
 	// KindRate is a ratio in [0, 1] derived from two counters
 	// (hits / lookups).
 	KindRate
+	// KindHist is a push-based latency distribution (see Hist). Its
+	// scalar value is the observation count; the full distribution is
+	// reached through Instrument.Hist and the sampler's interval
+	// snapshots.
+	KindHist
 )
 
 // String names the kind.
@@ -45,6 +53,8 @@ func (k Kind) String() string {
 		return "gauge"
 	case KindRate:
 		return "rate"
+	case KindHist:
+		return "hist"
 	}
 	return "?"
 }
@@ -55,6 +65,7 @@ type Instrument struct {
 	name string
 	kind Kind
 	read func() float64
+	hist *metrics.Histogram // non-nil iff kind == KindHist
 }
 
 // Name returns the instrument's registered name.
@@ -63,8 +74,13 @@ func (in *Instrument) Name() string { return in.name }
 // Kind returns the instrument's kind.
 func (in *Instrument) Kind() Kind { return in.kind }
 
-// Value reads the instrument's current value.
+// Value reads the instrument's current value. For a hist instrument this
+// is its observation count.
 func (in *Instrument) Value() float64 { return in.read() }
+
+// Hist returns the instrument's underlying histogram, or nil for scalar
+// instruments.
+func (in *Instrument) Hist() *metrics.Histogram { return in.hist }
 
 // Registry holds named instruments in registration order.
 type Registry struct {
@@ -77,16 +93,22 @@ func NewRegistry() *Registry {
 	return &Registry{byName: make(map[string]*Instrument)}
 }
 
-func (r *Registry) add(name string, kind Kind, read func() float64) {
+func (r *Registry) add(name string, kind Kind, read func() float64) *Instrument {
 	if name == "" || read == nil {
 		panic("telemetry: instrument needs a name and a reader")
 	}
-	if _, dup := r.byName[name]; dup {
-		panic("telemetry: duplicate instrument " + name)
+	// Duplicate names are a hard error, not a shadow: a second registration
+	// under the same name would make every dump, sample series and report
+	// column silently read the wrong instrument.
+	if prev, dup := r.byName[name]; dup {
+		panic("telemetry: duplicate instrument name " + strconv.Quote(name) +
+			" (already registered as a " + prev.kind.String() +
+			", re-registered as a " + kind.String() + ")")
 	}
 	in := &Instrument{name: name, kind: kind, read: read}
 	r.order = append(r.order, in)
 	r.byName[name] = in
+	return in
 }
 
 // Counter registers a monotonically increasing count.
@@ -151,7 +173,7 @@ func (r *Registry) Value(name string) (v float64, ok bool) {
 // as they need.
 func formatValue(kind Kind, v float64) string {
 	switch kind {
-	case KindCounter:
+	case KindCounter, KindHist:
 		return strconv.FormatFloat(v, 'f', 0, 64)
 	case KindRate:
 		return strconv.FormatFloat(v, 'f', 4, 64)
@@ -168,11 +190,16 @@ func formatValue(kind Kind, v float64) string {
 func (r *Registry) Dump(w io.Writer) { r.DumpFilter(w, "") }
 
 // DumpFilter is Dump restricted to instruments whose name contains substr
-// ("" matches everything).
+// ("" matches everything). Hist instruments are skipped — they are
+// summarized by DumpHists instead, so registering one never changes the
+// bytes of an existing scalar dump.
 func (r *Registry) DumpFilter(w io.Writer, substr string) {
 	var sel []*Instrument
 	width := 0
 	for _, in := range r.order {
+		if in.kind == KindHist {
+			continue
+		}
 		if substr != "" && !strings.Contains(in.name, substr) {
 			continue
 		}

@@ -4,7 +4,9 @@
 # Runs the full figure sweep twice — serially, then with one worker per
 # core — and records per-figure wall time, dispatched kernel events,
 # events/sec, and allocs/event into BENCH_baseline.json (serial) and
-# BENCH_after.json (parallel). Finishes with the kernel microbenchmarks.
+# BENCH_after.json (parallel). Renders the same registry (with latency
+# histograms and the flight recorder enabled) into BENCH_report.html,
+# and finishes with the kernel microbenchmarks.
 #
 # Usage:
 #   scripts/bench.sh          # full sweep at the default scale (1/64)
@@ -46,6 +48,13 @@ awk '/"name": "ext-scale"/ {f=1}
      f && /"wall_ms"/        {gsub(/[ ,]/,"",$2); w=$2}
      f && /"events_per_sec"/ {gsub(/[ ,]/,"",$2); printf "   %.0f ms wall, %s events/sec\n", w, $2; exit}' \
     FS=: BENCH_after.json
+
+# Render the whole sweep — tables, notes, breakdowns, quantile timelines,
+# telemetry and flight dumps — into one static HTML page next to the json.
+# Instrumentation is on here precisely because the sweeps above ran without
+# it: the rendered tables must match them byte for byte.
+echo "== report (BENCH_report.html) =="
+go run ./cmd/imcareport -exp all -scale "$scale" -parallel "$workers" -o BENCH_report.html
 
 # Guard the performance trajectory: the parallel sweep must simulate the
 # exact same work as the serial one (event counts match) and must not

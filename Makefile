@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race verify bench benchrec
+.PHONY: all build vet lint lint-baseline test race verify bench benchrec
 
 all: verify
 
@@ -10,10 +10,18 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Determinism-invariant static analysis (wallclock, rand, maprange,
-# nogoroutine, tickpurity). See DESIGN.md "Determinism invariants".
+# Whole-program static analysis: determinism invariants (wallclock, rand,
+# maprange, nogoroutine, tickpurity) plus hot-path allocation, task-engine
+# parity, instrumentation completeness, and error-drop checks, run against
+# the committed lint.baseline. See DESIGN.md "Static analysis".
 lint:
 	$(GO) run ./cmd/imcalint ./...
+
+# Regenerate lint.baseline from the current findings. Use after fixing a
+# baselined violation (the stale-entry guard forces the shrink to be
+# recorded) — never to paper over a new one.
+lint-baseline:
+	$(GO) run ./cmd/imcalint -fix-baseline ./...
 
 test:
 	$(GO) test ./...

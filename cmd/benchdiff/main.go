@@ -37,6 +37,8 @@ import (
 	"fmt"
 	"os"
 	"sort"
+
+	"imca/internal/lint"
 )
 
 // benchRecord and benchFile mirror the -benchjson schema written by
@@ -108,16 +110,68 @@ func regression(base, after float64) float64 {
 	return (base - after) / base
 }
 
+// requiredRoots are the hot paths whose per-event allocation cost the
+// al/ev columns measure. Each must carry an //imcalint:hotpath
+// annotation so imcalint's allocfree check guards statically what this
+// table only observes after the fact; a missing annotation means the
+// benchmark is watching a path the linter is not.
+var requiredRoots = []string{
+	"internal/sim.Env.RunUntil",
+	"internal/telemetry.Hist.Observe",
+	"internal/metrics.Histogram.Observe",
+	"internal/flight.Recorder.Append",
+}
+
+// checkLintRoots warns (without failing the run) about benchmarked hot
+// paths missing a lint root annotation. It needs the module source, so it
+// only works when benchdiff runs inside the repository.
+func checkLintRoots() {
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: -lint-roots: %v\n", err)
+		return
+	}
+	root, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: -lint-roots needs to run inside the module: %v\n", err)
+		return
+	}
+	roots, err := lint.HotPathRoots(root, []string{"./internal/..."})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: -lint-roots: %v\n", err)
+		return
+	}
+	annotated := make(map[string]bool, len(roots))
+	for _, r := range roots {
+		annotated[r.Name] = true
+	}
+	for _, name := range requiredRoots {
+		if !annotated[name] {
+			fmt.Fprintf(os.Stderr,
+				"benchdiff: warning: benchmarked hot path %s has no //imcalint:hotpath annotation — the al/ev column is unguarded by imcalint's allocfree check\n",
+				name)
+		}
+	}
+}
+
 func main() {
 	maxRegress := flag.Float64("max-regress", 0.20,
 		"fail when events/sec drops by more than this fraction")
 	perFigure := flag.Bool("per-figure", false,
 		"apply the bound to every figure, not just the aggregate")
+	lintRoots := flag.Bool("lint-roots", false,
+		"warn when a benchmarked hot path lacks an //imcalint:hotpath annotation")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: benchdiff [flags] baseline.json after.json\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	if *lintRoots {
+		checkLintRoots()
+		if flag.NArg() == 0 {
+			os.Exit(0) // standalone annotation audit, no files to diff
+		}
+	}
 	if flag.NArg() != 2 {
 		flag.Usage()
 		os.Exit(2)

@@ -31,7 +31,7 @@ func main() {
 			panic(err)
 		}
 		payload := blob.Synthetic(99, 0, 64<<10)
-		fs.Write(p, fd, 0, payload)
+		_, _ = fs.Write(p, fd, 0, payload)
 
 		timeRead := func(label string) {
 			start := p.Now()
@@ -61,7 +61,7 @@ func main() {
 		// And a write during a total outage still persists.
 		c.MCDs[0].Fail()
 		c.MCDs[1].Fail()
-		fs.Write(p, fd, 64<<10, blob.Synthetic(99, 64<<10, 4096))
+		_, _ = fs.Write(p, fd, 64<<10, blob.Synthetic(99, 64<<10, 4096))
 		c.MCDs[0].Recover()
 		c.MCDs[1].Recover()
 		st, _ := fs.Stat(p, "/critical/ledger")

@@ -59,7 +59,7 @@ func main() {
 	}
 	fmt.Printf("multi-get found %d of %d keys\n", len(items), len(keys))
 
-	cl.Set(&memcache.Item{Key: "counter", Value: blob.FromString("41")})
+	_ = cl.Set(&memcache.Item{Key: "counter", Value: blob.FromString("41")})
 	if v, err := cl.Incr("counter", 1); err == nil {
 		fmt.Printf("incr counter -> %d\n", v)
 	}

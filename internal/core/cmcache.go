@@ -268,7 +268,7 @@ func (c *CMCache) Write(p *sim.Proc, fd gluster.FD, off int64, data blob.Blob) (
 			}
 		}
 		if st, serr := c.child.Stat(p, path); serr == nil {
-			c.mcd.Set(p, statKey(path), encodeStat(st))
+			_ = c.mcd.Set(p, statKey(path), encodeStat(st))
 		}
 	}
 	return n, nil
@@ -282,7 +282,7 @@ func (c *CMCache) pushBlocks(p *sim.Proc, path string, alignedOff int64, data bl
 		if end > data.Len() {
 			end = data.Len()
 		}
-		c.mcd.Set(p, blockKey(path, alignedOff+pos), data.Slice(pos, end))
+		_ = c.mcd.Set(p, blockKey(path, alignedOff+pos), data.Slice(pos, end))
 	}
 }
 

@@ -100,7 +100,7 @@ func setPurged(sp *optrace.Span, n int) {
 
 // pushStat stores a file's stat structure in the MCD bank.
 func (s *SMCache) pushStat(p *sim.Proc, st *gluster.Stat) {
-	s.mcd.Set(p, statKey(st.Path), encodeStat(st))
+	_ = s.mcd.Set(p, statKey(st.Path), encodeStat(st))
 	s.Stats.StatPushes++
 }
 
@@ -119,7 +119,7 @@ func (s *SMCache) pushBlocks(p *sim.Proc, path string, alignedOff int64, data bl
 			end = data.Len()
 		}
 		bo := alignedOff + pos
-		s.mcd.Set(p, blockKey(path, bo), data.Slice(pos, end))
+		_ = s.mcd.Set(p, blockKey(path, bo), data.Slice(pos, end))
 		set[bo] = struct{}{}
 		s.Stats.BlockPushes++
 	}

@@ -199,7 +199,7 @@ func ExtSharing(o Options) *Result {
 			if fds[0], err = mounts[0].Create(p, "/rw/shared"); err != nil {
 				panic(err)
 			}
-			mounts[0].Write(p, fds[0], 0, blob.Synthetic(1, 0, chunk))
+			_, _ = mounts[0].Write(p, fds[0], 0, blob.Synthetic(1, 0, chunk))
 			for i := 1; i < nc; i++ {
 				if fds[i], err = mounts[i].Open(p, "/rw/shared"); err != nil {
 					panic(err)
@@ -216,7 +216,7 @@ func ExtSharing(o Options) *Result {
 			env.Process(fmt.Sprintf("rw-%d", i), func(p *sim.Proc) {
 				for r := 0; r < rounds; r++ {
 					if i == 0 {
-						mounts[0].Write(p, fds[0], 0, blob.Synthetic(uint64(r)+2, 0, chunk))
+						_, _ = mounts[0].Write(p, fds[0], 0, blob.Synthetic(uint64(r)+2, 0, chunk))
 					}
 					bar.Wait(p)
 					t0 := p.Now()

@@ -227,7 +227,7 @@ func (o *Oracle) VerifyAll(p *sim.Proc) []string {
 		if _, err := o.Read(p, fd, 0, int64(len(o.shadow[path]))); err != nil {
 			o.violate(p, "audit read %q: %v", path, err)
 		}
-		o.Close(p, fd)
+		_ = o.Close(p, fd)
 	}
 	return o.violations
 }

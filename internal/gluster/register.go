@@ -61,3 +61,12 @@ func (f *Fuse) Register(reg *telemetry.Registry, prefix string) {
 	f.writeHist = reg.Hist(prefix + ".write_lat")
 	f.statHist = reg.Hist(prefix + ".stat_lat")
 }
+
+// Register exposes the io-stats layer's byte counters under prefix. The
+// per-operation latency histograms stay pull-only (Op, Dump): they are
+// keyed by whichever operation names the workload happens to issue, and
+// instrument registration must be deterministic.
+func (s *IOStats) Register(reg *telemetry.Registry, prefix string) {
+	reg.IntCounter(prefix+".read_bytes", func() int64 { return s.ReadB })
+	reg.IntCounter(prefix+".write_bytes", func() int64 { return s.WriteB })
+}

@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// The errdrop check covers the sim-side failure plumbing. The simulator
+// models faults deliberately (the injector, the failover client), so an
+// error return from a module-internal call is a simulated outcome the
+// caller must either handle or visibly discard — an expression statement
+// that drops one silently turns an injected fault into a no-op and the
+// experiment quietly measures the wrong system. The same goes for
+// completion callbacks: a function that accepts a func-typed parameter
+// and never invokes or forwards it strands whichever task armed it,
+// surfacing only later as a deadlock diagnostic with no cause attached.
+//
+// Two rules:
+//
+//   - an expression statement whose call returns an error from a
+//     module-internal function is a finding; assigning to _ is the
+//     visible, greppable way to discard one on purpose. Standard-library
+//     calls are exempt — fmt.Fprintf's error is conventionally ignored
+//     and no simulated fault flows through it.
+//   - a func-typed parameter that the body never references is a finding;
+//     name it _ to declare the drop.
+//
+// Host-side packages (Config.HostSide) are exempt as whole packages: real
+// TCP daemons legitimately drop write errors on teardown paths.
+func checkErrDrop(ld *loader, pkg *pkgInfo, cfg *Config) []Finding {
+	if cfg.hostSide(pkg.path) {
+		return nil
+	}
+	var out []Finding
+	out = append(out, errDropStmts(ld, pkg)...)
+	out = append(out, errDropCallbacks(pkg)...)
+	return out
+}
+
+// errDropStmts flags expression statements that discard an error result
+// of a module-internal call.
+func errDropStmts(ld *loader, pkg *pkgInfo) []Finding {
+	errType := types.Universe.Lookup("error").Type()
+	var out []Finding
+	for _, f := range pkg.files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(pkg.info, call)
+			if callee == nil || callee.Pkg() == nil {
+				return true // indirect or builtin: out of static reach
+			}
+			path := callee.Pkg().Path()
+			if path != ld.module && !strings.HasPrefix(path, ld.module+"/") {
+				return true
+			}
+			sig, ok := callee.Type().(*types.Signature)
+			if !ok || sig.Results() == nil {
+				return true
+			}
+			for i := 0; i < sig.Results().Len(); i++ {
+				if types.Identical(sig.Results().At(i).Type(), errType) {
+					out = append(out, Finding{
+						Pos:   pkg.pos(stmt.Pos()),
+						Check: "errdrop",
+						Msg: "result of " + funcKey(callee) + " includes an error that is silently dropped — " +
+							"handle it or assign it to _ to make the discard visible",
+					})
+					break
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// errDropCallbacks flags func-typed parameters a function accepts but
+// never references: a completion callback that is never invoked or
+// forwarded strands the task that armed it.
+func errDropCallbacks(pkg *pkgInfo) []Finding {
+	var out []Finding
+	for _, f := range pkg.files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Type.Params == nil {
+				continue
+			}
+			for _, field := range fd.Type.Params.List {
+				for _, name := range field.Names {
+					if name.Name == "_" {
+						continue
+					}
+					obj := pkg.info.Defs[name]
+					if obj == nil {
+						continue
+					}
+					if _, ok := obj.Type().Underlying().(*types.Signature); !ok {
+						continue
+					}
+					if identUsed(pkg, fd.Body, obj) {
+						continue
+					}
+					out = append(out, Finding{
+						Pos:   pkg.pos(name.Pos()),
+						Check: "errdrop",
+						Msg: "callback parameter " + name.Name + " of " + fd.Name.Name +
+							" is never invoked or forwarded — a stranded completion surfaces only as a deadlock; name it _ to declare the drop",
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// identUsed reports whether any identifier in body resolves to obj.
+func identUsed(pkg *pkgInfo, body *ast.BlockStmt, obj types.Object) bool {
+	used := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if used {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && pkg.info.Uses[id] == obj {
+			used = true
+		}
+		return true
+	})
+	return used
+}

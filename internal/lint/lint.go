@@ -1,12 +1,12 @@
-// Package lint implements imcalint, a determinism-invariant static
-// analyzer for the simulator stack. The whole reproduction rests on one
-// property: two identical runs produce byte-identical tables and traces on
-// a virtual clock. That property is easy to break silently — a stray
-// time.Now in a simulated layer, a map iterated into a report, a goroutine
-// spawned inside the single-threaded event loop — so this package makes it
-// machine-checked rather than conventional.
+// Package lint implements imcalint, a whole-program static analyzer for
+// the simulator stack. The reproduction rests on two properties: two
+// identical runs produce byte-identical tables and traces on a virtual
+// clock, and the per-event hot paths stay allocation-free. Both are easy
+// to break silently — a stray time.Now in a simulated layer, a map
+// iterated into a report, a closure allocated inside the dispatch loop —
+// so this package makes them machine-checked rather than conventional.
 //
-// Five checks are implemented, each over the parsed and type-checked
+// Nine checks are implemented, each over the parsed and type-checked
 // source of the packages under analysis (stdlib tooling only: go/parser,
 // go/ast, go/types, go/importer):
 //
@@ -32,6 +32,30 @@
 //   - tickpurity: functions reachable from a sim.Env.SetTick observer
 //     must not call scheduling methods; sampling can never advance the
 //     clock.
+//   - allocfree: no heap-allocating constructs — closures, append
+//     growth, make/new, address-taken composite literals, non-constant
+//     string concatenation, interface boxing — reachable from a function
+//     annotated //imcalint:hotpath. The annotation turns the runtime
+//     AllocsPerRun guarantees of the dispatch loop, Hist.Observe and
+//     flight.Append into compile-time ones; remaining allocations on the
+//     task completion chains are held in lint.baseline as an explicit
+//     burn-down list.
+//   - taskparity: a type that declares continuation-engine (*sim.Task)
+//     methods is task-ready, and every exported blocking operation
+//     (first parameter *sim.Proc) on it must have a <Name>T sibling
+//     whose call graph reaches the same set of kernel scheduling
+//     primitives (Wait ≡ WaitT, Proc.Sleep ≡ Task.Sleep, …) — the
+//     schedule-count parity that keeps the two engines byte-identical.
+//   - instrcomplete: instrument names registered in one function are
+//     unique (a duplicate panics at wiring time; this catches it at
+//     compile time), a type with a full hot-path operation surface
+//     registers telemetry instruments, every flight.Recorder.Append site
+//     passes a declared flight.Kind constant, and every flight.Kind
+//     constant is named by Kind.String.
+//   - errdrop: no module-internal error result silently dropped in an
+//     expression statement, and no completion-callback parameter a
+//     function accepts but never calls or forwards — a dropped
+//     continuation strands its task at the next deadlock diagnostic.
 //
 // Findings print as "file:line: [check] message". Intentional exceptions
 // are annotated in the source as
@@ -40,7 +64,11 @@
 //
 // on the offending line or the line immediately above it. The reason is
 // mandatory, and a suppression that matches no finding is itself reported,
-// so the set of exceptions stays exact and self-documenting.
+// so the set of exceptions stays exact and self-documenting. Known
+// findings that are tracked for burn-down rather than suppressed line by
+// line live in a committed baseline file (see Config.BaselinePath and
+// WriteBaseline); a baseline entry that no longer matches any finding is
+// reported as stale so the file can only shrink by regeneration.
 package lint
 
 import (
@@ -53,7 +81,10 @@ import (
 )
 
 // Checks is the set of valid check names, in reporting order.
-var Checks = []string{"wallclock", "rand", "maprange", "nogoroutine", "tickpurity"}
+var Checks = []string{
+	"wallclock", "rand", "maprange", "nogoroutine", "tickpurity",
+	"allocfree", "taskparity", "instrcomplete", "errdrop",
+}
 
 // Finding is one rule violation.
 type Finding struct {
@@ -71,20 +102,44 @@ func (f Finding) String() string {
 // full import paths. The zero value is not useful; start from
 // DefaultConfig.
 type Config struct {
-	// HostSide lists the packages exempt from the nogoroutine check:
-	// code that legitimately uses host concurrency — worker pools running
-	// whole simulations side by side, real network daemons — and never
-	// executes inside a simulation. Every other package in the tree is
-	// held to the single-threaded rule, so adding a package here is an
+	// HostSide lists the packages exempt from the nogoroutine and errdrop
+	// checks: code that legitimately uses host concurrency — worker pools
+	// running whole simulations side by side, real network daemons — and
+	// never executes inside a simulation. Every other package in the tree
+	// is held to the single-threaded rule, so adding a package here is an
 	// explicit, reviewable claim that nothing in it runs under the
 	// kernel.
 	HostSide []string
 	// RandAllowed lists the packages that may import math/rand.
 	RandAllowed []string
 	// SimPath is the import path of the simulation kernel, used by the
-	// maprange and tickpurity checks to recognize scheduling calls. Empty
-	// disables those recognitions (the checks still run on syntax).
+	// maprange, tickpurity, allocfree and taskparity checks to recognize
+	// scheduling calls and actor types. Empty disables those recognitions
+	// (the checks still run on syntax).
 	SimPath string
+	// TelemetryPath is the import path of the telemetry package, used by
+	// instrcomplete to recognize Registry registration calls.
+	TelemetryPath string
+	// FlightPath is the import path of the flight-recorder package, used
+	// by instrcomplete to validate Append record kinds.
+	FlightPath string
+
+	// Enabled restricts the run to the named checks (nil or empty runs
+	// all of them). Suppression validation is restricted to the enabled
+	// set so filtering a check out never reports its suppressions as
+	// stale.
+	Enabled []string
+	// BaselinePath, when non-empty, names the committed baseline file
+	// (relative paths resolve against the module root). Findings matching
+	// a baseline entry are dropped; entries matching no finding are
+	// reported as stale so the baseline can only shrink by regeneration.
+	// A missing file is simply an empty baseline.
+	BaselinePath string
+	// CacheDir, when non-empty, enables per-package result caching keyed
+	// on the content hashes of the package's files and its module-internal
+	// transitive dependencies. Cached packages skip parsing and
+	// type-checking entirely.
+	CacheDir string
 }
 
 // DefaultConfig returns the repository's own policy for the given module
@@ -101,13 +156,34 @@ func DefaultConfig(module string) *Config {
 			sub("memcache"),
 			module + "/cmd/memcached",
 		},
-		RandAllowed: []string{sub("xrand")},
-		SimPath:     sub("sim"),
+		RandAllowed:   []string{sub("xrand")},
+		SimPath:       sub("sim"),
+		TelemetryPath: sub("telemetry"),
+		FlightPath:    sub("flight"),
 	}
 }
 
 func (c *Config) hostSide(path string) bool    { return contains(c.HostSide, path) }
 func (c *Config) randAllowed(path string) bool { return contains(c.RandAllowed, path) }
+
+// enabledSet resolves Enabled to a membership map over Checks, rejecting
+// unknown names.
+func (c *Config) enabledSet() (map[string]bool, error) {
+	on := make(map[string]bool, len(Checks))
+	if len(c.Enabled) == 0 {
+		for _, name := range Checks {
+			on[name] = true
+		}
+		return on, nil
+	}
+	for _, name := range c.Enabled {
+		if !contains(Checks, name) {
+			return nil, fmt.Errorf("lint: unknown check %q (valid: %s)", name, strings.Join(Checks, ", "))
+		}
+		on[name] = true
+	}
+	return on, nil
+}
 
 func contains(xs []string, s string) bool {
 	for _, x := range xs {
@@ -121,10 +197,11 @@ func contains(xs []string, s string) bool {
 // Run analyzes the packages matched by patterns (import-path-relative
 // directory patterns such as "./...", "./internal/...", or a single
 // directory) under the module rooted at root, and returns the surviving
-// findings sorted by position. Suppressed findings are dropped; malformed
-// or unused suppressions are reported as findings themselves.
+// findings sorted by position. Suppressed and baselined findings are
+// dropped; malformed or unused suppressions and stale baseline entries
+// are reported as findings themselves.
 func Run(root string, patterns []string, cfg *Config) ([]Finding, error) {
-	ld, err := newLoader(root)
+	enabled, err := cfg.enabledSet()
 	if err != nil {
 		return nil, err
 	}
@@ -132,38 +209,147 @@ func Run(root string, patterns []string, cfg *Config) ([]Finding, error) {
 	if err != nil {
 		return nil, err
 	}
-	var pkgs []*pkgInfo
-	for _, dir := range dirs {
-		pkg, err := ld.loadDir(dir)
-		if err != nil {
-			return nil, err
+	module, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+
+	cache := openCache(root, cfg)
+	hasher := newDepHasher(root, module)
+
+	// The loader is built lazily: when every target package hits the
+	// cache, nothing is parsed or type-checked at all.
+	var ld *loader
+	loaderFor := func() (*loader, error) {
+		if ld == nil {
+			ld, err = newLoader(root)
 		}
-		if pkg != nil {
-			pkgs = append(pkgs, pkg)
-		}
+		return ld, err
 	}
 
 	var findings []Finding
 	var sups []*suppression
-	for _, pkg := range pkgs {
-		findings = append(findings, checkWallclock(pkg)...)
-		findings = append(findings, checkRand(pkg, cfg)...)
-		findings = append(findings, checkMapRange(pkg, cfg)...)
-		findings = append(findings, checkNoGoroutine(pkg, cfg)...)
-		s, bad := collectSuppressions(pkg)
-		sups = append(sups, s...)
-		findings = append(findings, bad...)
-	}
-	findings = append(findings, checkTickPurity(ld, pkgs, cfg)...)
-
-	findings = applySuppressions(findings, sups)
-	// Report paths relative to the module root so output is stable no
-	// matter where the analyzer was invoked from.
-	for i := range findings {
-		if rel, err := filepath.Rel(root, findings[i].Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-			findings[i].Pos.Filename = filepath.ToSlash(rel)
+	for _, dir := range dirs {
+		if ok, err := hasGoFiles(dir); err != nil {
+			return nil, err
+		} else if !ok {
+			continue
 		}
+		path, err := importPathIn(root, module, dir)
+		if err != nil {
+			return nil, err
+		}
+		key := ""
+		if cache != nil {
+			key, err = hasher.key(dir, cfg, enabled)
+			if err != nil {
+				return nil, err
+			}
+			if ent, ok := cache.get(path, key); ok {
+				findings = append(findings, ent.findings()...)
+				sups = append(sups, ent.suppressions()...)
+				continue
+			}
+		}
+		l, err := loaderFor()
+		if err != nil {
+			return nil, err
+		}
+		pkg, err := l.loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			continue
+		}
+		pf, ps := checkPackage(l, pkg, cfg, enabled)
+		relativize(root, pf, ps)
+		if cache != nil {
+			cache.put(path, key, pf, ps)
+		}
+		findings = append(findings, pf...)
+		sups = append(sups, ps...)
 	}
+	if cache != nil {
+		cache.save() // best-effort; a read-only tree just runs uncached
+	}
+
+	findings = applySuppressions(findings, sups, enabled)
+	if cfg.BaselinePath != "" {
+		base, err := readBaseline(resolvePath(root, cfg.BaselinePath))
+		if err != nil {
+			return nil, err
+		}
+		findings = applyBaseline(findings, base, cfg.BaselinePath)
+	}
+	sortFindings(findings)
+	return dedupFindings(findings), nil
+}
+
+// checkPackage runs every enabled check over one package and collects its
+// suppressions. Findings may be positioned in dependency packages (the
+// reachability checks walk across package boundaries) but are attributed
+// to the analysis of pkg, which is what the cache keys on.
+func checkPackage(ld *loader, pkg *pkgInfo, cfg *Config, enabled map[string]bool) ([]Finding, []*suppression) {
+	var findings []Finding
+	if enabled["wallclock"] {
+		findings = append(findings, checkWallclock(pkg)...)
+	}
+	if enabled["rand"] {
+		findings = append(findings, checkRand(pkg, cfg)...)
+	}
+	if enabled["maprange"] {
+		findings = append(findings, checkMapRange(pkg, cfg)...)
+	}
+	if enabled["nogoroutine"] {
+		findings = append(findings, checkNoGoroutine(pkg, cfg)...)
+	}
+	if enabled["tickpurity"] {
+		findings = append(findings, checkTickPurity(ld, pkg, cfg)...)
+	}
+	if enabled["allocfree"] {
+		findings = append(findings, checkAllocFree(ld, pkg, cfg)...)
+	}
+	if enabled["taskparity"] {
+		findings = append(findings, checkTaskParity(ld, pkg, cfg)...)
+	}
+	if enabled["instrcomplete"] {
+		findings = append(findings, checkInstrComplete(pkg, cfg)...)
+	}
+	if enabled["errdrop"] {
+		findings = append(findings, checkErrDrop(ld, pkg, cfg)...)
+	}
+	sups, bad := collectSuppressions(pkg)
+	findings = append(findings, bad...)
+	return findings, sups
+}
+
+// relativize rewrites finding and suppression positions relative to the
+// module root so output — and the cache, and the baseline — is stable no
+// matter where the analyzer was invoked from.
+func relativize(root string, findings []Finding, sups []*suppression) {
+	rel := func(name string) string {
+		if r, err := filepath.Rel(root, name); err == nil && !strings.HasPrefix(r, "..") {
+			return filepath.ToSlash(r)
+		}
+		return name
+	}
+	for i := range findings {
+		findings[i].Pos.Filename = rel(findings[i].Pos.Filename)
+	}
+	for _, s := range sups {
+		s.file = rel(s.file)
+	}
+}
+
+func resolvePath(root, path string) string {
+	if filepath.IsAbs(path) {
+		return path
+	}
+	return filepath.Join(root, path)
+}
+
+func sortFindings(findings []Finding) {
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -175,9 +361,31 @@ func Run(root string, patterns []string, cfg *Config) ([]Finding, error) {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Check < b.Check
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Msg < b.Msg
 	})
-	return findings, nil
+}
+
+// dedupFindings drops findings identical in position and check: the
+// cross-package reachability walks (allocfree, tickpurity) can reach the
+// same construct from roots in different packages, and one report per
+// site is enough. Input must be sorted, so which message survives is
+// deterministic.
+func dedupFindings(findings []Finding) []Finding {
+	out := findings[:0]
+	for i, f := range findings {
+		if i > 0 {
+			p := findings[i-1]
+			if p.Pos.Filename == f.Pos.Filename && p.Pos.Line == f.Pos.Line &&
+				p.Pos.Column == f.Pos.Column && p.Check == f.Check {
+				continue
+			}
+		}
+		out = append(out, f)
+	}
+	return out
 }
 
 // FindModuleRoot walks upward from dir to the directory containing go.mod
@@ -197,6 +405,22 @@ func FindModuleRoot(dir string) (string, error) {
 		}
 		dir = parent
 	}
+}
+
+// importPathIn maps a directory inside the module to its import path
+// without needing a loader.
+func importPathIn(root, module, dir string) (string, error) {
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return module, nil
+	}
+	if strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("lint: %s is outside module root %s", dir, root)
+	}
+	return module + "/" + filepath.ToSlash(rel), nil
 }
 
 // expandPatterns resolves "./..." style patterns to package directories

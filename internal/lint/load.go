@@ -34,6 +34,38 @@ type loader struct {
 	std     types.ImporterFrom
 	pkgs    map[string]*pkgInfo // by import path; nil entry = load in progress
 	loading map[string]bool
+
+	// idx memoizes funcIndex across check invocations; idxGen records how
+	// many packages were loaded when it was built, so a lazy load of a new
+	// dependency rebuilds it.
+	idx    map[*types.Func]funcRef
+	idxGen int
+}
+
+// funcIndex maps every declared function of every loaded module package
+// to its AST, so reachability analyses can cross package boundaries. The
+// index is rebuilt whenever a new package has been loaded since the last
+// call.
+func (l *loader) funcIndex() map[*types.Func]funcRef {
+	if l.idx != nil && l.idxGen == len(l.pkgs) {
+		return l.idx
+	}
+	idx := make(map[*types.Func]funcRef)
+	for _, pkg := range l.pkgs {
+		for _, f := range pkg.files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if obj, ok := pkg.info.Defs[fd.Name].(*types.Func); ok {
+					idx[obj] = funcRef{pkg: pkg, decl: fd}
+				}
+			}
+		}
+	}
+	l.idx, l.idxGen = idx, len(l.pkgs)
+	return idx
 }
 
 func newLoader(root string) (*loader, error) {

@@ -61,8 +61,10 @@ func collectSuppressions(pkg *pkgInfo) ([]*suppression, []Finding) {
 
 // applySuppressions removes findings covered by a suppression and reports
 // suppressions that covered nothing, so stale exceptions surface instead
-// of rotting.
-func applySuppressions(findings []Finding, sups []*suppression) []Finding {
+// of rotting. Unused suppressions for checks outside the enabled set are
+// not reported: a filtered run (-check wallclock) must not accuse the
+// other checks' suppressions of staleness it never tested.
+func applySuppressions(findings []Finding, sups []*suppression, enabled map[string]bool) []Finding {
 	kept := findings[:0]
 	for _, f := range findings {
 		suppressed := false
@@ -78,7 +80,7 @@ func applySuppressions(findings []Finding, sups []*suppression) []Finding {
 		}
 	}
 	for _, s := range sups {
-		if !s.used {
+		if !s.used && (enabled == nil || enabled[s.check]) {
 			kept = append(kept, Finding{
 				Pos:   positionAt(s.file, s.line),
 				Check: "suppress",

@@ -1,0 +1,27 @@
+// Package errdrop is an imcalint fixture: silently dropped
+// module-internal errors and never-invoked callback parameters, plus the
+// visible-discard and suppressed forms that must pass.
+package errdrop
+
+import "errors"
+
+func fail() error { return errors.New("simulated fault") }
+
+// Drop discards fail's error silently — a finding — then discards it
+// visibly, which is fine.
+func Drop() {
+	fail()
+	_ = fail()
+}
+
+// Strand accepts a callback it never invokes or forwards.
+func Strand(k func(), n int) int { return n }
+
+// Forward passes its callback on, so it is fine.
+func Forward(k func()) { k() }
+
+// Blank declares the drop by naming the parameter _.
+func Blank(_ func()) {}
+
+// Allowed strands its callback behind an explicit suppression.
+func Allowed(k func()) {} //imcalint:allow errdrop fixture: deliberate strand, pinned by the suppress test

@@ -1,0 +1,28 @@
+// Package flightkind is an imcalint fixture for the instrcomplete
+// check's Kind.String totality rule: the analyzer is pointed at this
+// package as its flight-recorder path, and KindC is missing from
+// String's switch.
+package flightkind
+
+// Kind classifies a record, mirroring internal/flight's shape.
+type Kind uint8
+
+const (
+	// KindA is named by String.
+	KindA Kind = iota
+	// KindB is named by String.
+	KindB
+	// KindC is missing from String — the finding this fixture pins.
+	KindC
+)
+
+// String names the kinds — incompletely.
+func (k Kind) String() string {
+	switch k {
+	case KindA:
+		return "a"
+	case KindB:
+		return "b"
+	}
+	return "?"
+}

@@ -18,34 +18,31 @@ import (
 // declared functions in the module (calls through stored function values
 // are invisible to it, as with any static analysis); function literals
 // encountered in a reachable body are walked conservatively.
-func checkTickPurity(ld *loader, targets []*pkgInfo, cfg *Config) []Finding {
+func checkTickPurity(ld *loader, pkg *pkgInfo, cfg *Config) []Finding {
 	if cfg.SimPath == "" {
 		return nil
 	}
-	idx := buildFuncIndex(ld)
 	var out []Finding
 	reported := make(map[token.Pos]bool)
-	for _, pkg := range targets {
-		for _, f := range pkg.files {
-			ast.Inspect(f, func(n ast.Node) bool {
-				call, ok := n.(*ast.CallExpr)
-				if !ok {
-					return true
-				}
-				callee := calleeFunc(pkg.info, call)
-				if callee == nil || callee.Pkg() == nil ||
-					callee.Pkg().Path() != cfg.SimPath || funcKey(callee) != "Env.SetTick" {
-					return true
-				}
-				if len(call.Args) < 2 {
-					return true
-				}
-				w := &tickWalker{idx: idx, cfg: cfg, out: &out, reported: reported,
-					visited: make(map[*types.Func]bool)}
-				w.walkObserver(pkg, call.Args[1])
+	for _, f := range pkg.files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
 				return true
-			})
-		}
+			}
+			callee := calleeFunc(pkg.info, call)
+			if callee == nil || callee.Pkg() == nil ||
+				callee.Pkg().Path() != cfg.SimPath || funcKey(callee) != "Env.SetTick" {
+				return true
+			}
+			if len(call.Args) < 2 {
+				return true
+			}
+			w := &tickWalker{idx: ld.funcIndex(), cfg: cfg, out: &out, reported: reported,
+				visited: make(map[*types.Func]bool)}
+			w.walkObserver(pkg, call.Args[1])
+			return true
+		})
 	}
 	return out
 }
@@ -54,26 +51,6 @@ func checkTickPurity(ld *loader, targets []*pkgInfo, cfg *Config) []Finding {
 type funcRef struct {
 	pkg  *pkgInfo
 	decl *ast.FuncDecl
-}
-
-// buildFuncIndex maps every declared function of every loaded module
-// package to its AST, so reachability can cross package boundaries.
-func buildFuncIndex(ld *loader) map[*types.Func]funcRef {
-	idx := make(map[*types.Func]funcRef)
-	for _, pkg := range ld.pkgs {
-		for _, f := range pkg.files {
-			for _, decl := range f.Decls {
-				fd, ok := decl.(*ast.FuncDecl)
-				if !ok || fd.Body == nil {
-					continue
-				}
-				if obj, ok := pkg.info.Defs[fd.Name].(*types.Func); ok {
-					idx[obj] = funcRef{pkg: pkg, decl: fd}
-				}
-			}
-		}
-	}
-	return idx
 }
 
 type tickWalker struct {

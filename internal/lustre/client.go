@@ -369,7 +369,7 @@ func (cl *Client) Write(p *sim.Proc, fd gluster.FD, off int64, data blob.Blob) (
 		return 0, gluster.ErrNotExist
 	}
 	// Acquire the write lock: MDS revokes all other holders.
-	cl.node.Call(p, cl.cluster.mdsNode, "mds-lock", &lockReq{Path: path, Client: cl.id, Write: true})
+	_, _ = cl.node.Call(p, cl.cluster.mdsNode, "mds-lock", &lockReq{Path: path, Client: cl.id, Write: true})
 
 	cl.ostIO(p, path, off, data, 0, true)
 

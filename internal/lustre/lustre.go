@@ -266,7 +266,7 @@ func (c *Cluster) revokeLocked(p *sim.Proc, path string, m *meta, exceptClient i
 	for _, id := range ids {
 		c.Revocations++
 		// Callback RPC to the client; the client drops its pages.
-		c.mdsNode.Call(p, m.holders[id].node, "lustre-client", &revokeMsg{Path: path})
+		_, _ = c.mdsNode.Call(p, m.holders[id].node, "lustre-client", &revokeMsg{Path: path})
 		delete(m.holders, id)
 	}
 }

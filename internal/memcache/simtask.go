@@ -17,6 +17,8 @@ import (
 
 // GetT is Get for the task engine: k receives (item, true) on a hit and
 // (nil, false) on any flavour of miss.
+//
+//imcalint:hotpath 10k-tenant open-loop experiment: per-op allocations on this chain are the marginal cost (ROADMAP item 2); known ones are baselined for burn-down
 func (c *SimClient) GetT(t *sim.Task, key string, k func(*Item, bool)) {
 	idx, srv := c.pick(key)
 	sp := optrace.StartSpan(t, optrace.LayerMCD, "get")
@@ -152,6 +154,40 @@ func (c *SimClient) GetMultiT(t *sim.Task, keys []string, k func(map[string]*Ite
 		})
 	}
 	collect(0)
+}
+
+// DeleteT is Delete for the task engine; k receives Delete's found
+// result. Ejection and failure semantics mirror Delete exactly: an
+// ejected or unreachable MCD absorbs the delete without a wire request,
+// per the documented fault-model boundary.
+func (c *SimClient) DeleteT(t *sim.Task, key string, k func(bool)) {
+	idx, srv := c.pick(key)
+	sp := optrace.StartSpan(t, optrace.LayerMCD, "delete")
+	sp.SetAttr("server", srv.node.Name())
+	if !c.admit(t, idx) {
+		sp.SetAttr("result", "ejected")
+		sp.End(t)
+		k(false)
+		return
+	}
+	c.node.CallT(t, srv.node, ServiceName, &DelReq{Key: key}, func(m fabric.Msg, err error) {
+		if err != nil {
+			sp.SetAttr("result", c.fail(t, idx, err, false))
+			sp.End(t)
+			k(false)
+			return
+		}
+		resp := m.(*DelResp)
+		if resp.Down {
+			sp.SetAttr("result", c.fail(t, idx, nil, true))
+			sp.End(t)
+			k(false)
+			return
+		}
+		c.observe(t, idx, true)
+		sp.End(t)
+		k(resp.Found)
+	})
 }
 
 // SetT is Set for the task engine; k receives Set's error result.

@@ -106,7 +106,7 @@ func (s *Server) handle(p *sim.Proc, from *fabric.Node, req fabric.Msg) fabric.M
 		if err != nil {
 			return &nfsResp{Code: "EEXIST"}
 		}
-		s.store.Close(p, fd)
+		_ = s.store.Close(p, fd)
 		return &nfsResp{}
 	case "read":
 		fd, err := s.store.Open(p, r.Path)
@@ -114,7 +114,7 @@ func (s *Server) handle(p *sim.Proc, from *fabric.Node, req fabric.Msg) fabric.M
 			return &nfsResp{Code: "ENOENT"}
 		}
 		data, err := s.store.Read(p, fd, r.Off, r.Size)
-		s.store.Close(p, fd)
+		_ = s.store.Close(p, fd)
 		if err != nil {
 			return &nfsResp{Code: "EIO"}
 		}
@@ -125,7 +125,7 @@ func (s *Server) handle(p *sim.Proc, from *fabric.Node, req fabric.Msg) fabric.M
 			return &nfsResp{Code: "ENOENT"}
 		}
 		_, err = s.store.Write(p, fd, r.Off, r.Data)
-		s.store.Close(p, fd)
+		_ = s.store.Close(p, fd)
 		if err != nil {
 			return &nfsResp{Code: "EIO"}
 		}

@@ -373,9 +373,11 @@ func (e *Env) Run() Time {
 
 // RunUntil processes events with timestamps <= limit and returns the
 // current virtual time afterwards.
+//
+//imcalint:hotpath dispatch loop: ~1.29 allocs/event budget for fig5 scale-16 rests on this body staying allocation-free
 func (e *Env) RunUntil(limit Time) Time {
 	start := e.EventsProcessed
-	defer func() { totalEvents.Add(e.EventsProcessed - start) }()
+	defer func() { totalEvents.Add(e.EventsProcessed - start) }() //imcalint:allow allocfree one closure per RunUntil call, amortized over every event it dispatches
 	for len(e.heap) > 0 {
 		if e.heap[0].at > limit {
 			e.now = limit

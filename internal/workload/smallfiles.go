@@ -145,7 +145,7 @@ func SmallFiles(env *sim.Env, mounts []gluster.FS, opts SmallFilesOptions) Small
 					panic(fmt.Sprintf("workload: small read %d bytes, %v", data.Len(), err))
 				}
 				if opts.Reopen {
-					fs.Close(p, fd)
+					_ = fs.Close(p, fd)
 				}
 			}
 			total += p.Now().Sub(t0)

@@ -21,7 +21,15 @@ echo "== go build ./..."
 go build ./...
 
 echo "== imcalint ./..."
+# Runs all nine checks against lint.baseline; stale baseline entries fail
+# the run too, so the committed burn-down list can only shrink. The
+# .cache/imcalint result cache makes warm runs near-instant.
 go run ./cmd/imcalint ./...
+
+echo "== benchdiff -lint-roots"
+# Cross-check: every hot path the benchmark table measures must carry an
+# //imcalint:hotpath annotation so allocfree guards it statically.
+go run ./cmd/benchdiff -lint-roots
 
 echo "== go test -race ./..."
 # The experiments package re-runs whole figures (including the 10k-tenant

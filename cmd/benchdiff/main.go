@@ -3,11 +3,11 @@
 //
 // Usage:
 //
-//	benchdiff [-max-regress 0.20] [-per-figure] baseline.json after.json
+//	benchdiff [-max-regress 0.20] [-max-alloc-regress 0.02] [-per-figure] baseline.json after.json
 //
 // The comparison is over host-side events/sec — the virtual results are
 // deterministic and covered by tests, so what benchdiff guards is the
-// kernel's execution speed. Two checks run:
+// kernel's execution speed. Three checks run:
 //
 //   - Determinism: a figure present in both files must have dispatched
 //     exactly the same number of kernel events. A mismatch means the two
@@ -21,11 +21,18 @@
 //     aggregate-only mode tolerates per-figure noise from CPU contention
 //     when the "after" file comes from a parallel sweep.
 //
-// The table also shows each figure's heap allocations per dispatched
-// event and the delta against baseline. The allocation column is
-// informational — it never fails the run on its own — but a jump there
-// usually explains a throughput drop, and the aggregate row makes
-// alloc-per-event creep visible across PRs.
+//   - Allocations: aggregate heap allocations per dispatched event must
+//     not rise by more than -max-alloc-regress. Unlike wall time,
+//     allocation counts are deterministic for a deterministic kernel, so
+//     this bound can be tight (default 2%) without flaking: any rise
+//     means code on a hot path started allocating, which is exactly the
+//     creep the zero-alloc work exists to prevent. With -per-figure the
+//     bound also applies to every figure individually (figures with a
+//     sub-0.5 al/ev baseline are exempt per-figure — a 2% band around
+//     almost-zero is noise from one-time warmup allocations).
+//
+// The table shows each figure's allocations per event and the delta
+// against baseline alongside the throughput columns.
 //
 // Exit status: 0 when every check passes, 1 on a regression or event
 // count mismatch, 2 on usage or parse errors.
@@ -157,6 +164,8 @@ func checkLintRoots() {
 func main() {
 	maxRegress := flag.Float64("max-regress", 0.20,
 		"fail when events/sec drops by more than this fraction")
+	maxAllocRegress := flag.Float64("max-alloc-regress", 0.02,
+		"fail when allocations per event rise by more than this fraction (0 disables)")
 	perFigure := flag.Bool("per-figure", false,
 		"apply the bound to every figure, not just the aggregate")
 	lintRoots := flag.Bool("lint-roots", false,
@@ -182,14 +191,29 @@ func main() {
 		var after *benchFile
 		after, err = load(flag.Arg(1))
 		if err == nil {
-			os.Exit(diff(base, after, *maxRegress, *perFigure))
+			os.Exit(diff(base, after, *maxRegress, *maxAllocRegress, *perFigure))
 		}
 	}
 	fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 	os.Exit(2)
 }
 
-func diff(base, after *benchFile, maxRegress float64, perFigure bool) int {
+// allocRise returns the fractional allocs-per-event increase from base to
+// after; improvements come back negative.
+func allocRise(base, after float64) float64 {
+	if base <= 0 {
+		return 0
+	}
+	return (after - base) / base
+}
+
+// allocFloor exempts near-zero per-figure baselines from the percentage
+// bound: a 2% band around a fraction of an allocation per event is
+// dominated by one-time warmup allocations, not hot-path behaviour. The
+// aggregate bound still sees those figures at full weight.
+const allocFloor = 0.5
+
+func diff(base, after *benchFile, maxRegress, maxAllocRegress float64, perFigure bool) int {
 	baseBy, afterBy := base.byName(), after.byName()
 
 	names := make([]string, 0, len(baseBy))
@@ -222,6 +246,14 @@ func diff(base, after *benchFile, maxRegress float64, perFigure bool) int {
 			mark += "  REGRESSION"
 			failed = true
 		}
+		if perFigure && maxAllocRegress > 0 && b.AllocsPerEvt >= allocFloor &&
+			allocRise(b.AllocsPerEvt, a.AllocsPerEvt) > maxAllocRegress {
+			mark += "  ALLOC REGRESSION"
+			failed = true
+			fmt.Fprintf(os.Stderr,
+				"benchdiff: %s allocations per event rose %.1f%% (limit %.0f%%)\n",
+				n, allocRise(b.AllocsPerEvt, a.AllocsPerEvt)*100, maxAllocRegress*100)
+		}
 		fmt.Printf("%-12s %14.0f %14.0f %+7.1f%% %12.2f %12.2f %+8.2f%s\n",
 			n, b.EventsPerSec, a.EventsPerSec, -drop*100,
 			b.AllocsPerEvt, a.AllocsPerEvt, a.AllocsPerEvt-b.AllocsPerEvt, mark)
@@ -249,10 +281,20 @@ func diff(base, after *benchFile, maxRegress float64, perFigure bool) int {
 			drop*100, maxRegress*100)
 		failed = true
 	}
+	if maxAllocRegress > 0 && allocRise(baseAl, afterAl) > maxAllocRegress {
+		fmt.Fprintf(os.Stderr,
+			"benchdiff: aggregate allocations per event rose %.1f%% (limit %.0f%%) — something on a hot path started allocating\n",
+			allocRise(baseAl, afterAl)*100, maxAllocRegress*100)
+		failed = true
+	}
 
 	if failed {
 		return 1
 	}
-	fmt.Printf("ok: throughput within %.0f%% of baseline\n", maxRegress*100)
+	fmt.Printf("ok: throughput within %.0f%% of baseline", maxRegress*100)
+	if maxAllocRegress > 0 {
+		fmt.Printf(", allocs/event within %.0f%%", maxAllocRegress*100)
+	}
+	fmt.Println()
 	return 0
 }

@@ -17,7 +17,7 @@ func rec(name string, events uint64, wallMs float64) benchRecord {
 func TestDiffWithinBound(t *testing.T) {
 	base := file(300, rec("fig4", 1000, 100), rec("fig5", 2000, 200))
 	after := file(330, rec("fig4", 1000, 110), rec("fig5", 2000, 220))
-	if code := diff(base, after, 0.20, false); code != 0 {
+	if code := diff(base, after, 0.20, 0.02, false); code != 0 {
 		t.Errorf("10%% slowdown under a 20%% bound exited %d, want 0", code)
 	}
 }
@@ -25,7 +25,7 @@ func TestDiffWithinBound(t *testing.T) {
 func TestDiffAggregateRegression(t *testing.T) {
 	base := file(300, rec("fig4", 1000, 100), rec("fig5", 2000, 200))
 	after := file(450, rec("fig4", 1000, 150), rec("fig5", 2000, 300))
-	if code := diff(base, after, 0.20, false); code != 1 {
+	if code := diff(base, after, 0.20, 0.02, false); code != 1 {
 		t.Errorf("33%% aggregate slowdown exited %d, want 1", code)
 	}
 }
@@ -35,10 +35,10 @@ func TestDiffPerFigureRegression(t *testing.T) {
 	// aggregate stays inside the bound: only -per-figure catches it.
 	base := file(200, rec("fig4", 1000, 100), rec("fig5", 1000, 100))
 	after := file(210, rec("fig4", 1000, 170), rec("fig5", 1000, 40))
-	if code := diff(base, after, 0.20, false); code != 0 {
+	if code := diff(base, after, 0.20, 0.02, false); code != 0 {
 		t.Errorf("aggregate-only mode exited %d, want 0", code)
 	}
-	if code := diff(base, after, 0.20, true); code != 1 {
+	if code := diff(base, after, 0.20, 0.02, true); code != 1 {
 		t.Errorf("per-figure mode exited %d, want 1", code)
 	}
 }
@@ -46,7 +46,7 @@ func TestDiffPerFigureRegression(t *testing.T) {
 func TestDiffEventCountMismatch(t *testing.T) {
 	base := file(100, rec("fig4", 1000, 100))
 	after := file(100, rec("fig4", 1001, 100))
-	if code := diff(base, after, 0.20, false); code != 1 {
+	if code := diff(base, after, 0.20, 0.02, false); code != 1 {
 		t.Errorf("event count mismatch exited %d, want 1 (determinism breach)", code)
 	}
 }
@@ -56,8 +56,61 @@ func TestDiffUnmatchedFigures(t *testing.T) {
 	// registries grow across PRs and the committed baseline lags.
 	base := file(100, rec("fig4", 1000, 100), rec("gone", 500, 50))
 	after := file(100, rec("fig4", 1000, 100), rec("new", 500, 50))
-	if code := diff(base, after, 0.20, false); code != 0 {
+	if code := diff(base, after, 0.20, 0.02, false); code != 0 {
 		t.Errorf("unmatched figures exited %d, want 0", code)
+	}
+}
+
+func TestDiffAllocRegression(t *testing.T) {
+	withAllocs := func(al float64, r benchRecord) benchRecord {
+		r.AllocsPerEvt = al
+		return r
+	}
+	base := file(200, withAllocs(2.0, rec("fig4", 1000, 100)), withAllocs(2.0, rec("fig5", 1000, 100)))
+	// Same speed, but allocations per event rose 10% — the hard gate fires
+	// even though throughput is fine.
+	after := file(200, withAllocs(2.2, rec("fig4", 1000, 100)), withAllocs(2.2, rec("fig5", 1000, 100)))
+	if code := diff(base, after, 0.20, 0.02, false); code != 1 {
+		t.Errorf("10%% alloc/event rise under a 2%% bound exited %d, want 1", code)
+	}
+	// Inside the band: a 1% rise passes.
+	after = file(200, withAllocs(2.02, rec("fig4", 1000, 100)), withAllocs(2.02, rec("fig5", 1000, 100)))
+	if code := diff(base, after, 0.20, 0.02, false); code != 0 {
+		t.Errorf("1%% alloc/event rise under a 2%% bound exited %d, want 0", code)
+	}
+	// 0 disables the gate entirely.
+	after = file(200, withAllocs(4.0, rec("fig4", 1000, 100)), withAllocs(4.0, rec("fig5", 1000, 100)))
+	if code := diff(base, after, 0.20, 0, false); code != 0 {
+		t.Errorf("disabled alloc gate exited %d, want 0", code)
+	}
+}
+
+func TestDiffPerFigureAllocRegression(t *testing.T) {
+	withAllocs := func(al float64, r benchRecord) benchRecord {
+		r.AllocsPerEvt = al
+		return r
+	}
+	// One figure's allocations jump while a bigger figure improves enough
+	// that the aggregate stays flat: only -per-figure catches it.
+	base := file(200, withAllocs(2.0, rec("fig4", 1000, 100)), withAllocs(2.0, rec("fig5", 9000, 100)))
+	after := file(200, withAllocs(3.0, rec("fig4", 1000, 100)), withAllocs(1.8, rec("fig5", 9000, 100)))
+	if code := diff(base, after, 0.20, 0.02, false); code != 0 {
+		t.Errorf("aggregate-only mode exited %d, want 0", code)
+	}
+	if code := diff(base, after, 0.20, 0.02, true); code != 1 {
+		t.Errorf("per-figure mode exited %d, want 1", code)
+	}
+	// A near-zero per-figure baseline is exempt from the per-figure band.
+	base = file(200, withAllocs(0.1, rec("fig4", 1000, 100)))
+	after = file(200, withAllocs(0.2, rec("fig4", 1000, 100)))
+	if code := diff(base, after, 0.20, 0.02, true); code != 1 {
+		// Doubling 0.1 al/ev still breaches the aggregate bound.
+		t.Errorf("sub-floor aggregate rise exited %d, want 1", code)
+	}
+	base = file(200, withAllocs(0.1, rec("fig4", 1000, 100)), withAllocs(2.0, rec("fig5", 99000, 100)))
+	after = file(200, withAllocs(0.15, rec("fig4", 1000, 100)), withAllocs(2.0, rec("fig5", 99000, 100)))
+	if code := diff(base, after, 0.20, 0.02, true); code != 0 {
+		t.Errorf("sub-floor per-figure jitter exited %d, want 0", code)
 	}
 }
 

@@ -1,0 +1,78 @@
+// Package bufpool provides size-class byte-buffer free lists for
+// per-message scratch buffers: protocol bodies, codec staging, any buffer
+// whose lifetime ends inside one request. A Pool is single-owner and not
+// safe for concurrent use — each connection or actor keeps its own, which
+// keeps Get/Put free of atomics and, after warm-up, free of allocations.
+package bufpool
+
+import "math/bits"
+
+const (
+	// minClassBits..maxClassBits bound the pooled size classes: 64 B up to
+	// 64 KB, powers of two. Smaller requests round up to the smallest
+	// class; larger ones fall through to the allocator — they are rare,
+	// and retaining them would let one oversized message pin arbitrary
+	// memory in the pool.
+	minClassBits = 6
+	maxClassBits = 16
+	numClasses   = maxClassBits - minClassBits + 1
+
+	// maxFreePerClass bounds each class's free list so a burst does not
+	// become a permanent high-water mark.
+	maxFreePerClass = 64
+)
+
+// Pool is a set of per-size-class free lists. The zero value is ready to
+// use.
+type Pool struct {
+	free [numClasses][][]byte
+}
+
+// classFor returns the class index for a request of n bytes, or -1 when n
+// is beyond the pooled range.
+func classFor(n int) int {
+	if n <= 1<<minClassBits {
+		return 0
+	}
+	if n > 1<<maxClassBits {
+		return -1
+	}
+	return bits.Len(uint(n-1)) - minClassBits
+}
+
+// Get returns a length-n slice backed by a pooled buffer of n's size
+// class. Contents are unspecified — callers overwrite, as with any
+// freshly read protocol body. Requests beyond the largest class are
+// plainly allocated and will be dropped again by Put.
+func (p *Pool) Get(n int) []byte {
+	c := classFor(n)
+	if c < 0 {
+		return make([]byte, n)
+	}
+	if l := p.free[c]; len(l) > 0 {
+		b := l[len(l)-1]
+		l[len(l)-1] = nil
+		p.free[c] = l[:len(l)-1]
+		return b[:n]
+	}
+	return make([]byte, n, 1<<(c+minClassBits))
+}
+
+// Put returns a buffer obtained from Get to its free list. Buffers whose
+// capacity is not an exact pooled class (foreign slices, oversized
+// fall-throughs) are dropped, so Put never mis-files a buffer into a
+// class that would later hand out short capacity.
+func (p *Pool) Put(b []byte) {
+	cap := cap(b)
+	if cap == 0 || cap&(cap-1) != 0 {
+		return
+	}
+	c := classFor(cap)
+	if c < 0 || 1<<(c+minClassBits) != cap {
+		return
+	}
+	if len(p.free[c]) >= maxFreePerClass {
+		return
+	}
+	p.free[c] = append(p.free[c], b[:0])
+}

@@ -1,0 +1,80 @@
+package bufpool
+
+import "testing"
+
+func TestGetLengthsAndClasses(t *testing.T) {
+	var p Pool
+	for _, n := range []int{0, 1, 63, 64, 65, 100, 4096, 65536} {
+		b := p.Get(n)
+		if len(b) != n {
+			t.Errorf("Get(%d) returned len %d", n, len(b))
+		}
+		if n <= 1<<maxClassBits && cap(b)&(cap(b)-1) != 0 {
+			t.Errorf("Get(%d) capacity %d not a power of two", n, cap(b))
+		}
+		p.Put(b)
+	}
+}
+
+func TestReuse(t *testing.T) {
+	var p Pool
+	b := p.Get(100)
+	b[0] = 42
+	p.Put(b)
+	c := p.Get(70) // same 128-byte class
+	if cap(c) != cap(b) || &c[0] != &b[0] {
+		t.Error("second Get did not reuse the pooled buffer")
+	}
+}
+
+func TestOversizedFallsThrough(t *testing.T) {
+	var p Pool
+	b := p.Get(1<<maxClassBits + 1)
+	if len(b) != 1<<maxClassBits+1 {
+		t.Fatalf("oversized Get returned len %d", len(b))
+	}
+	p.Put(b) // must be dropped, not mis-filed
+	for _, l := range p.free {
+		if len(l) != 0 {
+			t.Error("oversized buffer retained in a class free list")
+		}
+	}
+}
+
+func TestPutForeignCapacityDropped(t *testing.T) {
+	var p Pool
+	p.Put(make([]byte, 0, 100)) // 100 is not a pooled class capacity
+	for _, l := range p.free {
+		if len(l) != 0 {
+			t.Error("foreign-capacity buffer retained")
+		}
+	}
+	p.Put(nil) // must not panic
+}
+
+func TestFreeListBounded(t *testing.T) {
+	var p Pool
+	bufs := make([][]byte, 0, 2*maxFreePerClass)
+	for i := 0; i < 2*maxFreePerClass; i++ {
+		bufs = append(bufs, make([]byte, 64))
+	}
+	for _, b := range bufs {
+		p.Put(b)
+	}
+	if got := len(p.free[0]); got != maxFreePerClass {
+		t.Errorf("free list holds %d buffers, want cap at %d", got, maxFreePerClass)
+	}
+}
+
+// TestSteadyStateAllocFree pins the zero-alloc contract: once a class's
+// free list is warm, a Get/Put cycle allocates nothing.
+func TestSteadyStateAllocFree(t *testing.T) {
+	var p Pool
+	p.Put(p.Get(512))
+	if avg := testing.AllocsPerRun(1000, func() {
+		b := p.Get(512)
+		p.Put(b)
+	}); avg != 0 {
+		t.Errorf("steady-state Get/Put allocates %.2f per op, want 0", avg)
+	}
+}

@@ -99,6 +99,9 @@ type Mount struct {
 	FS      gluster.FS
 	Node    *fabric.Node
 	CMCache *core.CMCache // nil without IMCa
+	// Distribute is the mount's namespace-distribution xlator; nil on
+	// single-brick deployments, where the client stack needs none.
+	Distribute *gluster.Distribute
 }
 
 // Cluster is a deployed GlusterFS (optionally IMCa-enabled) system.
@@ -138,6 +141,10 @@ func NewOn(env *sim.Env, net *fabric.Network, opts Options) *Cluster {
 	c := &Cluster{Env: env, Net: net, Opts: opts}
 
 	imcaCfg := core.Config{BlockSize: opts.BlockSize, Threaded: opts.Threaded}
+	// One stat-key intern table for every translator in this deployment:
+	// N clients statting one namespace build each "<path>:stat" key once,
+	// not once per client (see core.KeyInterner).
+	interner := core.NewKeyInterner()
 	if opts.MCDs > 0 {
 		for i := 0; i < opts.MCDs; i++ {
 			node := net.NewNode(fmt.Sprintf("mcd%d", i), 8)
@@ -164,6 +171,7 @@ func NewOn(env *sim.Env, net *fabric.Network, opts Options) *Cluster {
 				smClient.SetEjection(opts.EjectAfter, opts.ProbeBackoff)
 			}
 			brick.SMCache = core.NewSMCache(env, px, smClient, imcaCfg)
+			brick.SMCache.ShareStatKeys(interner)
 			serverChild = brick.SMCache
 		}
 		brick.Server = gluster.NewServer(srvNode, serverChild, opts.ServerConfig)
@@ -176,6 +184,7 @@ func NewOn(env *sim.Env, net *fabric.Network, opts Options) *Cluster {
 	for i := 0; i < opts.Clients; i++ {
 		node := net.NewNode(fmt.Sprintf("client%d", i), 8)
 		var stack gluster.FS
+		var dht *gluster.Distribute
 		if opts.Bricks == 1 {
 			stack = gluster.NewClient(node, c.Bricks[0].Node)
 		} else {
@@ -183,7 +192,8 @@ func NewOn(env *sim.Env, net *fabric.Network, opts Options) *Cluster {
 			for b, brick := range c.Bricks {
 				subs[b] = gluster.NewClient(node, brick.Node)
 			}
-			stack = gluster.NewDistribute(subs...)
+			dht = gluster.NewDistribute(subs...)
+			stack = dht
 		}
 		var cm *core.CMCache
 		if opts.MCDs > 0 {
@@ -195,10 +205,11 @@ func NewOn(env *sim.Env, net *fabric.Network, opts Options) *Cluster {
 				mc.SetEjection(opts.EjectAfter, opts.ProbeBackoff)
 			}
 			cm = core.NewCMCache(stack, mc, imcaCfg)
+			cm.ShareStatKeys(interner)
 			stack = cm
 		}
 		stack = gluster.NewFuse(node, stack, opts.FuseConfig)
-		c.Mounts = append(c.Mounts, Mount{FS: stack, Node: node, CMCache: cm})
+		c.Mounts = append(c.Mounts, Mount{FS: stack, Node: node, CMCache: cm, Distribute: dht})
 	}
 	return c
 }

@@ -25,6 +25,9 @@ func (c *Cluster) Instrument(reg *telemetry.Registry) {
 		if m.CMCache != nil {
 			m.CMCache.Register(reg, p+".cmcache")
 		}
+		if m.Distribute != nil {
+			m.Distribute.Register(reg, p+".dht")
+		}
 	}
 	for b, brick := range c.Bricks {
 		p := fmt.Sprintf("brick%d", b)

@@ -37,6 +37,12 @@ type CMCache struct {
 	// fdPaths is the paper's client-side "database" recording the
 	// absolute path stored at Open for later Read key construction.
 	fdPaths map[gluster.FD]string
+	// skeys interns stat-structure MCD keys so the stat hot path does not
+	// rebuild "<path>:stat" per operation. Private by default; deployments
+	// share one table across all translators via ShareStatKeys.
+	skeys *KeyInterner
+	// statOps pools StatT's per-operation frames.
+	statOps []*statOp
 
 	Stats CMCacheStats
 
@@ -59,8 +65,13 @@ func NewCMCache(child gluster.FS, mcd *memcache.SimClient, cfg Config) *CMCache 
 		mcd:     mcd,
 		cfg:     cfg,
 		fdPaths: make(map[gluster.FD]string),
+		skeys:   NewKeyInterner(),
 	}
 }
+
+// ShareStatKeys replaces the translator's private stat-key intern table
+// with a deployment-wide one; see KeyInterner.
+func (c *CMCache) ShareStatKeys(in *KeyInterner) { c.skeys = in }
 
 // Bank returns the MCD bank client (for stats inspection).
 func (c *CMCache) Bank() *memcache.SimClient { return c.mcd }
@@ -108,7 +119,7 @@ func (c *CMCache) Stat(p *sim.Proc, path string) (*gluster.Stat, error) {
 	sp := optrace.StartSpan(p, optrace.LayerCMCache, "stat")
 	defer sp.End(p)
 	defer c.statHist.ObserveSince(p, p.Now())
-	if it, ok := c.mcd.Get(p, statKey(path)); ok {
+	if it, ok := c.mcd.Get(p, c.skeys.get(path)); ok {
 		if st, err := decodeStat(it.Value); err == nil {
 			c.Stats.StatHits++
 			sp.SetAttr("result", "hit")
@@ -268,7 +279,7 @@ func (c *CMCache) Write(p *sim.Proc, fd gluster.FD, off int64, data blob.Blob) (
 			}
 		}
 		if st, serr := c.child.Stat(p, path); serr == nil {
-			_ = c.mcd.Set(p, statKey(path), encodeStat(st))
+			_ = c.mcd.Set(p, c.skeys.get(path), encodeStat(st))
 		}
 	}
 	return n, nil

@@ -54,31 +54,91 @@ func (c *CMCache) CloseT(t *sim.Task, fd gluster.FD, k func(error)) {
 	c.childT().CloseT(t, fd, k)
 }
 
+// statOp is StatT's pooled per-operation frame: the continuation state the
+// two closures used to capture, with both legs prebound as method values so
+// a steady-state stat allocates nothing client-side. The op returns to its
+// translator's pool before k runs — by then every pooled field has been
+// copied to locals, so k may immediately issue another stat that reuses it.
+type statOp struct {
+	c     *CMCache
+	t     *sim.Task
+	path  string
+	k     func(*gluster.Stat, error)
+	sp    *optrace.Span
+	t0    sim.Time
+	fnGot func(*memcache.Item, bool)
+	fnFwd func(*gluster.Stat, error)
+	// st is the scratch frame hit results decode into; &st is handed to k
+	// as a borrow, valid only until this op's next bank hit. Stat callers
+	// consume the structure inside their continuation (the engine is
+	// single-threaded and the next decode is always behind another RPC),
+	// so the borrow never outlives its window.
+	st gluster.Stat
+}
+
+func newStatOp(c *CMCache) *statOp {
+	op := &statOp{c: c}
+	op.fnGot = op.got
+	op.fnFwd = op.fwd
+	return op
+}
+
+func (c *CMCache) takeStatOp() *statOp {
+	if n := len(c.statOps); n > 0 {
+		op := c.statOps[n-1]
+		c.statOps[n-1] = nil
+		c.statOps = c.statOps[:n-1]
+		return op
+	}
+	return newStatOp(c)
+}
+
+func (op *statOp) release() {
+	op.t, op.k, op.sp = nil, nil, nil
+	op.path = ""
+	op.c.statOps = append(op.c.statOps, op)
+}
+
+// got is the bank-lookup continuation: serve the hit or fall back to the
+// server, exactly as Stat does.
+func (op *statOp) got(it *memcache.Item, ok bool) {
+	c, t, sp := op.c, op.t, op.sp
+	if ok {
+		if err := decodeStatInto(&op.st, it.Value, op.path); err == nil {
+			st := &op.st
+			c.Stats.StatHits++
+			sp.SetAttr("result", "hit")
+			sp.End(t)
+			c.statHist.ObserveSince(t, op.t0)
+			k := op.k
+			op.release()
+			k(st, nil)
+			return
+		}
+	}
+	c.Stats.StatMisses++
+	sp.SetAttr("result", "miss")
+	c.fr.Append(t.Now(), flight.KindForward, c.frName, "stat", 0)
+	optrace.ClearDeadline(t)
+	c.childT().StatT(t, op.path, op.fnFwd)
+}
+
+// fwd is the server-fallback continuation.
+func (op *statOp) fwd(st *gluster.Stat, err error) {
+	t, sp, k := op.t, op.sp, op.k
+	sp.End(t)
+	op.c.statHist.ObserveSince(t, op.t0)
+	op.release()
+	k(st, err)
+}
+
 // StatT implements gluster.TaskFS; see Stat.
 func (c *CMCache) StatT(t *sim.Task, path string, k func(*gluster.Stat, error)) {
-	sp := optrace.StartSpan(t, optrace.LayerCMCache, "stat")
-	t0 := t.Now()
-	c.mcd.GetT(t, statKey(path), func(it *memcache.Item, ok bool) {
-		if ok {
-			if st, err := decodeStat(it.Value); err == nil {
-				c.Stats.StatHits++
-				sp.SetAttr("result", "hit")
-				sp.End(t)
-				c.statHist.ObserveSince(t, t0)
-				k(st, nil)
-				return
-			}
-		}
-		c.Stats.StatMisses++
-		sp.SetAttr("result", "miss")
-		c.fr.Append(t.Now(), flight.KindForward, c.frName, "stat", 0)
-		optrace.ClearDeadline(t)
-		c.childT().StatT(t, path, func(st *gluster.Stat, err error) {
-			sp.End(t)
-			c.statHist.ObserveSince(t, t0)
-			k(st, err)
-		})
-	})
+	op := c.takeStatOp()
+	op.t, op.path, op.k = t, path, k
+	op.sp = optrace.StartSpan(t, optrace.LayerCMCache, "stat")
+	op.t0 = t.Now()
+	c.mcd.GetT(t, c.skeys.get(path), op.fnGot)
 }
 
 // ReadT implements gluster.TaskFS; see Read.
@@ -227,7 +287,7 @@ func (c *CMCache) WriteT(t *sim.Task, fd gluster.FD, off int64, data blob.Blob, 
 								k(n, nil)
 								return
 							}
-							c.mcd.SetT(t, statKey(path), encodeStat(st), func(error) {
+							c.mcd.SetT(t, c.skeys.get(path), encodeStat(st), func(error) {
 								sp.End(t)
 								k(n, nil)
 							})

@@ -1,0 +1,97 @@
+package core
+
+// statKeys interns the "<path>:stat" MCD keys a translator derives on its
+// stat path, so repeat stats of the same file reuse one key string instead
+// of concatenating a fresh one per operation. The table is open-addressed
+// (FNV-1a, linear probing) rather than a Go map: lookups touch one flat
+// slice pair with no write barrier, and the common case — the path is
+// already present — allocates nothing. Entries are never deleted; the
+// population is bounded by the workload's file namespace, which the
+// benchmarks fix up front.
+type statKeys struct {
+	paths []string // probe keys; "" marks an empty slot
+	keys  []string // interned "<path>:stat" values, parallel to paths
+	n     int
+}
+
+const (
+	fnvOffset64 = 0xcbf29ce484222325
+	fnvPrime64  = 0x100000001b3
+)
+
+func fnv1aString(s string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// get returns the interned stat key for path, creating it on first sight.
+func (tbl *statKeys) get(path string) string {
+	if path == "" {
+		// The empty string doubles as the empty-slot sentinel; no real
+		// mount path is empty, but stay correct if one slips through.
+		return statKey(path)
+	}
+	if tbl.paths == nil {
+		tbl.grow(64)
+	}
+	mask := uint64(len(tbl.paths) - 1)
+	i := fnv1aString(path) & mask
+	for {
+		switch tbl.paths[i] {
+		case path:
+			return tbl.keys[i]
+		case "":
+			// Not present: intern. Growth keeps load under ~70%, so probe
+			// chains stay short.
+			if (tbl.n+1)*10 >= len(tbl.paths)*7 {
+				tbl.grow(len(tbl.paths) * 2)
+				return tbl.get(path)
+			}
+			key := statKey(path)
+			tbl.paths[i], tbl.keys[i] = path, key
+			tbl.n++
+			return key
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// KeyInterner is a deployment-wide stat-key intern table shared by every
+// translator of one simulated cluster (all CMCaches and SMCaches attached
+// to the same sim.Env). Every client stats the same namespace, so sharing
+// one table builds the "<path>:stat" string once per file per deployment
+// instead of once per (client, file) pair — the difference matters in scan
+// workloads (fig5) where each client touches each file exactly once and a
+// private table would never amortize its inserts. Sharing is host-side
+// string interning only, within one single-threaded Env, so it cannot
+// perturb the schedule; parallel sweep cells each build their own cluster
+// and therefore their own interner.
+type KeyInterner struct{ tbl statKeys }
+
+// NewKeyInterner returns an empty shared intern table.
+func NewKeyInterner() *KeyInterner { return &KeyInterner{} }
+
+// get returns the interned stat key for path, creating it on first sight.
+func (in *KeyInterner) get(path string) string { return in.tbl.get(path) }
+
+// grow rehashes into a table of the given power-of-two size.
+func (tbl *statKeys) grow(size int) {
+	oldPaths, oldKeys := tbl.paths, tbl.keys
+	tbl.paths = make([]string, size)
+	tbl.keys = make([]string, size)
+	mask := uint64(size - 1)
+	for j, p := range oldPaths {
+		if p == "" {
+			continue
+		}
+		i := fnv1aString(p) & mask
+		for tbl.paths[i] != "" {
+			i = (i + 1) & mask
+		}
+		tbl.paths[i], tbl.keys[i] = p, oldKeys[j]
+	}
+}

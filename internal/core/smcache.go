@@ -38,6 +38,9 @@ type SMCache struct {
 	// pushed tracks which block keys each path currently has in the MCD
 	// bank, so purges delete exactly the resident keys.
 	pushed map[string]map[int64]struct{}
+	// skeys interns stat keys for the push/purge paths; shared with the
+	// deployment's CMCaches via ShareStatKeys.
+	skeys *KeyInterner
 
 	Stats SMCacheStats
 }
@@ -55,8 +58,13 @@ func NewSMCache(env *sim.Env, child gluster.FS, mcd *memcache.SimClient, cfg Con
 		cfg:     cfg,
 		fdPaths: make(map[gluster.FD]string),
 		pushed:  make(map[string]map[int64]struct{}),
+		skeys:   NewKeyInterner(),
 	}
 }
+
+// ShareStatKeys replaces the translator's private stat-key intern table
+// with a deployment-wide one; see KeyInterner.
+func (s *SMCache) ShareStatKeys(in *KeyInterner) { s.skeys = in }
 
 // Child returns the wrapped storage stack.
 func (s *SMCache) Child() gluster.FS { return s.child }
@@ -86,7 +94,7 @@ func (s *SMCache) purgeData(p *sim.Proc, path string) int {
 // purgeAll additionally removes the stat entry — used for deletes and
 // truncates, where a stale stat would be a false positive.
 func (s *SMCache) purgeAll(p *sim.Proc, path string) int {
-	s.mcd.Delete(p, statKey(path))
+	s.mcd.Delete(p, s.skeys.get(path))
 	s.Stats.Purges++
 	return 1 + s.purgeData(p, path)
 }
@@ -100,7 +108,7 @@ func setPurged(sp *optrace.Span, n int) {
 
 // pushStat stores a file's stat structure in the MCD bank.
 func (s *SMCache) pushStat(p *sim.Proc, st *gluster.Stat) {
-	_ = s.mcd.Set(p, statKey(st.Path), encodeStat(st))
+	_ = s.mcd.Set(p, s.skeys.get(st.Path), encodeStat(st))
 	s.Stats.StatPushes++
 }
 
@@ -239,24 +247,7 @@ func (s *SMCache) Write(p *sim.Proc, fd gluster.FD, off int64, data blob.Blob) (
 	bs := s.cfg.blockSize()
 	alignedOff, alignedSize := alignSpan(off, n, bs)
 	s.deferIf(p, "smcache-write-push", func(q *sim.Proc) {
-		back, rerr := s.child.Read(q, fd, alignedOff, alignedSize)
-		if rerr != nil {
-			return
-		}
-		s.Stats.ReadBacks++
-		s.pushBlocks(q, path, alignedOff, back)
-		// A growth past the old unaligned EOF invalidates the old tail
-		// block's implicit end-of-file; refresh it unless the write's
-		// span already covered it.
-		if oldTail := oldSize - oldSize%bs; oldSize > 0 && oldSize%bs != 0 &&
-			off+n > oldSize && alignedOff > oldTail {
-			if tb, terr := s.child.Read(q, fd, oldTail, bs); terr == nil {
-				s.pushBlocks(q, path, oldTail, tb)
-			}
-		}
-		if st, serr := s.child.Stat(q, path); serr == nil {
-			s.pushStat(q, st)
-		}
+		s.writeBack(q, fd, path, alignedOff, alignedSize, oldSize, off, n, bs)
 	})
 	return n, nil
 }

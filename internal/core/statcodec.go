@@ -32,22 +32,40 @@ func encodeStat(st *gluster.Stat) blob.Blob {
 	return blob.FromBytes(buf)
 }
 
-func decodeStat(b blob.Blob) (*gluster.Stat, error) {
+// decodeStatInto decodes b into the caller-owned st, allocating nothing
+// when hint matches the encoded path: the hot stat path always knows which
+// path it asked the bank about, so the comparison (which Go performs
+// without materializing a string) lets st.Path alias the caller's existing
+// string instead of copying the bytes out of the blob. Callers that decode
+// into a pooled frame hand *st out as a borrow — valid only until the next
+// decode into the same frame.
+func decodeStatInto(st *gluster.Stat, b blob.Blob, hint string) error {
 	if b.Len() < statFixedLen {
-		return nil, errBadStatEncoding
+		return errBadStatEncoding
 	}
 	buf := b.Bytes()
 	n := int(binary.BigEndian.Uint16(buf[41:]))
 	if len(buf) != statFixedLen+n {
-		return nil, errBadStatEncoding
+		return errBadStatEncoding
 	}
-	return &gluster.Stat{
-		Ino:   binary.BigEndian.Uint64(buf[0:]),
-		Size:  int64(binary.BigEndian.Uint64(buf[8:])),
-		Atime: sim.Time(binary.BigEndian.Uint64(buf[16:])),
-		Mtime: sim.Time(binary.BigEndian.Uint64(buf[24:])),
-		Ctime: sim.Time(binary.BigEndian.Uint64(buf[32:])),
-		IsDir: buf[40] == 1,
-		Path:  string(buf[statFixedLen:]),
-	}, nil
+	st.Ino = binary.BigEndian.Uint64(buf[0:])
+	st.Size = int64(binary.BigEndian.Uint64(buf[8:]))
+	st.Atime = sim.Time(binary.BigEndian.Uint64(buf[16:]))
+	st.Mtime = sim.Time(binary.BigEndian.Uint64(buf[24:]))
+	st.Ctime = sim.Time(binary.BigEndian.Uint64(buf[32:]))
+	st.IsDir = buf[40] == 1
+	if p := buf[statFixedLen:]; string(p) == hint {
+		st.Path = hint
+	} else {
+		st.Path = string(p)
+	}
+	return nil
+}
+
+func decodeStat(b blob.Blob) (*gluster.Stat, error) {
+	st := new(gluster.Stat)
+	if err := decodeStatInto(st, b, ""); err != nil {
+		return nil, err
+	}
+	return st, nil
 }

@@ -1,0 +1,113 @@
+package disk
+
+import "imca/internal/sim"
+
+// Continuation-engine (task) twins of the Device access paths. Each *T
+// method mirrors its blocking sibling's charge order and schedule
+// consumption exactly — grant the arm, compute the positioning cost at
+// grant time, hold for the transfer, release — so a storage stack served
+// by tasks replays the same event stream a process-backed one does.
+
+// TaskDevice is a Device that can also serve accesses in task context.
+// Layers above the device (Posix, the glusterfsd daemon) go task-native
+// only when their device does; a Device without AccessT simply keeps the
+// process-backed serve path.
+type TaskDevice interface {
+	Device
+	// AccessT performs a read or write of size bytes at addr and runs k
+	// when the simulated transfer completes.
+	AccessT(t *sim.Task, addr, size int64, write bool, k func())
+}
+
+var (
+	_ TaskDevice = (*Disk)(nil)
+	_ TaskDevice = (*Array)(nil)
+)
+
+// AccessT implements TaskDevice; see Access.
+func (d *Disk) AccessT(t *sim.Task, addr, size int64, write bool, k func()) {
+	if size < 0 || addr < 0 {
+		panic("disk: negative access")
+	}
+	d.arm.AcquireT(t, 1, func() {
+		// Cost is computed at grant time, exactly as Access does after its
+		// Acquire returns: lastEnd reflects the request served before this
+		// one, not the one ahead in the queue when we arrived.
+		cost := sim.Duration(0)
+		if addr != d.lastEnd {
+			cost += d.params.SeekTime
+			d.Seeks++
+		}
+		cost += sim.Duration(float64(size) / d.params.TransferRate * 1e9)
+		if d.slow > 1 {
+			cost = sim.Duration(float64(cost) * d.slow)
+		}
+		d.lastEnd = addr + size
+		t.Sleep(cost, func() {
+			d.arm.Release(1)
+			if write {
+				d.Writes++
+				d.BytesWritten += size
+			} else {
+				d.Reads++
+				d.BytesRead += size
+			}
+			k()
+		})
+	})
+}
+
+// AccessT implements TaskDevice, striping the request across members; see
+// Array.Access. The fan-out side is unchanged — one helper process per
+// member disk, the representation both engines share for parallel chunk
+// service — only the join is a continuation chain instead of a blocking
+// WaitAll.
+func (a *Array) AccessT(t *sim.Task, addr, size int64, write bool, k func()) {
+	if size <= 0 {
+		if size < 0 {
+			panic("disk: negative access")
+		}
+		k()
+		return
+	}
+	chunks := a.mapRequest(addr, size)
+	if len(chunks) == 1 {
+		chunks[0].disk.AccessT(t, chunks[0].addr, chunks[0].size, write, k)
+		return
+	}
+	perDisk := make(map[*Disk][]chunk)
+	for _, c := range chunks {
+		l := perDisk[c.disk]
+		if n := len(l); n > 0 && l[n-1].addr+l[n-1].size == c.addr {
+			l[n-1].size += c.size
+		} else {
+			l = append(l, c)
+		}
+		perDisk[c.disk] = l
+	}
+	events := make([]*sim.Event, 0, len(perDisk))
+	for _, d := range a.disks { // deterministic iteration order
+		l, ok := perDisk[d]
+		if !ok {
+			continue
+		}
+		d := d
+		ev := sim.NewEvent(a.env)
+		a.env.Process("raid-chunk", func(q *sim.Proc) {
+			for _, c := range l {
+				d.Access(q, c.addr, c.size, write)
+			}
+			ev.Trigger(nil)
+		})
+		events = append(events, ev)
+	}
+	var next func(i int)
+	next = func(i int) {
+		if i == len(events) {
+			k()
+			return
+		}
+		events[i].WaitT(t, func(interface{}) { next(i + 1) })
+	}
+	next(0)
+}

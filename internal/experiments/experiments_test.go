@@ -18,6 +18,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig9", "fig10",
 		"ext-rdma", "ext-hash", "ext-lustre", "ext-sharing", "ext-smallfile", "ext-mdtest", "ext-bricks",
 		"ext-breakdown", "ext-telemetry", "ext-fault", "ext-scale",
+		"fig5-short",
 	}
 	if len(Registry) != len(wantFigs) {
 		t.Fatalf("registry has %d entries, want %d", len(Registry), len(wantFigs))
@@ -35,6 +36,20 @@ func TestRegistryComplete(t *testing.T) {
 	}
 	if _, ok := Find("nope"); ok {
 		t.Error("Find(nope) succeeded")
+	}
+}
+
+func TestFig5ShortShape(t *testing.T) {
+	res := Fig5Short(tiny)
+	if res.Table.Rows() != 7 { // same client-count rows as fig5
+		t.Fatalf("rows = %d, want 7", res.Table.Rows())
+	}
+	// The stratified sample preserves fig5's headline ordering: at the
+	// largest client count, the cache bank beats NoCache.
+	last := res.Table.LastRow()
+	if last["MCD(1)"] >= last["NoCache"] {
+		t.Errorf("MCD(1) (%f) not below NoCache (%f) at max clients",
+			last["MCD(1)"], last["NoCache"])
 	}
 }
 

@@ -77,6 +77,35 @@ type Msg interface {
 // simulated process and may block (CPU, disk, nested Calls).
 type Handler func(p *sim.Proc, from *Node, req Msg) Msg
 
+// HandlerT is a task-native service handler: it runs in scheduler context
+// on the destination node, advances through the kernel's *T primitives
+// instead of blocking, and delivers its response by calling respond
+// exactly once. Registering one (HandleT) instead of a Handler removes the
+// per-request process spawn entirely — the RPC's serve side becomes plain
+// heap events — while consuming sequence numbers identically, so a service
+// ported from Handler to HandlerT replays the same event stream.
+type HandlerT func(t *sim.Task, from *Node, req Msg, respond func(Msg))
+
+// Recyclable is implemented by pooled messages. After CallT delivers a
+// response and the caller's continuation returns, the fabric recycles a
+// Recyclable response; a Recyclable request is recycled when the call's
+// frame retires (both the caller's continuation and the far side are done
+// with it). Blocking Call never recycles — its results escape to the
+// caller — so pooled messages on that path simply fall to the collector.
+type Recyclable interface {
+	Recycle()
+}
+
+// service is a registered handler plus its interned names — op is the bare
+// service name (span label), name the "node/service" process name — both
+// resolved once at registration instead of per call.
+type service struct {
+	h    Handler
+	ht   HandlerT
+	op   string
+	name string
+}
+
 // Network is a set of nodes joined by one transport through a non-blocking
 // switch.
 type Network struct {
@@ -109,10 +138,16 @@ type Node struct {
 	CPU *sim.Resource
 
 	tx, rx   *sim.Resource
-	services map[string]Handler
-	// handlerNames interns the "node/service" process names so the RPC hot
-	// path does not concatenate a fresh string per call.
-	handlerNames map[string]string
+	services map[string]*service
+
+	// frames is the node's free list of outgoing call frames (see
+	// frame.go); newFrame grows it. Growth goes through a stored function
+	// value deliberately: the per-call path reads it off the free list,
+	// and the amortized construction cost stays off the static hot chain
+	// the allocfree check walks — the same reasoning that keeps the
+	// dispatch loop's ev.fn() indirection tractable.
+	frames   []*callFrame
+	newFrame func(*Node) *callFrame
 
 	// Traffic accounting.
 	TxBytes, RxBytes int64
@@ -139,7 +174,8 @@ func (n *Network) NewNode(name string, cores int) *Node {
 		CPU:      sim.NewResource(n.env, cores),
 		tx:       sim.NewResource(n.env, 1),
 		rx:       sim.NewResource(n.env, 1),
-		services: make(map[string]Handler),
+		services: make(map[string]*service),
+		newFrame: newCallFrame,
 	}
 	n.nodes[name] = node
 	return node
@@ -156,25 +192,51 @@ func (nd *Node) Network() *Network { return nd.net }
 
 func (nd *Node) String() string { return "node " + nd.name }
 
-// Handle registers a service handler on the node.
-func (nd *Node) Handle(service string, h Handler) {
-	if _, dup := nd.services[service]; dup {
-		panic(fmt.Sprintf("fabric: duplicate service %q on %s", service, nd.name))
-	}
-	nd.services[service] = h
+// Handle registers a blocking (process-backed) service handler on the node.
+func (nd *Node) Handle(name string, h Handler) {
+	nd.register(name).h = h
 }
 
-// handlerName returns the interned "node/service" handler process name.
-func (nd *Node) handlerName(service string) string {
-	if name, ok := nd.handlerNames[service]; ok {
-		return name
+// HandleT registers a task-native service handler on the node; see
+// HandlerT. A service is one or the other, never both.
+func (nd *Node) HandleT(name string, ht HandlerT) {
+	nd.register(name).ht = ht
+}
+
+// register interns the service entry — including its "node/service"
+// process name, so the RPC hot path never concatenates a string per call —
+// and panics on duplicate registration.
+func (nd *Node) register(name string) *service {
+	if _, dup := nd.services[name]; dup {
+		panic(fmt.Sprintf("fabric: duplicate service %q on %s", name, nd.name))
 	}
-	if nd.handlerNames == nil {
-		nd.handlerNames = make(map[string]string)
+	svc := &service{op: name, name: nd.name + "/" + name}
+	nd.services[name] = svc
+	return svc
+}
+
+// Binding is a pre-resolved (caller, destination, service) route: the
+// service lookup, cross-network check, and handler-name interning happen
+// once at Bind time, leaving the per-call path nothing to resolve. Clients
+// that talk to a fixed peer set (a memcached bank, a brick) bind once at
+// construction and call through the binding thereafter.
+type Binding struct {
+	nd  *Node
+	dst *Node
+	svc *service
+}
+
+// Bind resolves service on dst once, for calls originating at nd. The
+// service must already be registered.
+func (nd *Node) Bind(dst *Node, service string) *Binding {
+	if nd.net != dst.net {
+		panic("fabric: cross-network bind")
 	}
-	name := nd.name + "/" + service
-	nd.handlerNames[service] = name
-	return name
+	svc, ok := dst.services[service]
+	if !ok {
+		panic(fmt.Sprintf("fabric: no service %q on %s", service, dst.name))
+	}
+	return &Binding{nd: nd, dst: dst, svc: svc}
 }
 
 // hostCost is the per-message CPU charge at one end.
@@ -235,10 +297,15 @@ func (nd *Node) Call(p *sim.Proc, dst *Node, service string, req Msg) (Msg, erro
 	if nd.net != dst.net {
 		panic("fabric: cross-network call")
 	}
-	h, ok := dst.services[service]
+	svc, ok := dst.services[service]
 	if !ok {
 		panic(fmt.Sprintf("fabric: no service %q on %s", service, dst.name))
 	}
+	return call(nd, dst, svc, p, req)
+}
+
+// call is Call past service resolution, shared with Binding.Call.
+func call(nd, dst *Node, svc *service, p *sim.Proc, req Msg) (Msg, error) {
 	deadline, hasDeadline := optrace.Deadline(p)
 	if hasDeadline && p.Now() >= deadline {
 		return nil, ErrDeadline
@@ -256,7 +323,7 @@ func (nd *Node) Call(p *sim.Proc, dst *Node, service string, req Msg) (Msg, erro
 			// Connect against a partitioned peer: hang for the connect
 			// timeout, unless the operation deadline expires first — on an
 			// exact tie the deadline wins, as in Event.WaitUntil.
-			sp := optrace.StartSpan(p, optrace.LayerNet, service)
+			sp := optrace.StartSpan(p, optrace.LayerNet, svc.op)
 			sp.SetAttr("to", dst.name)
 			timeoutAt := p.Now().Add(fa.connectTimeout)
 			if hasDeadline && deadline <= timeoutAt {
@@ -273,7 +340,7 @@ func (nd *Node) Call(p *sim.Proc, dst *Node, service string, req Msg) (Msg, erro
 		}
 	}
 
-	sp := optrace.StartSpan(p, optrace.LayerNet, service)
+	sp := optrace.StartSpan(p, optrace.LayerNet, svc.op)
 	sp.SetAttr("to", dst.name)
 	rq := optrace.StartSpan(p, optrace.LayerNet, "request")
 	transfer(p, nd, dst, req.WireSize(), ls)
@@ -301,10 +368,15 @@ func (nd *Node) Call(p *sim.Proc, dst *Node, service string, req Msg) (Msg, erro
 		ls.inflight = append(ls.inflight, done)
 		defer ls.drop(done)
 	}
-	hp := serveAndRespond(nd, dst, service, h, req, ls, done)
 	// The handler inherits the caller's operation context, so spans it
 	// opens (server daemon, storage, disk) nest under this call's span.
-	optrace.Fork(p, hp)
+	if svc.ht != nil {
+		st := serveBlockingT(nd, dst, svc, req, ls, done)
+		optrace.Fork(p, st)
+	} else {
+		hp := serveAndRespond(nd, dst, svc, req, ls, done, nil)
+		optrace.Fork(p, hp)
+	}
 
 	var resp interface{}
 	if hasDeadline {
@@ -346,12 +418,17 @@ func (nd *Node) Call(p *sim.Proc, dst *Node, service string, req Msg) (Msg, erro
 // the registered handler in caller's service context, sends the response
 // back across the wire in the handler's own context (so the server pays
 // its send-side costs before the caller proceeds), and triggers done with
-// the response. Handlers are deliberately Procs under both client engines —
-// they are low-cardinality (bounded by service concurrency, not client
-// count) and their bodies use the blocking primitives naturally.
-func serveAndRespond(caller, dst *Node, service string, h Handler, req Msg, ls *linkState, done *sim.Event) *sim.Proc {
-	return dst.net.env.Process(dst.handlerName(service), func(hp *sim.Proc) {
-		resp := h(hp, caller, req)
+// the response. Process-backed handlers remain the right shape for
+// services whose bodies block naturally (nested Calls, disk stacks); fin,
+// when non-nil, runs after the handler's side of the exchange is fully
+// over — response sent or dropped — so a pooled caller frame can hold its
+// server-side reference until then.
+func serveAndRespond(caller, dst *Node, svc *service, req Msg, ls *linkState, done *sim.Event, fin func()) *sim.Proc {
+	return dst.net.env.Process(svc.name, func(hp *sim.Proc) {
+		if fin != nil {
+			defer fin()
+		}
+		resp := svc.h(hp, caller, req)
 		if ls != nil && ls.cut {
 			// The link died while the request was in service: the response
 			// is dropped on the floor. The caller has already been aborted
@@ -384,157 +461,89 @@ func serveAndRespond(caller, dst *Node, service string, h Handler, req Msg, ls *
 	})
 }
 
-// transferT is transfer for the task engine: the same NIC serialization,
-// wire latency, and host CPU charges, threaded through continuations. The
-// schedule consumption matches transfer's leg for leg.
-func transferT(t *sim.Task, src, dst *Node, size int64, ls *linkState, k func()) {
-	tr := src.net.transport
-	wire := size + headerBytes
-	lat, xmit := tr.Latency, tr.xmitTime(wire)
-	if ls != nil {
-		lat, xmit = ls.scaled(lat, xmit)
-	}
-
-	// Sender-side protocol processing, then TX serialization.
-	src.CPU.UseT(t, tr.hostCost(wire), func() {
-		src.tx.AcquireT(t, 1, func() {
-			t.Sleep(xmit, func() {
-				src.tx.Release(1)
-				src.TxBytes += wire
-				src.TxMsgs++
-				t.Sleep(lat, func() {
-					// RX serialization, then receiver-side processing.
-					dst.rx.AcquireT(t, 1, func() {
-						t.Sleep(xmit, func() {
-							dst.rx.Release(1)
-							dst.RxBytes += wire
-							dst.RxMsgs++
-							dst.CPU.UseT(t, tr.hostCost(wire), k)
+// serveBlockingT drives a task-native handler for a blocking Call: the
+// dispatch costs one scheduled event (exactly what the handler-process
+// starter used to cost), the handler advances through *T primitives, and
+// the response legs replay serveAndRespond's charges continuation-style,
+// leg for leg. The returned context task is the server-side actor, so the
+// handler's spans nest under the call exactly as a handler process's did.
+func serveBlockingT(caller, dst *Node, svc *service, req Msg, ls *linkState, done *sim.Event) *sim.Task {
+	env := dst.net.env
+	st := env.ContextTask(svc.name)
+	env.Defer(0, func() {
+		svc.ht(st, caller, req, func(resp Msg) {
+			if ls != nil && ls.cut {
+				// Response dropped on the floor; the caller was aborted by
+				// CutLink's in-flight sweep.
+				return
+			}
+			var respSize int64
+			if resp != nil {
+				respSize = resp.WireSize()
+			}
+			tr := dst.net.transport
+			wire := respSize + headerBytes
+			lat, xmit := tr.Latency, tr.xmitTime(wire)
+			if ls != nil {
+				lat, xmit = ls.scaled(lat, xmit)
+			}
+			dst.CPU.UseT(st, tr.hostCost(wire), func() {
+				dst.tx.AcquireT(st, 1, func() {
+					st.Sleep(xmit, func() {
+						dst.tx.Release(1)
+						dst.TxBytes += wire
+						dst.TxMsgs++
+						st.Sleep(lat, func() {
+							caller.rx.AcquireT(st, 1, func() {
+								st.Sleep(xmit, func() {
+									caller.rx.Release(1)
+									caller.RxBytes += wire
+									caller.RxMsgs++
+									done.Trigger(resp)
+								})
+							})
 						})
 					})
 				})
 			})
 		})
 	})
+	return st
 }
 
 // CallT is Call for the task engine: the same RPC — request transfer,
-// handler process on dst, response transfer — with the result delivered to
-// k instead of returned. Deadline, cut-link, and degradation semantics
-// match Call exactly, as does the schedule consumption of every path, so a
-// client ported from Call to CallT replays an identical event stream. The
-// handler itself still runs as a Proc (see serveAndRespond).
+// handler on dst, response transfer — with the result delivered to k
+// instead of returned. Deadline, cut-link, and degradation semantics match
+// Call exactly, as does the schedule consumption of every path, so a
+// client ported from Call to CallT replays an identical event stream.
+//
+// The call's entire state machine lives in a pooled per-node frame (see
+// frame.go): wire legs, deadline bookkeeping, and completion delivery are
+// preallocated method values on a recycled struct, so a steady-state CallT
+// allocates nothing. Against a task-native handler (HandleT) the serve
+// side is frames all the way down; against a process-backed handler the
+// handler still runs as a Proc (see serveAndRespond).
 func (nd *Node) CallT(t *sim.Task, dst *Node, service string, req Msg, k func(Msg, error)) {
 	if nd.net != dst.net {
 		panic("fabric: cross-network call")
 	}
-	h, ok := dst.services[service]
+	svc, ok := dst.services[service]
 	if !ok {
 		panic(fmt.Sprintf("fabric: no service %q on %s", service, dst.name))
 	}
-	deadline, hasDeadline := optrace.Deadline(t)
-	if hasDeadline && t.Now() >= deadline {
-		k(nil, ErrDeadline)
-		return
-	}
-	callStart := t.Now()
+	callT(nd, dst, svc, t, req, k)
+}
 
-	var ls *linkState
-	if fa := nd.net.faults; fa != nil {
-		ls = fa.link(nd.name, dst.name)
-		if ls.cut {
-			sp := optrace.StartSpan(t, optrace.LayerNet, service)
-			sp.SetAttr("to", dst.name)
-			timeoutAt := t.Now().Add(fa.connectTimeout)
-			if hasDeadline && deadline <= timeoutAt {
-				t.Sleep(deadline.Sub(t.Now()), func() {
-					sp.SetAttr("deadline", "expired")
-					sp.End(t)
-					k(nil, ErrDeadline)
-				})
-				return
-			}
-			t.Sleep(fa.connectTimeout, func() {
-				sp.SetAttr("result", "unreachable")
-				sp.End(t)
-				nd.UnreachableCalls++
-				k(nil, ErrUnreachable)
-			})
-			return
-		}
-	}
+// CallT performs the bound RPC; see Node.CallT. The service resolution and
+// destination checks happened at Bind time, so the per-call path starts at
+// the frame.
+func (b *Binding) CallT(t *sim.Task, req Msg, k func(Msg, error)) {
+	callT(b.nd, b.dst, b.svc, t, req, k)
+}
 
-	sp := optrace.StartSpan(t, optrace.LayerNet, service)
-	sp.SetAttr("to", dst.name)
-	rq := optrace.StartSpan(t, optrace.LayerNet, "request")
-	transferT(t, nd, dst, req.WireSize(), ls, func() {
-		rq.End(t)
-		if hasDeadline && t.Now() >= deadline {
-			sp.SetAttr("deadline", "expired")
-			sp.End(t)
-			k(nil, ErrDeadline)
-			return
-		}
-		if ls != nil && ls.cut {
-			sp.SetAttr("result", "unreachable")
-			sp.End(t)
-			nd.UnreachableCalls++
-			k(nil, ErrUnreachable)
-			return
-		}
-
-		done := sim.NewEvent(t.Env())
-		if ls != nil {
-			ls.inflight = append(ls.inflight, done)
-		}
-		// finish stands in for Call's deferred ls.drop: every exit past
-		// this point untracks the call first.
-		finish := func(m Msg, err error) {
-			if ls != nil {
-				ls.drop(done)
-			}
-			k(m, err)
-		}
-		hp := serveAndRespond(nd, dst, service, h, req, ls, done)
-		optrace.Fork(t, hp)
-
-		handleResp := func(resp interface{}) {
-			if _, aborted := resp.(unreachableMark); aborted {
-				sp.SetAttr("result", "unreachable")
-				sp.End(t)
-				nd.UnreachableCalls++
-				finish(nil, ErrUnreachable)
-				return
-			}
-			var respSize int64
-			if m, ok := resp.(Msg); ok && m != nil {
-				respSize = m.WireSize()
-			}
-			nd.CPU.UseT(t, nd.net.transport.hostCost(respSize+headerBytes), func() {
-				sp.End(t)
-				// Mirrors Call: only completed round-trips are observed.
-				nd.rtt.Observe(t.Now().Sub(callStart))
-				if resp == nil {
-					finish(nil, nil)
-					return
-				}
-				finish(resp.(Msg), nil)
-			})
-		}
-		if hasDeadline {
-			done.WaitUntilT(t, deadline, func(v interface{}, ok bool) {
-				if !ok {
-					sp.SetAttr("deadline", "expired")
-					sp.End(t)
-					finish(nil, ErrDeadline)
-					return
-				}
-				handleResp(v)
-			})
-		} else {
-			done.WaitT(t, handleResp)
-		}
-	})
+// Call performs the bound RPC in process context; see Node.Call.
+func (b *Binding) Call(p *sim.Proc, req Msg) (Msg, error) {
+	return call(b.nd, b.dst, b.svc, p, req)
 }
 
 // Bytes is a convenience Msg for raw payloads of a given size.

@@ -9,6 +9,7 @@ import (
 	"imca/internal/flight"
 	"imca/internal/gluster"
 	"imca/internal/sim"
+	"imca/internal/telemetry"
 )
 
 // Oracle wraps a mount and checks the paper's §4.4 correctness argument at
@@ -36,6 +37,13 @@ type Oracle struct {
 	fds        map[gluster.FD]string
 	violations []string
 
+	// Audit counters, exposed via Register: how many operations the oracle
+	// actually compared against the shadow (an oracle that checks nothing
+	// reports zero violations too) and how many mutations it absorbed.
+	readChecks uint64
+	statChecks uint64
+	mutations  uint64
+
 	// fr, when attached, records a flight entry per violation so a dump
 	// shows what the cluster was doing when the invariant broke.
 	fr *flight.Recorder
@@ -56,6 +64,25 @@ func NewOracle(child gluster.FS) *Oracle {
 
 // Violations returns every invariant violation observed so far.
 func (o *Oracle) Violations() []string { return o.violations }
+
+// Register exposes the oracle's audit activity under prefix: the check
+// counters say how much scrutiny the run actually applied (a zero-violation
+// run with zero checks proves nothing), the gauges size the shadow, and the
+// violations counter is the headline number a dashboard would alarm on.
+func (o *Oracle) Register(reg *telemetry.Registry, prefix string) {
+	reg.Counter(prefix+".read_checks", func() uint64 { return o.readChecks })
+	reg.Counter(prefix+".stat_checks", func() uint64 { return o.statChecks })
+	reg.Counter(prefix+".mutations", func() uint64 { return o.mutations })
+	reg.Counter(prefix+".violations", func() uint64 { return uint64(len(o.violations)) })
+	reg.Gauge(prefix+".shadow_files", func() float64 { return float64(len(o.shadow)) })
+	reg.Gauge(prefix+".shadow_bytes", func() float64 {
+		var total int64
+		for _, content := range o.shadow {
+			total += int64(len(content))
+		}
+		return float64(total)
+	})
+}
 
 // SetFlight attaches a flight recorder; each violation appends one record.
 func (o *Oracle) SetFlight(rec *flight.Recorder) { o.fr = rec }
@@ -85,6 +112,7 @@ func (o *Oracle) Create(p *sim.Proc, path string) (gluster.FD, error) {
 	if err == nil {
 		o.fds[fd] = path
 		o.shadow[path] = nil
+		o.mutations++
 	}
 	return fd, err
 }
@@ -122,6 +150,7 @@ func (o *Oracle) Read(p *sim.Proc, fd gluster.FD, off, size int64) (blob.Blob, e
 	if !tracked {
 		return data, nil
 	}
+	o.readChecks++
 	want := expected(o.shadow[path], off, size)
 	if got := data.Bytes(); !bytes.Equal(got, want) {
 		o.violate(p, "stale read %q [%d,+%d): got %d bytes (sum %x), shadow %d bytes (sum %x)",
@@ -142,6 +171,7 @@ func (o *Oracle) Write(p *sim.Proc, fd gluster.FD, off int64, data blob.Blob) (i
 	if !tracked || n == 0 {
 		return n, nil
 	}
+	o.mutations++
 	content := o.shadow[path]
 	if need := off + n; int64(len(content)) < need {
 		grown := make([]byte, need)
@@ -158,8 +188,11 @@ func (o *Oracle) Write(p *sim.Proc, fd gluster.FD, off int64, data blob.Blob) (i
 func (o *Oracle) Stat(p *sim.Proc, path string) (*gluster.Stat, error) {
 	st, err := o.child.Stat(p, path)
 	if err == nil && !st.IsDir {
-		if content, tracked := o.shadow[path]; tracked && st.Size != int64(len(content)) {
-			o.violate(p, "stale stat %q: size %d, shadow %d", path, st.Size, len(content))
+		if content, tracked := o.shadow[path]; tracked {
+			o.statChecks++
+			if st.Size != int64(len(content)) {
+				o.violate(p, "stale stat %q: size %d, shadow %d", path, st.Size, len(content))
+			}
 		}
 	}
 	return st, err
@@ -170,6 +203,7 @@ func (o *Oracle) Unlink(p *sim.Proc, path string) error {
 	err := o.child.Unlink(p, path)
 	if err == nil {
 		delete(o.shadow, path)
+		o.mutations++
 	}
 	return err
 }
@@ -190,6 +224,7 @@ func (o *Oracle) Truncate(p *sim.Proc, path string, size int64) error {
 		return err
 	}
 	if content, tracked := o.shadow[path]; tracked {
+		o.mutations++
 		if size <= int64(len(content)) {
 			o.shadow[path] = content[:size]
 		} else {

@@ -19,6 +19,12 @@ type Distribute struct {
 	// descriptors are re-numbered so they stay unique across subvolumes.
 	fdRoute map[FD]fdMapping
 	nextFD  FD
+
+	// Routing counters, exposed via Register.
+	pathOps []uint64 // path operations hashed to each subvolume
+	fdOps   uint64   // descriptor operations routed by fdRoute
+	fanOps  uint64   // namespace operations fanned to every subvolume
+	badFDs  uint64   // descriptor operations that missed fdRoute
 }
 
 type fdMapping struct {
@@ -33,19 +39,48 @@ func NewDistribute(subvols ...FS) *Distribute {
 	if len(subvols) == 0 {
 		panic("gluster: distribute needs subvolumes")
 	}
-	return &Distribute{subvols: subvols, fdRoute: make(map[FD]fdMapping)}
+	return &Distribute{
+		subvols: subvols,
+		fdRoute: make(map[FD]fdMapping),
+		pathOps: make([]uint64, len(subvols)),
+	}
+}
+
+// dhtTable drives the string-keyed routing hash below.
+var dhtTable = crc32.MakeTable(crc32.IEEE)
+
+// crc32Path is crc32.ChecksumIEEE over a string, byte by byte: the same
+// table-walk recurrence, so the same checksum, without the []byte conversion
+// a per-stat routing decision would otherwise pay for.
+func crc32Path(s string) uint32 {
+	h := ^uint32(0)
+	for i := 0; i < len(s); i++ {
+		h = dhtTable[byte(h)^s[i]] ^ (h >> 8)
+	}
+	return ^h
 }
 
 // subFor hashes a path to its owning subvolume.
 func (d *Distribute) subFor(path string) FS {
-	h := crc32.ChecksumIEEE([]byte(clean(path)))
-	return d.subvols[int(h%uint32(len(d.subvols)))]
+	i := int(crc32Path(clean(path)) % uint32(len(d.subvols)))
+	d.pathOps[i]++
+	return d.subvols[i]
 }
 
 func (d *Distribute) issue(sub FS, fd FD) FD {
 	d.nextFD++
 	d.fdRoute[d.nextFD] = fdMapping{sub: sub, fd: fd}
 	return d.nextFD
+}
+
+func (d *Distribute) route(fd FD) (fdMapping, bool) {
+	m, ok := d.fdRoute[fd]
+	if ok {
+		d.fdOps++
+	} else {
+		d.badFDs++
+	}
+	return m, ok
 }
 
 // Create implements FS.
@@ -70,7 +105,7 @@ func (d *Distribute) Open(p *sim.Proc, path string) (FD, error) {
 
 // Close implements FS.
 func (d *Distribute) Close(p *sim.Proc, fd FD) error {
-	m, ok := d.fdRoute[fd]
+	m, ok := d.route(fd)
 	if !ok {
 		return ErrBadFD
 	}
@@ -80,7 +115,7 @@ func (d *Distribute) Close(p *sim.Proc, fd FD) error {
 
 // Read implements FS.
 func (d *Distribute) Read(p *sim.Proc, fd FD, off, size int64) (blob.Blob, error) {
-	m, ok := d.fdRoute[fd]
+	m, ok := d.route(fd)
 	if !ok {
 		return blob.Blob{}, ErrBadFD
 	}
@@ -89,7 +124,7 @@ func (d *Distribute) Read(p *sim.Proc, fd FD, off, size int64) (blob.Blob, error
 
 // Write implements FS.
 func (d *Distribute) Write(p *sim.Proc, fd FD, off int64, data blob.Blob) (int64, error) {
-	m, ok := d.fdRoute[fd]
+	m, ok := d.route(fd)
 	if !ok {
 		return 0, ErrBadFD
 	}
@@ -109,6 +144,7 @@ func (d *Distribute) Unlink(p *sim.Proc, path string) error {
 // Mkdir implements FS. Directories exist on every subvolume, as in
 // GlusterFS.
 func (d *Distribute) Mkdir(p *sim.Proc, path string) error {
+	d.fanOps++
 	var first error
 	for _, sub := range d.subvols {
 		if err := sub.Mkdir(p, path); err != nil && first == nil {
@@ -120,6 +156,7 @@ func (d *Distribute) Mkdir(p *sim.Proc, path string) error {
 
 // Readdir implements FS, merging listings from all subvolumes.
 func (d *Distribute) Readdir(p *sim.Proc, path string) ([]string, error) {
+	d.fanOps++
 	seen := make(map[string]struct{})
 	var out []string
 	var lastErr error

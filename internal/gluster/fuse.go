@@ -40,6 +40,9 @@ type Fuse struct {
 	// below the VFS boundary), registered by Register; nil no-ops
 	// otherwise.
 	readHist, writeHist, statHist *telemetry.Hist
+
+	// statOps pools StatT's per-operation frames (see taskfs.go).
+	statOps []*fuseStatOp
 }
 
 var _ FS = (*Fuse)(nil)

@@ -85,6 +85,9 @@ type Posix struct {
 	nextOff    int64
 	journalOff int64
 
+	// statOps is the StatT frame free list; see posixStatOp.
+	statOps []*posixStatOp
+
 	// Stats
 	DiskReads, DiskWrites uint64
 }

@@ -1,0 +1,365 @@
+package gluster
+
+import (
+	"sort"
+
+	"imca/internal/blob"
+	"imca/internal/disk"
+	"imca/internal/optrace"
+	"imca/internal/sim"
+)
+
+// Continuation-engine (TaskFS) implementation of Posix, the storage
+// xlator. Each *T operation mirrors its blocking sibling's charge order
+// and schedule consumption exactly — the same device accesses in the same
+// order, the same cache bookkeeping at the same instants — so a brick
+// served by a task-native daemon replays the event stream a process-backed
+// one produced. Only available when the underlying device is itself
+// task-capable (disk.TaskDevice); see TaskReady.
+
+var _ DirTaskFS = (*Posix)(nil)
+
+// TaskReady implements TaskFS: the storage xlator is task-capable when its
+// device can serve accesses in task context.
+func (px *Posix) TaskReady() bool {
+	_, ok := px.dev.(disk.TaskDevice)
+	return ok
+}
+
+// devT returns the device as a TaskDevice; callers only reach here when
+// TaskReady reported true.
+func (px *Posix) devT() disk.TaskDevice { return px.dev.(disk.TaskDevice) }
+
+// touchMetaT is touchMeta for tasks: account a metadata-page access,
+// reading the inode block from disk on a buffer-cache miss.
+func (px *Posix) touchMetaT(t *sim.Task, in *inode, write bool, k func()) {
+	if write {
+		// Reserve the journal slot before queueing at the disk, exactly as
+		// touchMeta does, so concurrent metadata updates append in order.
+		off := px.journalOff
+		px.journalOff += metaRegion
+		px.devT().AccessT(t, journalBase+off, metaRegion, true, func() {
+			px.DiskWrites++
+			px.cache.Insert(px.metaKey(in.ino), 0, metaRegion)
+			k()
+		})
+		return
+	}
+	if missing := px.cache.Lookup(px.metaKey(in.ino), 0, metaRegion); len(missing) > 0 {
+		px.devT().AccessT(t, in.base, metaRegion, false, func() {
+			px.DiskReads++
+			px.cache.Insert(px.metaKey(in.ino), 0, metaRegion)
+			k()
+		})
+		return
+	}
+	k()
+}
+
+// CreateT implements TaskFS; see Create.
+func (px *Posix) CreateT(t *sim.Task, path string, k func(FD, error)) {
+	sp := optrace.StartSpan(t, optrace.LayerPosix, "create")
+	path = clean(path)
+	if _, ok := px.files[path]; ok {
+		sp.End(t)
+		k(0, ErrExist)
+		return
+	}
+	if _, ok := px.dirs[path]; ok {
+		sp.End(t)
+		k(0, ErrIsDir)
+		return
+	}
+	dir, name := parentOf(path)
+	px.ensureDir(dir)[name] = struct{}{}
+	px.nextIno++
+	now := px.env.Now()
+	in := &inode{
+		ino:   px.nextIno,
+		path:  path,
+		base:  px.nextOff,
+		atime: now, mtime: now, ctime: now,
+	}
+	px.nextOff += fileRegion
+	px.files[path] = in
+	px.touchMetaT(t, in, true, func() {
+		px.nextFD++
+		fd := px.nextFD
+		px.fds[fd] = &openFile{ino: in, path: path}
+		sp.End(t)
+		k(fd, nil)
+	})
+}
+
+// OpenT implements TaskFS; see Open.
+func (px *Posix) OpenT(t *sim.Task, path string, k func(FD, error)) {
+	sp := optrace.StartSpan(t, optrace.LayerPosix, "open")
+	path = clean(path)
+	in, ok := px.files[path]
+	if !ok {
+		sp.End(t)
+		if _, isDir := px.dirs[path]; isDir {
+			k(0, ErrIsDir)
+			return
+		}
+		k(0, ErrNotExist)
+		return
+	}
+	px.touchMetaT(t, in, false, func() {
+		px.nextFD++
+		fd := px.nextFD
+		px.fds[fd] = &openFile{ino: in, path: path}
+		sp.End(t)
+		k(fd, nil)
+	})
+}
+
+// CloseT implements TaskFS; see Close.
+func (px *Posix) CloseT(t *sim.Task, fd FD, k func(error)) {
+	sp := optrace.StartSpan(t, optrace.LayerPosix, "close")
+	if _, ok := px.fds[fd]; !ok {
+		sp.End(t)
+		k(ErrBadFD)
+		return
+	}
+	delete(px.fds, fd)
+	sp.End(t)
+	k(nil)
+}
+
+// ReadT implements TaskFS; see Read. The cache-miss repairs issue in the
+// same order as the blocking loop, one device access at a time.
+func (px *Posix) ReadT(t *sim.Task, fd FD, off, size int64, k func(blob.Blob, error)) {
+	sp := optrace.StartSpan(t, optrace.LayerPosix, "read")
+	of, ok := px.fds[fd]
+	if !ok {
+		sp.End(t)
+		k(blob.Blob{}, ErrBadFD)
+		return
+	}
+	in := of.ino
+	if off >= in.size {
+		sp.End(t)
+		k(blob.Blob{}, nil)
+		return
+	}
+	if off+size > in.size {
+		size = in.size - off
+	}
+	dataBase := in.base + metaRegion
+	missing := px.cache.Lookup(in.ino, off, size)
+	fillStart := px.env.Now()
+	var step func(i int)
+	step = func(i int) {
+		if i == len(missing) {
+			if len(missing) > 0 {
+				px.cache.FillHist.Observe(px.env.Now().Sub(fillStart))
+			}
+			in.atime = px.env.Now()
+			sp.End(t)
+			k(in.data.read(off, size), nil)
+			return
+		}
+		r := missing[i]
+		n := r.Len
+		if i == len(missing)-1 && r.End() >= off+size {
+			n += px.readahead
+		}
+		if r.Off+n > in.size {
+			n = in.size - r.Off
+		}
+		if n <= 0 {
+			step(i + 1)
+			return
+		}
+		px.devT().AccessT(t, dataBase+r.Off, n, false, func() {
+			px.DiskReads++
+			px.cache.Insert(in.ino, r.Off, n)
+			step(i + 1)
+		})
+	}
+	step(0)
+}
+
+// WriteT implements TaskFS; see Write.
+func (px *Posix) WriteT(t *sim.Task, fd FD, off int64, data blob.Blob, k func(int64, error)) {
+	sp := optrace.StartSpan(t, optrace.LayerPosix, "write")
+	of, ok := px.fds[fd]
+	if !ok {
+		sp.End(t)
+		k(0, ErrBadFD)
+		return
+	}
+	in := of.ino
+	size := data.Len()
+	if size == 0 {
+		sp.End(t)
+		k(0, nil)
+		return
+	}
+	px.devT().AccessT(t, in.base+metaRegion+off, size, true, func() {
+		px.DiskWrites++
+		px.cache.Insert(in.ino, off, size)
+		in.data.write(off, data)
+		if off+size > in.size {
+			in.size = off + size
+		}
+		in.mtime = px.env.Now()
+		sp.End(t)
+		k(size, nil)
+	})
+}
+
+// posixStatOp is StatT's pooled frame for the existing-file path, replacing
+// the touchMetaT continuation closure with a prebound method value. The
+// frame returns to the pool before k runs (release-before-continue); the
+// *Stat handed to k is freshly allocated — it escapes into the protocol
+// response, whose lifetime the storage xlator cannot see.
+type posixStatOp struct {
+	px   *Posix
+	t    *sim.Task
+	path string
+	in   *inode
+	sp   *optrace.Span
+	k    func(*Stat, error)
+
+	fnMeta func()
+}
+
+func (px *Posix) takeStatOp() *posixStatOp {
+	if n := len(px.statOps); n > 0 {
+		op := px.statOps[n-1]
+		px.statOps[n-1] = nil
+		px.statOps = px.statOps[:n-1]
+		return op
+	}
+	op := &posixStatOp{px: px}
+	op.fnMeta = op.meta
+	return op
+}
+
+func (op *posixStatOp) meta() {
+	px, t, sp, path, in, k := op.px, op.t, op.sp, op.path, op.in, op.k
+	op.t, op.path, op.in, op.sp, op.k = nil, "", nil, nil, nil
+	px.statOps = append(px.statOps, op)
+	sp.End(t)
+	k(&Stat{
+		Path: path, Ino: in.ino, Size: in.size,
+		Atime: in.atime, Mtime: in.mtime, Ctime: in.ctime,
+	}, nil)
+}
+
+// StatT implements TaskFS; see Stat.
+func (px *Posix) StatT(t *sim.Task, path string, k func(*Stat, error)) {
+	sp := optrace.StartSpan(t, optrace.LayerPosix, "stat")
+	path = clean(path)
+	if _, ok := px.dirs[path]; ok {
+		sp.End(t)
+		k(&Stat{Path: path, IsDir: true}, nil)
+		return
+	}
+	in, ok := px.files[path]
+	if !ok {
+		sp.End(t)
+		k(nil, ErrNotExist)
+		return
+	}
+	op := px.takeStatOp()
+	op.t, op.path, op.in, op.sp, op.k = t, path, in, sp, k
+	px.touchMetaT(t, in, false, op.fnMeta)
+}
+
+// MkdirT is Mkdir for tasks (pure namespace work; no device access).
+func (px *Posix) MkdirT(t *sim.Task, path string, k func(error)) {
+	sp := optrace.StartSpan(t, optrace.LayerPosix, "mkdir")
+	path = clean(path)
+	if _, ok := px.files[path]; ok {
+		sp.End(t)
+		k(ErrExist)
+		return
+	}
+	if _, ok := px.dirs[path]; ok {
+		sp.End(t)
+		k(ErrExist)
+		return
+	}
+	px.ensureDir(path)
+	sp.End(t)
+	k(nil)
+}
+
+// ReaddirT is Readdir for tasks (pure namespace work; no device access).
+func (px *Posix) ReaddirT(t *sim.Task, path string, k func([]string, error)) {
+	sp := optrace.StartSpan(t, optrace.LayerPosix, "readdir")
+	path = clean(path)
+	d, ok := px.dirs[path]
+	if !ok {
+		sp.End(t)
+		if _, isFile := px.files[path]; isFile {
+			k(nil, ErrNotDir)
+			return
+		}
+		k(nil, ErrNotExist)
+		return
+	}
+	names := make([]string, 0, len(d))
+	for n := range d {
+		names = append(names, n)
+	}
+	sort.Strings(names) // deterministic listing order
+	sp.End(t)
+	k(names, nil)
+}
+
+// TruncateT is Truncate for tasks; see Truncate.
+func (px *Posix) TruncateT(t *sim.Task, path string, size int64, k func(error)) {
+	sp := optrace.StartSpan(t, optrace.LayerPosix, "truncate")
+	path = clean(path)
+	in, ok := px.files[path]
+	if !ok {
+		sp.End(t)
+		k(ErrNotExist)
+		return
+	}
+	in.data.truncate(size)
+	if size < in.size {
+		px.cache.InvalidateRange(in.ino, size, in.size-size)
+	}
+	in.size = size
+	in.mtime = px.env.Now()
+	px.touchMetaT(t, in, true, func() {
+		sp.End(t)
+		k(nil)
+	})
+}
+
+// UnlinkT implements TaskFS; see Unlink.
+func (px *Posix) UnlinkT(t *sim.Task, path string, k func(error)) {
+	sp := optrace.StartSpan(t, optrace.LayerPosix, "unlink")
+	path = clean(path)
+	in, ok := px.files[path]
+	if !ok {
+		sp.End(t)
+		if _, isDir := px.dirs[path]; isDir {
+			k(ErrIsDir)
+			return
+		}
+		k(ErrNotExist)
+		return
+	}
+	dir, name := parentOf(path)
+	if d, ok := px.dirs[dir]; ok {
+		delete(d, name)
+	}
+	delete(px.files, path)
+	px.cache.InvalidateFile(in.ino)
+	px.cache.InvalidateFile(px.metaKey(in.ino))
+	// The deallocation record is journaled like any metadata update.
+	off := px.journalOff
+	px.journalOff += metaRegion
+	px.devT().AccessT(t, journalBase+off, metaRegion, true, func() {
+		px.DiskWrites++
+		sp.End(t)
+		k(nil)
+	})
+}

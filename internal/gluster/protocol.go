@@ -59,13 +59,39 @@ type writeResp struct {
 
 func (r *writeResp) WireSize() int64 { return 16 + int64(len(r.Code)) }
 
-type statReq struct{ Path string }
+// statReq carries its client-side stat op when issued from the pooled task
+// path; the fabric recycles it when the call's frame retires, which is what
+// returns the op to its pool. Blocking callers leave op nil.
+type statReq struct {
+	Path string
+
+	op *clientStatOp
+}
 
 func (r *statReq) WireSize() int64 { return 16 + int64(len(r.Path)) }
 
+// Recycle implements fabric.Recyclable.
+func (r *statReq) Recycle() {
+	if r.op != nil {
+		r.op.release()
+	}
+}
+
+// statResp carries the task-native daemon's stat op; the fabric recycles a
+// delivered response after the caller's continuation returns. Blocking
+// handlers leave op nil.
 type statResp struct {
 	St   *Stat
 	Code string
+
+	op *serverStatOp
+}
+
+// Recycle implements fabric.Recyclable.
+func (r *statResp) Recycle() {
+	if r.op != nil {
+		r.op.release()
+	}
 }
 
 func (r *statResp) WireSize() int64 {

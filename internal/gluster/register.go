@@ -1,6 +1,10 @@
 package gluster
 
-import "imca/internal/telemetry"
+import (
+	"strconv"
+
+	"imca/internal/telemetry"
+)
 
 // serverOps is the fixed, ordered list of protocol request names, so server
 // instrument registration is deterministic regardless of map iteration.
@@ -50,6 +54,23 @@ func (ra *ReadAhead) Register(reg *telemetry.Registry, prefix string) {
 func (wb *WriteBehind) Register(reg *telemetry.Registry, prefix string) {
 	reg.Counter(prefix+".flushes", func() uint64 { return wb.Flushes })
 	reg.IntCounter(prefix+".aggregated_bytes", func() int64 { return wb.AggregatedBytes })
+}
+
+// Register exposes the distribute xlator's routing counters under prefix:
+// how path operations hashed across subvolumes, how descriptor operations
+// followed their issuing brick, and how many namespace operations fanned to
+// every subvolume. Subvolume counters are indexed, not named, so
+// registration stays deterministic for any brick count.
+func (d *Distribute) Register(reg *telemetry.Registry, prefix string) {
+	for i := range d.pathOps {
+		i := i
+		reg.Counter(prefix+".path_ops."+strconv.Itoa(i),
+			func() uint64 { return d.pathOps[i] })
+	}
+	reg.Counter(prefix+".fd_ops", func() uint64 { return d.fdOps })
+	reg.Counter(prefix+".fan_ops", func() uint64 { return d.fanOps })
+	reg.Counter(prefix+".bad_fds", func() uint64 { return d.badFDs })
+	reg.Gauge(prefix+".open_fds", func() float64 { return float64(len(d.fdRoute)) })
 }
 
 // Register exposes the FUSE boundary's client-visible latency

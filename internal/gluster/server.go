@@ -41,6 +41,9 @@ type Server struct {
 	threads *sim.Resource
 	down    bool
 
+	// statOps is the task-served stat frame free list; see serverStatOp.
+	statOps []*serverStatOp
+
 	// Ops counts completed requests by type for experiment reporting.
 	Ops map[string]uint64
 }
@@ -63,7 +66,11 @@ func NewServer(node *fabric.Node, child FS, cfg ServerConfig) *Server {
 		threads: sim.NewResource(node.Network().Env(), cfg.IOThreads),
 		Ops:     make(map[string]uint64),
 	}
-	node.Handle(ServiceName, s.handle)
+	if AsDirTaskFS(child) != nil {
+		node.HandleT(ServiceName, s.handleT)
+	} else {
+		node.Handle(ServiceName, s.handle)
+	}
 	return s
 }
 
@@ -209,6 +216,9 @@ func (s *Server) handle(p *sim.Proc, from *fabric.Node, req fabric.Msg) fabric.M
 type Client struct {
 	node   *fabric.Node
 	server *fabric.Node
+
+	// statOps is the StatT frame free list; see clientStatOp.
+	statOps []*clientStatOp
 }
 
 var _ FS = (*Client)(nil)

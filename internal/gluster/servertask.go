@@ -1,0 +1,205 @@
+package gluster
+
+import (
+	"imca/internal/blob"
+	"imca/internal/fabric"
+	"imca/internal/optrace"
+	"imca/internal/sim"
+)
+
+// Task-native glusterfsd. When the brick's whole storage stack can serve
+// the continuation engine, the daemon registers a fabric.HandlerT instead
+// of a process-backed Handler: every RPC is then served as plain heap
+// events — no goroutine spawn, park, or channel handshake per request —
+// while consuming kernel schedules exactly as the process-backed daemon
+// does (see fabric.HandlerT). The blocking handle stays as the fallback
+// for stacks whose device or translators are not task-capable.
+
+// DirTaskFS extends TaskFS with the directory and metadata operations the
+// protocol server also serves. They are split from TaskFS because most
+// client-side xlators never forward them through the task engine, but a
+// task-native daemon must cover every request type on the wire.
+type DirTaskFS interface {
+	TaskFS
+	MkdirT(t *sim.Task, path string, k func(error))
+	ReaddirT(t *sim.Task, path string, k func([]string, error))
+	TruncateT(t *sim.Task, path string, size int64, k func(error))
+}
+
+// AsDirTaskFS returns fs as a usable DirTaskFS, or nil when fs (or
+// anything below it) cannot serve the full task-native daemon surface.
+func AsDirTaskFS(fs FS) DirTaskFS {
+	if tfs, ok := fs.(DirTaskFS); ok && tfs.TaskReady() {
+		return tfs
+	}
+	return nil
+}
+
+func (s *Server) chargeT(t *sim.Task, payload int64, k func()) {
+	cpu := s.cfg.OpCPU + sim.Duration(float64(payload)*s.cfg.PerByteCPUNanos)
+	s.node.CPU.UseT(t, cpu, k)
+}
+
+// serverStatOp is the daemon's pooled frame for a task-served stat — the
+// dominant request on the fig5 path. It carries the response message and
+// the grant→charge→serve→respond chain as prebound method values, so the
+// daemon's side of a stat allocates nothing. The op returns to its server's
+// pool when the fabric recycles the delivered response, after the calling
+// client's continuation has read it.
+type serverStatOp struct {
+	s       *Server
+	t       *sim.Task
+	r       *statReq
+	respond func(fabric.Msg)
+	sp      *optrace.Span
+	resp    statResp
+
+	fnGranted func()
+	fnCharged func()
+	fnStat    func(*Stat, error)
+}
+
+func newServerStatOp(s *Server) *serverStatOp {
+	op := &serverStatOp{s: s}
+	op.resp.op = op
+	op.fnGranted = op.granted
+	op.fnCharged = op.charged
+	op.fnStat = op.stat
+	return op
+}
+
+func (s *Server) takeStatOp() *serverStatOp {
+	if n := len(s.statOps); n > 0 {
+		op := s.statOps[n-1]
+		s.statOps[n-1] = nil
+		s.statOps = s.statOps[:n-1]
+		return op
+	}
+	return newServerStatOp(s)
+}
+
+func (op *serverStatOp) release() {
+	op.t, op.r, op.respond, op.sp = nil, nil, nil, nil
+	op.resp.St, op.resp.Code = nil, ""
+	op.s.statOps = append(op.s.statOps, op)
+}
+
+// granted runs once an io-thread is held; order matches handleT's generic
+// statReq case exactly: count, charge, serve, then release-end-respond.
+func (op *serverStatOp) granted() {
+	op.s.Ops["stat"]++
+	op.s.chargeT(op.t, 0, op.fnCharged)
+}
+
+func (op *serverStatOp) charged() {
+	op.s.child.(DirTaskFS).StatT(op.t, op.r.Path, op.fnStat)
+}
+
+func (op *serverStatOp) stat(st *Stat, err error) {
+	op.s.threads.Release(1)
+	op.sp.End(op.t)
+	op.resp.St, op.resp.Code = st, errCode(err)
+	op.respond(&op.resp)
+}
+
+// handleT serves one RPC in task context; it mirrors handle case for
+// case — same charge order, same io-thread accounting, same span
+// annotations — so a daemon registered either way replays the same event
+// stream.
+func (s *Server) handleT(t *sim.Task, from *fabric.Node, req fabric.Msg, respond func(fabric.Msg)) {
+	sp := optrace.StartSpan(t, optrace.LayerServer, reqName(req))
+	if s.down {
+		// Refused at the listener, as in handle.
+		sp.SetAttr("down", "true")
+		sp.End(t)
+		respond(downResp(req))
+		return
+	}
+	if r, ok := req.(*statReq); ok {
+		// Pooled fast path for the dominant request; the generic path below
+		// would serve it identically, one closure chain per call.
+		op := s.takeStatOp()
+		op.t, op.r, op.respond, op.sp = t, r, respond, sp
+		s.threads.AcquireT(t, 1, op.fnGranted)
+		return
+	}
+	s.threads.AcquireT(t, 1, func() {
+		// The blocking handler's deferred Release runs before its deferred
+		// span End, and the response leaves after both; done keeps that
+		// order.
+		done := func(m fabric.Msg) {
+			s.threads.Release(1)
+			sp.End(t)
+			respond(m)
+		}
+		child := s.child.(DirTaskFS)
+		switch r := req.(type) {
+		case *openReq:
+			s.chargeT(t, 0, func() {
+				if r.Create {
+					s.Ops["create"]++
+					child.CreateT(t, r.Path, func(fd FD, err error) {
+						done(&openResp{FD: fd, Code: errCode(err)})
+					})
+					return
+				}
+				s.Ops["open"]++
+				child.OpenT(t, r.Path, func(fd FD, err error) {
+					done(&openResp{FD: fd, Code: errCode(err)})
+				})
+			})
+		case *closeReq:
+			s.Ops["close"]++
+			s.chargeT(t, 0, func() {
+				child.CloseT(t, r.FD, func(err error) {
+					done(&simpleResp{Code: errCode(err)})
+				})
+			})
+		case *readReq:
+			s.Ops["read"]++
+			child.ReadT(t, r.FD, r.Off, r.Size, func(data blob.Blob, err error) {
+				s.chargeT(t, data.Len(), func() {
+					done(&readResp{Data: data, Code: errCode(err)})
+				})
+			})
+		case *writeReq:
+			s.Ops["write"]++
+			s.chargeT(t, r.Data.Len(), func() {
+				child.WriteT(t, r.FD, r.Off, r.Data, func(n int64, err error) {
+					done(&writeResp{N: n, Code: errCode(err)})
+				})
+			})
+		case *statReq:
+			s.Ops["stat"]++
+			s.chargeT(t, 0, func() {
+				child.StatT(t, r.Path, func(st *Stat, err error) {
+					done(&statResp{St: st, Code: errCode(err)})
+				})
+			})
+		case *pathReq:
+			s.Ops[r.Op]++
+			s.chargeT(t, 0, func() {
+				k := func(err error) { done(&simpleResp{Code: errCode(err)}) }
+				switch r.Op {
+				case "unlink":
+					child.UnlinkT(t, r.Path, k)
+				case "mkdir":
+					child.MkdirT(t, r.Path, k)
+				case "truncate":
+					child.TruncateT(t, r.Path, r.Size, k)
+				default:
+					panic("gluster: unknown pathReq op " + r.Op)
+				}
+			})
+		case *readdirReq:
+			s.Ops["readdir"]++
+			s.chargeT(t, 0, func() {
+				child.ReaddirT(t, r.Path, func(names []string, err error) {
+					done(&readdirResp{Names: names, Code: errCode(err)})
+				})
+			})
+		default:
+			panic("gluster: unknown request type")
+		}
+	})
+}

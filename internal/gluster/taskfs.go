@@ -97,17 +97,71 @@ func (f *Fuse) WriteT(t *sim.Task, fd FD, off int64, data blob.Blob, k func(int6
 	})
 }
 
+// fuseStatOp is StatT's pooled per-operation frame. StatT is the FUSE
+// layer's hottest metadata path (fig5 issues hundreds of thousands per
+// cell), and the closure chain of the generic chargeT — acquire, sleep,
+// release, child callback — costs four heap allocations per call. The op
+// carries those continuations as prebound method values instead, so a
+// steady-state stat allocates nothing at this layer. The decomposition
+// AcquireT(1)+Sleep(OpCPU)+Release(1) consumes exactly the schedules
+// chargeT's Resource.UseT does, keeping runs byte-identical.
+type fuseStatOp struct {
+	f    *Fuse
+	t    *sim.Task
+	path string
+	k    func(*Stat, error)
+	sp   *optrace.Span
+	t0   sim.Time
+
+	fnHeld, fnCharged func()
+	fnStat            func(*Stat, error)
+}
+
+func (f *Fuse) takeStatOp() *fuseStatOp {
+	if n := len(f.statOps); n > 0 {
+		op := f.statOps[n-1]
+		f.statOps = f.statOps[:n-1]
+		return op
+	}
+	op := &fuseStatOp{f: f}
+	op.fnHeld = op.held
+	op.fnCharged = op.charged
+	op.fnStat = op.stat
+	return op
+}
+
+func (f *Fuse) putStatOp(op *fuseStatOp) {
+	op.t, op.path, op.k, op.sp = nil, "", nil, nil
+	f.statOps = append(f.statOps, op)
+}
+
+// held runs once the CPU unit is granted: hold it for the crossing cost.
+func (op *fuseStatOp) held() { op.t.Sleep(op.f.cfg.OpCPU, op.fnCharged) }
+
+// charged releases the CPU and forwards the stat down the stack.
+func (op *fuseStatOp) charged() {
+	op.f.node.CPU.Release(1)
+	op.f.childT().StatT(op.t, op.path, op.fnStat)
+}
+
+// stat completes the operation. The frame is recycled before the caller's
+// continuation runs — everything it needs is copied to locals first — so a
+// continuation that immediately issues the next stat reuses this frame.
+func (op *fuseStatOp) stat(st *Stat, err error) {
+	f, t, sp, t0, k := op.f, op.t, op.sp, op.t0, op.k
+	f.putStatOp(op)
+	sp.End(t)
+	f.statHist.ObserveSince(t, t0)
+	k(st, err)
+}
+
 // StatT implements TaskFS.
 func (f *Fuse) StatT(t *sim.Task, path string, k func(*Stat, error)) {
-	sp := optrace.StartSpan(t, optrace.LayerFuse, "stat")
-	t0 := t.Now()
-	f.chargeT(t, 0, func() {
-		f.childT().StatT(t, path, func(st *Stat, err error) {
-			sp.End(t)
-			f.statHist.ObserveSince(t, t0)
-			k(st, err)
-		})
-	})
+	op := f.takeStatOp()
+	op.t, op.path, op.k = t, path, k
+	op.sp = optrace.StartSpan(t, optrace.LayerFuse, "stat")
+	op.t0 = t.Now()
+	f.node.CPU.AcquireT(t, 1, op.fnHeld)
 }
 
 // UnlinkT implements TaskFS.
@@ -200,14 +254,64 @@ func (c *Client) WriteT(t *sim.Task, fd FD, off int64, data blob.Blob, k func(in
 
 // StatT implements TaskFS.
 func (c *Client) StatT(t *sim.Task, path string, k func(*Stat, error)) {
-	c.callT(t, "stat", &statReq{Path: path}, func(m fabric.Msg, err error) {
-		if err != nil {
-			k(nil, err)
-			return
-		}
-		r := m.(*statResp)
-		k(r.St, codeErr(r.Code))
-	})
+	op := c.takeStatOp()
+	op.t, op.k = t, k
+	op.sp = optrace.StartSpan(t, optrace.LayerProtocol, "stat")
+	op.req.Path = path
+	c.node.CallT(t, c.server, ServiceName, &op.req, op.fnDone)
+}
+
+// clientStatOp is Client.StatT's pooled per-operation frame: the request,
+// the protocol span, and the completion continuation prebound as a method
+// value, replacing the closures and request allocation of the generic callT
+// path. The op returns to its client's pool when the fabric recycles the
+// request — after both the continuation and the brick daemon are done with
+// it, which is what makes reuse safe even for deadline-abandoned calls
+// whose request is still being served.
+type clientStatOp struct {
+	c      *Client
+	t      *sim.Task
+	k      func(*Stat, error)
+	sp     *optrace.Span
+	req    statReq
+	fnDone func(fabric.Msg, error)
+}
+
+func newClientStatOp(c *Client) *clientStatOp {
+	op := &clientStatOp{c: c}
+	op.req.op = op
+	op.fnDone = op.done
+	return op
+}
+
+func (c *Client) takeStatOp() *clientStatOp {
+	if n := len(c.statOps); n > 0 {
+		op := c.statOps[n-1]
+		c.statOps[n-1] = nil
+		c.statOps = c.statOps[:n-1]
+		return op
+	}
+	return newClientStatOp(c)
+}
+
+func (op *clientStatOp) release() {
+	op.t, op.k, op.sp = nil, nil, nil
+	op.req.Path = ""
+	op.c.statOps = append(op.c.statOps, op)
+}
+
+// done mirrors callT's span handling plus StatT's decode, step for step.
+func (op *clientStatOp) done(m fabric.Msg, err error) {
+	t, sp, k := op.t, op.sp, op.k
+	if err != nil {
+		sp.SetAttr("deadline", "expired")
+		sp.End(t)
+		k(nil, err)
+		return
+	}
+	sp.End(t)
+	r := m.(*statResp)
+	k(r.St, codeErr(r.Code))
 }
 
 // UnlinkT implements TaskFS.

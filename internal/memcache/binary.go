@@ -7,6 +7,7 @@ import (
 	"io"
 
 	"imca/internal/blob"
+	"imca/internal/bufpool"
 )
 
 // The memcached binary protocol: fixed 24-byte headers, binary-safe keys
@@ -131,8 +132,13 @@ func binStatusFor(err error) uint16 {
 func ServeBinaryConn(store *Store, rw io.ReadWriter) error {
 	r := bufio.NewReader(rw)
 	w := bufio.NewWriter(rw)
+	// Request bodies come from a connection-local free list: everything
+	// that outlives the request (keys, stored values) is copied out below,
+	// so a steady pipeline of same-sized commands reads into one recycled
+	// buffer instead of allocating per message.
+	var bufs bufpool.Pool
 	for {
-		quit, err := serveBinaryOne(store, r, w)
+		quit, err := serveBinaryOne(store, r, w, &bufs)
 		if err != nil {
 			return err
 		}
@@ -145,7 +151,7 @@ func ServeBinaryConn(store *Store, rw io.ReadWriter) error {
 	}
 }
 
-func serveBinaryOne(store *Store, r *bufio.Reader, w *bufio.Writer) (quit bool, err error) {
+func serveBinaryOne(store *Store, r *bufio.Reader, w *bufio.Writer, bufs *bufpool.Pool) (quit bool, err error) {
 	h, err := readBinHeader(r)
 	if err != nil {
 		return false, err
@@ -153,7 +159,8 @@ func serveBinaryOne(store *Store, r *bufio.Reader, w *bufio.Writer) (quit bool, 
 	if h.magic != binReqMagic {
 		return false, fmt.Errorf("memcache: bad request magic 0x%02x", h.magic)
 	}
-	body := make([]byte, h.bodyLen)
+	body := bufs.Get(int(h.bodyLen))
+	defer bufs.Put(body)
 	if _, err := io.ReadFull(r, body); err != nil {
 		return false, err
 	}

@@ -22,12 +22,27 @@ type Selector interface {
 // hashing: the checksum is folded to 15 bits before the modulo.
 type CRC32Selector struct{}
 
+// ieeeTable drives the string-keyed checksum below.
+var ieeeTable = crc32.MakeTable(crc32.IEEE)
+
+// crc32String is crc32.ChecksumIEEE over a string, byte by byte, so the
+// per-operation key hash needs no []byte conversion (which the compiler
+// cannot always keep off the heap). The table-walk recurrence is the
+// canonical CRC32 definition, so the checksum is identical.
+func crc32String(s string) uint32 {
+	h := ^uint32(0)
+	for i := 0; i < len(s); i++ {
+		h = ieeeTable[byte(h)^s[i]] ^ (h >> 8)
+	}
+	return ^h
+}
+
 // Pick implements Selector.
 func (CRC32Selector) Pick(key string, n int) int {
 	if n <= 1 {
 		return 0
 	}
-	h := (crc32.ChecksumIEEE([]byte(key)) >> 16) & 0x7fff
+	h := (crc32String(key) >> 16) & 0x7fff
 	return int(h % uint32(n))
 }
 

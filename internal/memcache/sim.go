@@ -32,8 +32,21 @@ func copyTime(n int64) sim.Duration {
 // Wire message types for the simulated memcached protocol. WireSize values
 // approximate the text protocol's framing.
 
-// GetReq requests one or more keys.
-type GetReq struct{ Keys []string }
+// GetReq requests one or more keys. A pooled request (op non-nil) belongs
+// to a client-side getOp; the fabric recycles it when the call's frame
+// retires, which is what returns the op to its pool.
+type GetReq struct {
+	Keys []string
+
+	op *getOp
+}
+
+// Recycle implements fabric.Recyclable.
+func (r *GetReq) Recycle() {
+	if r.op != nil {
+		r.op.release()
+	}
+}
 
 // WireSize implements fabric.Msg.
 func (r *GetReq) WireSize() int64 {
@@ -45,10 +58,23 @@ func (r *GetReq) WireSize() int64 {
 }
 
 // GetResp carries the found items. Down reports that the daemon is dead
-// (connection refused); the caller treats every key as a miss.
+// (connection refused); the caller treats every key as a miss. A pooled
+// response (op non-nil) belongs to a server-side srvOp and its Items point
+// into that op's buffers: valid through the task-engine continuation that
+// receives it, reclaimed when the fabric recycles the response. Responses
+// returned to blocking callers are never recycled and stay valid forever.
 type GetResp struct {
 	Items []*Item
 	Down  bool
+
+	op *srvOp
+}
+
+// Recycle implements fabric.Recyclable.
+func (r *GetResp) Recycle() {
+	if r.op != nil {
+		r.op.release()
+	}
 }
 
 // WireSize implements fabric.Msg.
@@ -61,32 +87,74 @@ func (r *GetResp) WireSize() int64 {
 }
 
 // SetReq stores one item (always an unconditional set, as IMCa uses).
-type SetReq struct{ Item *Item }
+// Pooled requests carry their client-side setOp, as GetReq does.
+type SetReq struct {
+	Item *Item
+
+	op *setOp
+}
+
+// Recycle implements fabric.Recyclable.
+func (r *SetReq) Recycle() {
+	if r.op != nil {
+		r.op.release()
+	}
+}
 
 // WireSize implements fabric.Msg.
 func (r *SetReq) WireSize() int64 {
 	return int64(len(r.Item.Key)) + r.Item.Value.Len() + 40
 }
 
-// SetResp acknowledges a store.
+// SetResp acknowledges a store. Pooled responses carry their srvOp, as
+// GetResp does.
 type SetResp struct {
 	Err  string
 	Down bool
+
+	op *srvOp
+}
+
+// Recycle implements fabric.Recyclable.
+func (r *SetResp) Recycle() {
+	if r.op != nil {
+		r.op.release()
+	}
 }
 
 // WireSize implements fabric.Msg.
 func (r *SetResp) WireSize() int64 { return 8 + int64(len(r.Err)) }
 
-// DelReq deletes one key.
-type DelReq struct{ Key string }
+// DelReq deletes one key. Pooled requests carry their client-side delOp.
+type DelReq struct {
+	Key string
+
+	op *delOp
+}
+
+// Recycle implements fabric.Recyclable.
+func (r *DelReq) Recycle() {
+	if r.op != nil {
+		r.op.release()
+	}
+}
 
 // WireSize implements fabric.Msg.
 func (r *DelReq) WireSize() int64 { return 8 + int64(len(r.Key)) }
 
-// DelResp acknowledges a delete.
+// DelResp acknowledges a delete. Pooled responses carry their srvOp.
 type DelResp struct {
 	Found bool
 	Down  bool
+
+	op *srvOp
+}
+
+// Recycle implements fabric.Recyclable.
+func (r *DelResp) Recycle() {
+	if r.op != nil {
+		r.op.release()
+	}
 }
 
 // WireSize implements fabric.Msg.
@@ -102,6 +170,11 @@ type SimServer struct {
 	store  *Store
 	daemon *sim.Resource
 	down   bool
+
+	// ops is the free list of pooled request state machines (see
+	// srvtask.go); replies handed to blocking callers escape and simply
+	// leave the pool to the collector.
+	ops []*srvOp
 }
 
 // NewSimServer starts an MCD on node with the given memory limit.
@@ -112,7 +185,7 @@ func NewSimServer(node *fabric.Node, limitBytes int64) *SimServer {
 		store:  NewStore(limitBytes, func() int64 { return int64(env.Now().Seconds()) }),
 		daemon: sim.NewResource(env, 1),
 	}
-	node.Handle(ServiceName, s.handle)
+	node.HandleT(ServiceName, s.handleT)
 	return s
 }
 
@@ -149,53 +222,7 @@ func reqName(req fabric.Msg) string {
 	return "?"
 }
 
-func (s *SimServer) handle(p *sim.Proc, from *fabric.Node, req fabric.Msg) fabric.Msg {
-	sp := optrace.StartSpan(p, optrace.LayerMCDSrv, reqName(req))
-	defer sp.End(p)
-	if s.down {
-		sp.SetAttr("down", "true")
-		// Connection refused: the kernel answers with a reset after one
-		// wire round trip; no daemon time is spent.
-		switch req.(type) {
-		case *GetReq:
-			return &GetResp{Down: true}
-		case *SetReq:
-			return &SetResp{Down: true}
-		case *DelReq:
-			return &DelResp{Down: true}
-		}
-	}
-	s.daemon.Acquire(p, 1)
-	defer s.daemon.Release(1)
-	switch r := req.(type) {
-	case *GetReq:
-		s.node.CPU.Use(p, sim.Duration(len(r.Keys))*perKeyServiceTime)
-		resp := &GetResp{}
-		var moved int64
-		for _, k := range r.Keys {
-			if it, err := s.store.Get(k); err == nil {
-				resp.Items = append(resp.Items, it)
-				moved += it.Value.Len()
-			}
-		}
-		if moved > 0 {
-			s.node.CPU.Use(p, copyTime(moved))
-		}
-		return resp
-	case *SetReq:
-		s.node.CPU.Use(p, perKeyServiceTime+copyTime(r.Item.Value.Len()))
-		if err := s.store.Set(r.Item); err != nil {
-			return &SetResp{Err: err.Error()}
-		}
-		return &SetResp{}
-	case *DelReq:
-		s.node.CPU.Use(p, perKeyServiceTime)
-		err := s.store.Delete(r.Key)
-		return &DelResp{Found: err == nil}
-	default:
-		panic("memcache: unknown request type")
-	}
-}
+// The daemon's request handler is task-native; see srvtask.go.
 
 // SimClient accesses a bank of simulated MCDs from one fabric node,
 // distributing keys with a Selector (CRC32 by default, matching
@@ -204,6 +231,13 @@ type SimClient struct {
 	node     *fabric.Node
 	servers  []*SimServer
 	selector Selector
+	// bindings pre-resolve the mcd service on each server, so the per-call
+	// path never repeats the lookup or the cross-network check.
+	bindings []*fabric.Binding
+	// Free lists of pooled task-engine operation frames (see simtask.go).
+	getOps []*getOp
+	setOps []*setOp
+	delOps []*delOp
 	// downReplies counts requests that came back with Down set (connection
 	// refused by a failed daemon). Surfaced through BankStats.
 	downReplies uint64
@@ -234,7 +268,12 @@ func NewSimClient(node *fabric.Node, servers []*SimServer) *SimClient {
 	if len(servers) == 0 {
 		panic("memcache: empty MCD bank")
 	}
-	return &SimClient{node: node, servers: servers, selector: CRC32Selector{}}
+	c := &SimClient{node: node, servers: servers, selector: CRC32Selector{}}
+	c.bindings = make([]*fabric.Binding, len(servers))
+	for i, s := range servers {
+		c.bindings[i] = node.Bind(s.node, ServiceName)
+	}
+	return c
 }
 
 // SetSelector replaces the key distribution function.

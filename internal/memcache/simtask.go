@@ -15,8 +15,89 @@ import (
 // consumption exactly, delivering the result to a continuation instead of
 // returning it; see sim.Task for the determinism contract.
 
+// getOp is GetT's pooled per-operation frame: the request (whose Keys
+// slice permanently aliases the op's one-element key buffer), the
+// completion continuation prebound as a method value, and the span/latency
+// bookkeeping the closure used to capture. The op returns to its client's
+// pool when the fabric recycles the request — after both the continuation
+// and the far daemon are done with it, which is what makes reuse safe even
+// for deadline-abandoned calls whose request is still being served.
+type getOp struct {
+	c      *SimClient
+	t      *sim.Task
+	k      func(*Item, bool)
+	sp     *optrace.Span
+	idx    int
+	t0     sim.Time
+	req    GetReq
+	key    [1]string
+	fnDone func(fabric.Msg, error)
+}
+
+func newGetOp(c *SimClient) *getOp {
+	op := &getOp{c: c}
+	op.req.Keys = op.key[:1]
+	op.req.op = op
+	op.fnDone = op.done
+	return op
+}
+
+func (c *SimClient) takeGetOp() *getOp {
+	if n := len(c.getOps); n > 0 {
+		op := c.getOps[n-1]
+		c.getOps[n-1] = nil
+		c.getOps = c.getOps[:n-1]
+		return op
+	}
+	return newGetOp(c)
+}
+
+func (op *getOp) release() {
+	op.t, op.k, op.sp = nil, nil, nil
+	op.key[0] = ""
+	op.c.getOps = append(op.c.getOps, op)
+}
+
+func (op *getOp) done(m fabric.Msg, err error) {
+	c, t, sp := op.c, op.t, op.sp
+	if err != nil {
+		sp.SetAttr("result", c.fail(t, op.idx, err, false))
+		sp.End(t)
+		c.getHist.ObserveSince(t, op.t0)
+		op.k(nil, false)
+		return
+	}
+	resp := m.(*GetResp)
+	if resp.Down {
+		sp.SetAttr("result", c.fail(t, op.idx, nil, true))
+		sp.End(t)
+		c.getHist.ObserveSince(t, op.t0)
+		op.k(nil, false)
+		return
+	}
+	c.observe(t, op.idx, true)
+	if len(resp.Items) == 0 {
+		sp.SetAttr("result", "miss")
+		sp.End(t)
+		c.getHist.ObserveSince(t, op.t0)
+		op.k(nil, false)
+		return
+	}
+	if sp != nil {
+		sp.SetAttr("result", "hit")
+		sp.SetAttr("bytes", strconv.FormatInt(resp.Items[0].Value.Len(), 10))
+		sp.End(t)
+	}
+	c.getHist.ObserveSince(t, op.t0)
+	// The item points into the pooled response: valid through k, reclaimed
+	// when the fabric recycles the response after k returns.
+	op.k(resp.Items[0], true)
+}
+
 // GetT is Get for the task engine: k receives (item, true) on a hit and
-// (nil, false) on any flavour of miss.
+// (nil, false) on any flavour of miss. A hit's item aliases pooled response
+// storage and is valid only until k returns; continuation code copies what
+// it keeps, exactly as it would from a network buffer.
 //
 //imcalint:hotpath 10k-tenant open-loop experiment: per-op allocations on this chain are the marginal cost (ROADMAP item 2); known ones are baselined for burn-down
 func (c *SimClient) GetT(t *sim.Task, key string, k func(*Item, bool)) {
@@ -31,36 +112,10 @@ func (c *SimClient) GetT(t *sim.Task, key string, k func(*Item, bool)) {
 		k(nil, false)
 		return
 	}
-	c.node.CallT(t, srv.node, ServiceName, &GetReq{Keys: []string{key}}, func(m fabric.Msg, err error) {
-		if err != nil {
-			sp.SetAttr("result", c.fail(t, idx, err, false))
-			sp.End(t)
-			c.getHist.ObserveSince(t, t0)
-			k(nil, false)
-			return
-		}
-		resp := m.(*GetResp)
-		if resp.Down {
-			sp.SetAttr("result", c.fail(t, idx, nil, true))
-			sp.End(t)
-			c.getHist.ObserveSince(t, t0)
-			k(nil, false)
-			return
-		}
-		c.observe(t, idx, true)
-		if len(resp.Items) == 0 {
-			sp.SetAttr("result", "miss")
-			sp.End(t)
-			c.getHist.ObserveSince(t, t0)
-			k(nil, false)
-			return
-		}
-		sp.SetAttr("result", "hit")
-		sp.SetAttr("bytes", strconv.FormatInt(resp.Items[0].Value.Len(), 10))
-		sp.End(t)
-		c.getHist.ObserveSince(t, t0)
-		k(resp.Items[0], true)
-	})
+	op := c.takeGetOp()
+	op.t, op.k, op.sp, op.idx, op.t0 = t, k, sp, idx, t0
+	op.key[0] = key
+	c.bindings[idx].CallT(t, &op.req, op.fnDone)
 }
 
 // GetMultiT is GetMulti for the task engine. The scatter-gather workers
@@ -156,6 +211,60 @@ func (c *SimClient) GetMultiT(t *sim.Task, keys []string, k func(map[string]*Ite
 	collect(0)
 }
 
+// delOp is DeleteT's pooled per-operation frame; see getOp.
+type delOp struct {
+	c      *SimClient
+	t      *sim.Task
+	k      func(bool)
+	sp     *optrace.Span
+	idx    int
+	req    DelReq
+	fnDone func(fabric.Msg, error)
+}
+
+func newDelOp(c *SimClient) *delOp {
+	op := &delOp{c: c}
+	op.req.op = op
+	op.fnDone = op.done
+	return op
+}
+
+func (c *SimClient) takeDelOp() *delOp {
+	if n := len(c.delOps); n > 0 {
+		op := c.delOps[n-1]
+		c.delOps[n-1] = nil
+		c.delOps = c.delOps[:n-1]
+		return op
+	}
+	return newDelOp(c)
+}
+
+func (op *delOp) release() {
+	op.t, op.k, op.sp = nil, nil, nil
+	op.req.Key = ""
+	op.c.delOps = append(op.c.delOps, op)
+}
+
+func (op *delOp) done(m fabric.Msg, err error) {
+	c, t, sp := op.c, op.t, op.sp
+	if err != nil {
+		sp.SetAttr("result", c.fail(t, op.idx, err, false))
+		sp.End(t)
+		op.k(false)
+		return
+	}
+	resp := m.(*DelResp)
+	if resp.Down {
+		sp.SetAttr("result", c.fail(t, op.idx, nil, true))
+		sp.End(t)
+		op.k(false)
+		return
+	}
+	c.observe(t, op.idx, true)
+	sp.End(t)
+	op.k(resp.Found)
+}
+
 // DeleteT is Delete for the task engine; k receives Delete's found
 // result. Ejection and failure semantics mirror Delete exactly: an
 // ejected or unreachable MCD absorbs the delete without a wire request,
@@ -170,24 +279,80 @@ func (c *SimClient) DeleteT(t *sim.Task, key string, k func(bool)) {
 		k(false)
 		return
 	}
-	c.node.CallT(t, srv.node, ServiceName, &DelReq{Key: key}, func(m fabric.Msg, err error) {
-		if err != nil {
-			sp.SetAttr("result", c.fail(t, idx, err, false))
-			sp.End(t)
-			k(false)
-			return
-		}
-		resp := m.(*DelResp)
-		if resp.Down {
-			sp.SetAttr("result", c.fail(t, idx, nil, true))
-			sp.End(t)
-			k(false)
-			return
-		}
-		c.observe(t, idx, true)
+	op := c.takeDelOp()
+	op.t, op.k, op.sp, op.idx = t, k, sp, idx
+	op.req.Key = key
+	c.bindings[idx].CallT(t, &op.req, op.fnDone)
+}
+
+// setOp is SetT's pooled per-operation frame; the request's Item
+// permanently points at the op's embedded item, rebuilt per call (the
+// store copies on insert, so reuse is safe the moment Set returns).
+type setOp struct {
+	c      *SimClient
+	t      *sim.Task
+	k      func(error)
+	sp     *optrace.Span
+	idx    int
+	t0     sim.Time
+	item   Item
+	req    SetReq
+	fnDone func(fabric.Msg, error)
+}
+
+func newSetOp(c *SimClient) *setOp {
+	op := &setOp{c: c}
+	op.req.Item = &op.item
+	op.req.op = op
+	op.fnDone = op.done
+	return op
+}
+
+func (c *SimClient) takeSetOp() *setOp {
+	if n := len(c.setOps); n > 0 {
+		op := c.setOps[n-1]
+		c.setOps[n-1] = nil
+		c.setOps = c.setOps[:n-1]
+		return op
+	}
+	return newSetOp(c)
+}
+
+func (op *setOp) release() {
+	op.t, op.k, op.sp = nil, nil, nil
+	op.item = Item{}
+	op.c.setOps = append(op.c.setOps, op)
+}
+
+func (op *setOp) done(m fabric.Msg, err error) {
+	c, t, sp := op.c, op.t, op.sp
+	if err != nil {
+		sp.SetAttr("result", c.fail(t, op.idx, err, false))
 		sp.End(t)
-		k(resp.Found)
-	})
+		c.setHist.ObserveSince(t, op.t0)
+		op.k(err)
+		return
+	}
+	resp := m.(*SetResp)
+	switch {
+	case resp.Down:
+		sp.SetAttr("result", c.fail(t, op.idx, nil, true))
+		sp.End(t)
+		c.setHist.ObserveSince(t, op.t0)
+		op.k(ErrServerDown)
+	case resp.Err != "":
+		c.observe(t, op.idx, true)
+		sp.SetAttr("result", "error")
+		sp.End(t)
+		c.setHist.ObserveSince(t, op.t0)
+		op.k(ErrNotStored)
+	default:
+		c.observe(t, op.idx, true)
+		sp.SetAttr("result", "stored")
+		sp.End(t)
+		c.setHist.ObserveSince(t, op.t0)
+		op.k(nil)
+	}
 }
 
 // SetT is Set for the task engine; k receives Set's error result.
@@ -195,7 +360,9 @@ func (c *SimClient) SetT(t *sim.Task, key string, value blob.Blob, k func(error)
 	idx, srv := c.pick(key)
 	sp := optrace.StartSpan(t, optrace.LayerMCD, "set")
 	sp.SetAttr("server", srv.node.Name())
-	sp.SetAttr("bytes", strconv.FormatInt(value.Len(), 10))
+	if sp != nil {
+		sp.SetAttr("bytes", strconv.FormatInt(value.Len(), 10))
+	}
 	t0 := t.Now()
 	if !c.admit(t, idx) {
 		sp.SetAttr("result", "ejected")
@@ -204,33 +371,8 @@ func (c *SimClient) SetT(t *sim.Task, key string, value blob.Blob, k func(error)
 		k(ErrServerDown)
 		return
 	}
-	c.node.CallT(t, srv.node, ServiceName, &SetReq{Item: &Item{Key: key, Value: value}}, func(m fabric.Msg, err error) {
-		if err != nil {
-			sp.SetAttr("result", c.fail(t, idx, err, false))
-			sp.End(t)
-			c.setHist.ObserveSince(t, t0)
-			k(err)
-			return
-		}
-		resp := m.(*SetResp)
-		switch {
-		case resp.Down:
-			sp.SetAttr("result", c.fail(t, idx, nil, true))
-			sp.End(t)
-			c.setHist.ObserveSince(t, t0)
-			k(ErrServerDown)
-		case resp.Err != "":
-			c.observe(t, idx, true)
-			sp.SetAttr("result", "error")
-			sp.End(t)
-			c.setHist.ObserveSince(t, t0)
-			k(ErrNotStored)
-		default:
-			c.observe(t, idx, true)
-			sp.SetAttr("result", "stored")
-			sp.End(t)
-			c.setHist.ObserveSince(t, t0)
-			k(nil)
-		}
-	})
+	op := c.takeSetOp()
+	op.t, op.k, op.sp, op.idx, op.t0 = t, k, sp, idx, t0
+	op.item = Item{Key: key, Value: value}
+	c.bindings[idx].CallT(t, &op.req, op.fnDone)
 }

@@ -400,6 +400,35 @@ func (s *Store) getLocked(key string) (*Item, error) {
 	return &Item{Key: it.Key, Value: it.Value, Flags: it.Flags, Expiration: it.Expiration, CAS: it.CAS}, nil
 }
 
+// GetView is Get returning the entry by value: same lookup, same stats,
+// same LRU touch and lazy expiry, but the snapshot lands in the caller's
+// Item instead of a freshly allocated copy — the simulated daemon's hot
+// path reads through it into pooled response buffers. ok is false on a
+// miss.
+func (s *Store) GetView(key string) (Item, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stats.CmdGet++
+	it, ok := s.table[key]
+	if !ok {
+		s.stats.GetMisses++
+		return Item{}, false
+	}
+	now := s.Now()
+	if it.expired(now) {
+		s.stats.Expired++
+		s.stats.GetMisses++
+		s.removeLocked(it)
+		return Item{}, false
+	}
+	s.stats.GetHits++
+	it.lastAccess = now
+	c := &s.classes[it.class]
+	c.lruUnlink(it)
+	c.lruPush(it)
+	return Item{Key: it.Key, Value: it.Value, Flags: it.Flags, Expiration: it.Expiration, CAS: it.CAS}, true
+}
+
 // GetMulti returns the present items among keys, keyed by key.
 func (s *Store) GetMulti(keys []string) map[string]*Item {
 	s.mu.Lock()

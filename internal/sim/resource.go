@@ -9,7 +9,13 @@ type Resource struct {
 	env      *Env
 	capacity int
 	inUse    int
-	waiters  []*resWaiter
+	// waiters[head:] is the FIFO queue, stored by value so enqueueing
+	// allocates nothing once the backing array has grown to the queue's
+	// high-water mark. head advances on admission instead of re-slicing,
+	// which would strand the vacated capacity; Release compacts or resets
+	// the array when the queue drains or the dead prefix dominates.
+	waiters []resWaiter
+	head    int
 
 	// Utilization accounting.
 	busyTime Duration
@@ -17,6 +23,9 @@ type Resource struct {
 	acquires uint64
 	waitTime Duration
 	maxQueue int
+
+	// useOps is the UseT frame free list; see useOp.
+	useOps []*useOp
 }
 
 // resWaiter is one queued acquirer: a parked process (p) or a task
@@ -43,7 +52,7 @@ func (r *Resource) Capacity() int { return r.capacity }
 func (r *Resource) InUse() int { return r.inUse }
 
 // QueueLen returns the number of waiting acquirers.
-func (r *Resource) QueueLen() int { return len(r.waiters) }
+func (r *Resource) QueueLen() int { return len(r.waiters) - r.head }
 
 func (r *Resource) accountBusy() {
 	if r.inUse > 0 {
@@ -58,15 +67,14 @@ func (r *Resource) Acquire(p *Proc, n int) {
 		panic("sim: bad acquire count")
 	}
 	r.acquires++
-	if len(r.waiters) == 0 && r.inUse+n <= r.capacity {
+	if r.head == len(r.waiters) && r.inUse+n <= r.capacity {
 		r.accountBusy()
 		r.inUse += n
 		return
 	}
-	w := &resWaiter{p: p, n: n, t: r.env.now}
-	r.waiters = append(r.waiters, w)
-	if len(r.waiters) > r.maxQueue {
-		r.maxQueue = len(r.waiters)
+	r.waiters = append(r.waiters, resWaiter{p: p, n: n, t: r.env.now})
+	if q := r.QueueLen(); q > r.maxQueue {
+		r.maxQueue = q
 	}
 	p.park()
 }
@@ -80,16 +88,15 @@ func (r *Resource) AcquireT(t *Task, n int, k func()) {
 		panic("sim: bad acquire count")
 	}
 	r.acquires++
-	if len(r.waiters) == 0 && r.inUse+n <= r.capacity {
+	if r.head == len(r.waiters) && r.inUse+n <= r.capacity {
 		r.accountBusy()
 		r.inUse += n
 		k()
 		return
 	}
-	w := &resWaiter{fn: k, n: n, t: r.env.now}
-	r.waiters = append(r.waiters, w)
-	if len(r.waiters) > r.maxQueue {
-		r.maxQueue = len(r.waiters)
+	r.waiters = append(r.waiters, resWaiter{fn: k, n: n, t: r.env.now})
+	if q := r.QueueLen(); q > r.maxQueue {
+		r.maxQueue = q
 	}
 }
 
@@ -102,9 +109,10 @@ func (r *Resource) Release(n int) {
 	}
 	r.accountBusy()
 	r.inUse -= n
-	for len(r.waiters) > 0 && r.inUse+r.waiters[0].n <= r.capacity {
-		w := r.waiters[0]
-		r.waiters = r.waiters[1:]
+	for r.head < len(r.waiters) && r.inUse+r.waiters[r.head].n <= r.capacity {
+		w := r.waiters[r.head]
+		r.waiters[r.head] = resWaiter{} // drop the Proc/closure reference
+		r.head++
 		r.accountBusy()
 		r.inUse += w.n
 		r.waitTime += r.env.now.Sub(w.t)
@@ -113,6 +121,20 @@ func (r *Resource) Release(n int) {
 		} else {
 			r.env.schedule(r.env.now, nil, w.fn)
 		}
+	}
+	// Reclaim the dead prefix so steady-state contention reuses one
+	// backing array instead of growing it per admission. Host-side only:
+	// admission order and schedule consumption are untouched.
+	if r.head == len(r.waiters) {
+		r.waiters = r.waiters[:0]
+		r.head = 0
+	} else if r.head >= 32 && r.head*2 >= len(r.waiters) {
+		n := copy(r.waiters, r.waiters[r.head:])
+		for i := n; i < len(r.waiters); i++ {
+			r.waiters[i] = resWaiter{}
+		}
+		r.waiters = r.waiters[:n]
+		r.head = 0
 	}
 }
 
@@ -124,15 +146,50 @@ func (r *Resource) Use(p *Proc, d Duration) {
 	r.Release(1)
 }
 
+// useOp is one in-flight UseT: the acquire→hold→release chain as a pooled
+// frame with prebound continuations, so the kernel's most common task
+// pattern allocates nothing. The frame returns to its resource's free list
+// before k runs, so a continuation that immediately re-enters UseT on the
+// same resource reuses the frame it just vacated.
+type useOp struct {
+	r *Resource
+	t *Task
+	d Duration
+	k func()
+
+	fnHeld    func()
+	fnCharged func()
+}
+
+func (r *Resource) takeUseOp() *useOp {
+	if n := len(r.useOps); n > 0 {
+		op := r.useOps[n-1]
+		r.useOps[n-1] = nil
+		r.useOps = r.useOps[:n-1]
+		return op
+	}
+	op := &useOp{r: r}
+	op.fnHeld = op.held
+	op.fnCharged = op.charged
+	return op
+}
+
+func (op *useOp) held() { op.t.Sleep(op.d, op.fnCharged) }
+
+func (op *useOp) charged() {
+	r, k := op.r, op.k
+	op.t, op.k = nil, nil
+	r.useOps = append(r.useOps, op)
+	r.Release(1)
+	k()
+}
+
 // UseT is Use for tasks: acquire one unit, hold it for d, release, then
 // run k. Schedule consumption matches Use exactly.
 func (r *Resource) UseT(t *Task, d Duration, k func()) {
-	r.AcquireT(t, 1, func() {
-		t.Sleep(d, func() {
-			r.Release(1)
-			k()
-		})
-	})
+	op := r.takeUseOp()
+	op.t, op.d, op.k = t, d, k
+	r.AcquireT(t, 1, op.fnHeld)
 }
 
 // Utilization returns the fraction of elapsed virtual time the resource has

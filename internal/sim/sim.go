@@ -169,6 +169,14 @@ type Env struct {
 	tasksLive int // tasks started and not yet ended
 	nextTID   int
 
+	// procFree recycles finished Procs — struct, handshake channel, and
+	// prebound starter — so spawning a process in steady state allocates
+	// nothing but the goroutine itself (whose stack the Go runtime also
+	// recycles). A Proc is pooled only when no stale wake-up event still
+	// references it (see pendingWakes), so a recycled identity can never
+	// be woken by its previous life's events.
+	procFree []*Proc
+
 	// EventsProcessed counts dispatched events — a cheap measure of how
 	// much simulated activity a run performed, useful when comparing the
 	// cost of scenarios or hunting runaway models.
@@ -201,6 +209,7 @@ func (e *Env) scheduleProc(p *Proc, d Duration) {
 	if d < 0 {
 		panic("sim: negative delay")
 	}
+	p.pendingWakes++
 	e.schedule(e.now.Add(d), p, nil)
 }
 
@@ -235,6 +244,18 @@ type Proc struct {
 	done   *Event
 	ended  bool
 	ctx    interface{}
+
+	// body holds the process function between Process and the starter
+	// event firing; start is the prebound starter closure, created once
+	// per Proc and reused across pooled lives so Process schedules it
+	// without allocating.
+	body  func(p *Proc)
+	start func()
+	// pendingWakes counts scheduled wake-up events that reference this
+	// Proc and have not yet dispatched. A Proc that ends while one is
+	// still in the heap is not recycled (the dispatch loop skips wake-ups
+	// for ended processes, exactly as before pooling).
+	pendingWakes int
 }
 
 // Name returns the name given at creation.
@@ -246,8 +267,19 @@ func (p *Proc) Env() *Env { return p.env }
 // Now returns the current virtual time.
 func (p *Proc) Now() Time { return p.env.now }
 
-// Done returns an event triggered when the process function returns.
-func (p *Proc) Done() *Event { return p.done }
+// Done returns an event triggered when the process function returns. The
+// event is created on first use — most processes are never watched, and
+// the lazy event is what lets a finished Proc return to the free list
+// without resetting state an observer might still hold.
+func (p *Proc) Done() *Event {
+	if p.done == nil {
+		p.done = NewEvent(p.env)
+		if p.ended {
+			p.done.Trigger(nil)
+		}
+	}
+	return p.done
+}
 
 // Ctx returns the process's context slot, or nil. The slot is opaque to the
 // kernel; higher layers (e.g. optrace) use it to attach per-operation state
@@ -268,18 +300,36 @@ func (p *Proc) String() string { return fmt.Sprintf("proc %d (%s)", p.pid, p.nam
 // a running process.
 func (e *Env) Process(name string, fn func(p *Proc)) *Proc {
 	e.nextPID++
-	p := &Proc{
-		env:    e,
-		name:   name,
-		pid:    e.nextPID,
-		resume: make(chan struct{}), //imcalint:allow nogoroutine kernel handshake channel
+	var p *Proc
+	if n := len(e.procFree); n > 0 {
+		p = e.procFree[n-1]
+		e.procFree[n-1] = nil
+		e.procFree = e.procFree[:n-1]
+		p.name = name
+		p.pid = e.nextPID
+		p.ended = false
+		p.ctx = nil
+		// The previous life's done event, if anyone asked for one, stays
+		// with whoever holds it (already triggered); this life starts
+		// with none and creates its own lazily.
+		p.done = nil
+	} else {
+		p = &Proc{
+			env:    e,
+			name:   name,
+			pid:    e.nextPID,
+			resume: make(chan struct{}), //imcalint:allow nogoroutine kernel handshake channel
+		}
+		p.start = func() {
+			body := p.body
+			p.body = nil
+			go p.run(body)  //imcalint:allow nogoroutine the kernel itself multiplexes process goroutines one at a time
+			<-p.env.yielded //imcalint:allow nogoroutine kernel handshake: wait for the new process to yield
+		}
 	}
-	p.done = NewEvent(e)
+	p.body = fn
 	e.living++
-	e.schedule(e.now, nil, func() {
-		go p.run(fn) //imcalint:allow nogoroutine the kernel itself multiplexes process goroutines one at a time
-		<-e.yielded  //imcalint:allow nogoroutine kernel handshake: wait for the new process to yield
-	})
+	e.schedule(e.now, nil, p.start)
 	return p
 }
 
@@ -290,13 +340,24 @@ func (p *Proc) Spawn(name string, fn func(p *Proc)) *Proc {
 }
 
 func (p *Proc) run(fn func(p *Proc)) {
-	defer func() {
-		p.ended = true
-		p.env.living--
-		p.done.Trigger(nil)
-		p.env.yielded <- struct{}{} //imcalint:allow nogoroutine kernel handshake: final yield on process exit
-	}()
+	defer p.finish()
 	fn(p)
+}
+
+// finish ends the process: it flips the lifecycle state, notifies any
+// Done watcher, recycles the Proc when no stale wake-up still points at
+// it, and yields to the scheduler one last time. The goroutine exits
+// right after; a pooled restart spawns a fresh one on the same struct.
+func (p *Proc) finish() {
+	p.ended = true
+	p.env.living--
+	if p.done != nil {
+		p.done.Trigger(nil)
+	}
+	if p.pendingWakes == 0 {
+		p.env.procFree = append(p.env.procFree, p)
+	}
+	p.env.yielded <- struct{}{} //imcalint:allow nogoroutine kernel handshake: final yield on process exit
 }
 
 // park blocks the calling process goroutine and returns control to the
@@ -395,6 +456,7 @@ func (e *Env) RunUntil(limit Time) Time {
 			// Deferred functions dispatch inline: no goroutine handshake.
 			ev.fn()
 		case ev.proc != nil:
+			ev.proc.pendingWakes--
 			if !ev.proc.ended {
 				e.wake(ev.proc)
 			}

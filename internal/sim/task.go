@@ -64,6 +64,19 @@ func (e *Env) StartTask(name string, fn func(t *Task)) *Task {
 	return t
 }
 
+// ContextTask returns a Task that serves purely as an execution context —
+// an Actor identity with a clock and a per-operation context slot — for
+// continuation-style code whose lifecycle is tracked by its owner rather
+// than by the kernel. Pooled RPC frames use one as the server-side actor
+// for span nesting and *T primitives, reusing it across every call the
+// frame carries. A context task is never counted live (the caller whose
+// call it serves already is), has no scheduled body, and must never call
+// End.
+func (e *Env) ContextTask(name string) *Task {
+	e.nextTID++
+	return &Task{env: e, name: name, tid: e.nextTID}
+}
+
 // Name returns the name given at creation.
 func (t *Task) Name() string { return t.name }
 

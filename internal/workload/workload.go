@@ -48,9 +48,10 @@ func taskMounts(mounts []gluster.FS) []gluster.TaskFS {
 // CreateFiles makes n empty files "<dir>/f<k>" through fs (the stat
 // benchmark's untimed first stage). It runs the simulation to completion.
 func CreateFiles(env *sim.Env, fs gluster.FS, dir string, n int) {
+	paths := FilePaths(dir, n)
 	env.Process("create-files", func(p *sim.Proc) {
-		for i := 0; i < n; i++ {
-			fd, err := fs.Create(p, FilePath(dir, i))
+		for i, path := range paths {
+			fd, err := fs.Create(p, path)
 			if err != nil {
 				panic(fmt.Sprintf("workload: create %d: %v", i, err))
 			}
@@ -67,10 +68,49 @@ func FilePath(dir string, i int) string {
 	return fmt.Sprintf("%s/f%06d", dir, i)
 }
 
+// FilePaths names the first n benchmark files in dir, formatted once up
+// front so per-operation benchmark loops pay no formatting cost. A stat
+// benchmark at scale issues clients×files operations over the same n names;
+// building them per operation was the workload driver's dominant host-side
+// allocation.
+func FilePaths(dir string, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = FilePath(dir, i)
+	}
+	return out
+}
+
 // StatBench runs the timed stage of the stat benchmark: every client stats
 // every one of the n files; the reported result is the maximum time any
-// client needed (the paper's metric).
+// client needed (the paper's metric). It samples every file; see
+// StatBenchStrided for the reduced-event variant.
 func StatBench(env *sim.Env, mounts []gluster.FS, dir string, n int) sim.Duration {
+	return statBench(env, mounts, FilePaths(dir, n), 1)
+}
+
+// StatBenchStrided is StatBench visiting only every stride'th file: a
+// stratified sample of the same name population, in the same scan order,
+// against the same created namespace. Virtual durations scale by roughly
+// the stride (each client does 1/stride the work), while per-point host
+// cost drops by the same factor — the basis of the fig5 -short mode. A
+// stride of 1 is exactly StatBench.
+func StatBenchStrided(env *sim.Env, mounts []gluster.FS, dir string, n, stride int) sim.Duration {
+	if stride < 1 {
+		stride = 1
+	}
+	paths := make([]string, 0, (n+stride-1)/stride)
+	for i := 0; i < n; i += stride {
+		paths = append(paths, FilePath(dir, i))
+	}
+	return statBench(env, mounts, paths, stride)
+}
+
+// statBench stats every path from every mount. The task-engine client body
+// keeps one continuation pair per client — the per-operation closure a
+// naive recursion would allocate is exactly the kind of hot-path garbage
+// the benchmark exists to measure around.
+func statBench(env *sim.Env, mounts []gluster.FS, paths []string, stride int) sim.Duration {
 	start := sim.NewBarrier(env, len(mounts))
 	var maxElapsed sim.Duration
 	record := func(t0, now sim.Time) {
@@ -84,21 +124,24 @@ func StatBench(env *sim.Env, mounts []gluster.FS, dir string, n int) sim.Duratio
 			env.StartTask("statbench", func(t *sim.Task) {
 				start.WaitT(t, func() {
 					t0 := t.Now()
-					var stat func(i int)
-					stat = func(i int) {
-						if i == n {
+					i := 0
+					var step func()
+					onStat := func(_ *gluster.Stat, err error) {
+						if err != nil {
+							panic(fmt.Sprintf("workload: stat %d: %v", i*stride, err))
+						}
+						i++
+						step()
+					}
+					step = func() {
+						if i == len(paths) {
 							record(t0, t.Now())
 							t.End()
 							return
 						}
-						tfs.StatT(t, FilePath(dir, i), func(_ *gluster.Stat, err error) {
-							if err != nil {
-								panic(fmt.Sprintf("workload: stat %d: %v", i, err))
-							}
-							stat(i + 1)
-						})
+						tfs.StatT(t, paths[i], onStat)
 					}
-					stat(0)
+					step()
 				})
 			})
 		}
@@ -108,9 +151,9 @@ func StatBench(env *sim.Env, mounts []gluster.FS, dir string, n int) sim.Duratio
 			env.Process("statbench", func(p *sim.Proc) {
 				start.Wait(p)
 				t0 := p.Now()
-				for i := 0; i < n; i++ {
-					if _, err := fs.Stat(p, FilePath(dir, i)); err != nil {
-						panic(fmt.Sprintf("workload: stat %d: %v", i, err))
+				for i, path := range paths {
+					if _, err := fs.Stat(p, path); err != nil {
+						panic(fmt.Sprintf("workload: stat %d: %v", i*stride, err))
 					}
 				}
 				record(t0, p.Now())

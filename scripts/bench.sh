@@ -40,14 +40,23 @@ echo "   total: $(total_ms BENCH_after.json) ms"
 awk -v s="$(total_ms BENCH_baseline.json)" -v p="$(total_ms BENCH_after.json)" \
     'BEGIN { if (p > 0) printf "== speedup: %.2fx ==\n", s / p }'
 
-# The open-loop scale experiment is the task engine's showcase; surface
-# its cell from the parallel sweep so the 10k-tenant cost is visible in
-# every bench log without opening the json.
-echo "== ext-scale (10k open-loop tenants) =="
-awk '/"name": "ext-scale"/ {f=1}
-     f && /"wall_ms"/        {gsub(/[ ,]/,"",$2); w=$2}
-     f && /"events_per_sec"/ {gsub(/[ ,]/,"",$2); printf "   %.0f ms wall, %s events/sec\n", w, $2; exit}' \
-    FS=: BENCH_after.json
+# Surface headline cells from the parallel sweep so the cost of the big
+# figures is visible in every bench log without opening the json:
+# ext-scale is the task engine's showcase, fig5 is the raw-speed figure
+# the zero-alloc work targets, and fig5-short is its stratified 1/8
+# sample (the cheap CI-grade proxy for the same matrix).
+figure_cell() {
+    echo "== $1 =="
+    awk -v name="\"$1\"" '$0 ~ "\"name\": "name"," {f=1}
+         f && /"wall_ms"/        {gsub(/[ ,]/,"",$2); w=$2}
+         f && /"events_per_sec"/ {gsub(/[ ,]/,"",$2); e=$2}
+         f && /"allocs_per_event"/ {gsub(/[ ,]/,"",$2);
+             printf "   %.0f ms wall, %.0f events/sec, %.2f allocs/event\n", w, e, $2; exit}' \
+        FS=: BENCH_after.json
+}
+figure_cell ext-scale
+figure_cell fig5
+figure_cell fig5-short
 
 # Render the whole sweep — tables, notes, breakdowns, quantile timelines,
 # telemetry and flight dumps — into one static HTML page next to the json.
@@ -57,8 +66,11 @@ echo "== report (BENCH_report.html) =="
 go run ./cmd/imcareport -exp all -scale "$scale" -parallel "$workers" -o BENCH_report.html
 
 # Guard the performance trajectory: the parallel sweep must simulate the
-# exact same work as the serial one (event counts match) and must not
-# process events more than 20% slower in aggregate.
+# exact same work as the serial one (event counts match), must not
+# process events more than 20% slower in aggregate, and must not
+# allocate more than 2% more per event (allocation counts are
+# deterministic, so that gate is tight — any rise means a hot path
+# started allocating).
 echo "== benchdiff (serial vs parallel) =="
 go run ./cmd/benchdiff BENCH_baseline.json BENCH_after.json
 

@@ -345,6 +345,11 @@ const faultUsage = `fault subcommands:
   fault slow BRICK FACTOR       stretch the brick's disk accesses (1 = healthy)
   fault fail BRICK              refuse brick requests (storage intact)
   fault restore BRICK           bring the brick daemon back
+  fault partition GROUP GROUP   cut every link between two "+"-joined node
+                                groups e.g. fault partition client0 mcd0+mcd1
+  fault unpartition GROUP GROUP restore every link between the groups
+  fault flap NODE NODE DUR N    cut/heal the pair for N cycles of DUR each
+  fault gray MCD FACTOR         stretch a daemon's service time (1 = healthy)
   fault at DUR CMD ...          schedule any of the above DUR of virtual time
                                 from now (fires inside later commands' ops)
   fault status                  current fault state and injector counters`
@@ -405,6 +410,38 @@ func parseFaultEvent(args []string) (fault.Event, error) {
 			k = fault.BrickRecover
 		}
 		return fault.Event{Kind: k, Target: args[1]}, nil
+	case "partition", "unpartition":
+		if len(args) != 3 {
+			return bad("usage: fault %s GROUP GROUP (groups are \"+\"-joined node lists)", cmd)
+		}
+		k := fault.Partition
+		if cmd == "unpartition" {
+			k = fault.PartitionHeal
+		}
+		return fault.Event{Kind: k, Target: args[1], Peer: args[2]}, nil
+	case "flap":
+		if len(args) != 5 {
+			return bad("usage: fault flap NODE NODE PERIOD COUNT")
+		}
+		period, err := time.ParseDuration(args[3])
+		if err != nil || period <= 0 {
+			return bad("bad flap period %q", args[3])
+		}
+		count, err := strconv.Atoi(args[4])
+		if err != nil || count < 1 {
+			return bad("bad flap count %q", args[4])
+		}
+		return fault.Event{Kind: fault.LinkFlap, Target: args[1], Peer: args[2],
+			Period: sim.Duration(period), Count: count}, nil
+	case "gray":
+		if len(args) != 3 {
+			return bad("usage: fault gray MCD FACTOR")
+		}
+		f, err := strconv.ParseFloat(args[2], 64)
+		if err != nil {
+			return bad("bad gray factor %q", args[2])
+		}
+		return fault.Event{Kind: fault.GrayNode, Target: args[1], Factor: f}, nil
 	default:
 		return bad("unknown fault %q", cmd)
 	}

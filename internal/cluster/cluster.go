@@ -60,6 +60,18 @@ type Options struct {
 	// ProbeBackoff is the initial readmission-probe delay for ejected
 	// daemons (default memcache.DefaultProbeBackoff).
 	ProbeBackoff sim.Duration
+	// Replicas sets the MCD copy count per key on every bank client:
+	// 2 writes each block/stat twice and fails reads over to the
+	// successor copy when the primary is ejected or suspected. Zero or
+	// one (the default) keeps the paper's single-copy bank. See
+	// memcache.SimClient.SetReplication.
+	Replicas int
+	// SuspectAfter enables latency-based gray-failure suspicion on every
+	// bank client: a daemon whose smoothed single-key get service time
+	// exceeds this is soft-ejected for reads until a backoff probe
+	// observes it fast again. Zero (the default) disables suspicion. See
+	// memcache.SimClient.SetSuspicion.
+	SuspectAfter sim.Duration
 	// ServerConfig tunes the glusterfsd cost model.
 	ServerConfig gluster.ServerConfig
 	// FuseConfig tunes the client FUSE cost model.
@@ -170,6 +182,12 @@ func NewOn(env *sim.Env, net *fabric.Network, opts Options) *Cluster {
 			if opts.EjectAfter > 0 {
 				smClient.SetEjection(opts.EjectAfter, opts.ProbeBackoff)
 			}
+			if opts.Replicas > 1 {
+				smClient.SetReplication(opts.Replicas)
+			}
+			if opts.SuspectAfter > 0 {
+				smClient.SetSuspicion(opts.SuspectAfter, opts.ProbeBackoff)
+			}
 			brick.SMCache = core.NewSMCache(env, px, smClient, imcaCfg)
 			brick.SMCache.ShareStatKeys(interner)
 			serverChild = brick.SMCache
@@ -203,6 +221,12 @@ func NewOn(env *sim.Env, net *fabric.Network, opts Options) *Cluster {
 			}
 			if opts.EjectAfter > 0 {
 				mc.SetEjection(opts.EjectAfter, opts.ProbeBackoff)
+			}
+			if opts.Replicas > 1 {
+				mc.SetReplication(opts.Replicas)
+			}
+			if opts.SuspectAfter > 0 {
+				mc.SetSuspicion(opts.SuspectAfter, opts.ProbeBackoff)
 			}
 			cm = core.NewCMCache(stack, mc, imcaCfg)
 			cm.ShareStatKeys(interner)
@@ -248,6 +272,9 @@ func (c *Cluster) BankStats() memcache.Stats {
 		total.Probes += cl.Probes()
 		total.Readmits += cl.Readmits()
 		total.FastFails += cl.FastFails()
+		total.Failovers += cl.Failovers()
+		total.Suspects += cl.Suspects()
+		total.SuspectClears += cl.SuspectClears()
 	}
 	for _, m := range c.Mounts {
 		if m.CMCache != nil {

@@ -60,6 +60,9 @@ func (c *Cluster) Instrument(reg *telemetry.Registry) {
 		reg.Counter("bank.probes", bank(func(st memcache.Stats) uint64 { return st.Probes }))
 		reg.Counter("bank.readmits", bank(func(st memcache.Stats) uint64 { return st.Readmits }))
 		reg.Counter("bank.fast_fails", bank(func(st memcache.Stats) uint64 { return st.FastFails }))
+		reg.Counter("bank.failovers", bank(func(st memcache.Stats) uint64 { return st.Failovers }))
+		reg.Counter("bank.suspects", bank(func(st memcache.Stats) uint64 { return st.Suspects }))
+		reg.Counter("bank.suspect_clears", bank(func(st memcache.Stats) uint64 { return st.SuspectClears }))
 		reg.Gauge("bank.stored_bytes", func() float64 { return float64(c.BankStats().Bytes) })
 		reg.Rate("bank.hit_rate",
 			bank(func(st memcache.Stats) uint64 { return st.GetHits }),

@@ -214,6 +214,7 @@ var Registry = []Experiment{
 	{"ext-telemetry", "Extension (§6): MCD-bank vs server-pagecache hit rate over virtual time during warm-up", ExtTelemetry},
 	{"ext-fault", "Extension (§4.4): graceful degradation through a cache-node crash, with and without client failover", ExtFault},
 	{"ext-scale", "Extension: 10k open-loop tenants on the task engine — tail latency, bank hit rate, hot-key skew", ExtScale},
+	{"ext-degrade", "Extension: R=2 bank replication through an MCD crash, partition, and gray node, vs the single-copy bank", ExtDegrade},
 	{"fig5-short", "Stat benchmark, stratified 1/8 sample: the full fig5 matrix at ~1/8 the events", Fig5Short},
 }
 

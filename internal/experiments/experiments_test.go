@@ -18,6 +18,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig9", "fig10",
 		"ext-rdma", "ext-hash", "ext-lustre", "ext-sharing", "ext-smallfile", "ext-mdtest", "ext-bricks",
 		"ext-breakdown", "ext-telemetry", "ext-fault", "ext-scale",
+		"ext-degrade",
 		"fig5-short",
 	}
 	if len(Registry) != len(wantFigs) {
@@ -402,6 +403,36 @@ func TestExtFaultShape(t *testing.T) {
 	for _, want := range []string{"bank.ejects", "bank.probes", "bank.fast_fails", "fault.armed", "fault.fired"} {
 		if !strings.Contains(res.Telemetry[1].Text, want) {
 			t.Errorf("failover dump missing %s", want)
+		}
+	}
+}
+
+func TestExtDegradeShape(t *testing.T) {
+	res := ExtDegrade(tiny)
+	rows := res.Table.Rows()
+	if rows < 8 {
+		t.Fatalf("rows = %d, want several sampling intervals", rows)
+	}
+	// The headline: across the whole window the replicated bank sheds
+	// strictly less load to the brick than the single copy — its reads
+	// fail over to the surviving copy instead of missing to the server.
+	var single, repl float64
+	for i := 0; i < rows; i++ {
+		single += res.Table.Value(i, "brick reads (R=1)")
+		repl += res.Table.Value(i, "brick reads (R=2)")
+	}
+	if repl >= single {
+		t.Errorf("brick absorbed %v reads replicated vs %v single-copy — replication bought nothing",
+			repl, single)
+	}
+	// Before the first fault the configurations are indistinguishable.
+	if a, b := res.Table.Value(0, "read p99 µs (R=1)"), res.Table.Value(0, "read p99 µs (R=2)"); a != b {
+		t.Errorf("pre-fault p99s differ: %v vs %v", a, b)
+	}
+	joined := strings.Join(res.Notes, "\n")
+	for _, want := range []string{"failovers", "suspects", "ejects", "brick daemon absorbed"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("notes missing %q:\n%s", want, joined)
 		}
 	}
 }

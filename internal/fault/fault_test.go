@@ -137,6 +137,50 @@ func TestInjectorCrashAndRecover(t *testing.T) {
 	}
 }
 
+// TestCrashRecoverSameInstant: a crash and a recover armed at the same
+// virtual offset model the fastest possible restart. Events at equal
+// offsets fire in declaration order, so the daemon must end the instant
+// up — but cold, because the crash flushed its store first.
+func TestCrashRecoverSameInstant(t *testing.T) {
+	c := cluster.New(cluster.Options{Clients: 1, MCDs: 1, MCDMemBytes: 8 << 20, BlockSize: 1024})
+	fs := c.Mounts[0].FS
+	c.Env.Process("warm", func(p *sim.Proc) {
+		fd, err := fs.Create(p, "/r/f")
+		if err != nil {
+			t.Errorf("create: %v", err)
+			return
+		}
+		if _, err := fs.Write(p, fd, 0, blob.Synthetic(9, 0, 8192)); err != nil {
+			t.Errorf("write: %v", err)
+		}
+		if _, err := fs.Read(p, fd, 0, 8192); err != nil {
+			t.Errorf("read: %v", err)
+		}
+	})
+	c.Env.Run()
+	if len(c.MCDs[0].Store().Keys()) == 0 {
+		t.Fatal("warm pass cached nothing; the test needs a populated store")
+	}
+	in := NewInjector(c)
+	const at = 5 * time.Millisecond
+	if err := in.Arm(&Plan{Name: "instant restart", Events: []Event{
+		{At: at, Kind: MCDCrash, Target: "mcd0"},
+		{At: at, Kind: MCDRecover, Target: "mcd0"},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	c.Env.Run()
+	if in.Fired() != 2 {
+		t.Fatalf("fired = %d, want 2", in.Fired())
+	}
+	if c.MCDs[0].Down() {
+		t.Error("daemon down after a same-instant crash+recover (events fired out of declaration order?)")
+	}
+	if n := len(c.MCDs[0].Store().Keys()); n != 0 {
+		t.Errorf("store kept %d keys across the crash; a restart must come up cold", n)
+	}
+}
+
 // TestInjectorBrickOutage checks a brick outage refuses traffic with
 // ErrServerDown and that recovery restores service over intact storage.
 func TestInjectorBrickOutage(t *testing.T) {
@@ -250,6 +294,36 @@ func TestOracleTracksHappyPath(t *testing.T) {
 	c.Env.Run()
 	if v := o.Violations(); len(v) != 0 {
 		t.Fatalf("violations on a healthy stack:\n%s", strings.Join(v, "\n"))
+	}
+}
+
+// TestOracleOrphanedDescriptorWrite: POSIX keeps an unlinked file readable
+// and writable through descriptors that were open at unlink time, but the
+// file is gone from the namespace. A write through such an orphaned
+// descriptor must not resurrect the path-visible shadow entry — that would
+// make the end-of-run audit demand an open-by-path of an unlinked file and
+// report a phantom "file lost" violation.
+func TestOracleOrphanedDescriptorWrite(t *testing.T) {
+	c := cluster.New(cluster.Options{Clients: 1, MCDs: 1, MCDMemBytes: 8 << 20, BlockSize: 1024})
+	o := NewOracle(c.Mounts[0].FS)
+	c.Env.Process("t", func(p *sim.Proc) {
+		fd, err := o.Create(p, "/u/f")
+		if err != nil {
+			t.Fatalf("create: %v", err)
+		}
+		o.Write(p, fd, 0, blob.Synthetic(1, 0, 512))
+		if err := o.Unlink(p, "/u/f"); err != nil {
+			t.Fatalf("unlink: %v", err)
+		}
+		if _, err := o.Write(p, fd, 512, blob.Synthetic(2, 0, 512)); err != nil {
+			t.Errorf("write through orphaned descriptor: %v", err)
+		}
+		o.Close(p, fd)
+		o.VerifyAll(p)
+	})
+	c.Env.Run()
+	if v := o.Violations(); len(v) != 0 {
+		t.Fatalf("orphaned-descriptor write produced violations:\n%s", strings.Join(v, "\n"))
 	}
 }
 

@@ -2,6 +2,9 @@ package fault
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -14,22 +17,56 @@ import (
 	"imca/internal/xrand"
 )
 
-// fuzzPlans is how many random fault plans the fuzz test drives through
-// the oracle.
-const fuzzPlans = 100
+// fuzzPlans returns how many random fault plans the fuzz test drives
+// through the oracle: 100 by default, overridable via IMCA_FUZZ_PLANS for
+// the nightly long-fuzz job.
+func fuzzPlans() int {
+	if s := os.Getenv("IMCA_FUZZ_PLANS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return 100
+}
 
-// fuzzTargets are the fault kinds the generator draws from. They are the
-// correctness-preserving set: the §4.4 argument covers cache loss (MCD
-// crashes), client-side unreachability (client↔MCD link faults), and slow
-// or refused storage (disk slowdowns, brick outages, whose writes fail
-// cleanly before touching the disk). Asymmetric server↔MCD partitions are
-// deliberately absent — they break the argument's assumption that the
-// server can always purge what it cached, and TestOracleCatchesStaleRead
-// shows the oracle flags them.
+// writeFuzzArtifacts saves the failing plan and flight-recorder ring to
+// the IMCA_FUZZ_ARTIFACTS directory (when set), so a CI job can upload
+// them for verbatim replay.
+func writeFuzzArtifacts(t *testing.T, seed uint64, pl *Plan, fr *flight.Recorder) {
+	t.Helper()
+	dir := os.Getenv("IMCA_FUZZ_ARTIFACTS")
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Logf("fuzz artifacts: %v", err)
+		return
+	}
+	name := fmt.Sprintf("fuzz-seed-%#x", seed)
+	if err := os.WriteFile(filepath.Join(dir, name+".plan.txt"), []byte(pl.String()), 0o644); err != nil {
+		t.Logf("fuzz artifacts: %v", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, name+".flight.txt"), []byte(flightDump(fr)), 0o644); err != nil {
+		t.Logf("fuzz artifacts: %v", err)
+	}
+	t.Logf("fuzz artifacts for seed %#x written to %s", seed, dir)
+}
+
+// fuzzState tracks which fault kinds are open so genPlan can close them.
+// The generator draws from the correctness-preserving set: the §4.4
+// argument covers cache loss (MCD crashes), client-side unreachability
+// (client↔MCD link cuts, group partitions, and flapping), slow cache
+// nodes (gray MCDs, whose invalidations still complete), and slow or
+// refused storage (disk slowdowns, brick outages, whose writes fail
+// cleanly before touching the disk). Asymmetric server↔MCD partitions
+// are deliberately absent — they break the argument's assumption that
+// the server can always purge what it cached, and
+// TestOracleCatchesStaleRead shows the oracle flags them.
 type fuzzState struct {
 	crashedMCD map[int]bool
 	cutLink    map[int]bool // client0<->mcdN
 	degraded   map[int]bool
+	gray       map[int]bool
 	brickDown  bool
 	diskSlow   bool
 }
@@ -38,7 +75,13 @@ type fuzzState struct {
 // daemons, appending closing events so every fault is healed before the
 // end-of-run audit.
 func genPlan(r *xrand.Rand, name string, nMCDs int, span sim.Duration) *Plan {
-	st := fuzzState{crashedMCD: map[int]bool{}, cutLink: map[int]bool{}, degraded: map[int]bool{}}
+	st := fuzzState{crashedMCD: map[int]bool{}, cutLink: map[int]bool{}, degraded: map[int]bool{}, gray: map[int]bool{}}
+	// bankGroup names the whole MCD bank as one partition-group spec.
+	parts := make([]string, nMCDs)
+	for m := range parts {
+		parts[m] = fmt.Sprintf("mcd%d", m)
+	}
+	bankGroup := strings.Join(parts, "+")
 	pl := &Plan{Name: name}
 	n := 4 + r.Intn(7)
 	at := sim.Duration(0)
@@ -46,7 +89,7 @@ func genPlan(r *xrand.Rand, name string, nMCDs int, span sim.Duration) *Plan {
 		at += sim.Duration(r.Int63n(int64(span) / int64(n)))
 		m := r.Intn(nMCDs)
 		link := fmt.Sprintf("mcd%d", m)
-		switch r.Intn(8) {
+		switch r.Intn(12) {
 		case 0:
 			pl.Events = append(pl.Events, Event{At: at, Kind: MCDCrash, Target: link})
 			st.crashedMCD[m] = true
@@ -73,6 +116,28 @@ func genPlan(r *xrand.Rand, name string, nMCDs int, span sim.Duration) *Plan {
 		case 7:
 			pl.Events = append(pl.Events, Event{At: at, Kind: BrickRecover, Target: "brick0"})
 			st.brickDown = false
+		case 8:
+			// Cut the client off from the entire bank at once.
+			pl.Events = append(pl.Events, Event{At: at, Kind: Partition, Target: "client0", Peer: bankGroup})
+			for g := 0; g < nMCDs; g++ {
+				st.cutLink[g] = true
+			}
+		case 9:
+			pl.Events = append(pl.Events, Event{At: at, Kind: PartitionHeal, Target: "client0", Peer: bankGroup})
+			for g := 0; g < nMCDs; g++ {
+				st.cutLink[g], st.degraded[g] = false, false
+			}
+		case 10:
+			// A short flap train; it always ends with a heal, and the
+			// closing sweep below runs after its last cycle (count ≤ 4,
+			// period ≤ 1ms, so the train ends under 4ms past at).
+			pl.Events = append(pl.Events, Event{At: at, Kind: LinkFlap, Target: "client0", Peer: link,
+				Period: sim.Duration(200+r.Int63n(800)) * sim.Duration(time.Microsecond),
+				Count:  2 + r.Intn(3)})
+		case 11:
+			pl.Events = append(pl.Events, Event{At: at, Kind: GrayNode, Target: link,
+				Factor: 1.5 + r.Float64()*2.5})
+			st.gray[m] = true
 		}
 	}
 	// Close every open fault so the audit runs against a healthy system.
@@ -90,6 +155,11 @@ func genPlan(r *xrand.Rand, name string, nMCDs int, span sim.Duration) *Plan {
 	}
 	if st.diskSlow {
 		pl.Events = append(pl.Events, Event{At: end, Kind: DiskSlow, Target: "brick0", Factor: 1})
+	}
+	for m := 0; m < nMCDs; m++ {
+		if st.gray[m] {
+			pl.Events = append(pl.Events, Event{At: end, Kind: GrayNode, Target: fmt.Sprintf("mcd%d", m), Factor: 1})
+		}
 	}
 	return pl
 }
@@ -170,23 +240,29 @@ func fuzzWorkload(t *testing.T, p *sim.Proc, o *Oracle, r *xrand.Rand, ops int) 
 	}
 }
 
-// TestFuzzPlansUpholdSection44 is the mechanized §4.4 argument: 100
-// random fault plans over a mixed workload, each followed by a full
-// read-back audit, must produce zero lost writes and zero stale reads. A
-// failure prints the offending plan and seed for verbatim replay.
+// TestFuzzPlansUpholdSection44 is the mechanized §4.4 argument: random
+// fault plans over the full vocabulary (crashes, cuts, partitions, flaps,
+// gray nodes, degrades, disk and brick faults) driven through a mixed
+// workload on a replicated bank, each followed by a full read-back audit,
+// must produce zero lost writes, zero stale reads, and a coherent replica
+// set. A failure prints the offending plan and seed for verbatim replay
+// and saves both to IMCA_FUZZ_ARTIFACTS when set.
 func TestFuzzPlansUpholdSection44(t *testing.T) {
 	var disturbed uint64 // failures the clients actually observed, summed over all plans
-	for i := 0; i < fuzzPlans; i++ {
+	plans := fuzzPlans()
+	for i := 0; i < plans; i++ {
 		const baseSeed = 0xFA017
 		seed := uint64(baseSeed + i)
 		r := xrand.New(seed)
 		c := cluster.New(cluster.Options{
-			Clients:     1,
-			MCDs:        2,
-			MCDMemBytes: 4 << 20,
-			BlockSize:   1024,
-			Threaded:    false, // Threaded mode's deferred pushes have a known freshness window
-			EjectAfter:  2,     // exercise the failover path under the faults
+			Clients:      1,
+			MCDs:         3, // 3 daemons give every key a node outside its replica set
+			MCDMemBytes:  4 << 20,
+			BlockSize:    1024,
+			Threaded:     false,                  // Threaded mode's deferred pushes have a known freshness window
+			EjectAfter:   2,                      // exercise the failover path under the faults
+			Replicas:     2,                      // replica coherence is part of the invariant below
+			SuspectAfter: 500 * time.Microsecond, // let gray nodes trip suspicion
 		})
 		in := NewInjector(c)
 		fr := flight.New(512)
@@ -203,13 +279,20 @@ func TestFuzzPlansUpholdSection44(t *testing.T) {
 		})
 		c.Env.Run() // workload + every fault timer, including the closing heals
 		if got, want := in.Fired(), in.Armed(); got != want {
+			writeFuzzArtifacts(t, seed, pl, fr)
 			t.Fatalf("seed %#x: fired %d of %d armed events\n%s\nflight recorder:\n%s",
 				seed, got, want, pl, flightDump(fr))
 		}
 		c.Env.Process("audit", func(p *sim.Proc) { o.VerifyAll(p) })
 		c.Env.Run()
 		if v := o.Violations(); len(v) != 0 {
+			writeFuzzArtifacts(t, seed, pl, fr)
 			t.Fatalf("seed %#x: %d invariant violations:\n%s\nreplay with:\n%s\nflight recorder:\n%s",
+				seed, len(v), strings.Join(v, "\n"), pl, flightDump(fr))
+		}
+		if v := AuditReplicas(c); len(v) != 0 {
+			writeFuzzArtifacts(t, seed, pl, fr)
+			t.Fatalf("seed %#x: %d replica-coherence violations:\n%s\nreplay with:\n%s\nflight recorder:\n%s",
 				seed, len(v), strings.Join(v, "\n"), pl, flightDump(fr))
 		}
 		st := c.BankStats()

@@ -113,6 +113,57 @@ func (in *Injector) resolve(e Event) (func(), error) {
 			lat, bw := e.Latency, e.Bandwidth
 			return func() { net.DegradeLink(a, b, lat, bw) }, nil
 		}
+	case Partition, PartitionHeal:
+		groupA, err := in.group(e.Target)
+		if err != nil {
+			return nil, err
+		}
+		groupB, err := in.group(e.Peer)
+		if err != nil {
+			return nil, err
+		}
+		in.c.Net.EnableFaults()
+		net, cut := in.c.Net, e.Kind == Partition
+		return func() {
+			// Deterministic cross-product order: every pair between the
+			// groups, outer group A, inner group B.
+			for _, a := range groupA {
+				for _, b := range groupB {
+					if cut {
+						net.CutLink(a, b)
+					} else {
+						net.HealLink(a, b)
+					}
+				}
+			}
+		}, nil
+	case LinkFlap:
+		for _, name := range []string{e.Target, e.Peer} {
+			if in.c.Net.Node(name) == nil {
+				return nil, fmt.Errorf("fault: unknown node %q", name)
+			}
+		}
+		in.c.Net.EnableFaults()
+		env, net, a, b := in.c.Env, in.c.Net, e.Target, e.Peer
+		period, count := e.Period, e.Count
+		// One fired event drives the whole flap train: each cycle cuts,
+		// heals at half period, and re-arms itself until count runs out.
+		var cycle func(remaining int)
+		cycle = func(remaining int) {
+			net.CutLink(a, b)
+			env.Defer(period/2, func() { net.HealLink(a, b) })
+			if remaining > 1 {
+				env.Defer(period, func() { cycle(remaining - 1) })
+			}
+		}
+		return func() { cycle(count) }, nil
+	case GrayNode:
+		s, err := in.mcd(e.Target)
+		if err != nil {
+			return nil, err
+		}
+		f := e.Factor
+		return func() { s.SetSlowdown(f) }, nil
 	case DiskSlow:
 		br, err := in.brick(e.Target)
 		if err != nil {
@@ -141,6 +192,21 @@ func (in *Injector) mcd(target string) (*memcache.SimServer, error) {
 		}
 	}
 	return nil, fmt.Errorf("fault: unknown MCD %q (bank has %d)", target, len(in.c.MCDs))
+}
+
+// group resolves a "+"-joined node list ("mcd0+mcd1") for the partition
+// kinds, validating every member against the fabric.
+func (in *Injector) group(spec string) ([]string, error) {
+	names := strings.Split(spec, "+")
+	for _, name := range names {
+		if name == "" {
+			return nil, fmt.Errorf("fault: empty node in group %q", spec)
+		}
+		if in.c.Net.Node(name) == nil {
+			return nil, fmt.Errorf("fault: unknown node %q", name)
+		}
+	}
+	return names, nil
 }
 
 // brick resolves a brick by its node name ("gfs-server", "gfs-brick1") or

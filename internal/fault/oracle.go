@@ -198,11 +198,21 @@ func (o *Oracle) Stat(p *sim.Proc, path string) (*gluster.Stat, error) {
 	return st, err
 }
 
-// Unlink implements gluster.FS.
+// Unlink implements gluster.FS. A successful unlink also orphans any
+// still-open descriptors of the path: POSIX keeps such a file readable
+// and writable through those descriptors, but it is no longer part of
+// the path-visible namespace the shadow models, so later writes through
+// an orphaned descriptor must not resurrect the shadow entry (they would
+// make the audit demand an open-by-path of an unlinked file).
 func (o *Oracle) Unlink(p *sim.Proc, path string) error {
 	err := o.child.Unlink(p, path)
 	if err == nil {
 		delete(o.shadow, path)
+		for fd, fdPath := range o.fds {
+			if fdPath == path {
+				delete(o.fds, fd)
+			}
+		}
 		o.mutations++
 	}
 	return err

@@ -1,0 +1,64 @@
+package fault
+
+import (
+	"fmt"
+
+	"imca/internal/cluster"
+	"imca/internal/memcache"
+)
+
+// AuditReplicas checks replica coherence across the MCD bank: under R=2
+// replication every resident key must live only on its primary or its
+// replica daemon, and when both copies are resident their bytes must
+// match. It extends the §4.4 argument to the replicated bank — a write
+// acknowledged through the replicated client reached both placements or
+// neither serves it, so a failover read can never surface bytes the
+// primary never acknowledged.
+//
+// The audit is side-effect-free (Store.Keys/Peek touch no stats, LRU
+// order, or expiry) and runs from host context between Env.Run calls. It
+// returns one human-readable line per violation; an empty slice means the
+// bank is coherent. With fewer than two replicas configured it returns
+// nil: a single-copy bank has no coherence to audit.
+func AuditReplicas(c *cluster.Cluster) []string {
+	if c.Opts.Replicas < 2 || len(c.MCDs) < 2 {
+		return nil
+	}
+	sel := c.Opts.Selector
+	if sel == nil {
+		sel = memcache.CRC32Selector{}
+	}
+	n := len(c.MCDs)
+	var violations []string
+	for i, s := range c.MCDs {
+		for _, key := range s.Store().Keys() {
+			p := sel.Pick(key, n)
+			r := memcache.ReplicaFor(sel, key, n)
+			if i != p && i != r {
+				violations = append(violations,
+					fmt.Sprintf("key %q resident on mcd%d outside its replica set {mcd%d, mcd%d}", key, i, p, r))
+				continue
+			}
+			// Compare the two copies once, from the primary's side.
+			if i != p || r == p {
+				continue
+			}
+			mine, ok := s.Store().Peek(key)
+			if !ok {
+				continue
+			}
+			other, ok := c.MCDs[r].Store().Peek(key)
+			if !ok {
+				// One-sided residency is legal: the copies were written at
+				// different instants and LRU/crash may drop either alone.
+				continue
+			}
+			if !mine.Equal(other) {
+				violations = append(violations,
+					fmt.Sprintf("key %q diverges: mcd%d holds %d bytes, mcd%d holds %d bytes with different contents",
+						key, p, mine.Len(), r, other.Len()))
+			}
+		}
+	}
+	return violations
+}

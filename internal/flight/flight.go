@@ -43,6 +43,15 @@ const (
 	KindFaultFired
 	// KindViolation is a fault.Oracle safety-property violation.
 	KindViolation
+	// KindSuspect is a client soft-ejecting a gray MCD on its service-time
+	// EWMA crossing the suspicion threshold (Arg: the EWMA, ns).
+	KindSuspect
+	// KindSuspectClear is a probe clearing a suspicion (Arg: the probe's
+	// service time, ns).
+	KindSuspectClear
+	// KindFailover is a read retried against (or routed to) the replica
+	// copy of its key.
+	KindFailover
 )
 
 // String names the kind, fixed-width enough for aligned dumps.
@@ -64,6 +73,12 @@ func (k Kind) String() string {
 		return "fault-fired"
 	case KindViolation:
 		return "violation"
+	case KindSuspect:
+		return "suspect"
+	case KindSuspectClear:
+		return "suspect-clear"
+	case KindFailover:
+		return "failover"
 	}
 	return "?"
 }

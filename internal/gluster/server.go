@@ -7,6 +7,7 @@ import (
 	"imca/internal/fabric"
 	"imca/internal/optrace"
 	"imca/internal/sim"
+	"imca/internal/telemetry"
 )
 
 // ServerConfig models the glusterfsd daemon's processing costs.
@@ -219,6 +220,10 @@ type Client struct {
 
 	// statOps is the StatT frame free list; see clientStatOp.
 	statOps []*clientStatOp
+
+	// RPC counters across both engines, registered by Register.
+	rpcs      uint64
+	rpcErrors uint64
 }
 
 var _ FS = (*Client)(nil)
@@ -236,11 +241,21 @@ func NewClient(node, server *fabric.Node) *Client {
 func (c *Client) call(p *sim.Proc, name string, req fabric.Msg) (fabric.Msg, error) {
 	sp := optrace.StartSpan(p, optrace.LayerProtocol, name)
 	defer sp.End(p)
+	c.rpcs++
 	m, err := c.node.Call(p, c.server, ServiceName, req)
 	if err != nil {
+		c.rpcErrors++
 		sp.SetAttr("deadline", "expired")
 	}
 	return m, err
+}
+
+// Register exposes the protocol client's RPC counters under prefix
+// (e.g. "client0.protocol"): how many brick RPCs this mount issued and
+// how many were abandoned at an operation deadline.
+func (c *Client) Register(reg *telemetry.Registry, prefix string) {
+	reg.Counter(prefix+".rpcs", func() uint64 { return c.rpcs })
+	reg.Counter(prefix+".rpc_errors", func() uint64 { return c.rpcErrors })
 }
 
 // Create implements FS.

@@ -184,8 +184,10 @@ func (c *Client) TaskReady() bool { return true }
 // callT performs one protocol RPC under a protocol-layer span; see call.
 func (c *Client) callT(t *sim.Task, name string, req fabric.Msg, k func(fabric.Msg, error)) {
 	sp := optrace.StartSpan(t, optrace.LayerProtocol, name)
+	c.rpcs++
 	c.node.CallT(t, c.server, ServiceName, req, func(m fabric.Msg, err error) {
 		if err != nil {
+			c.rpcErrors++
 			sp.SetAttr("deadline", "expired")
 		}
 		sp.End(t)
@@ -258,6 +260,7 @@ func (c *Client) StatT(t *sim.Task, path string, k func(*Stat, error)) {
 	op.t, op.k = t, k
 	op.sp = optrace.StartSpan(t, optrace.LayerProtocol, "stat")
 	op.req.Path = path
+	c.rpcs++
 	c.node.CallT(t, c.server, ServiceName, &op.req, op.fnDone)
 }
 
@@ -304,6 +307,7 @@ func (op *clientStatOp) release() {
 func (op *clientStatOp) done(m fabric.Msg, err error) {
 	t, sp, k := op.t, op.sp, op.k
 	if err != nil {
+		op.c.rpcErrors++
 		sp.SetAttr("deadline", "expired")
 		sp.End(t)
 		k(nil, err)

@@ -8,6 +8,7 @@ import (
 	"imca/internal/fabric"
 	"imca/internal/gluster"
 	"imca/internal/sim"
+	"imca/internal/telemetry"
 )
 
 // clientPageSize is the client cache granularity.
@@ -110,6 +111,17 @@ var _ gluster.FS = (*Client)(nil)
 
 // Node returns the fabric node the client runs on.
 func (cl *Client) Node() *fabric.Node { return cl.node }
+
+// Register exposes the client page cache's hit counters under prefix
+// (e.g. "lc0.cache"), the client-side tier the paper compares the MCD
+// bank against.
+func (cl *Client) Register(reg *telemetry.Registry, prefix string) {
+	reg.Counter(prefix+".hits", func() uint64 { return cl.CacheHits })
+	reg.Counter(prefix+".misses", func() uint64 { return cl.CacheMisses })
+	reg.Rate(prefix+".hit_rate",
+		func() uint64 { return cl.CacheHits },
+		func() uint64 { return cl.CacheHits + cl.CacheMisses })
+}
 
 // NewClient attaches a client on the given node.
 func (c *Cluster) NewClient(node *fabric.Node) *Client {

@@ -30,7 +30,27 @@ type serverHealth struct {
 	// probe up to maxBackoffMult times the initial delay.
 	probeAt sim.Time
 	backoff sim.Duration
+
+	// Latency suspicion (SetSuspicion): gray failures answer correctly
+	// but slowly, so consecutive-failure ejection never triggers. The
+	// EWMA of successful single-key get service times detects them.
+	// suspected soft-ejects reads (writes still flow: a slow cache must
+	// keep receiving deletes or it serves stale data); sProbeAt/sBackoff
+	// pace the read probes that test whether the gray phase passed.
+	suspected bool
+	ewma      float64 // smoothed service time, virtual nanoseconds
+	samples   int
+	sProbeAt  sim.Time
+	sBackoff  sim.Duration
 }
+
+// suspectAlpha is the EWMA smoothing factor (1/8, the TCP RTT estimator's
+// gain); suspectMinSamples is how many successes must be seen before the
+// EWMA is trusted enough to suspect anyone.
+const (
+	suspectAlpha      = 0.125
+	suspectMinSamples = 8
+)
 
 // SetEjection enables client-side server health tracking: after k
 // consecutive failures (Down replies, deadline expiries, unreachable
@@ -54,9 +74,39 @@ func (c *SimClient) SetEjection(k int, backoff sim.Duration) {
 	c.health = make([]serverHealth, len(c.servers))
 }
 
+// SetSuspicion enables latency-based gray-failure detection: when the
+// EWMA of a server's successful single-key get service times crosses
+// threshold, the server is suspected and reads to it fast-fail (failing
+// over to the replica when one is configured) until a probe — one real
+// read per backoff window, doubling up to the same ×64 cap as ejection
+// probes — comes back at healthy speed. Writes are never blocked by
+// suspicion: a slow-but-alive cache must keep seeing sets and deletes or
+// it would serve stale data once readmitted. threshold <= 0 disables
+// (the default); backoff <= 0 uses DefaultProbeBackoff.
+func (c *SimClient) SetSuspicion(threshold, backoff sim.Duration) {
+	if threshold <= 0 {
+		c.suspectAfter = 0
+		return
+	}
+	if backoff <= 0 {
+		backoff = DefaultProbeBackoff
+	}
+	c.suspectAfter = threshold
+	c.suspectBackoff = backoff
+	if c.health == nil {
+		c.health = make([]serverHealth, len(c.servers))
+	}
+}
+
 // Ejected reports whether server i is currently out of rotation.
 func (c *SimClient) Ejected(i int) bool {
 	return c.ejectAfter > 0 && c.health[i].ejected
+}
+
+// Suspected reports whether server i is currently under latency
+// suspicion.
+func (c *SimClient) Suspected(i int) bool {
+	return c.suspectAfter > 0 && c.health[i].suspected
 }
 
 // admit decides whether a request to server i may go to the wire: yes for
@@ -80,6 +130,93 @@ func (c *SimClient) admit(a sim.Actor, i int) bool {
 	return false
 }
 
+// admitRead decides whether a read to server i may go to the wire: the
+// hard-ejection gate first, then latency suspicion. A suspected server
+// fast-fails reads until its probe is due; the probe read's own service
+// time decides whether the suspicion clears (see observeLatency).
+func (c *SimClient) admitRead(a sim.Actor, i int) bool {
+	if !c.admit(a, i) {
+		return false
+	}
+	if c.suspectAfter == 0 {
+		return true
+	}
+	h := &c.health[i]
+	if !h.suspected {
+		return true
+	}
+	if a.Now() >= h.sProbeAt {
+		c.probes++
+		c.fr.Append(a.Now(), flight.KindProbe, c.node.Name(), c.servers[i].node.Name(), int64(h.sBackoff))
+		return true
+	}
+	c.fastFails++
+	return false
+}
+
+// readRoutable mirrors admitRead without side effects: would a read to
+// server i currently reach the wire? Scatter-time replica routing
+// (GetMulti) uses it so routing decisions never consume probe slots or
+// count fast-fails for keys that end up on the other copy.
+func (c *SimClient) readRoutable(a sim.Actor, i int) bool {
+	if c.ejectAfter > 0 {
+		if h := &c.health[i]; h.ejected && a.Now() < h.probeAt {
+			return false
+		}
+	}
+	if c.suspectAfter > 0 {
+		if h := &c.health[i]; h.suspected && a.Now() < h.sProbeAt {
+			return false
+		}
+	}
+	return true
+}
+
+// observeLatency feeds one successful single-key get's service time into
+// server i's suspicion EWMA. Batched gets are excluded: their service
+// time scales with the batch, which would poison a per-op estimator.
+func (c *SimClient) observeLatency(a sim.Actor, i int, elapsed sim.Duration) {
+	if c.suspectAfter == 0 {
+		return
+	}
+	h := &c.health[i]
+	s := float64(elapsed)
+	if h.samples == 0 {
+		h.ewma = s
+	} else {
+		h.ewma += suspectAlpha * (s - h.ewma)
+	}
+	h.samples++
+	if h.suspected {
+		if elapsed <= c.suspectAfter {
+			// The probe came back at healthy speed: clear the suspicion
+			// and restart the estimator from the healthy sample, so the
+			// gray-phase residue cannot immediately re-suspect.
+			h.suspected = false
+			h.sBackoff = 0
+			h.ewma = s
+			h.samples = 1
+			c.suspectClears++
+			c.fr.Append(a.Now(), flight.KindSuspectClear, c.node.Name(), c.servers[i].node.Name(), int64(elapsed))
+			return
+		}
+		// Still slow: wait longer before the next probe.
+		h.sBackoff *= 2
+		if max := maxBackoffMult * c.suspectBackoff; h.sBackoff > max {
+			h.sBackoff = max
+		}
+		h.sProbeAt = a.Now().Add(h.sBackoff)
+		return
+	}
+	if h.samples >= suspectMinSamples && sim.Duration(h.ewma) > c.suspectAfter {
+		h.suspected = true
+		h.sBackoff = c.suspectBackoff
+		h.sProbeAt = a.Now().Add(h.sBackoff)
+		c.suspects++
+		c.fr.Append(a.Now(), flight.KindSuspect, c.node.Name(), c.servers[i].node.Name(), int64(h.ewma))
+	}
+}
+
 // observe records the outcome of a wire request to server i, ejecting,
 // backing off, or readmitting as the state machine dictates.
 func (c *SimClient) observe(a sim.Actor, i int, ok bool) {
@@ -92,7 +229,9 @@ func (c *SimClient) observe(a sim.Actor, i int, ok bool) {
 			c.readmits++
 			c.fr.Append(a.Now(), flight.KindReadmit, c.node.Name(), c.servers[i].node.Name(), int64(h.fails))
 		}
-		*h = serverHealth{}
+		// Clear only the ejection fields: latency suspicion has its own
+		// lifecycle (observeLatency) and must survive a fast success.
+		h.fails, h.ejected, h.probeAt, h.backoff = 0, false, 0, 0
 		return
 	}
 	h.fails++
@@ -130,3 +269,14 @@ func (c *SimClient) FastFails() uint64 { return c.fastFails }
 // Unreachables returns how many requests failed because the link to the
 // server was cut.
 func (c *SimClient) Unreachables() uint64 { return c.unreachables }
+
+// Failovers returns how many reads were retried against (or routed to)
+// the replica copy.
+func (c *SimClient) Failovers() uint64 { return c.failovers }
+
+// Suspects returns how many times this client has put a server under
+// latency suspicion.
+func (c *SimClient) Suspects() uint64 { return c.suspects }
+
+// SuspectClears returns how many times a probe cleared a suspicion.
+func (c *SimClient) SuspectClears() uint64 { return c.suspectClears }

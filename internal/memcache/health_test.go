@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"imca/internal/blob"
+	"imca/internal/fabric"
 	"imca/internal/sim"
 )
 
@@ -154,6 +155,99 @@ func TestGetMultiSkipsEjectedServers(t *testing.T) {
 	env.Run()
 	if cl.FastFails() != 1 {
 		t.Errorf("fastFails = %d, want 1", cl.FastFails())
+	}
+}
+
+// TestEjectionMidGetMulti: the daemon dies after the batch has scattered
+// but before it replies. The gather leg must absorb the Down reply — the
+// crashed server's keys are simply absent, the healthy server's keys still
+// arrive, and the down reply itself trips ejection so the NEXT batch skips
+// the server without spawning a worker.
+func TestEjectionMidGetMulti(t *testing.T) {
+	env, cl := simBank(2, 64)
+	cl.SetEjection(1, 5*time.Millisecond)
+	keys := keysFor(cl)
+	env.Process("t", func(p *sim.Proc) {
+		for i, k := range keys {
+			if err := cl.Set(p, k, blob.FromString(fmt.Sprintf("v%d", i))); err != nil {
+				t.Fatalf("set %q: %v", k, err)
+			}
+		}
+		// The scatter serializes both requests now; the crash lands half a
+		// wire latency later — in flight, before either daemon has replied.
+		env.Defer(fabric.IPoIB.Latency/2, func() { cl.servers[0].Fail() })
+		txBefore := cl.node.TxMsgs
+		got := cl.GetMulti(p, keys)
+		if cl.node.TxMsgs != txBefore+2 {
+			t.Errorf("scatter sent %d messages, want 2 (crash must postdate the scatter)",
+				cl.node.TxMsgs-txBefore)
+		}
+		if _, ok := got[keys[0]]; ok {
+			t.Error("batched get returned a key from a daemon that died mid-batch")
+		}
+		if it, ok := got[keys[1]]; !ok || string(it.Value.Bytes()) != "v1" {
+			t.Errorf("healthy server's key = %v, %v", it, ok)
+		}
+		if !cl.Ejected(0) {
+			t.Error("mid-batch down reply did not eject the server")
+		}
+		txBefore = cl.node.TxMsgs
+		got = cl.GetMulti(p, keys)
+		if cl.node.TxMsgs != txBefore+1 {
+			t.Errorf("post-ejection batch sent %d messages, want 1 (ejected server must be skipped)",
+				cl.node.TxMsgs-txBefore)
+		}
+		if _, ok := got[keys[1]]; !ok {
+			t.Error("healthy server's key missing from the post-ejection batch")
+		}
+	})
+	env.Run()
+	if cl.Ejects() != 1 || cl.DownReplies() != 1 {
+		t.Errorf("ejects=%d downReplies=%d, want 1, 1", cl.Ejects(), cl.DownReplies())
+	}
+}
+
+// TestEjectionProbeBackoffCaps: each failed probe doubles the wait, but
+// the doubling stops at maxBackoffMult× the initial delay — a long outage
+// still gets probed at a steady rate instead of a vanishing one.
+func TestEjectionProbeBackoffCaps(t *testing.T) {
+	env, cl := simBank(1, 64)
+	const backoff = time.Millisecond
+	cl.SetEjection(1, backoff)
+	cl.servers[0].Fail()
+	var probeAt []sim.Time
+	env.Process("t", func(p *sim.Proc) {
+		cl.Get(p, "k") // down reply: ejected, first probe due in 1ms
+		if !cl.Ejected(0) {
+			t.Fatal("server not ejected")
+		}
+		// Nine failed probes against a daemon that stays dead: the gap
+		// doubles 1, 2, 4, ... then pins at the ×64 cap.
+		for i := 0; i < 9; i++ {
+			p.Sleep(cl.health[0].probeAt.Sub(p.Now()))
+			probeAt = append(probeAt, p.Now())
+			cl.Get(p, "k")
+		}
+	})
+	env.Run()
+	if cl.Probes() != 9 {
+		t.Fatalf("probes = %d, want 9", cl.Probes())
+	}
+	cap := sim.Duration(maxBackoffMult) * backoff
+	if got := cl.health[0].backoff; got != cap {
+		t.Errorf("backoff after 9 failed probes = %v, want capped at %v", got, cap)
+	}
+	// Probe 7 onward is paced by the cap (2^6 = 64): each gap is the cap
+	// plus the failed probe's own wire round trip, and — decisively — the
+	// gaps stop doubling.
+	for i := 7; i < len(probeAt); i++ {
+		gap := probeAt[i].Sub(probeAt[i-1])
+		if gap < cap || gap > cap+time.Millisecond {
+			t.Errorf("gap before probe %d = %v, want ~%v", i+1, gap, cap)
+		}
+	}
+	if g8, g9 := probeAt[8].Sub(probeAt[7]), probeAt[7].Sub(probeAt[6]); g8 != g9 {
+		t.Errorf("capped gaps still changing: %v then %v", g9, g8)
 	}
 }
 

@@ -79,6 +79,31 @@ func (k *KetamaSelector) Pick(key string, n int) int {
 	return r[i].server
 }
 
+// Replica implements ReplicaSelector: the true ring successor — the first
+// server point clockwise of the key's primary point that belongs to a
+// different server. This is how consistent-hash stores place the second
+// copy; when a node leaves, its keys' replicas are already on the node
+// that inherits its arc.
+func (k *KetamaSelector) Replica(key string, n int) int {
+	if n < 2 {
+		return 0
+	}
+	r := k.ring(n)
+	sum := md5.Sum([]byte(key))
+	h := binary.LittleEndian.Uint32(sum[:4])
+	i := sort.Search(len(r), func(i int) bool { return r[i].hash >= h })
+	if i == len(r) {
+		i = 0
+	}
+	primary := r[i].server
+	for j := 1; j < len(r); j++ {
+		if s := r[(i+j)%len(r)].server; s != primary {
+			return s
+		}
+	}
+	return primary
+}
+
 // MovedKeys reports what fraction of sample keys change servers when the
 // bank grows from n to n+1 daemons — the resizing cost the selector is
 // designed to minimize.

@@ -32,6 +32,9 @@ func (c *SimClient) Register(reg *telemetry.Registry, prefix string) {
 	reg.Counter(prefix+".probes", func() uint64 { return c.probes })
 	reg.Counter(prefix+".readmits", func() uint64 { return c.readmits })
 	reg.Counter(prefix+".fast_fails", func() uint64 { return c.fastFails })
+	reg.Counter(prefix+".failovers", func() uint64 { return c.failovers })
+	reg.Counter(prefix+".suspects", func() uint64 { return c.suspects })
+	reg.Counter(prefix+".suspect_clears", func() uint64 { return c.suspectClears })
 	// Per-bank latency distributions (entry to exit, fast-fails included).
 	// Hists are excluded from scalar dumps, so these change no existing
 	// output bytes.

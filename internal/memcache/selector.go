@@ -18,6 +18,30 @@ type Selector interface {
 	Pick(key string, n int) int
 }
 
+// ReplicaSelector extends a Selector with a replica placement: the server
+// holding the second copy of a key under R=2 replication. Replica must
+// return an index different from Pick whenever n >= 2, and Pick itself
+// when n < 2 (a single-node bank cannot replicate).
+type ReplicaSelector interface {
+	Selector
+	Replica(key string, n int) int
+}
+
+// ReplicaFor returns the replica index for key under sel, falling back to
+// the hash-successor convention (primary+1 mod n) for selectors that do
+// not implement ReplicaSelector. With n < 2 it returns the primary: there
+// is nowhere else to put a copy.
+func ReplicaFor(sel Selector, key string, n int) int {
+	p := sel.Pick(key, n)
+	if n < 2 {
+		return p
+	}
+	if rs, ok := sel.(ReplicaSelector); ok {
+		return rs.Replica(key, n)
+	}
+	return (p + 1) % n
+}
+
 // CRC32Selector distributes keys by CRC32, following libmemcache's default
 // hashing: the checksum is folded to 15 bits before the modulo.
 type CRC32Selector struct{}
@@ -44,6 +68,15 @@ func (CRC32Selector) Pick(key string, n int) int {
 	}
 	h := (crc32String(key) >> 16) & 0x7fff
 	return int(h % uint32(n))
+}
+
+// Replica implements ReplicaSelector: the successor server in index
+// order, the natural "next bucket" for a modulo-style hash.
+func (s CRC32Selector) Replica(key string, n int) int {
+	if n < 2 {
+		return 0
+	}
+	return (s.Pick(key, n) + 1) % n
 }
 
 // BlockModuloSelector distributes block keys round-robin by block number.
@@ -77,4 +110,13 @@ func (s BlockModuloSelector) Pick(key string, n int) int {
 	}
 	// Non-numeric suffixes (":stat" keys) hash like libmemcache would.
 	return CRC32Selector{}.Pick(key, n)
+}
+
+// Replica implements ReplicaSelector: the successor server in index
+// order, which for block keys is also the next round-robin bucket.
+func (s BlockModuloSelector) Replica(key string, n int) int {
+	if n < 2 {
+		return 0
+	}
+	return (s.Pick(key, n) + 1) % n
 }

@@ -170,6 +170,10 @@ type SimServer struct {
 	store  *Store
 	daemon *sim.Resource
 	down   bool
+	// slow > 1 stretches every service-time charge by that factor: the
+	// gray-failure mode where the daemon answers correctly but slowly
+	// (swapping, a sick disk under the slab allocator, a hot neighbor).
+	slow float64
 
 	// ops is the free list of pooled request state machines (see
 	// srvtask.go); replies handed to blocking callers escape and simply
@@ -208,6 +212,35 @@ func (s *SimServer) Recover() { s.down = false }
 
 // Down reports whether the daemon is failed.
 func (s *SimServer) Down() bool { return s.down }
+
+// SetSlowdown makes the daemon gray: every service-time charge is
+// stretched by f (> 1). The daemon still answers correctly — no errors,
+// no Down replies — which is exactly why consecutive-failure ejection
+// never catches it and latency suspicion exists. f <= 1 restores full
+// speed.
+func (s *SimServer) SetSlowdown(f float64) {
+	if f <= 1 {
+		s.slow = 0
+		return
+	}
+	s.slow = f
+}
+
+// Slowdown returns the current gray stretch factor (1 when healthy).
+func (s *SimServer) Slowdown() float64 {
+	if s.slow > 1 {
+		return s.slow
+	}
+	return 1
+}
+
+// stretch applies the gray slowdown to one service-time charge.
+func (s *SimServer) stretch(d sim.Duration) sim.Duration {
+	if s.slow > 1 {
+		return sim.Duration(float64(d) * s.slow)
+	}
+	return d
+}
 
 // reqName names a request type for spans.
 func reqName(req fabric.Msg) string {
@@ -255,6 +288,23 @@ type SimClient struct {
 	health                              []serverHealth
 	ejects, probes, readmits, fastFails uint64
 
+	// Replication: replicas >= 2 keeps a second copy of every key on the
+	// selector's replica server (see SetReplication). 0 is the paper's
+	// single-copy bank.
+	replicas  int
+	failovers uint64
+	// Latency suspicion state, active only after SetSuspicion (see
+	// health.go): gray (slow-but-alive) servers are soft-ejected when
+	// their service-time EWMA crosses suspectAfter.
+	suspectAfter            sim.Duration
+	suspectBackoff          sim.Duration
+	suspects, suspectClears uint64
+	// fnGetFailover dispatches GetT's replica retry. It is a stored
+	// function value on purpose: the allocfree walker follows direct
+	// calls only, so the exceptional failover leg stays off the audited
+	// common path (the same sanctioned idiom as the kernel's ev.fn).
+	fnGetFailover func(t *sim.Task, next int, key string, k func(*Item, bool))
+
 	// Per-bank latency distributions (get/set/getmulti entry to exit,
 	// fast-fails included), registered by Register; nil no-ops otherwise.
 	getHist, setHist, multiHist *telemetry.Hist
@@ -273,11 +323,37 @@ func NewSimClient(node *fabric.Node, servers []*SimServer) *SimClient {
 	for i, s := range servers {
 		c.bindings[i] = node.Bind(s.node, ServiceName)
 	}
+	c.fnGetFailover = c.failoverGetT
 	return c
 }
 
 // SetSelector replaces the key distribution function.
 func (c *SimClient) SetSelector(s Selector) { c.selector = s }
+
+// SetReplication sets the number of copies kept per key. r >= 2 writes
+// every Set/Delete through to the selector's replica server and lets Get
+// fail over to that copy when the primary is ejected, suspected,
+// unreachable, or answers Down. r <= 1 (the default) is the paper's
+// single-copy bank. Only R=2 is modeled; larger r behaves as 2.
+func (c *SimClient) SetReplication(r int) { c.replicas = r }
+
+// replicaNext returns the replica server for key given its primary, or -1
+// when replication is off, the bank has one node, or the selector mapped
+// both copies to the same daemon.
+func (c *SimClient) replicaNext(key string, primary int) int {
+	if c.replicas < 2 || len(c.servers) < 2 {
+		return -1
+	}
+	n := len(c.servers)
+	r := (primary + 1) % n
+	if rs, ok := c.selector.(ReplicaSelector); ok {
+		r = rs.Replica(key, n)
+	}
+	if r == primary {
+		return -1
+	}
+	return r
+}
 
 // SetFlight attaches a flight recorder: deadline expiries and ejection
 // state transitions append fixed-size records to it. Appending costs no
@@ -314,35 +390,72 @@ func (c *SimClient) fail(a sim.Actor, idx int, err error, down bool) string {
 // Get fetches one key; ok is false on a miss. A dead daemon, a cut link,
 // or an expired operation deadline also reads as a miss — the bank
 // degrades, it never stalls or fails an operation. An ejected server
-// misses instantly without a wire request (see SetEjection).
+// misses instantly without a wire request (see SetEjection). With
+// replication on, a failed primary leg retries once against the replica.
 func (c *SimClient) Get(p *sim.Proc, key string) (*Item, bool) {
-	idx, srv := c.pick(key)
+	idx, _ := c.pick(key)
+	return c.getOn(p, idx, c.replicaNext(key, idx), key)
+}
+
+// getOn runs one Get leg against server idx; next is the replica to fail
+// over to (-1 for none). Failover triggers on an inadmissible (ejected or
+// suspected) server, a wire error, or a Down reply — never on a clean
+// miss, which is authoritative on either copy.
+func (c *SimClient) getOn(p *sim.Proc, idx, next int, key string) (*Item, bool) {
+	srv := c.servers[idx]
 	sp := optrace.StartSpan(p, optrace.LayerMCD, "get")
 	sp.SetAttr("server", srv.node.Name())
-	defer sp.End(p)
-	defer c.getHist.ObserveSince(p, p.Now())
-	if !c.admit(p, idx) {
+	t0 := p.Now()
+	if !c.admitRead(p, idx) {
 		sp.SetAttr("result", "ejected")
+		sp.End(p)
+		c.getHist.ObserveSince(p, t0)
+		if next >= 0 {
+			return c.getFailover(p, next, key)
+		}
 		return nil, false
 	}
 	m, err := c.node.Call(p, srv.node, ServiceName, &GetReq{Keys: []string{key}})
 	if err != nil {
 		sp.SetAttr("result", c.fail(p, idx, err, false))
+		sp.End(p)
+		c.getHist.ObserveSince(p, t0)
+		if next >= 0 {
+			return c.getFailover(p, next, key)
+		}
 		return nil, false
 	}
 	resp := m.(*GetResp)
 	if resp.Down {
 		sp.SetAttr("result", c.fail(p, idx, nil, true))
+		sp.End(p)
+		c.getHist.ObserveSince(p, t0)
+		if next >= 0 {
+			return c.getFailover(p, next, key)
+		}
 		return nil, false
 	}
 	c.observe(p, idx, true)
+	c.observeLatency(p, idx, p.Now().Sub(t0))
 	if len(resp.Items) == 0 {
 		sp.SetAttr("result", "miss")
+		sp.End(p)
+		c.getHist.ObserveSince(p, t0)
 		return nil, false
 	}
 	sp.SetAttr("result", "hit")
 	sp.SetAttr("bytes", strconv.FormatInt(resp.Items[0].Value.Len(), 10))
+	sp.End(p)
+	c.getHist.ObserveSince(p, t0)
 	return resp.Items[0], true
+}
+
+// getFailover records the replica retry and runs the second leg, which
+// itself has no further failover target.
+func (c *SimClient) getFailover(p *sim.Proc, next int, key string) (*Item, bool) {
+	c.failovers++
+	c.fr.Append(p.Now(), flight.KindFailover, c.node.Name(), c.servers[next].node.Name(), 0)
+	return c.getOn(p, next, -1, key)
 }
 
 // mcdReply carries one MCD's scatter-gather outcome back to GetMulti.
@@ -368,7 +481,7 @@ func (c *SimClient) GetMulti(p *sim.Proc, keys []string) map[string]*Item {
 	defer c.multiHist.ObserveSince(p, p.Now())
 	byServer := make(map[int][]string)
 	for _, k := range keys {
-		i, _ := c.pick(k)
+		i := c.routeRead(p, k)
 		byServer[i] = append(byServer[i], k)
 	}
 	out := make(map[string]*Item, len(keys))
@@ -379,7 +492,7 @@ func (c *SimClient) GetMulti(p *sim.Proc, keys []string) map[string]*Item {
 		if !ok {
 			continue
 		}
-		if !c.admit(p, i) {
+		if !c.admitRead(p, i) {
 			continue // ejected: every key an instant miss
 		}
 		i, s := i, c.servers[i]
@@ -435,12 +548,40 @@ func (c *SimClient) GetMulti(p *sim.Proc, keys []string) map[string]*Item {
 	return out
 }
 
+// routeRead picks the server a batched read for key should go to: the
+// primary, unless it is currently unroutable (ejected or suspected, probe
+// not yet due) and the replica is routable — then the key fails over at
+// scatter time. Unlike admitRead this never counts probes or fast-fails;
+// the per-server admission in the scatter loop does that once per batch.
+func (c *SimClient) routeRead(a sim.Actor, key string) int {
+	i, _ := c.pick(key)
+	r := c.replicaNext(key, i)
+	if r >= 0 && !c.readRoutable(a, i) && c.readRoutable(a, r) {
+		c.failovers++
+		c.fr.Append(a.Now(), flight.KindFailover, c.node.Name(), c.servers[r].node.Name(), 0)
+		return r
+	}
+	return i
+}
+
 // Set stores an item on its MCD and waits for the acknowledgement. A dead
 // daemon drops the update (the bank is best-effort; correctness lives at
 // the file server), and so do an expired operation deadline, a cut link,
-// and an ejected server.
+// and an ejected server. With replication on, the item is written through
+// to the replica as well; the primary's result is what the caller sees
+// (the replica copy is best-effort, like the bank itself).
 func (c *SimClient) Set(p *sim.Proc, key string, value blob.Blob) error {
-	idx, srv := c.pick(key)
+	idx, _ := c.pick(key)
+	err := c.setOn(p, idx, key, value)
+	if r := c.replicaNext(key, idx); r >= 0 {
+		c.setOn(p, r, key, value)
+	}
+	return err
+}
+
+// setOn runs one Set leg against server idx.
+func (c *SimClient) setOn(p *sim.Proc, idx int, key string, value blob.Blob) error {
+	srv := c.servers[idx]
 	sp := optrace.StartSpan(p, optrace.LayerMCD, "set")
 	sp.SetAttr("server", srv.node.Name())
 	sp.SetAttr("bytes", strconv.FormatInt(value.Len(), 10))
@@ -474,9 +615,20 @@ func (c *SimClient) Set(p *sim.Proc, key string, value blob.Blob) error {
 // without a wire request — sound for crash-ejections (the cache died with
 // its contents), and the documented model boundary for partitions that
 // separate a writer from a cache its readers can still reach (see
-// DESIGN.md, "Fault model").
+// DESIGN.md, "Fault model"). With replication on, both copies are
+// deleted; found reports whether either copy held the key.
 func (c *SimClient) Delete(p *sim.Proc, key string) bool {
-	idx, srv := c.pick(key)
+	idx, _ := c.pick(key)
+	found := c.delOn(p, idx, key)
+	if r := c.replicaNext(key, idx); r >= 0 && c.delOn(p, r, key) {
+		found = true
+	}
+	return found
+}
+
+// delOn runs one Delete leg against server idx.
+func (c *SimClient) delOn(p *sim.Proc, idx int, key string) bool {
+	srv := c.servers[idx]
 	sp := optrace.StartSpan(p, optrace.LayerMCD, "delete")
 	sp.SetAttr("server", srv.node.Name())
 	defer sp.End(p)
@@ -529,5 +681,8 @@ func (c *SimClient) BankStats() Stats {
 	total.Probes = c.probes
 	total.Readmits = c.readmits
 	total.FastFails = c.fastFails
+	total.Failovers = c.failovers
+	total.Suspects = c.suspects
+	total.SuspectClears = c.suspectClears
 	return total
 }

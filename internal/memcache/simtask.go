@@ -6,6 +6,7 @@ import (
 
 	"imca/internal/blob"
 	"imca/internal/fabric"
+	"imca/internal/flight"
 	"imca/internal/optrace"
 	"imca/internal/sim"
 )
@@ -23,11 +24,14 @@ import (
 // and the far daemon are done with it, which is what makes reuse safe even
 // for deadline-abandoned calls whose request is still being served.
 type getOp struct {
-	c      *SimClient
-	t      *sim.Task
-	k      func(*Item, bool)
-	sp     *optrace.Span
-	idx    int
+	c   *SimClient
+	t   *sim.Task
+	k   func(*Item, bool)
+	sp  *optrace.Span
+	idx int
+	// next is the replica index to fail over to on a failed leg, -1 for
+	// none; the failover leg itself always carries -1.
+	next   int
 	t0     sim.Time
 	req    GetReq
 	key    [1]string
@@ -64,6 +68,10 @@ func (op *getOp) done(m fabric.Msg, err error) {
 		sp.SetAttr("result", c.fail(t, op.idx, err, false))
 		sp.End(t)
 		c.getHist.ObserveSince(t, op.t0)
+		if op.next >= 0 {
+			c.failoverGetT(t, op.next, op.key[0], op.k)
+			return
+		}
 		op.k(nil, false)
 		return
 	}
@@ -72,10 +80,15 @@ func (op *getOp) done(m fabric.Msg, err error) {
 		sp.SetAttr("result", c.fail(t, op.idx, nil, true))
 		sp.End(t)
 		c.getHist.ObserveSince(t, op.t0)
+		if op.next >= 0 {
+			c.failoverGetT(t, op.next, op.key[0], op.k)
+			return
+		}
 		op.k(nil, false)
 		return
 	}
 	c.observe(t, op.idx, true)
+	c.observeLatency(t, op.idx, t.Now().Sub(op.t0))
 	if len(resp.Items) == 0 {
 		sp.SetAttr("result", "miss")
 		sp.End(t)
@@ -102,10 +115,42 @@ func (op *getOp) done(m fabric.Msg, err error) {
 //imcalint:hotpath 10k-tenant open-loop experiment: per-op allocations on this chain are the marginal cost (ROADMAP item 2); known ones are baselined for burn-down
 func (c *SimClient) GetT(t *sim.Task, key string, k func(*Item, bool)) {
 	idx, srv := c.pick(key)
+	next := c.replicaNext(key, idx)
 	sp := optrace.StartSpan(t, optrace.LayerMCD, "get")
 	sp.SetAttr("server", srv.node.Name())
 	t0 := t.Now()
-	if !c.admit(t, idx) {
+	if !c.admitRead(t, idx) {
+		sp.SetAttr("result", "ejected")
+		sp.End(t)
+		c.getHist.ObserveSince(t, t0)
+		if next >= 0 {
+			// Dispatched through the stored function value: the failover
+			// leg is exceptional by construction and stays off the
+			// statically-audited hot chain.
+			c.fnGetFailover(t, next, key, k)
+			return
+		}
+		k(nil, false)
+		return
+	}
+	op := c.takeGetOp()
+	op.t, op.k, op.sp, op.idx, op.next, op.t0 = t, k, sp, idx, next, t0
+	op.key[0] = key
+	c.bindings[idx].CallT(t, &op.req, op.fnDone)
+}
+
+// failoverGetT records the replica retry and runs GetT's second leg,
+// which itself has no further failover target. Reached only through the
+// fnGetFailover function value (from GetT's admission gate) or from
+// getOp.done (off the static hot chain by the same stored-value idiom).
+func (c *SimClient) failoverGetT(t *sim.Task, next int, key string, k func(*Item, bool)) {
+	c.failovers++
+	c.fr.Append(t.Now(), flight.KindFailover, c.node.Name(), c.servers[next].node.Name(), 0)
+	srv := c.servers[next]
+	sp := optrace.StartSpan(t, optrace.LayerMCD, "get")
+	sp.SetAttr("server", srv.node.Name())
+	t0 := t.Now()
+	if !c.admitRead(t, next) {
 		sp.SetAttr("result", "ejected")
 		sp.End(t)
 		c.getHist.ObserveSince(t, t0)
@@ -113,9 +158,9 @@ func (c *SimClient) GetT(t *sim.Task, key string, k func(*Item, bool)) {
 		return
 	}
 	op := c.takeGetOp()
-	op.t, op.k, op.sp, op.idx, op.t0 = t, k, sp, idx, t0
+	op.t, op.k, op.sp, op.idx, op.next, op.t0 = t, k, sp, next, -1, t0
 	op.key[0] = key
-	c.bindings[idx].CallT(t, &op.req, op.fnDone)
+	c.bindings[next].CallT(t, &op.req, op.fnDone)
 }
 
 // GetMultiT is GetMulti for the task engine. The scatter-gather workers
@@ -136,7 +181,7 @@ func (c *SimClient) GetMultiT(t *sim.Task, keys []string, k func(map[string]*Ite
 	t0 := t.Now()
 	byServer := make(map[int][]string)
 	for _, key := range keys {
-		i, _ := c.pick(key)
+		i := c.routeRead(t, key)
 		byServer[i] = append(byServer[i], key)
 	}
 	out := make(map[string]*Item, len(keys))
@@ -147,7 +192,7 @@ func (c *SimClient) GetMultiT(t *sim.Task, keys []string, k func(map[string]*Ite
 		if !ok {
 			continue
 		}
-		if !c.admit(t, i) {
+		if !c.admitRead(t, i) {
 			continue // ejected: every key an instant miss
 		}
 		i, s := i, c.servers[i]
@@ -268,9 +313,23 @@ func (op *delOp) done(m fabric.Msg, err error) {
 // DeleteT is Delete for the task engine; k receives Delete's found
 // result. Ejection and failure semantics mirror Delete exactly: an
 // ejected or unreachable MCD absorbs the delete without a wire request,
-// per the documented fault-model boundary.
+// per the documented fault-model boundary. With replication on, both
+// copies are deleted in sequence, as Delete does.
 func (c *SimClient) DeleteT(t *sim.Task, key string, k func(bool)) {
-	idx, srv := c.pick(key)
+	idx, _ := c.pick(key)
+	next := c.replicaNext(key, idx)
+	if next < 0 {
+		c.delOnT(t, idx, key, k)
+		return
+	}
+	c.delOnT(t, idx, key, func(found bool) {
+		c.delOnT(t, next, key, func(found2 bool) { k(found || found2) })
+	})
+}
+
+// delOnT runs one DeleteT leg against server idx.
+func (c *SimClient) delOnT(t *sim.Task, idx int, key string, k func(bool)) {
+	srv := c.servers[idx]
 	sp := optrace.StartSpan(t, optrace.LayerMCD, "delete")
 	sp.SetAttr("server", srv.node.Name())
 	if !c.admit(t, idx) {
@@ -355,9 +414,24 @@ func (op *setOp) done(m fabric.Msg, err error) {
 	}
 }
 
-// SetT is Set for the task engine; k receives Set's error result.
+// SetT is Set for the task engine; k receives Set's error result. With
+// replication on, the replica leg runs after the primary leg and the
+// primary's result is what k sees, as in Set.
 func (c *SimClient) SetT(t *sim.Task, key string, value blob.Blob, k func(error)) {
-	idx, srv := c.pick(key)
+	idx, _ := c.pick(key)
+	next := c.replicaNext(key, idx)
+	if next < 0 {
+		c.setOnT(t, idx, key, value, k)
+		return
+	}
+	c.setOnT(t, idx, key, value, func(err error) {
+		c.setOnT(t, next, key, value, func(error) { k(err) })
+	})
+}
+
+// setOnT runs one SetT leg against server idx.
+func (c *SimClient) setOnT(t *sim.Task, idx int, key string, value blob.Blob, k func(error)) {
+	srv := c.servers[idx]
 	sp := optrace.StartSpan(t, optrace.LayerMCD, "set")
 	sp.SetAttr("server", srv.node.Name())
 	if sp != nil {

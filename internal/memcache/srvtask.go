@@ -67,6 +67,7 @@ func (op *srvOp) release() {
 	op.t, op.req, op.respond, op.sp = nil, nil, nil, nil
 	op.getResp.Items = nil
 	op.setResp.Err = ""
+	op.getResp.Down, op.setResp.Down, op.delResp.Down = false, false, false
 	for i := range op.ptrs {
 		op.ptrs[i] = nil
 	}
@@ -109,11 +110,11 @@ func (s *SimServer) handleT(t *sim.Task, from *fabric.Node, req fabric.Msg, resp
 func (op *srvOp) daemonHeld() {
 	switch r := op.req.(type) {
 	case *GetReq:
-		op.svcTime = sim.Duration(len(r.Keys)) * perKeyServiceTime
+		op.svcTime = op.s.stretch(sim.Duration(len(r.Keys)) * perKeyServiceTime)
 	case *SetReq:
-		op.svcTime = perKeyServiceTime + copyTime(r.Item.Value.Len())
+		op.svcTime = op.s.stretch(perKeyServiceTime + copyTime(r.Item.Value.Len()))
 	case *DelReq:
-		op.svcTime = perKeyServiceTime
+		op.svcTime = op.s.stretch(perKeyServiceTime)
 	default:
 		panic("memcache: unknown request type")
 	}
@@ -125,6 +126,27 @@ func (op *srvOp) cpuHeld() { op.t.Sleep(op.svcTime, op.fnCPUDone) }
 func (op *srvOp) cpuDone() {
 	s := op.s
 	s.node.CPU.Release(1)
+	if s.down {
+		// The daemon crashed while this request was in service: the store
+		// was flushed, so applying the mutation (or serving the stale
+		// snapshot) would resurrect pre-crash state — the divergence the
+		// replica-coherence audit exists to catch. Answer like a
+		// connection reset instead; nothing is applied.
+		switch op.req.(type) {
+		case *GetReq:
+			op.getResp.Down = true
+			op.finish(&op.getResp)
+		case *SetReq:
+			op.setResp.Down = true
+			op.finish(&op.setResp)
+		case *DelReq:
+			op.delResp.Down = true
+			op.finish(&op.delResp)
+		default:
+			panic("memcache: unknown request type")
+		}
+		return
+	}
 	switch r := op.req.(type) {
 	case *GetReq:
 		items := op.items[:0]
@@ -146,7 +168,7 @@ func (op *srvOp) cpuDone() {
 		if moved > 0 {
 			// Copy-out cost for the hit bytes: a second CPU use, exactly
 			// as the blocking handler charged it.
-			op.svcTime = copyTime(moved)
+			op.svcTime = s.stretch(copyTime(moved))
 			s.node.CPU.AcquireT(op.t, 1, op.fnCopyHeld)
 			return
 		}

@@ -17,6 +17,7 @@ package memcache
 
 import (
 	"errors"
+	"sort"
 	"sync"
 
 	"imca/internal/blob"
@@ -97,6 +98,12 @@ type Stats struct {
 	Probes       uint64
 	Readmits     uint64
 	FastFails    uint64
+	// Failovers counts reads retried against (or routed to) the replica
+	// copy; Suspects and SuspectClears trace the latency-suspicion state
+	// machine (see SimClient.SetSuspicion). All client-side only.
+	Failovers     uint64
+	Suspects      uint64
+	SuspectClears uint64
 }
 
 // slabClass is one chunk-size class: items whose total size fits chunkSize
@@ -545,6 +552,35 @@ func (s *Store) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.table)
+}
+
+// Keys returns every resident key in sorted order. It is an audit
+// surface (the replica-coherence oracle enumerates both copies with it)
+// and deliberately touches no stats, LRU state, or lazy expiry: auditing
+// a store must not change what a later workload observes.
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.table))
+	for k := range s.table {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Peek returns key's stored value without any side effects: no stats, no
+// LRU touch, no lazy expiry. Like Keys, it exists for audits; ok is
+// false when the key is absent (an expired-but-resident item is still
+// returned — the audit compares what a reader could be served).
+func (s *Store) Peek(key string) (blob.Blob, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	it, ok := s.table[key]
+	if !ok {
+		return blob.Blob{}, false
+	}
+	return it.Value, true
 }
 
 func parseUint(b []byte) (uint64, error) {

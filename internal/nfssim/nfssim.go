@@ -17,6 +17,7 @@ import (
 	"imca/internal/fabric"
 	"imca/internal/gluster"
 	"imca/internal/sim"
+	"imca/internal/telemetry"
 )
 
 // Config sizes the NFS server.
@@ -153,6 +154,9 @@ type Client struct {
 	server  *fabric.Node
 	fdPaths map[gluster.FD]string
 	nextFD  gluster.FD
+
+	// rpcs counts NFS RPCs issued, registered by Register.
+	rpcs uint64
 }
 
 var _ gluster.FS = (*Client)(nil)
@@ -163,8 +167,16 @@ func NewClient(node *fabric.Node, server *Server) *Client {
 }
 
 func (c *Client) call(p *sim.Proc, req *nfsReq) *nfsResp {
+	c.rpcs++
 	resp, _ := c.node.Call(p, c.server, "nfsd", req)
 	return resp.(*nfsResp)
+}
+
+// Register exposes the NFS client's RPC counter under prefix (e.g.
+// "nfs-client0"): every operation is at least one server round trip —
+// the single-server bottleneck the motivation experiment measures.
+func (c *Client) Register(reg *telemetry.Registry, prefix string) {
+	reg.Counter(prefix+".rpcs", func() uint64 { return c.rpcs })
 }
 
 // Create implements gluster.FS.
